@@ -1,0 +1,175 @@
+package mla_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/bench"
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/sched"
+	"mla/internal/sim"
+)
+
+// The experiment benchmarks: each regenerates one EXPERIMENTS.md table per
+// iteration at scale 1. Run `go test -bench=E -benchtime=1x -v` to see the
+// tables once, or cmd/mlabench for the full-scale versions.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var ex *bench.Experiment
+	for _, e := range bench.All() {
+		if e.ID == id {
+			ex = &e
+			break
+		}
+	}
+	if ex == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := ex.Run(bench.Options{Scale: 1, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.Len() == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+func BenchmarkE1Equivalence(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2PaperExamples(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3Extension(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4CycleRate(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5Throughput(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6Audit(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE7NestDepth(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8ActionTrees(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9CheckerScaling(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10Ablations(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11Recovery(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Sessions(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Distributed(b *testing.B)   { benchExperiment(b, "E13") }
+func BenchmarkE14CrashRecovery(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15Conversations(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkE16HotSpot(b *testing.B)       { benchExperiment(b, "E16") }
+
+// Micro-benchmarks for the hot paths.
+
+// makeExecution builds a random n-step execution over txns transactions.
+func makeExecution(n, txns, entities int, seed int64) (model.Execution, *nest.Nest) {
+	rng := rand.New(rand.NewSource(seed))
+	progs := make([]model.Program, txns)
+	nst := nest.New(3)
+	per := n / txns
+	for i := range progs {
+		ops := make([]model.Op, per)
+		for j := range ops {
+			ops[j] = model.Add(model.EntityID(fmt.Sprintf("x%02d", rng.Intn(entities))), 1)
+		}
+		id := model.TxnID(fmt.Sprintf("t%03d", i))
+		progs[i] = &model.Scripted{Txn: id, Ops: ops}
+		nst.Add(id, fmt.Sprintf("c%d", i%3))
+	}
+	e, err := model.RandomInterleave(progs, map[model.EntityID]model.Value{}, rng)
+	if err != nil {
+		panic(err)
+	}
+	return e, nst
+}
+
+func BenchmarkCoherentClosure(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("steps=%d", n), func(b *testing.B) {
+			e, nst := makeExecution(n, 8, 8, 42)
+			spec := breakpoint.Uniform{Levels: 3, C: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coherent.CheckExecution(e, nst, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWitnessExtension(b *testing.B) {
+	// Build a guaranteed-correctable, non-trivial execution: transactions
+	// of the same class interleave freely (atomic under C=2), classes run
+	// one after another.
+	rng := rand.New(rand.NewSource(17))
+	spec := breakpoint.Uniform{Levels: 3, C: 2}
+	nst := nest.New(3)
+	var e model.Execution
+	vals := map[model.EntityID]model.Value{}
+	for class := 0; class < 3; class++ {
+		var progs []model.Program
+		for i := 0; i < 4; i++ {
+			id := model.TxnID(fmt.Sprintf("c%dt%d", class, i))
+			ops := make([]model.Op, 8)
+			for j := range ops {
+				ops[j] = model.Add(model.EntityID(fmt.Sprintf("x%02d", rng.Intn(8))), 1)
+			}
+			progs = append(progs, &model.Scripted{Txn: id, Ops: ops})
+			nst.Add(id, fmt.Sprintf("g%d", class))
+		}
+		part, err := model.RandomInterleave(progs, vals, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e = append(e, part...)
+	}
+	res, err := coherent.CheckExecution(e, nst, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Correctable {
+		b.Fatal("constructed execution must be correctable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := res.Witness(); !ok {
+			b.Fatal("witness failed")
+		}
+	}
+}
+
+func BenchmarkPreventerRequests(b *testing.B) {
+	wl := bank.Generate(bank.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sched.NewPreventer(wl.Nest, wl.Spec)
+		if _, err := sim.Run(sim.DefaultConfig(), wl.Programs, c, wl.Spec, wl.Init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorRequests(b *testing.B) {
+	wl := bank.Generate(bank.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sched.NewDetector(wl.Nest, wl.Spec)
+		if _, err := sim.Run(sim.DefaultConfig(), wl.Programs, c, wl.Spec, wl.Init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimBanking2PL(b *testing.B) {
+	wl := bank.Generate(bank.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.DefaultConfig(), wl.Programs, sched.NewTwoPhase(), wl.Spec, wl.Init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

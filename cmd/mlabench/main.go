@@ -1,0 +1,50 @@
+// Command mlabench regenerates every experiment table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mlabench [-exp E5] [-scale 2] [-seed 1]
+//
+// Without -exp it runs the full suite E1..E10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mla/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run only this experiment (E1..E16)")
+	scale := flag.Int("scale", 2, "workload scale multiplier (1 = quick)")
+	seed := flag.Int64("seed", 1, "random seed")
+	markdown := flag.Bool("md", false, "render tables as markdown")
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	failed := 0
+	for _, ex := range bench.All() {
+		if *exp != "" && ex.ID != *exp {
+			continue
+		}
+		start := time.Now()
+		tbl, err := ex.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s — %s  (%.1fs)\n", ex.ID, ex.Claim, time.Since(start).Seconds())
+		if *markdown {
+			tbl.RenderMarkdown(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

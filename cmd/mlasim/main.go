@@ -1,0 +1,198 @@
+// Command mlasim runs one simulation of the migrating-transaction model
+// under a chosen concurrency control and prints throughput, latency,
+// control statistics, and the application invariants.
+//
+// Usage:
+//
+//	mlasim [-workload bank|sessions|cad|conv] [-config workload.json]
+//	       [-control prevent|detect|2pl|tso|serial|none]
+//	       [-txns 24] [-seed 1] [-partial] [-check] [-trace out.json]
+//
+// -config runs a user-defined workload (see internal/config for the JSON
+// format) instead of a generated one.
+//
+// -partial enables breakpoint-granular rollback (the paper's smaller unit
+// of recovery); -check verifies the admitted execution against Theorem 2
+// offline; -trace writes the execution in mlacheck's JSON format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mla/internal/bank"
+	"mla/internal/breakpoint"
+	"mla/internal/cad"
+	"mla/internal/coherent"
+	"mla/internal/config"
+	"mla/internal/conv"
+	"mla/internal/metrics"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/sched"
+	"mla/internal/sim"
+	"mla/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "bank", "bank, sessions, cad, or conv")
+	configPath := flag.String("config", "", "run a JSON-defined workload instead (see internal/config)")
+	control := flag.String("control", "prevent", "prevent, detect, 2pl, tso, serial, or none")
+	txns := flag.Int("txns", 24, "number of main transactions (transfers / sessions / modifications / conversations)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	partial := flag.Bool("partial", false, "enable breakpoint-granular partial recovery")
+	check := flag.Bool("check", false, "verify the execution against Theorem 2")
+	traceOut := flag.String("trace", "", "write the execution trace to this file (JSON)")
+	flag.Parse()
+
+	var (
+		programs []model.Program
+		n        *nest.Nest
+		spec     breakpoint.Spec
+		init     map[model.EntityID]model.Value
+		report   func(*sim.Result)
+	)
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		wl, err := config.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
+		report = func(res *sim.Result) {
+			if err := res.Exec.Validate(init); err != nil {
+				fmt.Printf("TRACE INVALID:  %v\n", err)
+			}
+		}
+		*workload = "config:" + *configPath
+	} else {
+		switch *workload {
+		case "bank":
+			p := bank.DefaultParams()
+			p.Transfers = *txns
+			p.Seed = *seed
+			wl := bank.Generate(p)
+			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
+			report = func(res *sim.Result) {
+				inv := wl.Check(res.Exec, res.Final)
+				fmt.Printf("conservation:   %v (total %d)\n", inv.ConservationOK, inv.Expected)
+				fmt.Printf("audits exact:   %d, inexact: %d\n", inv.AuditsExact, inv.AuditsInexact)
+				if inv.TraceValid != nil {
+					fmt.Printf("TRACE INVALID:  %v\n", inv.TraceValid)
+				}
+			}
+		case "sessions":
+			p := bank.DefaultSessionParams()
+			p.Sessions = *txns
+			p.Seed = *seed
+			wl := bank.GenerateSessions(p)
+			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
+			report = func(res *sim.Result) {
+				inv := wl.Check(res.Exec, res.Final)
+				fmt.Printf("conservation:   %v (total %d)\n", inv.ConservationOK, inv.Expected)
+				fmt.Printf("audits exact:   %d, inexact: %d\n", inv.AuditsExact, inv.AuditsInexact)
+				if inv.TraceValid != nil {
+					fmt.Printf("TRACE INVALID:  %v\n", inv.TraceValid)
+				}
+			}
+		case "conv":
+			p := conv.DefaultParams()
+			p.Conversations = *txns
+			p.Seed = *seed
+			wl := conv.Generate(p)
+			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
+			report = func(res *sim.Result) {
+				out := wl.Check(res.Final)
+				fmt.Printf("conversations:  %d completed, %d failed\n", out.Completed, out.Failed)
+			}
+		case "cad":
+			p := cad.DefaultParams()
+			p.Mods = *txns
+			p.Seed = *seed
+			wl := cad.Generate(p)
+			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
+			report = func(res *sim.Result) {
+				inv := wl.Check(res.Exec, res.Final)
+				fmt.Printf("totals consistent: %v\n", inv.TotalsConsistent)
+				fmt.Printf("snapshots clean:   %d, dirty: %d\n", inv.SnapshotsClean, inv.SnapshotsDirty)
+				if inv.TraceValid != nil {
+					fmt.Printf("TRACE INVALID:     %v\n", inv.TraceValid)
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "mlasim: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	}
+
+	var c sched.Control
+	switch *control {
+	case "prevent":
+		c = sched.NewPreventer(n, spec)
+	case "detect":
+		c = sched.NewDetector(n, spec)
+	case "2pl":
+		c = sched.NewTwoPhase()
+	case "tso":
+		c = sched.NewTimestamp()
+	case "serial":
+		c = sched.NewSerial()
+	case "none":
+		c = sched.NewNone()
+	default:
+		fmt.Fprintf(os.Stderr, "mlasim: unknown control %q\n", *control)
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.PartialRecovery = *partial
+	res, err := sim.Run(cfg, programs, c, spec, init)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlasim:", err)
+		os.Exit(1)
+	}
+
+	lat := metrics.Summarize(res.Latencies)
+	fmt.Printf("workload=%s control=%s txns=%d seed=%d\n", *workload, c.Name(), *txns, *seed)
+	fmt.Printf("committed:      %d in %d time units (throughput %.2f/1000u)\n",
+		res.Stats.Committed, res.Time, res.Throughput())
+	fmt.Printf("latency:        p50=%d p95=%d p99=%d mean=%.1f\n", lat.P50, lat.P95, lat.P99, lat.Mean)
+	fmt.Printf("steps:          %d (%d messages)\n", res.Stats.Steps, res.Stats.Messages)
+	fmt.Printf("aborts:         %d (%d cascades, %d partial, %d stall breaks)\n",
+		res.Stats.Aborts, res.Stats.Cascades, res.Stats.PartialRollbacks, res.Stats.StallBreaks)
+	fmt.Printf("control:        %+v\n", *res.Control)
+	report(res)
+
+	if *check {
+		chk, err := coherent.CheckExecution(res.Exec, n, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim: check:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("theorem 2:      atomic=%v correctable=%v\n", chk.Atomic, chk.Correctable)
+		if !chk.Correctable && c.Name() != "none" {
+			fmt.Fprintln(os.Stderr, "mlasim: control admitted a non-correctable execution")
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Encode(f, res.Exec, n.Restrict(res.Exec.Txns()), spec, init); err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written:  %s\n", *traceOut)
+	}
+}

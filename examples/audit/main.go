@@ -1,0 +1,95 @@
+// Audit: the transfer/audit anomaly from the paper's introduction and from
+// [FGL]. A transfer moves money in two phases (withdraw, then deposit); an
+// audit that reads the accounts between the phases misses the money in
+// transit. The example demonstrates:
+//
+//  1. without control, audits undercount or overcount;
+//  2. under the prevention scheduler with the Section 4.2 banking
+//     specification, audits are exact while transfers still interleave
+//     with each other at their phase boundaries — the audit "does not stop
+//     transactions in progress" any more than the criterion requires.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mla/internal/bank"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/serial"
+	"mla/internal/sim"
+)
+
+func main() {
+	// Part 1: the anomaly, hand-constructed. One transfer A→C, one audit.
+	transfer := &bank.Transfer{
+		Txn:     "xfer",
+		Sources: []model.EntityID{"A"},
+		Targets: [2]model.EntityID{"C", "D"},
+		Amount:  100, Reserve: 1 << 30, // everything goes to C
+	}
+	audit := &bank.Audit{
+		Txn:      "audit",
+		Accounts: []model.EntityID{"A", "C", "D"},
+		Result:   "auditres",
+	}
+	init := map[model.EntityID]model.Value{"A": 100, "C": 100, "D": 100, "auditres": 0}
+
+	vals := copyVals(init)
+	// Interleaving: withdraw; audit runs completely; deposit.
+	exec, err := model.Interleave([]model.Program{transfer, audit}, vals,
+		[]int{0, 1, 1, 1, 1, 0}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the anomaly — audit interleaved between withdraw and deposit:")
+	for _, s := range exec {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Printf("audit recorded %d, true total is 300: $%d was in transit\n\n",
+		vals["auditres"], 300-vals["auditres"])
+
+	// Part 2: a full workload under the prevention scheduler. Audits are
+	// exact, and the admitted execution is generally NOT serializable —
+	// transfers did interleave.
+	params := bank.DefaultParams()
+	params.Transfers = 16
+	params.BankAudits = 2
+	params.CreditorAudits = 0
+	params.Families = 2
+	found := false
+	for seed := int64(1); seed <= 10; seed++ {
+		params.Seed = seed
+		wl := bank.Generate(params)
+		c := sched.NewPreventer(wl.Nest, wl.Spec)
+		res, err := sim.Run(sim.DefaultConfig(), wl.Programs, c, wl.Spec, wl.Init)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inv := wl.Check(res.Exec, res.Final)
+		if inv.AuditsInexact > 0 || !inv.ConservationOK {
+			log.Fatalf("seed %d: invariants violated: %+v", seed, inv)
+		}
+		if !serial.Serializable(res.Exec) {
+			fmt.Printf("under the prevention scheduler (seed %d):\n", seed)
+			fmt.Printf("  audits exact:       %d/%d\n", inv.AuditsExact, inv.AuditsExact)
+			fmt.Printf("  execution serializable: false — transfers interleaved at phase boundaries\n")
+			fmt.Printf("  throughput:         %.2f txns/1000u (aborts %d)\n",
+				res.Throughput(), res.Stats.Aborts)
+			found = true
+			break
+		}
+	}
+	if !found {
+		fmt.Println("all sampled runs happened to be serializable; audits were exact in every one")
+	}
+}
+
+func copyVals(m map[model.EntityID]model.Value) map[model.EntityID]model.Value {
+	out := make(map[model.EntityID]model.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

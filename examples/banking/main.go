@@ -1,0 +1,75 @@
+// Banking: the paper's Big Bucks Bank (Sections 2 and 4) end to end. A
+// generated workload of conditional funds transfers, bank audits, and
+// creditor audits runs on the migrating-transaction simulator under each
+// concurrency control; the run reports throughput, the conservation and
+// audit-exactness invariants, and the offline Theorem 2 verdict. The "none"
+// row shows what goes wrong without concurrency control: audits catch
+// money in transit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/metrics"
+	"mla/internal/sched"
+	"mla/internal/sim"
+)
+
+func main() {
+	params := bank.DefaultParams()
+	params.Transfers = 20
+	params.BankAudits = 2
+	params.CreditorAudits = 3
+	params.Families = 3
+
+	table := metrics.NewTable(
+		fmt.Sprintf("Big Bucks Bank: %d transfers, %d bank audits, %d creditor audits, %d families",
+			params.Transfers, params.BankAudits, params.CreditorAudits, params.Families),
+		"control", "throughput", "p99-latency", "aborts", "conserved", "audits-exact", "correctable")
+
+	for _, name := range []string{"serial", "2pl", "tso", "prevent", "detect", "none"} {
+		wl := bank.Generate(params)
+		var c sched.Control
+		switch name {
+		case "serial":
+			c = sched.NewSerial()
+		case "2pl":
+			c = sched.NewTwoPhase()
+		case "tso":
+			c = sched.NewTimestamp()
+		case "prevent":
+			c = sched.NewPreventer(wl.Nest, wl.Spec)
+		case "detect":
+			c = sched.NewDetector(wl.Nest, wl.Spec)
+		case "none":
+			c = sched.NewNone()
+		}
+		res, err := sim.Run(sim.DefaultConfig(), wl.Programs, c, wl.Spec, wl.Init)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		inv := wl.Check(res.Exec, res.Final)
+		if inv.TraceValid != nil {
+			log.Fatalf("%s: invalid trace: %v", name, inv.TraceValid)
+		}
+		correctable, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Row(name, res.Throughput(), res.LatencyPercentile(99), res.Stats.Aborts,
+			inv.ConservationOK, fmt.Sprintf("%d/%d", inv.AuditsExact, inv.AuditsExact+inv.AuditsInexact),
+			correctable)
+	}
+	table.Render(os.Stdout)
+	fmt.Println(`
+Reading the table:
+  - every control conserves money (transfers are atomic steps either way);
+  - the MLA controls (prevent, detect) and the serializable baselines all
+    keep bank audits exact and admit only Theorem-2-correctable executions;
+  - "none" commits fastest but its audits see money in transit — the
+    paper's motivating anomaly.`)
+}

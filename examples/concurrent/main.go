@@ -1,0 +1,61 @@
+// Concurrent: the banking workload executed by the real goroutine-based
+// engine (one goroutine per transaction, true parallelism) instead of the
+// deterministic simulator. Each run is validated end to end: conservation,
+// audit exactness, value-chain integrity, and the offline Theorem 2 check.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/engine"
+	"mla/internal/sched"
+	"mla/internal/serial"
+)
+
+func main() {
+	params := bank.DefaultParams()
+	params.Transfers = 20
+	params.BankAudits = 2
+	params.CreditorAudits = 2
+
+	for _, name := range []string{"2pl", "prevent", "detect"} {
+		wl := bank.Generate(params)
+		var c sched.Control
+		switch name {
+		case "2pl":
+			c = sched.NewTwoPhase()
+		case "prevent":
+			c = sched.NewPreventer(wl.Nest, wl.Spec)
+		case "detect":
+			c = sched.NewDetector(wl.Nest, wl.Spec)
+		}
+		res, err := engine.Run(engine.Config{Seed: 42, StepDelay: 300 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		inv := wl.Check(res.Exec, res.Final)
+		correctable, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s committed=%d in %v  aborts=%d (cascades %d)\n",
+			name, res.Committed, res.Elapsed.Round(1000), res.Aborts, res.Cascades)
+		fmt.Printf("         conserved=%v auditsExact=%d/%d correctable=%v serializable=%v groups=%v\n",
+			inv.ConservationOK, inv.AuditsExact, inv.AuditsExact+inv.AuditsInexact,
+			correctable, serial.Serializable(res.Exec), res.CommitGroups)
+		if inv.TraceValid != nil {
+			log.Fatalf("%s: trace invalid: %v", name, inv.TraceValid)
+		}
+		if !correctable {
+			log.Fatalf("%s: admitted a non-correctable execution", name)
+		}
+	}
+	fmt.Println("\nEvery control's concurrent run is Theorem-2 correctable; the MLA")
+	fmt.Println("controls typically commit in groups (value-dependency chains) and")
+	fmt.Println("admit non-serializable interleavings — run it a few times and watch")
+	fmt.Println("the schedules change while the invariants never do.")
+}

@@ -1,0 +1,60 @@
+// Recovery: the banking workload survives crashes. The run executes on the
+// WAL-backed store under the prevention scheduler; at each injected crash
+// every piece of volatile state — the scheduler, in-flight transactions,
+// cached values — is lost, recovery replays the log (redo + compensation,
+// then loser undo), and a fresh round resumes whatever had not durably
+// committed. Committed transfers are never redone; money is conserved and
+// audits stay exact across any number of crashes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/sched"
+	"mla/internal/sim"
+)
+
+func main() {
+	params := bank.DefaultParams()
+	params.Transfers = 16
+	params.BankAudits = 1
+	params.CreditorAudits = 1
+	wl := bank.Generate(params)
+
+	crashes := []int64{120, 260, 400}
+	fmt.Printf("running %d transactions with crashes at t=%v\n\n", len(wl.Programs), crashes)
+
+	plan := sim.CrashPlan{
+		Cfg:     sim.DefaultConfig(),
+		Spec:    wl.Spec,
+		Init:    wl.Init,
+		Crashes: crashes,
+		NewControl: func() sched.Control {
+			return sched.NewPreventer(wl.Nest, wl.Spec)
+		},
+	}
+	res, err := sim.RunWithCrashes(plan, wl.Programs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv := wl.Check(res.Exec, res.Final)
+	correctable, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rounds:            %d (crashes + final)\n", res.Rounds)
+	fmt.Printf("committed:         %d/%d (each exactly once)\n", res.Committed, len(wl.Programs))
+	fmt.Printf("redone in-flight:  %d transaction attempts lost to crashes\n", res.RedoneTxns)
+	fmt.Printf("money conserved:   %v (total %d)\n", inv.ConservationOK, inv.Expected)
+	fmt.Printf("audits exact:      %d/%d\n", inv.AuditsExact, inv.AuditsExact+inv.AuditsInexact)
+	fmt.Printf("stitched execution valid: %v, correctable: %v\n", inv.TraceValid == nil, correctable)
+	if !inv.ConservationOK || inv.AuditsInexact > 0 || inv.TraceValid != nil || !correctable {
+		log.Fatal("invariants violated")
+	}
+	fmt.Println("\nThe paper separates the unit of recovery from the unit of atomicity;")
+	fmt.Println("here the WAL realizes it across crashes: durable commits are the only")
+	fmt.Println("thing a crash cannot take away.")
+}

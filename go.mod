@@ -1,0 +1,3 @@
+module mla
+
+go 1.22

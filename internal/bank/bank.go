@@ -1,0 +1,213 @@
+// Package bank implements the paper's running example (Sections 2 and 4):
+// the Big Bucks Bank, whose accounts are grouped into families and accessed
+// by three kinds of transactions —
+//
+//   - transfers (the paper's t1): withdraw up to a goal amount from the
+//     originating family's accounts, scanned sequentially, then deposit the
+//     collected money into two target accounts ("a fuel-bill account and an
+//     entertainment account"), topping the first up to a reserve level and
+//     putting the remainder in the second;
+//   - bank audits: read every account and record the grand total in a
+//     dedicated result entity ("enter a calculated interest amount into a
+//     special account");
+//   - creditor audits: read one family's accounts and record that family's
+//     total.
+//
+// The 4-nest and breakpoint structure follow Section 4.2's banking example:
+// π(2) groups customer and creditor transactions together and isolates each
+// bank audit; π(3) refines π(2) by family; a transfer's only level-2
+// breakpoint separates its withdrawal phase from its deposit phase, while
+// every other interior boundary is a level-3 breakpoint (family members
+// interleave freely).
+package bank
+
+import (
+	"fmt"
+
+	"mla/internal/model"
+)
+
+// World describes the account universe.
+type World struct {
+	Families          int
+	AccountsPerFamily int
+	InitialBalance    model.Value
+}
+
+// Account returns the entity ID of account i of family f.
+func (w World) Account(f, i int) model.EntityID {
+	return model.EntityID(fmt.Sprintf("acct/f%02d/a%02d", f, i))
+}
+
+// Accounts returns all account entities, family-major.
+func (w World) Accounts() []model.EntityID {
+	out := make([]model.EntityID, 0, w.Families*w.AccountsPerFamily)
+	for f := 0; f < w.Families; f++ {
+		for i := 0; i < w.AccountsPerFamily; i++ {
+			out = append(out, w.Account(f, i))
+		}
+	}
+	return out
+}
+
+// FamilyAccounts returns family f's account entities.
+func (w World) FamilyAccounts(f int) []model.EntityID {
+	out := make([]model.EntityID, 0, w.AccountsPerFamily)
+	for i := 0; i < w.AccountsPerFamily; i++ {
+		out = append(out, w.Account(f, i))
+	}
+	return out
+}
+
+// Init returns the initial entity values: every account at InitialBalance.
+func (w World) Init() map[model.EntityID]model.Value {
+	init := make(map[model.EntityID]model.Value)
+	for _, x := range w.Accounts() {
+		init[x] = w.InitialBalance
+	}
+	return init
+}
+
+// Total returns the initial total money supply.
+func (w World) Total() model.Value {
+	return model.Value(w.Families*w.AccountsPerFamily) * w.InitialBalance
+}
+
+// Transfer is the paper's branching funds-transfer transaction t1
+// (Section 4.3): it examines Sources sequentially, "attempting to obtain
+// [Amount] as soon as possible"; accounts beyond the one that completes the
+// goal are not accessed. It then deposits into Targets[0] up to the Reserve
+// level and puts any remainder into Targets[1]; if nothing remains after
+// the first deposit, the second account is not accessed.
+type Transfer struct {
+	Txn     model.TxnID
+	Family  int // originating family (for the nest)
+	Sources []model.EntityID
+	Targets [2]model.EntityID
+	Amount  model.Value
+	Reserve model.Value
+}
+
+// ID implements model.Program.
+func (t *Transfer) ID() model.TxnID { return t.Txn }
+
+// Init implements model.Program.
+func (t *Transfer) Init() model.ProgState { return xferState{t: t, phase: 0, idx: 0} }
+
+type xferState struct {
+	t     *Transfer
+	phase int // 0 withdrawing, 1 first deposit, 2 second deposit, 3 done
+	idx   int // next source index
+	got   model.Value
+}
+
+func (s xferState) Next() (model.EntityID, bool) {
+	switch s.phase {
+	case 0:
+		return s.t.Sources[s.idx], true
+	case 1:
+		return s.t.Targets[0], true
+	case 2:
+		return s.t.Targets[1], true
+	}
+	return "", false
+}
+
+func (s xferState) Apply(v model.Value) (model.Value, string, model.ProgState) {
+	switch s.phase {
+	case 0:
+		take := s.t.Amount - s.got
+		if take > v {
+			take = v
+		}
+		ns := s
+		ns.got += take
+		ns.idx++
+		if ns.got >= s.t.Amount || ns.idx >= len(s.t.Sources) {
+			ns.phase = 1 // withdrawal phase complete
+		}
+		return v - take, "withdraw", ns
+	case 1:
+		need := s.t.Reserve - v
+		if need < 0 {
+			need = 0
+		}
+		put := s.got
+		if put > need {
+			put = need
+		}
+		ns := s
+		ns.got -= put
+		if ns.got > 0 {
+			ns.phase = 2
+		} else {
+			ns.phase = 3
+		}
+		return v + put, "deposit", ns
+	case 2:
+		ns := s
+		put := ns.got
+		ns.got = 0
+		ns.phase = 3
+		return v + put, "deposit", ns
+	}
+	return v, "", s
+}
+
+// withdrawDone reports whether the prefix completes the withdrawal phase:
+// the collected amount reached the goal or every source was scanned. It is
+// used by the breakpoint specification to place the phase boundary online.
+func (t *Transfer) withdrawDone(prefix []model.Step) bool {
+	var got model.Value
+	withdrawals := 0
+	for _, s := range prefix {
+		if s.Label == "withdraw" {
+			withdrawals++
+			got += s.Before - s.After
+		}
+	}
+	return got >= t.Amount || withdrawals >= len(t.Sources)
+}
+
+// Audit is the bank audit: it reads every account and finally records the
+// observed grand total in its Result entity. Under the banking nest an
+// audit relates to everything else only at level 1, so it is atomic with
+// respect to all other transactions — and therefore must observe exactly
+// the conserved total.
+type Audit struct {
+	Txn      model.TxnID
+	Accounts []model.EntityID
+	Result   model.EntityID
+}
+
+// ID implements model.Program.
+func (a *Audit) ID() model.TxnID { return a.Txn }
+
+// Init implements model.Program.
+func (a *Audit) Init() model.ProgState { return auditState{a: a} }
+
+type auditState struct {
+	a   *Audit
+	idx int
+	sum model.Value
+}
+
+func (s auditState) Next() (model.EntityID, bool) {
+	if s.idx < len(s.a.Accounts) {
+		return s.a.Accounts[s.idx], true
+	}
+	if s.idx == len(s.a.Accounts) {
+		return s.a.Result, true
+	}
+	return "", false
+}
+
+func (s auditState) Apply(v model.Value) (model.Value, string, model.ProgState) {
+	ns := s
+	ns.idx++
+	if s.idx < len(s.a.Accounts) {
+		ns.sum += v
+		return v, "read", ns
+	}
+	return ns.sum, "record", ns
+}

@@ -1,0 +1,60 @@
+package coherent
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers, used for
+// the reachability rows of Relation. All sets in one Relation share the same
+// capacity (the number of steps).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// orWith sets b |= other, returning whether b changed.
+func (b bitset) orWith(other bitset) bool {
+	changed := false
+	for i, w := range other {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// count returns the number of elements.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach calls f on each element in ascending order.
+func (b bitset) forEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// andNot returns a fresh bitset holding b \ other.
+func (b bitset) andNot(other bitset) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] &^ other[i]
+	}
+	return out
+}
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}

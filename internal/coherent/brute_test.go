@@ -1,0 +1,105 @@
+package coherent
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// TestBruteForceCrossValidation is the strongest correctness evidence for
+// the Theorem 2 implementation: on hundreds of small random instances, the
+// closure-based verdict must agree with an exhaustive search for a coherent
+// total order containing ≤e. The two algorithms share no logic beyond
+// IsCoherentTotalOrder (which the abstract paper-example tests pin down
+// independently).
+func TestBruteForceCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	agree, correctableSeen, rejectedSeen := 0, 0, 0
+	for trial := 0; trial < 400; trial++ {
+		k := 2 + rng.Intn(3)
+		nTxn := 2 + rng.Intn(2) // 2..3 transactions
+		stepsPer := 2 + rng.Intn(3)
+		nEnt := 1 + rng.Intn(3)
+
+		n := nest.New(k)
+		progs := make([]model.Program, nTxn)
+		for i := 0; i < nTxn; i++ {
+			id := model.TxnID(fmt.Sprintf("t%d", i))
+			ops := make([]model.Op, stepsPer)
+			for j := range ops {
+				ops[j] = model.Add(model.EntityID(fmt.Sprintf("x%d", rng.Intn(nEnt))), 1)
+			}
+			progs[i] = &model.Scripted{Txn: id, Ops: ops}
+			mid := make([]string, k-2)
+			for l := range mid {
+				mid[l] = fmt.Sprintf("c%d", rng.Intn(2))
+			}
+			n.Add(id, mid...)
+		}
+		cutSeed := rng.Int63()
+		spec := breakpoint.Func{Levels: k, Fn: func(tx model.TxnID, prefix []model.Step) int {
+			h := cutSeed
+			for _, c := range tx {
+				h = h*31 + int64(c)
+			}
+			h = h*31 + int64(len(prefix))
+			if h < 0 {
+				h = -h
+			}
+			return 2 + int(h)%(k-1)
+		}}
+
+		e, err := model.RandomInterleave(progs, map[model.EntityID]model.Value{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, order, err := FromExecution(e, n, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := Correctable(e, n, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, valid := BruteCorrectable(e, inst, order)
+		if !valid {
+			continue
+		}
+		if fast != slow {
+			t.Fatalf("trial %d: closure says %v, brute force says %v\nexecution: %v",
+				trial, fast, slow, e)
+		}
+		agree++
+		if fast {
+			correctableSeen++
+		} else {
+			rejectedSeen++
+		}
+	}
+	if correctableSeen == 0 || rejectedSeen == 0 {
+		t.Fatalf("unbalanced sample: %d correctable, %d rejected of %d", correctableSeen, rejectedSeen, agree)
+	}
+	t.Logf("cross-validated %d instances (%d correctable, %d rejected)", agree, correctableSeen, rejectedSeen)
+}
+
+func TestBruteGuards(t *testing.T) {
+	// Too-large instances are refused rather than searched.
+	n := nest.New(2)
+	var e model.Execution
+	for i := 0; i < 13; i++ {
+		id := model.TxnID(fmt.Sprintf("t%d", i))
+		n.Add(id)
+		e = append(e, model.Step{Txn: id, Seq: 1, Entity: "x"})
+	}
+	inst, order, err := FromExecution(e, n, breakpoint.Uniform{Levels: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, valid := BruteCorrectable(e, inst, order); valid {
+		t.Error("oversized instance should be refused")
+	}
+}

@@ -1,0 +1,198 @@
+package coherent
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCyclic is returned when an extension is requested for a relation that
+// is not a partial order.
+var ErrCyclic = errors.New("coherent: relation is cyclic")
+
+// ExtendTotal extends a coherent partial order to a coherent total order
+// containing it, returning the steps (global indices) in the resulting
+// order. It implements the stage-wise construction in the paper's Appendix
+// (proof of Lemma 1):
+//
+// For each stage i = 2..k, partition the steps into the segments of the
+// B(i-1) descriptions, form the directed graph over segments induced by the
+// current relation, totally order its strongly connected components
+// consistently with the edges, and add every cross-component step pair. The
+// Appendix lemmas show each stage preserves coherence and acyclicity and
+// that after stage i all steps of transactions with level(t,t′) < i are
+// comparable; after stage k the relation is total.
+//
+// The receiver is not modified.
+func (r *Relation) ExtendTotal() ([]int, error) {
+	if r.cyclic {
+		return nil, ErrCyclic
+	}
+	inst := r.inst
+	n := inst.N()
+	if n == 0 {
+		return nil, nil
+	}
+	rel := r.Clone()
+
+	for i := 2; i <= inst.K(); i++ {
+		// Partition into segments of B(i-1).
+		segOf := make([]int, n)
+		var segSteps [][]int
+		for ti, idxs := range inst.stepsOf {
+			if len(idxs) == 0 {
+				continue
+			}
+			for _, cls := range inst.desc[ti].Classes(i - 1) {
+				sid := len(segSteps)
+				var members []int
+				for s := cls[0]; s <= cls[1]; s++ {
+					g := idxs[s-1]
+					segOf[g] = sid
+					members = append(members, g)
+				}
+				segSteps = append(segSteps, members)
+			}
+		}
+		ns := len(segSteps)
+
+		// Segment graph induced by the current relation.
+		adj := make([]bitset, ns)
+		for s := range adj {
+			adj[s] = newBitset(ns)
+		}
+		for a := 0; a < n; a++ {
+			sa := segOf[a]
+			rel.reach[a].forEach(func(b int) {
+				if sb := segOf[b]; sb != sa {
+					adj[sa].set(sb)
+				}
+			})
+		}
+
+		comps, order := sccTopo(adj)
+
+		// Add all step pairs across components, following the topological
+		// order of the condensation. Pairs within a component are left for
+		// finer stages.
+		mask := make([]bitset, len(order))
+		for ci, comp := range order {
+			m := newBitset(n)
+			for _, s := range comp {
+				for _, g := range segSteps[s] {
+					m.set(g)
+				}
+			}
+			mask[ci] = m
+		}
+		// Successors: sweep from the back accumulating "everything later".
+		after := newBitset(n)
+		for ci := len(order) - 1; ci >= 0; ci-- {
+			mask[ci].forEach(func(a int) {
+				rel.reach[a].orWith(after)
+			})
+			after.orWith(mask[ci])
+		}
+		// Predecessors: sweep forward accumulating "everything earlier".
+		before := newBitset(n)
+		for ci := 0; ci < len(order); ci++ {
+			mask[ci].forEach(func(b int) {
+				rel.pred[b].orWith(before)
+			})
+			before.orWith(mask[ci])
+		}
+		_ = comps
+	}
+
+	perm, ok := rel.Order()
+	if !ok {
+		return nil, fmt.Errorf("coherent: stage construction did not yield a total order (relation not coherent?)")
+	}
+	return perm, nil
+}
+
+// sccTopo computes the strongly connected components of the graph given by
+// adjacency bitsets and returns (component index per node, components in
+// topological order of the condensation). It is an iterative Tarjan; Tarjan
+// emits components in reverse topological order, so the output list is the
+// reversal of the emission order. Deterministic for a given adjacency.
+func sccTopo(adj []bitset) ([]int, [][]int) {
+	n := len(adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	type frame struct {
+		v     int
+		succs []int
+		next  int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		var frames []frame
+		push := func(v int) {
+			index[v] = counter
+			low[v] = counter
+			counter++
+			stack = append(stack, v)
+			onStack[v] = true
+			var succs []int
+			adj[v].forEach(func(w int) { succs = append(succs, w) })
+			frames = append(frames, frame{v: v, succs: succs})
+		}
+		push(start)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(f.succs) {
+				w := f.succs[f.next]
+				f.next++
+				if index[w] == unvisited {
+					push(w)
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors done: maybe emit a component, then pop.
+			if low[f.v] == index[f.v] {
+				var c []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(comps)
+					c = append(c, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, c)
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+		}
+	}
+
+	// Tarjan emitted sinks first: reverse for topological order.
+	order := make([][]int, len(comps))
+	for i, c := range comps {
+		order[len(comps)-1-i] = c
+	}
+	return comp, order
+}

@@ -1,0 +1,391 @@
+package coherent
+
+import (
+	"math/bits"
+
+	"mla/internal/model"
+)
+
+// Online maintains the coherent closure of the dependency relation ≤e of a
+// growing execution — the incremental counterpart of Relation and the data
+// structure behind the Detector scheduler (Section 6's cycle-detection
+// sketch). Unlike the static Relation it supports appending steps and
+// breakpoints online:
+//
+//   - appending a step adds its program-order and entity-order generator
+//     edges, plus the "pinned" edges required by coherence rule (b): if an
+//     earlier step α of t precedes some β and t's segment containing α is
+//     still open at the relevant level, then every future step of t in that
+//     segment must also precede β. Such β are pinned per (transaction,
+//     level) and released when a breakpoint of that level is crossed.
+//   - appending a breakpoint (a cut of some coarseness) closes segments and
+//     clears the corresponding pinned sets.
+//
+// Rollback is by rebuild: the event log is filtered and replayed.
+type Online struct {
+	k     int
+	level func(a, b model.TxnID) int
+
+	events []oevent
+
+	// Replayable state below; reset by rebuild.
+	txns    []model.TxnID
+	txnIdx  map[model.TxnID]int
+	stepTxn []int // global step -> txn index
+	stepSeq []int // global step -> 1-based seq
+	perTxn  [][]int
+	coarse  [][]int // per txn: coarse[pos-1] = coarseness of cut after step pos (0 = none yet)
+
+	reach, pred []obitset
+	lastEntity  map[model.EntityID]int
+	pinned      [][]obitset // per txn, per level 2..k
+
+	cyclic         bool
+	cycleA, cycleB int
+}
+
+type oevent struct {
+	isCut  bool
+	txn    model.TxnID
+	entity model.EntityID // step events
+	coarse int            // cut events
+}
+
+// obitset is a growable bitset.
+type obitset []uint64
+
+func (b *obitset) set(i int) {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << uint(i&63)
+}
+
+func (b obitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<uint(i&63)) != 0
+}
+
+// forEachNotIn calls f for every element of b that is absent from other.
+func (b obitset) forEachNotIn(other obitset, f func(i int)) {
+	for wi, w := range b {
+		if wi < len(other) {
+			w &^= other[wi]
+		}
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+func (b obitset) forEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+func NewOnline(k int, level func(a, b model.TxnID) int) *Online {
+	oc := &Online{k: k, level: level}
+	oc.reset()
+	return oc
+}
+
+func (oc *Online) reset() {
+	oc.txns = nil
+	oc.txnIdx = make(map[model.TxnID]int)
+	oc.stepTxn = nil
+	oc.stepSeq = nil
+	oc.perTxn = nil
+	oc.coarse = nil
+	oc.reach = nil
+	oc.pred = nil
+	oc.lastEntity = make(map[model.EntityID]int)
+	oc.pinned = nil
+	oc.cyclic = false
+}
+
+func (oc *Online) txn(t model.TxnID) int {
+	if ti, ok := oc.txnIdx[t]; ok {
+		return ti
+	}
+	ti := len(oc.txns)
+	oc.txnIdx[t] = ti
+	oc.txns = append(oc.txns, t)
+	oc.perTxn = append(oc.perTxn, nil)
+	oc.coarse = append(oc.coarse, nil)
+	oc.pinned = append(oc.pinned, make([]obitset, oc.k+1))
+	return ti
+}
+
+// AddStep appends a step of t on x, returning false when it closes a cycle
+// in the coherent closure. On false the caller must Rollback or Rebuild:
+// the internal relation is left dirty.
+func (oc *Online) AddStep(t model.TxnID, x model.EntityID) bool {
+	oc.events = append(oc.events, oevent{txn: t, entity: x})
+	oc.applyStep(t, x)
+	return !oc.cyclic
+}
+
+// PopStep removes the most recent event, which must be the step just
+// rejected by AddStep, and rebuilds. (Cheap path: if the closure is still
+// acyclic nothing needs rebuilding, but AddStep is only popped on cycles.)
+func (oc *Online) PopStep() {
+	oc.events = oc.events[:len(oc.events)-1]
+}
+
+// AddCut appends a breakpoint of the given coarseness after t's latest
+// step.
+func (oc *Online) AddCut(t model.TxnID, coarse int) {
+	oc.events = append(oc.events, oevent{isCut: true, txn: t, coarse: coarse})
+	oc.applyCut(t, coarse)
+}
+
+// Rebuild removes every event of the dropped transactions and replays the
+// rest, resetting the relation.
+func (oc *Online) Rebuild(drop map[model.TxnID]bool) {
+	keep := make(map[model.TxnID]int, len(drop))
+	for t := range drop {
+		keep[t] = 0
+	}
+	oc.RebuildPartial(keep)
+}
+
+// RebuildPartial removes, for each transaction in keep, every step event
+// beyond its kept prefix (and the breakpoints attached to the removed
+// steps), then replays the remainder. keep[t] = 0 drops t entirely.
+func (oc *Online) RebuildPartial(keep map[model.TxnID]int) {
+	seen := make(map[model.TxnID]int, len(keep))
+	kept := oc.events[:0]
+	for _, ev := range oc.events {
+		k, tracked := keep[ev.txn]
+		if !tracked {
+			kept = append(kept, ev)
+			continue
+		}
+		if ev.isCut {
+			if seen[ev.txn] >= 1 && seen[ev.txn] <= k {
+				kept = append(kept, ev)
+			}
+			continue
+		}
+		if seen[ev.txn] < k {
+			seen[ev.txn]++
+			kept = append(kept, ev)
+		} else {
+			seen[ev.txn]++ // dropped
+		}
+	}
+	oc.events = kept
+	oc.reset()
+	for _, ev := range oc.events {
+		if ev.isCut {
+			oc.applyCut(ev.txn, ev.coarse)
+		} else {
+			oc.applyStep(ev.txn, ev.entity)
+		}
+	}
+}
+
+// CycleTxns returns the transactions of the two steps whose pair closed the
+// cycle (valid after AddStep returned false).
+func (oc *Online) CycleTxns() []model.TxnID {
+	if !oc.cyclic {
+		return nil
+	}
+	a := oc.txns[oc.stepTxn[oc.cycleA]]
+	b := oc.txns[oc.stepTxn[oc.cycleB]]
+	if a == b {
+		return []model.TxnID{a}
+	}
+	return []model.TxnID{a, b}
+}
+
+// Steps returns the number of live steps.
+func (oc *Online) Steps() int { return len(oc.stepTxn) }
+
+func (oc *Online) applyStep(t model.TxnID, x model.EntityID) {
+	ti := oc.txn(t)
+	g := len(oc.stepTxn)
+	seq := len(oc.perTxn[ti]) + 1
+	oc.stepTxn = append(oc.stepTxn, ti)
+	oc.stepSeq = append(oc.stepSeq, seq)
+	oc.reach = append(oc.reach, nil)
+	oc.pred = append(oc.pred, nil)
+
+	var queue [][2]int
+	if seq > 1 {
+		queue = append(queue, [2]int{oc.perTxn[ti][seq-2], g})
+	}
+	if le, ok := oc.lastEntity[x]; ok {
+		queue = append(queue, [2]int{le, g})
+	}
+	// Rule (b), future part: this step extends t's open segments, so it
+	// inherits every pinned successor obligation. Level 1 is included: a
+	// B(1) segment is the whole transaction, so level-1 pins persist until
+	// the transaction ends.
+	for lv := 1; lv <= oc.k; lv++ {
+		oc.pinned[ti][lv].forEach(func(b int) {
+			queue = append(queue, [2]int{g, b})
+		})
+	}
+
+	oc.perTxn[ti] = append(oc.perTxn[ti], g)
+	oc.coarse[ti] = append(oc.coarse[ti], 0) // boundary after seq not yet known
+	oc.lastEntity[x] = g
+	oc.process(queue)
+}
+
+func (oc *Online) applyCut(t model.TxnID, coarse int) {
+	ti := oc.txn(t)
+	n := len(oc.perTxn[ti])
+	if n == 0 {
+		return
+	}
+	if coarse < 2 {
+		coarse = 2
+	}
+	oc.coarse[ti][n-1] = coarse
+	for lv := coarse; lv <= oc.k; lv++ {
+		oc.pinned[ti][lv] = nil
+	}
+}
+
+// segmentOpen reports whether no boundary of coarseness ≤ lv has been
+// recorded at or after position seq of transaction ti.
+func (oc *Online) segmentOpen(ti, seq, lv int) bool {
+	for p := seq; p <= len(oc.perTxn[ti]); p++ {
+		if c := oc.coarse[ti][p-1]; c != 0 && c <= lv {
+			return false
+		}
+	}
+	return true
+}
+
+func (oc *Online) process(queue [][2]int) {
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		a, b := p[0], p[1]
+		if a == b {
+			oc.cyclic = true
+			oc.cycleA, oc.cycleB = a, b
+			continue
+		}
+		if oc.reach[a].has(b) {
+			continue
+		}
+		if oc.reach[b].has(a) {
+			oc.cyclic = true
+			oc.cycleA, oc.cycleB = a, b
+		}
+		oc.reach[a].set(b)
+		oc.pred[b].set(a)
+
+		ta, tb := oc.stepTxn[a], oc.stepTxn[b]
+		if ta != tb {
+			lv := oc.level(oc.txns[ta], oc.txns[tb])
+			// Rule (b), past part: later performed steps of ta in the same
+			// B(lv) segment also precede b.
+			for s := oc.stepSeq[a] + 1; s <= len(oc.perTxn[ta]); s++ {
+				if c := oc.coarse[ta][s-2]; c != 0 && c <= lv {
+					break // boundary between s-1 and s closes the segment
+				}
+				g2 := oc.perTxn[ta][s-1]
+				if !oc.reach[g2].has(b) {
+					queue = append(queue, [2]int{g2, b})
+				}
+			}
+			// Rule (b), future part: pin b if a's segment is still open.
+			if oc.segmentOpen(ta, oc.stepSeq[a], lv) {
+				oc.pinned[ta][lv].set(b)
+			}
+		}
+
+		oc.reach[b].forEachNotIn(oc.reach[a], func(c int) {
+			queue = append(queue, [2]int{a, c})
+		})
+		oc.pred[a].forEachNotIn(oc.pred[b], func(c int) {
+			queue = append(queue, [2]int{c, b})
+		})
+	}
+}
+
+// SegmentClosedAfter reports whether transaction t has crossed a boundary
+// of coarseness ≤ lv at or after position seq (within its current extent):
+// the condition under which a step at seq is "closed off" for a level-lv
+// observer in the Section 6 delay rule.
+func (oc *Online) SegmentClosedAfter(t model.TxnID, seq, lv int) bool {
+	ti, ok := oc.txnIdx[t]
+	if !ok {
+		return true // no live steps: nothing to wait for
+	}
+	return !oc.segmentOpen(ti, seq, lv)
+}
+
+// Extent returns the number of live steps of t.
+func (oc *Online) Extent(t model.TxnID) int {
+	ti, ok := oc.txnIdx[t]
+	if !ok {
+		return 0
+	}
+	return len(oc.perTxn[ti])
+}
+
+// PredForNewStep computes, per transaction, the latest step (max seq) that
+// would precede a hypothetical next step of t on x in the coherent closure,
+// WITHOUT mutating the closure. The hypothetical step's in-edges are its
+// program predecessor and x's last accessor; rule (b) extends each
+// predecessor α of another transaction u with u's already-performed steps
+// in α's still-open level(u,t) segment; transitivity pulls in all their
+// ancestors. The result is exactly the predecessor set the step would have
+// if added (successor pins do not affect it).
+func (oc *Online) PredForNewStep(t model.TxnID, x model.EntityID) map[model.TxnID]int {
+	out := make(map[model.TxnID]int)
+	n := len(oc.stepTxn)
+	if n == 0 {
+		return out
+	}
+	var visited obitset
+	var stack []int
+	push := func(g int) {
+		if g >= 0 && !visited.has(g) {
+			visited.set(g)
+			stack = append(stack, g)
+		}
+	}
+	if ti, ok := oc.txnIdx[t]; ok && len(oc.perTxn[ti]) > 0 {
+		push(oc.perTxn[ti][len(oc.perTxn[ti])-1])
+	}
+	if le, ok := oc.lastEntity[x]; ok {
+		push(le)
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		gt := oc.txns[oc.stepTxn[g]]
+		if gt != t {
+			if s := oc.stepSeq[g]; s > out[gt] {
+				out[gt] = s
+			}
+		}
+		oc.pred[g].forEach(push)
+		// Rule (b): performed segment-mates after g, within g's still-open
+		// level(gt, t) segment, would also precede the new step.
+		if gt != t {
+			ti := oc.stepTxn[g]
+			lv := oc.level(gt, t)
+			for s := oc.stepSeq[g] + 1; s <= len(oc.perTxn[ti]); s++ {
+				if c := oc.coarse[ti][s-2]; c != 0 && c <= lv {
+					break
+				}
+				push(oc.perTxn[ti][s-1])
+			}
+		}
+	}
+	return out
+}

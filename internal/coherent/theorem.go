@@ -1,0 +1,115 @@
+package coherent
+
+import (
+	"fmt"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// Result bundles everything Theorem 2 derives from an execution: the
+// interleaving specification Σ(B,e), the coherent closure of the dependency
+// relation ≤e, whether the execution is itself multilevel atomic, and
+// whether it is correctable (equivalent to a multilevel atomic execution).
+type Result struct {
+	Inst        *Instance
+	Rel         *Relation // coherent closure of ≤e
+	Atomic      bool      // e itself is multilevel atomic for (π, B)
+	Correctable bool      // closure is a partial order (Theorem 2)
+
+	exec  model.Execution
+	order []int // position in e -> global index
+}
+
+// CheckExecution applies the machinery of Sections 4–5 to an execution:
+// it derives Σ(B,e), computes the coherent closure of ≤e, and evaluates both
+// multilevel atomicity (the total order of e is coherent) and correctability
+// (Theorem 2: the closure is a partial order).
+func CheckExecution(e model.Execution, n *nest.Nest, spec breakpoint.Spec) (*Result, error) {
+	inst, order, err := FromExecution(e, n, spec)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([][2]int, 0, 2*len(e))
+	for _, pe := range e.DependencyEdges() {
+		edges = append(edges, [2]int{order[pe[0]], order[pe[1]]})
+	}
+	rel := inst.Closure(edges)
+	return &Result{
+		Inst:        inst,
+		Rel:         rel,
+		Atomic:      inst.IsCoherentTotalOrder(order),
+		Correctable: rel.Acyclic(),
+		exec:        e,
+		order:       order,
+	}, nil
+}
+
+// Witness returns an equivalent multilevel atomic execution when the
+// execution is correctable (the constructive half of Theorem 2, via
+// Lemma 1), and ok=false otherwise. The witness contains exactly the steps
+// of the original execution, reordered by a coherent total order extending
+// the coherent closure of ≤e; per-transaction and per-entity orders are
+// contained in ≤e, so the recorded Before/After values remain valid.
+func (res *Result) Witness() (model.Execution, bool) {
+	if !res.Correctable {
+		return nil, false
+	}
+	perm, err := res.Rel.ExtendTotal()
+	if err != nil {
+		return nil, false
+	}
+	byID := make(map[model.StepID]model.Step, len(res.exec))
+	for _, s := range res.exec {
+		byID[s.ID()] = s
+	}
+	out := make(model.Execution, 0, len(perm))
+	for _, g := range perm {
+		s, ok := byID[res.Inst.ID(g)]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, s)
+	}
+	return out, true
+}
+
+// Correctable is a convenience wrapper: Theorem 2's yes/no answer.
+func Correctable(e model.Execution, n *nest.Nest, spec breakpoint.Spec) (bool, error) {
+	res, err := CheckExecution(e, n, spec)
+	if err != nil {
+		return false, err
+	}
+	return res.Correctable, nil
+}
+
+// MultilevelAtomic reports whether e ∈ C(π,B): the total order of e is
+// itself coherent for the nest and the derived interleaving specification.
+func MultilevelAtomic(e model.Execution, n *nest.Nest, spec breakpoint.Spec) (bool, error) {
+	inst, order, err := FromExecution(e, n, spec)
+	if err != nil {
+		return false, err
+	}
+	return inst.IsCoherentTotalOrder(order), nil
+}
+
+// VerifyWitness checks that w is a valid witness for e: same steps,
+// equivalent dependency relation, and multilevel atomic. Used by tests and
+// by cmd/mlacheck's -verify mode.
+func VerifyWitness(e, w model.Execution, n *nest.Nest, spec breakpoint.Spec) error {
+	if !e.SameSteps(w) {
+		return fmt.Errorf("witness has different steps")
+	}
+	if !e.Equivalent(w) {
+		return fmt.Errorf("witness is not dependency-equivalent")
+	}
+	ok, err := MultilevelAtomic(w, n, spec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("witness is not multilevel atomic")
+	}
+	return nil
+}

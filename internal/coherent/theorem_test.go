@@ -1,0 +1,329 @@
+package coherent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/serial"
+)
+
+// bankFixture builds the Section 5.2 banking system: three transfers with
+// two withdrawals and two deposits each (entity assignments from the
+// paper's table) plus one bank audit reading A, B, C. The 4-nest puts each
+// transfer in its own family; the level-2 breakpoint of a transfer sits
+// between its withdrawal and deposit phases.
+type bankFixture struct {
+	n     *nest.Nest
+	spec  breakpoint.Spec
+	progs []model.Program
+	init  map[model.EntityID]model.Value
+}
+
+func newBankFixture() *bankFixture {
+	mk := func(id model.TxnID, w1, w2, d1, d2 model.EntityID) *model.Scripted {
+		return &model.Scripted{Txn: id, Ops: []model.Op{
+			model.Add(w1, -10), model.Add(w2, -10),
+			model.Add(d1, 10), model.Add(d2, 10),
+		}}
+	}
+	t1 := mk("t1", "A", "B", "C", "D")
+	t2 := mk("t2", "A", "C", "E", "G")
+	t3 := mk("t3", "B", "D", "F", "H")
+	audit := &model.Scripted{Txn: "a", Ops: []model.Op{
+		model.Read("A"), model.Read("B"), model.Read("C"),
+	}}
+
+	n := nest.New(4)
+	n.Add("t1", "cust", "f1")
+	n.Add("t2", "cust", "f2")
+	n.Add("t3", "cust", "f3")
+	n.Add("a", "audit", "audit")
+
+	spec := breakpoint.Func{Levels: 4, Fn: func(t model.TxnID, prefix []model.Step) int {
+		if t == "a" {
+			return 4 // audits have no interior breakpoints
+		}
+		if len(prefix) == 2 { // withdrawal phase (two withdrawals) complete
+			return 2
+		}
+		return 3
+	}}
+
+	init := map[model.EntityID]model.Value{}
+	for _, x := range []model.EntityID{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		init[x] = 100
+	}
+	return &bankFixture{n: n, spec: spec, progs: []model.Program{t1, t2, t3, audit}, init: init}
+}
+
+func (f *bankFixture) run(t *testing.T, order []int) model.Execution {
+	t.Helper()
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range f.init {
+		vals[k] = v
+	}
+	e, err := model.Interleave(f.progs, vals, order, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAtomicButNotSerializable: transfers t1 and t2 interleaved at their
+// phase boundaries form a multilevel atomic execution whose serialization
+// graph is cyclic — the paper's central point that MLA admits more than
+// serializability.
+func TestAtomicButNotSerializable(t *testing.T) {
+	f := newBankFixture()
+	// t1 withdrawals, t2 withdrawals, t1 deposits, t2 deposits, t3, audit.
+	order := []int{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 2, 2, 3, 3, 3}
+	e := f.run(t, order)
+	res, err := CheckExecution(e, f.n, f.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Atomic {
+		t.Error("phase-interleaved transfers must be multilevel atomic")
+	}
+	if !res.Correctable {
+		t.Error("atomic implies correctable")
+	}
+	if serial.Serializable(e) {
+		t.Error("the same execution must NOT be conflict serializable (t1↔t2 cycle on A and C)")
+	}
+}
+
+// TestCorrectableNotAtomic: t3's steps interrupt the audit in the recorded
+// order (illegal — they share only level 1) but the dependency relation
+// only orders t3 before the audit, so the execution is correctable; the
+// witness must be multilevel atomic and equivalent.
+func TestCorrectableNotAtomic(t *testing.T) {
+	f := newBankFixture()
+	// a reads A; t3 performs w(B), w(D); a reads B, C; t3 deposits F, H;
+	// then t1, t2 run serially.
+	order := []int{3, 2, 2, 3, 3, 2, 2, 0, 0, 0, 0, 1, 1, 1, 1}
+	e := f.run(t, order)
+	res, err := CheckExecution(e, f.n, f.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Atomic {
+		t.Error("t3 interrupting the audit is not atomic as recorded")
+	}
+	if !res.Correctable {
+		t.Fatal("execution should be correctable (t3 wholly precedes the audit in ≤e)")
+	}
+	w, ok := res.Witness()
+	if !ok {
+		t.Fatal("correctable execution must produce a witness")
+	}
+	if err := VerifyWitness(e, w, f.n, f.spec); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+	if err := w.Validate(f.init); err != nil {
+		t.Fatalf("witness value chain broken: %v", err)
+	}
+}
+
+// TestNonCorrectable: the audit reads A before t1 touches it but reads B
+// after t1 wrote it — the coherent closure cycles (the audit would have to
+// be both before and after t1), so no equivalent multilevel atomic
+// execution exists.
+func TestNonCorrectable(t *testing.T) {
+	f := newBankFixture()
+	// a reads A; t1 w(A), w(B); a reads B, C; rest serial.
+	order := []int{3, 0, 0, 3, 3, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	e := f.run(t, order)
+	res, err := CheckExecution(e, f.n, f.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Atomic {
+		t.Error("must not be atomic")
+	}
+	if res.Correctable {
+		t.Fatal("audit split across t1's writes must not be correctable")
+	}
+	if _, ok := res.Witness(); ok {
+		t.Error("non-correctable execution must not produce a witness")
+	}
+}
+
+// TestAuditBetweenTransfersIsCorrectable: the audit running at a point
+// where no transfer is mid-flight is fine even though transfers interleave
+// around it.
+func TestAuditSerialPointCorrectable(t *testing.T) {
+	f := newBankFixture()
+	order := []int{3, 3, 3, 0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 2, 2}
+	e := f.run(t, order)
+	res, err := CheckExecution(e, f.n, f.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correctable {
+		t.Error("audit-first execution must be correctable")
+	}
+}
+
+// TestK2MatchesSerializability: with the unique 2-level specification,
+// Theorem 2's correctability coincides with conflict serializability on
+// random interleavings (Section 4.3: "the multilevel atomic executions are
+// just the serial executions").
+func TestK2MatchesSerializability(t *testing.T) {
+	f := newBankFixture()
+	n2 := nest.New(2)
+	for _, p := range f.progs {
+		n2.Add(p.ID())
+	}
+	spec2 := breakpoint.Uniform{Levels: 2, C: 2}
+	rng := rand.New(rand.NewSource(7))
+	agree, disagree := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		order := randomOrder(rng, []int{4, 4, 4, 3})
+		e := f.run(t, order)
+		ok, err := Correctable(e, n2, spec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == serial.Serializable(e) {
+			agree++
+		} else {
+			disagree++
+			t.Errorf("trial %d: k=2 correctable=%v, serializable=%v", trial, ok, serial.Serializable(e))
+		}
+	}
+	if disagree > 0 {
+		t.Fatalf("k=2 and serializability disagree on %d/%d executions", disagree, agree+disagree)
+	}
+}
+
+// TestMLAAdmitsMoreThanSerializability: over many random interleavings the
+// set of 4-level-correctable executions strictly contains the serializable
+// ones.
+func TestMLAAdmitsMoreThanSerializability(t *testing.T) {
+	f := newBankFixture()
+	rng := rand.New(rand.NewSource(11))
+	mlaOnly, bothCount, serOnly := 0, 0, 0
+	for trial := 0; trial < 300; trial++ {
+		order := randomOrder(rng, []int{4, 4, 4, 3})
+		e := f.run(t, order)
+		mla, err := Correctable(e, f.n, f.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ser := serial.Serializable(e)
+		switch {
+		case mla && !ser:
+			mlaOnly++
+		case mla && ser:
+			bothCount++
+		case !mla && ser:
+			serOnly++
+		}
+	}
+	if serOnly > 0 {
+		t.Errorf("%d executions serializable but not MLA-correctable — impossible, serial executions are multilevel atomic", serOnly)
+	}
+	if mlaOnly == 0 {
+		t.Error("expected some executions correctable under MLA but not serializable")
+	}
+}
+
+// TestQuickWitnessRoundTrip: for random interleavings, whenever Theorem 2
+// says correctable, the Lemma 1 witness is multilevel atomic, equivalent,
+// and value-consistent.
+func TestQuickWitnessRoundTrip(t *testing.T) {
+	f := newBankFixture()
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	prop := func(seed int64) bool {
+		order := randomOrder(rng, []int{4, 4, 4, 3})
+		e := f.run(t, order)
+		res, err := CheckExecution(e, f.n, f.spec)
+		if err != nil {
+			return false
+		}
+		if res.Atomic && !res.Correctable {
+			return false // atomic must imply correctable
+		}
+		if !res.Correctable {
+			_, ok := res.Witness()
+			return !ok
+		}
+		w, ok := res.Witness()
+		if !ok {
+			return false
+		}
+		checked++
+		return VerifyWitness(e, w, f.n, f.spec) == nil && w.Validate(f.init) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Error("no correctable executions exercised")
+	}
+}
+
+// randomOrder produces a uniformly random merge of transactions with the
+// given step counts.
+func randomOrder(rng *rand.Rand, counts []int) []int {
+	remaining := append([]int(nil), counts...)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	var order []int
+	for len(order) < total {
+		i := rng.Intn(len(counts))
+		if remaining[i] == 0 {
+			continue
+		}
+		remaining[i]--
+		order = append(order, i)
+	}
+	return order
+}
+
+func TestCheckExecutionErrors(t *testing.T) {
+	f := newBankFixture()
+	// Out-of-sequence step.
+	bad := model.Execution{{Txn: "t1", Seq: 2, Entity: "A"}}
+	if _, err := CheckExecution(bad, f.n, f.spec); err == nil {
+		t.Error("out-of-sequence execution must error")
+	}
+	// Nest/spec k mismatch.
+	n2 := nest.New(2)
+	n2.Add("t1")
+	if _, _, err := FromExecution(model.Execution{{Txn: "t1", Seq: 1, Entity: "A"}}, n2, f.spec); err == nil {
+		t.Error("k mismatch must error")
+	}
+	// Transaction not in nest.
+	ghost := model.Execution{{Txn: "ghost", Seq: 1, Entity: "A"}}
+	if _, err := CheckExecution(ghost, f.n, f.spec); err == nil {
+		t.Error("unknown transaction must error")
+	}
+}
+
+func TestSerialExecutionAlwaysAtomic(t *testing.T) {
+	f := newBankFixture()
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range f.init {
+		vals[k] = v
+	}
+	e, err := model.RunSerial(f.progs, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := MultilevelAtomic(e, f.n, f.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("serial executions are multilevel atomic for every specification")
+	}
+}

@@ -1,0 +1,148 @@
+// Package config loads user-defined workloads from JSON: straight-line
+// transactions (op scripts), their nest classes, per-boundary breakpoint
+// coarseness, and initial entity values. It gives cmd/mlasim a way to run
+// arbitrary scenarios without writing Go — the moral equivalent of a
+// specification file for a multilevel-atomicity application database.
+//
+// Format:
+//
+//	{
+//	  "k": 3,
+//	  "init": {"x": 100},
+//	  "transactions": [
+//	    {"id": "t1", "classes": ["cust"],
+//	     "ops": [
+//	       {"entity": "x", "kind": "add", "amount": -10, "cutAfter": 2},
+//	       {"entity": "y", "kind": "add", "amount": 10}
+//	     ]}
+//	  ]
+//	}
+//
+// classes supplies the k−2 intermediate nest labels. cutAfter is the
+// coarseness (2..k) of the breakpoint after the op; omitted or 0 means the
+// default k (no one may interleave there).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// File is the JSON document.
+type File struct {
+	K            int                            `json:"k"`
+	Init         map[model.EntityID]model.Value `json:"init,omitempty"`
+	Transactions []Txn                          `json:"transactions"`
+}
+
+// Txn is one transaction definition.
+type Txn struct {
+	ID      model.TxnID `json:"id"`
+	Classes []string    `json:"classes,omitempty"`
+	Ops     []Op        `json:"ops"`
+}
+
+// Op is one step.
+type Op struct {
+	Entity   model.EntityID `json:"entity"`
+	Kind     string         `json:"kind"` // "read", "add", or "write"
+	Amount   model.Value    `json:"amount,omitempty"`
+	CutAfter int            `json:"cutAfter,omitempty"`
+}
+
+// Workload is the loaded, runnable form.
+type Workload struct {
+	Programs []model.Program
+	Nest     *nest.Nest
+	Spec     breakpoint.Spec
+	Init     map[model.EntityID]model.Value
+}
+
+// Load parses and validates a workload file.
+func Load(r io.Reader) (*Workload, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return Build(f)
+}
+
+// Build turns a parsed File into a Workload.
+func Build(f File) (*Workload, error) {
+	if f.K < 2 {
+		return nil, fmt.Errorf("config: k=%d out of range (need >= 2)", f.K)
+	}
+	if len(f.Transactions) == 0 {
+		return nil, fmt.Errorf("config: no transactions")
+	}
+	wl := &Workload{Init: f.Init, Nest: nest.New(f.K)}
+	if wl.Init == nil {
+		wl.Init = map[model.EntityID]model.Value{}
+	}
+	cuts := make(map[model.TxnID][]int)
+	seen := make(map[model.TxnID]bool)
+	for _, t := range f.Transactions {
+		if t.ID == "" {
+			return nil, fmt.Errorf("config: transaction with empty id")
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("config: duplicate transaction %q", t.ID)
+		}
+		seen[t.ID] = true
+		if len(t.Classes) != f.K-2 {
+			return nil, fmt.Errorf("config: transaction %q has %d classes, want %d for k=%d",
+				t.ID, len(t.Classes), f.K-2, f.K)
+		}
+		if len(t.Ops) == 0 {
+			return nil, fmt.Errorf("config: transaction %q has no ops", t.ID)
+		}
+		ops := make([]model.Op, len(t.Ops))
+		cs := make([]int, 0, len(t.Ops))
+		for i, op := range t.Ops {
+			if op.Entity == "" {
+				return nil, fmt.Errorf("config: %q op %d has no entity", t.ID, i)
+			}
+			switch op.Kind {
+			case "read", "":
+				ops[i] = model.Read(op.Entity)
+			case "add":
+				ops[i] = model.Add(op.Entity, op.Amount)
+			case "write":
+				ops[i] = model.Write(op.Entity, op.Amount)
+			default:
+				return nil, fmt.Errorf("config: %q op %d has unknown kind %q", t.ID, i, op.Kind)
+			}
+			c := op.CutAfter
+			if c == 0 {
+				c = f.K
+			}
+			if c < 2 || c > f.K {
+				return nil, fmt.Errorf("config: %q op %d cutAfter=%d out of range [2,%d]",
+					t.ID, i, op.CutAfter, f.K)
+			}
+			if i < len(t.Ops)-1 {
+				cs = append(cs, c)
+			}
+		}
+		wl.Programs = append(wl.Programs, &model.Scripted{Txn: t.ID, Ops: ops})
+		wl.Nest.Add(t.ID, t.Classes...)
+		cuts[t.ID] = cs
+	}
+	k := f.K
+	wl.Spec = breakpoint.Func{Levels: k, Fn: func(t model.TxnID, prefix []model.Step) int {
+		cs := cuts[t]
+		i := len(prefix) - 1
+		if i < 0 || i >= len(cs) {
+			return k
+		}
+		return cs[i]
+	}}
+	return wl, nil
+}

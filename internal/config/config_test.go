@@ -1,0 +1,111 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/sim"
+)
+
+const sample = `{
+  "k": 3,
+  "init": {"x": 100, "y": 0},
+  "transactions": [
+    {"id": "t1", "classes": ["cust"], "ops": [
+      {"entity": "x", "kind": "add", "amount": -10, "cutAfter": 2},
+      {"entity": "y", "kind": "add", "amount": 10}
+    ]},
+    {"id": "t2", "classes": ["cust"], "ops": [
+      {"entity": "x", "kind": "add", "amount": -5, "cutAfter": 2},
+      {"entity": "y", "kind": "add", "amount": 5}
+    ]},
+    {"id": "audit", "classes": ["audit"], "ops": [
+      {"entity": "x", "kind": "read"},
+      {"entity": "y", "kind": "read"}
+    ]}
+  ]
+}`
+
+func TestLoadAndRun(t *testing.T) {
+	wl, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Programs) != 3 || wl.Nest.K() != 3 {
+		t.Fatalf("programs=%d k=%d", len(wl.Programs), wl.Nest.K())
+	}
+	if wl.Nest.Level("t1", "t2") != 2 || wl.Nest.Level("t1", "audit") != 1 {
+		t.Error("nest levels wrong")
+	}
+	// Breakpoint after t1's first op is class-wide; after the last op the
+	// spec is never queried, and unspecified positions default to k.
+	p1 := []model.Step{{Txn: "t1", Seq: 1, Entity: "x"}}
+	if got := wl.Spec.CutAfter("t1", p1); got != 2 {
+		t.Errorf("cutAfter = %d", got)
+	}
+	pa := []model.Step{{Txn: "audit", Seq: 1, Entity: "x"}}
+	if got := wl.Spec.CutAfter("audit", pa); got != 3 {
+		t.Errorf("audit cutAfter = %d, want default k", got)
+	}
+	// Run it.
+	res, err := sim.Run(sim.DefaultConfig(), wl.Programs,
+		sched.NewPreventer(wl.Nest, wl.Spec), wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final["x"] != 85 || res.Final["y"] != 15 {
+		t.Errorf("final: %v", res.Final)
+	}
+	ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("run not correctable")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown field":   `{"k":2,"bogus":1,"transactions":[{"id":"t","ops":[{"entity":"x"}]}]}`,
+		"k too small":     `{"k":1,"transactions":[{"id":"t","ops":[{"entity":"x"}]}]}`,
+		"no transactions": `{"k":2,"transactions":[]}`,
+		"empty id":        `{"k":2,"transactions":[{"id":"","ops":[{"entity":"x"}]}]}`,
+		"duplicate id":    `{"k":2,"transactions":[{"id":"t","ops":[{"entity":"x"}]},{"id":"t","ops":[{"entity":"x"}]}]}`,
+		"class count":     `{"k":2,"transactions":[{"id":"t","classes":["a"],"ops":[{"entity":"x"}]}]}`,
+		"no ops":          `{"k":2,"transactions":[{"id":"t","ops":[]}]}`,
+		"no entity":       `{"k":2,"transactions":[{"id":"t","ops":[{"kind":"read"}]}]}`,
+		"bad kind":        `{"k":2,"transactions":[{"id":"t","ops":[{"entity":"x","kind":"mul"}]}]}`,
+		"bad cut":         `{"k":2,"transactions":[{"id":"t","ops":[{"entity":"x","cutAfter":7},{"entity":"y"}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestOpKinds(t *testing.T) {
+	doc := `{"k":2,"init":{"x":7},"transactions":[
+	  {"id":"t","ops":[
+	    {"entity":"x","kind":"read"},
+	    {"entity":"x","kind":"add","amount":3},
+	    {"entity":"x","kind":"write","amount":42}
+	  ]}
+	]}`
+	wl, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[model.EntityID]model.Value{"x": 7}
+	if _, err := model.RunSerial(wl.Programs, vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals["x"] != 42 {
+		t.Errorf("x = %d", vals["x"])
+	}
+}

@@ -1,0 +1,232 @@
+// Package conv implements conversations between transactions — the
+// application class the paper points to in Section 7 ("for modelling many
+// situations of interest (multilevel atomicity, conversations between
+// transactions [Ra]), it will be necessary for the logical program
+// structure to be different from the atomicity structure").
+//
+// A conversation is a pair of transactions exchanging values through a
+// shared mailbox entity in alternating turns. The information flow is
+// cyclic by construction — the initiator's later steps depend on the
+// responder's reply and vice versa — so a completed conversation is *never*
+// conflict serializable. It is, however, perfectly multilevel atomic: the
+// two parties form one π(2) class whose members interleave freely, while
+// the conversation as a whole remains atomic with respect to everyone else.
+// Serializable controls cannot run conversations at all: under 2PL the
+// first poller holds the mailbox until transaction end and the partner can
+// never reply; under timestamp ordering the initiator aborts on reading the
+// reply and can never catch up after restarting. Experiment E15 measures
+// exactly this.
+//
+// Parties poll the mailbox (conditional branching on the observed value —
+// the paper's transactions may branch and even run forever; polling is
+// capped so failed conversations terminate and report). Timestamp ordering
+// is worse than failing: the initiator's read of the reply always carries a
+// too-old timestamp, and the resulting abort cascades to the responder,
+// resetting the conversation — a genuine livelock that only ends at the
+// simulator's horizon. E15 reports it as non-termination.
+package conv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// Party is one side of a conversation. The mailbox value encodes the turn:
+// after round r (1-based), the initiator has written 2r-1 and the responder
+// 2r. A party waiting for its turn re-reads the mailbox until the expected
+// value appears or its poll budget is exhausted, then records the outcome
+// in its Result entity: the sum of the values it received, or -1 on
+// failure.
+type Party struct {
+	Txn       model.TxnID
+	Mailbox   model.EntityID
+	Result    model.EntityID
+	Rounds    int
+	Initiator bool
+	PollCap   int
+}
+
+// ID implements model.Program.
+func (p *Party) ID() model.TxnID { return p.Txn }
+
+// Init implements model.Program.
+func (p *Party) Init() model.ProgState { return convState{p: p, phase: 1} }
+
+type convState struct {
+	p       *Party
+	phase   int // 1 converse, 2 record, 3 done (starts at 1)
+	round   int // completed rounds
+	polls   int
+	sum     model.Value
+	failed  bool
+	waiting bool // waiting to observe the partner's turn value
+}
+
+func (s convState) Next() (model.EntityID, bool) {
+	switch s.phase {
+	case 1:
+		return s.p.Mailbox, true
+	case 2:
+		return s.p.Result, true
+	}
+	return "", false
+}
+
+// expectations for the current round (0-based s.round):
+//   - initiator: writes 2r+1 when mailbox == 2r, then waits for 2r+2.
+//   - responder: waits for 2r+1, then writes 2r+2 (receiving 2r+1).
+func (s convState) Apply(v model.Value) (model.Value, string, model.ProgState) {
+	ns := s
+	switch s.phase {
+	case 2:
+		ns.phase = 3
+		if s.failed {
+			return -1, "record", ns
+		}
+		return s.sum, "record", ns
+	}
+
+	// Conversing on the mailbox.
+	r := model.Value(s.round)
+	give := func(w model.Value, label string) (model.Value, string, model.ProgState) {
+		ns.polls = 0
+		return w, label, ns
+	}
+	if s.p.Initiator {
+		if !s.waiting {
+			if v == 2*r { // our turn: send the request
+				ns.waiting = true
+				return give(2*r+1, "send")
+			}
+		} else if v == 2*r+2 { // reply received
+			ns.sum += v
+			ns.waiting = false
+			ns.round++
+			if ns.round >= s.p.Rounds {
+				ns.phase = 2
+			}
+			return give(v, "recv")
+		}
+	} else {
+		if v == 2*r+1 { // request received: reply
+			ns.sum += v
+			ns.round++
+			if ns.round >= s.p.Rounds {
+				ns.phase = 2
+			}
+			return give(2*r+2, "reply")
+		}
+	}
+	// Not our turn yet: poll.
+	ns.polls++
+	if ns.polls > s.p.PollCap {
+		ns.failed = true
+		ns.phase = 2
+	}
+	return v, "poll", ns
+}
+
+// Params configures a conversation workload.
+type Params struct {
+	Conversations int
+	Rounds        int
+	PollCap       int
+	Seed          int64
+}
+
+// DefaultParams returns a small workload.
+func DefaultParams() Params {
+	return Params{Conversations: 4, Rounds: 3, PollCap: 60, Seed: 1}
+}
+
+// Workload bundles the programs and the 3-level specification: each
+// conversation pair is one π(2) class with free internal interleaving
+// (coarseness-2 boundaries everywhere); distinct conversations are mutually
+// atomic.
+type Workload struct {
+	Params   Params
+	Programs []model.Program
+	Nest     *nest.Nest
+	Spec     breakpoint.Spec
+	Init     map[model.EntityID]model.Value
+
+	parties map[model.TxnID]*Party
+}
+
+// Generate builds the workload.
+func Generate(p Params) *Workload {
+	rng := rand.New(rand.NewSource(p.Seed))
+	wl := &Workload{
+		Params:  p,
+		Init:    map[model.EntityID]model.Value{},
+		parties: make(map[model.TxnID]*Party),
+	}
+	n := nest.New(3)
+	var programs []model.Program
+	for c := 0; c < p.Conversations; c++ {
+		mbox := model.EntityID(fmt.Sprintf("conv/%02d/mbox", c))
+		wl.Init[mbox] = 0
+		class := fmt.Sprintf("conv-%02d", c)
+		for _, side := range []struct {
+			name string
+			init bool
+		}{{"init", true}, {"resp", false}} {
+			id := model.TxnID(fmt.Sprintf("conv-%02d-%s", c, side.name))
+			party := &Party{
+				Txn:       id,
+				Mailbox:   mbox,
+				Result:    model.EntityID("convres/" + string(id)),
+				Rounds:    p.Rounds,
+				Initiator: side.init,
+				PollCap:   p.PollCap,
+			}
+			wl.Init[party.Result] = 0
+			wl.parties[id] = party
+			programs = append(programs, party)
+			n.Add(id, class)
+		}
+	}
+	rng.Shuffle(len(programs), func(i, j int) { programs[i], programs[j] = programs[j], programs[i] })
+	wl.Programs = programs
+	wl.Nest = n
+	wl.Spec = breakpoint.Uniform{Levels: 3, C: 2}
+	return wl
+}
+
+// ExpectedSum returns the checksum a successful party of the given side
+// records: the initiator receives the even turn values, the responder the
+// odd ones.
+func (p *Party) ExpectedSum() model.Value {
+	var sum model.Value
+	for r := 0; r < p.Rounds; r++ {
+		if p.Initiator {
+			sum += model.Value(2*r + 2)
+		} else {
+			sum += model.Value(2*r + 1)
+		}
+	}
+	return sum
+}
+
+// Outcome summarizes a run.
+type Outcome struct {
+	Completed int // parties that recorded their expected checksum
+	Failed    int // parties that gave up (result -1) or recorded junk
+}
+
+// Check counts completed conversations from the final values.
+func (wl *Workload) Check(final map[model.EntityID]model.Value) Outcome {
+	var out Outcome
+	for _, p := range wl.parties {
+		if final[p.Result] == p.ExpectedSum() {
+			out.Completed++
+		} else {
+			out.Failed++
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package conv
+
+import (
+	"testing"
+
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/serial"
+	"mla/internal/sim"
+)
+
+// TestConversationProtocolInterleaved drives one conversation by hand with
+// a perfectly alternating schedule: both parties complete and the recorded
+// execution is multilevel atomic but not conflict serializable.
+func TestConversationProtocolInterleaved(t *testing.T) {
+	wl := Generate(Params{Conversations: 1, Rounds: 2, PollCap: 10, Seed: 1})
+	// Identify initiator (index) and responder.
+	var ini, resp int
+	for i, p := range wl.Programs {
+		if wl.parties[p.ID()].Initiator {
+			ini = i
+		} else {
+			resp = i
+		}
+	}
+	// Per round: initiator send, responder recv+reply, initiator recv;
+	// finally both record.
+	var order []int
+	for r := 0; r < 2; r++ {
+		order = append(order, ini, resp, ini)
+	}
+	order = append(order, ini, resp)
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range wl.Init {
+		vals[k] = v
+	}
+	e, err := model.Interleave(wl.Programs, vals, order, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := wl.Check(vals)
+	if out.Completed != 2 || out.Failed != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	atomic, err := coherent.MultilevelAtomic(e, wl.Nest, wl.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atomic {
+		t.Error("an alternating conversation must be multilevel atomic")
+	}
+	if serial.Serializable(e) {
+		t.Error("a completed conversation must NOT be conflict serializable")
+	}
+}
+
+// TestConversationsUnderControls: the MLA controls complete every
+// conversation; the serializable baselines complete none — the paper's
+// point that some applications require non-serializable interleaving.
+func TestConversationsUnderControls(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		wantComplete bool
+		mayStall     bool
+	}{
+		{"prevent", true, false},
+		{"detect", true, false},
+		{"serial", false, false},
+		{"2pl", false, false},
+		{"tso", false, true},
+	} {
+		wl := Generate(DefaultParams())
+		var c sched.Control
+		switch tc.name {
+		case "prevent":
+			c = sched.NewPreventer(wl.Nest, wl.Spec)
+		case "detect":
+			c = sched.NewDetector(wl.Nest, wl.Spec)
+		case "serial":
+			c = sched.NewSerial()
+		case "2pl":
+			c = sched.NewTwoPhase()
+		case "tso":
+			c = sched.NewTimestamp()
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MaxTime = 300000
+		res, err := sim.Run(cfg, wl.Programs, c, wl.Spec, wl.Init)
+		if err != nil {
+			if tc.mayStall {
+				continue // timestamp ordering livelocks on conversations
+			}
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		out := wl.Check(res.Final)
+		total := out.Completed + out.Failed
+		if tc.wantComplete && out.Completed != total {
+			t.Errorf("%s: completed %d/%d, want all", tc.name, out.Completed, total)
+		}
+		if !tc.wantComplete && out.Completed != 0 {
+			t.Errorf("%s: completed %d/%d, want none (serializable controls cannot converse)",
+				tc.name, out.Completed, total)
+		}
+		// MLA runs must also be correctable.
+		if tc.name == "prevent" || tc.name == "detect" {
+			ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s: non-correctable execution", tc.name)
+			}
+		}
+	}
+}
+
+func TestExpectedSum(t *testing.T) {
+	p := &Party{Rounds: 3, Initiator: true}
+	if p.ExpectedSum() != 2+4+6 {
+		t.Errorf("initiator sum = %d", p.ExpectedSum())
+	}
+	p.Initiator = false
+	if p.ExpectedSum() != 1+3+5 {
+		t.Errorf("responder sum = %d", p.ExpectedSum())
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	wl := Generate(Params{Conversations: 3, Rounds: 2, PollCap: 5, Seed: 9})
+	if len(wl.Programs) != 6 {
+		t.Fatalf("programs = %d", len(wl.Programs))
+	}
+	// Partners share a level-2 class; strangers relate at level 1.
+	if wl.Nest.Level("conv-00-init", "conv-00-resp") != 2 {
+		t.Error("partners must be level 2")
+	}
+	if wl.Nest.Level("conv-00-init", "conv-01-resp") != 1 {
+		t.Error("strangers must be level 1")
+	}
+	// Determinism.
+	wl2 := Generate(Params{Conversations: 3, Rounds: 2, PollCap: 5, Seed: 9})
+	for i := range wl.Programs {
+		if wl.Programs[i].ID() != wl2.Programs[i].ID() {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestPollCapFailsCleanly(t *testing.T) {
+	// A responder alone (initiator never sends) gives up and records -1.
+	wl := Generate(Params{Conversations: 1, Rounds: 1, PollCap: 3, Seed: 1})
+	var resp model.Program
+	for _, p := range wl.Programs {
+		if !wl.parties[p.ID()].Initiator {
+			resp = p
+		}
+	}
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range wl.Init {
+		vals[k] = v
+	}
+	if _, err := model.RunSerial([]model.Program{resp}, vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[wl.parties[resp.ID()].Result] != -1 {
+		t.Errorf("result = %d, want -1", vals[wl.parties[resp.ID()].Result])
+	}
+}

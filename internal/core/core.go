@@ -1,0 +1,93 @@
+// Package core is the library façade for multilevel atomicity: it pairs a
+// k-nest over transactions with a k-level breakpoint specification and
+// exposes the paper's correctness notions — membership in C(π,B) (multilevel
+// atomicity), correctability (Theorem 2), and witness construction
+// (Lemma 1) — as one coherent API. The root package mla re-exports these
+// types for external users.
+package core
+
+import (
+	"fmt"
+
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// Spec is a complete multilevel-atomicity specification: who may interleave
+// with whom (the nest) and where (the breakpoints).
+type Spec struct {
+	Nest        *nest.Nest
+	Breakpoints breakpoint.Spec
+}
+
+// NewSpec pairs a nest with a breakpoint specification, checking that they
+// agree on the number of levels.
+func NewSpec(n *nest.Nest, bp breakpoint.Spec) (*Spec, error) {
+	if n.K() != bp.K() {
+		return nil, fmt.Errorf("core: nest has k=%d but breakpoint spec has k=%d", n.K(), bp.K())
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &Spec{Nest: n, Breakpoints: bp}, nil
+}
+
+// K returns the number of atomicity levels.
+func (s *Spec) K() int { return s.Nest.K() }
+
+// Check runs the full Theorem 2 analysis on an execution.
+func (s *Spec) Check(e model.Execution) (*coherent.Result, error) {
+	return coherent.CheckExecution(e, s.Nest, s.Breakpoints)
+}
+
+// Atomic reports whether e ∈ C(π,B): the execution is multilevel atomic as
+// recorded, with no reordering.
+func (s *Spec) Atomic(e model.Execution) (bool, error) {
+	return coherent.MultilevelAtomic(e, s.Nest, s.Breakpoints)
+}
+
+// Correctable reports whether e is equivalent to some multilevel atomic
+// execution (Theorem 2: the coherent closure of ≤e is a partial order).
+func (s *Spec) Correctable(e model.Execution) (bool, error) {
+	return coherent.Correctable(e, s.Nest, s.Breakpoints)
+}
+
+// Witness returns an equivalent multilevel atomic execution when e is
+// correctable.
+func (s *Spec) Witness(e model.Execution) (model.Execution, bool, error) {
+	res, err := s.Check(e)
+	if err != nil {
+		return nil, false, err
+	}
+	w, ok := res.Witness()
+	return w, ok, nil
+}
+
+// Serializability returns the k=2 specification over the given
+// transactions: one universal class, singleton bottom classes, and the
+// unique 2-level breakpoint description. Under this Spec, Correctable
+// coincides with classical serializability (Section 4.3, first example).
+func Serializability(txns []model.TxnID) *Spec {
+	n := nest.New(2)
+	for _, t := range txns {
+		n.Add(t)
+	}
+	return &Spec{Nest: n, Breakpoints: breakpoint.Uniform{Levels: 2, C: 2}}
+}
+
+// CompatibilitySets returns Garcia-Molina's two-level scheme [G] as the k=3
+// special case of multilevel atomicity (Section 4.3, second example):
+// transactions within one compatibility class interleave arbitrarily
+// (every interior boundary is a level-2 breakpoint), while transactions in
+// different classes must be atomic with respect to each other.
+func CompatibilitySets(classes [][]model.TxnID) *Spec {
+	n := nest.New(3)
+	for ci, class := range classes {
+		for _, t := range class {
+			n.Add(t, fmt.Sprintf("class-%d", ci))
+		}
+	}
+	return &Spec{Nest: n, Breakpoints: breakpoint.Uniform{Levels: 3, C: 2}}
+}

@@ -1,0 +1,371 @@
+// Package dist implements a distributed variant of the Section 6
+// cycle-prevention control. The paper's setting is explicitly distributed —
+// entities live at processors of a network and transactions migrate between
+// them — so a realistic prevention scheduler cannot consult a global,
+// instantaneous picture of every transaction's breakpoint positions.
+//
+// Split of knowledge:
+//
+//   - The dependency structure (which steps precede which in the coherent
+//     closure) is derived from entity access orders and migration, and is
+//     maintained exactly — conceptually the control plane that the
+//     migrating transactions themselves carry from processor to processor.
+//   - Breakpoint positions and completions of *remote* transactions are
+//     data-plane state learned from asynchronous announcements that take
+//     Delay time units to arrive: each processor holds a stale view of
+//     remote progress and decides with it.
+//
+// Staleness is safe by construction: the delay rule's wait condition is
+// monotone in the announced boundary position, so a stale view can only
+// under-report boundaries and make the scheduler wait longer — never admit
+// an execution the fresh-view scheduler would reject. The StaleWaits
+// counter measures exactly this cost (waits that a zero-delay view would
+// have granted), and experiment E13 sweeps the announcement delay.
+//
+// Deadlock detection uses one waits-for graph across processors — the
+// standard "centralized detector" deployment; its messages are not modeled.
+package dist
+
+import (
+	"fmt"
+
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/sched"
+)
+
+// Preventer is the distributed prevention control. It implements
+// sched.Control plus Tick (the simulator's clock hook, used to mature
+// pending announcements).
+type Preventer struct {
+	nest  *nest.Nest
+	spec  breakpoint.Spec
+	k     int
+	owner func(model.EntityID) int
+	procs int
+
+	// Delay is the announcement propagation time in simulator units.
+	Delay int64
+
+	now      int64
+	oc       *coherent.Online
+	prio     map[model.TxnID]int64
+	finished map[model.TxnID]bool
+	active   map[model.TxnID]*dtxn
+
+	pending []announcement
+	waitFor map[model.TxnID]map[model.TxnID]bool
+
+	stats      sched.Stats
+	StaleWaits int // waits a zero-delay view would have granted
+}
+
+type dtxn struct {
+	// view[p][lv]: processor p's knowledge of this transaction's latest
+	// boundary position of coarseness ≤ lv. The ground truth lives in the
+	// shared closure (SegmentClosedAfter).
+	view         [][]int
+	viewFinished []bool
+}
+
+type announcement struct {
+	at       int64
+	txn      model.TxnID
+	bound    []int // per level; nil for a finish announcement
+	finished bool
+}
+
+// New creates the distributed control. owner maps entities to processors
+// [0, procs); delay is the announcement latency.
+func New(n *nest.Nest, spec breakpoint.Spec, procs int, owner func(model.EntityID) int, delay int64) *Preventer {
+	if n.K() != spec.K() {
+		panic("dist: nest and breakpoint spec disagree on k")
+	}
+	if procs < 1 {
+		panic("dist: need at least one processor")
+	}
+	return &Preventer{
+		nest:     n,
+		spec:     spec,
+		k:        n.K(),
+		owner:    owner,
+		procs:    procs,
+		Delay:    delay,
+		oc:       coherent.NewOnline(n.K(), n.Level),
+		prio:     make(map[model.TxnID]int64),
+		finished: make(map[model.TxnID]bool),
+		active:   make(map[model.TxnID]*dtxn),
+		waitFor:  make(map[model.TxnID]map[model.TxnID]bool),
+	}
+}
+
+// Name implements sched.Control.
+func (p *Preventer) Name() string { return fmt.Sprintf("dist-prevent/d=%d", p.Delay) }
+
+// Tick matures announcements that have arrived by now. The simulator calls
+// it whenever simulated time advances.
+func (p *Preventer) Tick(now int64) {
+	p.now = now
+	kept := p.pending[:0]
+	for _, a := range p.pending {
+		if a.at > now {
+			kept = append(kept, a)
+			continue
+		}
+		d := p.active[a.txn]
+		if d == nil {
+			continue
+		}
+		for proc := 0; proc < p.procs; proc++ {
+			if a.finished {
+				d.viewFinished[proc] = true
+				continue
+			}
+			for lv := 1; lv <= p.k; lv++ {
+				if a.bound[lv] > d.view[proc][lv] {
+					d.view[proc][lv] = a.bound[lv]
+				}
+			}
+		}
+	}
+	p.pending = kept
+}
+
+// Begin implements sched.Control.
+func (p *Preventer) Begin(t model.TxnID, prio int64) {
+	p.prio[t] = prio
+	delete(p.finished, t)
+	d := &dtxn{view: make([][]int, p.procs), viewFinished: make([]bool, p.procs)}
+	for i := range d.view {
+		d.view[i] = make([]int, p.k+1)
+	}
+	p.active[t] = d
+}
+
+// closedAt: processor proc's (possibly stale) verdict on whether u's step
+// at seq is closed for a level-lv observer.
+func (p *Preventer) closedAt(proc int, u model.TxnID, seq, lv int) bool {
+	d := p.active[u]
+	if d == nil {
+		return true
+	}
+	if d.viewFinished[proc] {
+		return true
+	}
+	return d.view[proc][lv] >= seq
+}
+
+// closedTrue is the zero-delay ground truth, used only to attribute waits
+// to staleness.
+func (p *Preventer) closedTrue(u model.TxnID, seq, lv int) bool {
+	if p.finished[u] {
+		return true
+	}
+	if p.active[u] == nil {
+		return true
+	}
+	return p.oc.SegmentClosedAfter(u, seq, lv)
+}
+
+// Request implements sched.Control: the Section 6 delay rule with exact
+// closure predecessors but the owner processor's stale boundary views.
+func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) sched.Decision {
+	p.stats.Requests++
+	proc := p.owner(x) % p.procs
+	blockers := make(map[model.TxnID]bool)
+	stale := true
+	for u, s := range p.oc.PredForNewStep(t, x) {
+		if u == t {
+			continue
+		}
+		lv := p.nest.Level(u, t)
+		if !p.closedAt(proc, u, s, lv) {
+			blockers[u] = true
+			if !p.closedTrue(u, s, lv) {
+				stale = false // a fresh view would block too
+			}
+		}
+	}
+	if len(blockers) == 0 {
+		delete(p.waitFor, t)
+		p.stats.Grants++
+		return sched.Decision{Kind: sched.Grant}
+	}
+	if stale {
+		p.StaleWaits++
+	}
+	p.waitFor[t] = blockers
+	if cycle := p.cycleThrough(t); len(cycle) > 0 {
+		victim := cycle[0]
+		best := p.prioOf(victim)
+		for _, u := range cycle[1:] {
+			if pr := p.prioOf(u); pr > best || (pr == best && u > victim) {
+				victim, best = u, pr
+			}
+		}
+		delete(p.waitFor, t)
+		p.stats.Aborts++
+		if victim != t {
+			p.stats.Wounds++
+		}
+		return sched.Decision{Kind: sched.Abort, Victims: []model.TxnID{victim}}
+	}
+	p.stats.Waits++
+	return sched.Decision{Kind: sched.Wait}
+}
+
+func (p *Preventer) prioOf(t model.TxnID) int64 {
+	if pr, ok := p.prio[t]; ok {
+		return pr
+	}
+	return -1
+}
+
+// Performed implements sched.Control: the step enters the exact closure;
+// the boundary becomes visible to x's owner immediately and to every other
+// processor after Delay.
+func (p *Preventer) Performed(t model.TxnID, seq int, x model.EntityID, cut int) {
+	if !p.oc.AddStep(t, x) {
+		panic(fmt.Sprintf("dist: preventer admitted a cyclic step %s on %s", t, x))
+	}
+	if cut > 0 {
+		p.oc.AddCut(t, cut)
+	}
+	d := p.active[t]
+	proc := p.owner(x) % p.procs
+	// Ground-truth boundary vector for announcements.
+	bound := make([]int, p.k+1)
+	for lv := 1; lv <= p.k; lv++ {
+		// The latest boundary of coarseness ≤ lv is derivable from the
+		// closure: position q is closed for lv iff a boundary ≥ q exists.
+		// Binary-search-free: walk down from seq.
+		for q := seq; q >= 1; q-- {
+			if p.oc.SegmentClosedAfter(t, q, lv) {
+				bound[lv] = q
+				break
+			}
+		}
+	}
+	for lv := 1; lv <= p.k; lv++ {
+		if bound[lv] > d.view[proc][lv] {
+			d.view[proc][lv] = bound[lv]
+		}
+	}
+	if p.Delay == 0 {
+		for q := 0; q < p.procs; q++ {
+			copy(d.view[q], bound)
+		}
+	} else {
+		b := make([]int, p.k+1)
+		copy(b, bound)
+		p.pending = append(p.pending, announcement{at: p.now + p.Delay, txn: t, bound: b})
+	}
+}
+
+// Finished implements sched.Control.
+func (p *Preventer) Finished(t model.TxnID) {
+	p.finished[t] = true
+	d := p.active[t]
+	if d == nil {
+		return
+	}
+	if p.Delay == 0 {
+		for q := range d.viewFinished {
+			d.viewFinished[q] = true
+		}
+	} else {
+		p.pending = append(p.pending, announcement{at: p.now + p.Delay, txn: t, finished: true})
+	}
+	delete(p.waitFor, t)
+	for _, m := range p.waitFor {
+		delete(m, t)
+	}
+}
+
+// Retired keeps the closure entries (see sched.Preventer.Retired) but drops
+// the per-processor view tables, which no longer matter once finished.
+func (p *Preventer) Retired(t model.TxnID) {
+	if p.finished[t] {
+		// Keep finished[t] so closedTrue stays correct; view tables can go
+		// once every processor has learned the finish.
+		if p.Delay == 0 {
+			delete(p.active, t)
+		}
+	}
+}
+
+// Aborted implements sched.Control.
+func (p *Preventer) Aborted(victims []model.TxnID) {
+	p.stats.Aborts++
+	drop := make(map[model.TxnID]bool, len(victims))
+	for _, t := range victims {
+		drop[t] = true
+		delete(p.active, t)
+		delete(p.finished, t)
+		delete(p.waitFor, t)
+	}
+	for _, m := range p.waitFor {
+		for t := range drop {
+			delete(m, t)
+		}
+	}
+	kept := p.pending[:0]
+	for _, a := range p.pending {
+		if !drop[a.txn] {
+			kept = append(kept, a)
+		}
+	}
+	p.pending = kept
+	p.oc.Rebuild(drop)
+}
+
+// Stats implements sched.Control.
+func (p *Preventer) Stats() *sched.Stats { return &p.stats }
+
+// cycleThrough is a DFS over the waits-for edges (deterministic order).
+func (p *Preventer) cycleThrough(t model.TxnID) []model.TxnID {
+	var path []model.TxnID
+	onPath := map[model.TxnID]bool{}
+	visited := map[model.TxnID]bool{}
+	var dfs func(u model.TxnID) []model.TxnID
+	dfs = func(u model.TxnID) []model.TxnID {
+		if onPath[u] {
+			for i, w := range path {
+				if w == u {
+					return append([]model.TxnID(nil), path[i:]...)
+				}
+			}
+			return path
+		}
+		if visited[u] {
+			return nil
+		}
+		visited[u] = true
+		onPath[u] = true
+		path = append(path, u)
+		next := make([]model.TxnID, 0, len(p.waitFor[u]))
+		for v := range p.waitFor[u] {
+			next = append(next, v)
+		}
+		sortIDs(next)
+		for _, v := range next {
+			if c := dfs(v); c != nil {
+				return c
+			}
+		}
+		onPath[u] = false
+		path = path[:len(path)-1]
+		return nil
+	}
+	return dfs(t)
+}
+
+func sortIDs(ids []model.TxnID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

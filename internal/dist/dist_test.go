@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/sched"
+	"mla/internal/sim"
+)
+
+func runBank(t *testing.T, delay int64, seed int64) (*sim.Result, *bank.Workload) {
+	t.Helper()
+	p := bank.DefaultParams()
+	p.Transfers = 14
+	p.BankAudits = 1
+	p.CreditorAudits = 2
+	p.Seed = seed
+	wl := bank.Generate(p)
+	cfg := sim.DefaultConfig()
+	c := New(wl.Nest, wl.Spec, cfg.Processors, sim.OwnerFunc(cfg.Processors), delay)
+	res, err := sim.Run(cfg, wl.Programs, c, wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatalf("delay=%d: %v", delay, err)
+	}
+	return res, wl
+}
+
+// TestDistributedSoundness: at every announcement delay the distributed
+// preventer must admit only Theorem-2-correctable executions and preserve
+// the banking invariants — staleness may slow things down but never breaks
+// correctness.
+func TestDistributedSoundness(t *testing.T) {
+	for _, delay := range []int64{0, 5, 25, 100} {
+		for seed := int64(1); seed <= 3; seed++ {
+			res, wl := runBank(t, delay, seed)
+			inv := wl.Check(res.Exec, res.Final)
+			if !inv.ConservationOK {
+				t.Errorf("delay=%d seed=%d: money not conserved", delay, seed)
+			}
+			if inv.AuditsInexact > 0 {
+				t.Errorf("delay=%d seed=%d: inexact audits", delay, seed)
+			}
+			if inv.TraceValid != nil {
+				t.Errorf("delay=%d seed=%d: %v", delay, seed, inv.TraceValid)
+			}
+			ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("delay=%d seed=%d: non-correctable execution admitted", delay, seed)
+			}
+		}
+	}
+}
+
+// TestZeroDelayMatchesNoStaleWaits: with instantaneous announcements there
+// are, by definition, no staleness-induced waits.
+func TestZeroDelayNoStaleWaits(t *testing.T) {
+	p := bank.DefaultParams()
+	p.Transfers = 10
+	wl := bank.Generate(p)
+	cfg := sim.DefaultConfig()
+	c := New(wl.Nest, wl.Spec, cfg.Processors, sim.OwnerFunc(cfg.Processors), 0)
+	if _, err := sim.Run(cfg, wl.Programs, c, wl.Spec, wl.Init); err != nil {
+		t.Fatal(err)
+	}
+	if c.StaleWaits != 0 {
+		t.Errorf("zero delay produced %d stale waits", c.StaleWaits)
+	}
+}
+
+// TestStalenessCostsWaits: larger delays cannot reduce total waits, and on
+// a contended workload they should produce some staleness-attributed ones.
+func TestStalenessCostsWaits(t *testing.T) {
+	p := bank.DefaultParams()
+	p.Transfers = 16
+	p.Families = 2
+	wl0 := bank.Generate(p)
+	cfg := sim.DefaultConfig()
+	c0 := New(wl0.Nest, wl0.Spec, cfg.Processors, sim.OwnerFunc(cfg.Processors), 0)
+	if _, err := sim.Run(cfg, wl0.Programs, c0, wl0.Spec, wl0.Init); err != nil {
+		t.Fatal(err)
+	}
+	wl1 := bank.Generate(p)
+	c1 := New(wl1.Nest, wl1.Spec, cfg.Processors, sim.OwnerFunc(cfg.Processors), 200)
+	if _, err := sim.Run(cfg, wl1.Programs, c1, wl1.Spec, wl1.Init); err != nil {
+		t.Fatal(err)
+	}
+	if c1.StaleWaits == 0 {
+		t.Log("note: no stale waits at delay=200 (workload may be too gentle)")
+	}
+	if c1.Stats().Waits < c0.Stats().Waits {
+		t.Errorf("stale views waited less (%d) than fresh views (%d)",
+			c1.Stats().Waits, c0.Stats().Waits)
+	}
+}
+
+// TestStaleViewDelaysGrant drives the control directly: a boundary that
+// would admit a peer is invisible at a remote processor until the
+// announcement matures, and visible immediately at the owner.
+func TestStaleViewDelaysGrant(t *testing.T) {
+	n := nest.New(3)
+	n.Add("t1", "g")
+	n.Add("t2", "g") // level(t1,t2) = 2
+	spec := breakpoint.Uniform{Levels: 3, C: 2}
+	// Two "processors": x is owned by 0, y by 1.
+	owner := func(e model.EntityID) int {
+		if e == "x" {
+			return 0
+		}
+		return 1
+	}
+	c := New(n, spec, 2, owner, 50)
+	c.Tick(0)
+	c.Begin("t1", 1)
+	c.Begin("t2", 2)
+	if d := c.Request("t1", 1, "x"); d.Kind != sched.Grant {
+		t.Fatal("fresh entity must grant")
+	}
+	// A level-2 boundary after the step: the owner of x sees it at once.
+	c.Performed("t1", 1, "x", 2)
+	if d := c.Request("t2", 1, "x"); d.Kind != sched.Grant {
+		t.Fatal("owner processor sees the boundary immediately")
+	}
+	c.Performed("t2", 1, "x", 2)
+	// t1 now works on y (processor 1); its boundary announcement for the
+	// x-step already matured... drive a second boundary: t1 steps on y with
+	// a level-2 cut, then t2 asks for y — processor 1 saw it at once.
+	if d := c.Request("t1", 2, "y"); d.Kind != sched.Grant {
+		t.Fatal("t1 on y should grant (t2's x-boundary is level-2, owner is 0; y's owner view matures later)")
+	}
+	c.Performed("t1", 2, "y", 2)
+	if d := c.Request("t2", 2, "y"); d.Kind != sched.Grant {
+		t.Fatal("y's owner sees t1's boundary immediately")
+	}
+	c.Performed("t2", 2, "y", 2)
+	// Now make t2 touch x again: x's owner (0) must wait for the
+	// announcement of t1's y-boundary... t1's last access to x was seq 1
+	// with a boundary already known at 0, so this grants; instead check the
+	// staleness path explicitly via view tables.
+	d1 := c.active["t1"]
+	if d1.view[0][2] >= 2 && c.Delay > 0 {
+		t.Fatal("processor 0 should not yet know t1's seq-2 boundary")
+	}
+	c.Tick(100) // mature announcements
+	if d1.view[0][2] < 2 {
+		t.Fatal("announcement did not mature")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	wl := bank.Generate(bank.DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("procs < 1 must panic")
+		}
+	}()
+	New(wl.Nest, wl.Spec, 0, sim.OwnerFunc(1), 0)
+}

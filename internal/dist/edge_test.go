@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"testing"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/sched"
+	"mla/internal/sim"
+)
+
+func TestNameIncludesDelay(t *testing.T) {
+	n := nest.New(2)
+	n.Add("t")
+	c := New(n, breakpoint.Uniform{Levels: 2, C: 2}, 2, sim.OwnerFunc(2), 25)
+	if c.Name() != "dist-prevent/d=25" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Stats() == nil {
+		t.Error("Stats must not be nil")
+	}
+}
+
+func TestKMismatchPanics(t *testing.T) {
+	n := nest.New(3)
+	n.Add("t", "g")
+	defer func() {
+		if recover() == nil {
+			t.Error("k mismatch must panic")
+		}
+	}()
+	New(n, breakpoint.Uniform{Levels: 2, C: 2}, 1, sim.OwnerFunc(1), 0)
+}
+
+func TestDeadlockDetectionAcrossProcessors(t *testing.T) {
+	// A genuine cross-processor deadlock: t1 holds x (proc 0) and wants y
+	// (proc 1); t2 holds y and wants x. No breakpoints, level 1.
+	n := nest.New(2)
+	n.Add("t1")
+	n.Add("t2")
+	spec := breakpoint.Uniform{Levels: 2, C: 2}
+	owner := func(e model.EntityID) int {
+		if e == "x" {
+			return 0
+		}
+		return 1
+	}
+	c := New(n, spec, 2, owner, 10)
+	c.Begin("t1", 1)
+	c.Begin("t2", 2)
+	if d := c.Request("t1", 1, "x"); d.Kind != sched.Grant {
+		t.Fatal("t1 x")
+	}
+	c.Performed("t1", 1, "x", 2)
+	if d := c.Request("t2", 1, "y"); d.Kind != sched.Grant {
+		t.Fatal("t2 y")
+	}
+	c.Performed("t2", 1, "y", 2)
+	// With k=2, level(t1,t2)=1: each must wait for the other to finish.
+	if d := c.Request("t1", 2, "y"); d.Kind != sched.Wait {
+		t.Fatalf("t1 on y: %v", d.Kind)
+	}
+	d := c.Request("t2", 2, "x")
+	if d.Kind != sched.Abort {
+		t.Fatalf("t2 on x should close the deadlock, got %v", d.Kind)
+	}
+	if len(d.Victims) != 1 || d.Victims[0] != "t2" {
+		t.Errorf("victim = %v, want the youngest (t2)", d.Victims)
+	}
+	c.Aborted(d.Victims)
+	// t1 can proceed after the rollback.
+	if d := c.Request("t1", 2, "y"); d.Kind != sched.Grant {
+		t.Fatalf("t1 on y after rollback: %v", d.Kind)
+	}
+}
+
+func TestRetiredCleansState(t *testing.T) {
+	n := nest.New(2)
+	n.Add("t1")
+	n.Add("t2")
+	spec := breakpoint.Uniform{Levels: 2, C: 2}
+	c := New(n, spec, 1, sim.OwnerFunc(1), 0)
+	c.Begin("t1", 1)
+	c.Request("t1", 1, "x")
+	c.Performed("t1", 1, "x", 2)
+	c.Finished("t1")
+	c.Retired("t1")
+	c.Begin("t2", 2)
+	if d := c.Request("t2", 1, "x"); d.Kind != sched.Grant {
+		t.Fatal("retired transactions impose no constraints")
+	}
+}
+
+// TestDistributedPartialUnsupported: the distributed control has no
+// AbortedTo hook, so the simulator falls back to full aborts even with
+// PartialRecovery enabled.
+func TestDistributedPartialUnsupported(t *testing.T) {
+	_, wl := runBank(t, 5, 7)
+	// Run again with PartialRecovery on; no panic and no partial rollbacks.
+	cfg := sim.DefaultConfig()
+	cfg.PartialRecovery = true
+	c := New(wl.Nest, wl.Spec, cfg.Processors, sim.OwnerFunc(cfg.Processors), 5)
+	res, err := sim.Run(cfg, wl.Programs, c, wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PartialRollbacks != 0 {
+		t.Errorf("partial rollbacks = %d, want 0 (unsupported)", res.Stats.PartialRollbacks)
+	}
+}

@@ -1,0 +1,412 @@
+// Package engine executes transaction programs concurrently — one
+// goroutine per transaction — under a pluggable concurrency control. It is
+// the "real" counterpart of internal/sim's deterministic discrete-event
+// simulator: the same Control interface, the same undo-log store, the same
+// dependency-closed cascading rollback and group commit, but actual
+// parallel execution with wall-clock timing. Runs are not deterministic;
+// correctness is established per run by validating the surviving execution
+// (value chains) and, in tests, by the offline Theorem 2 checker.
+//
+// Concurrency discipline: all control, store, and bookkeeping state is
+// guarded by one engine mutex; a step's Request+Perform is a single
+// critical section, making each step atomic exactly as the model requires.
+// Blocked transactions wait on a generation channel that is closed whenever
+// any state changes; aborted transactions observe their bumped attempt
+// counter, back off, and restart.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/storage"
+)
+
+// Config bounds a run.
+type Config struct {
+	// Timeout aborts the whole run if it has not completed; defaults to
+	// 30s.
+	Timeout time.Duration
+	// BackoffBase is the initial restart backoff; defaults to 100µs.
+	BackoffBase time.Duration
+	// StepDelay simulates per-step service time (slept outside the engine
+	// lock after each performed step), forcing real overlap between
+	// transactions. Zero means full speed.
+	StepDelay time.Duration
+	// Seed drives backoff jitter.
+	Seed int64
+}
+
+// Result mirrors sim.Result for the concurrent engine.
+type Result struct {
+	Exec         model.Execution
+	Final        map[model.EntityID]model.Value
+	Committed    int
+	Aborts       int
+	Cascades     int
+	Restarts     int
+	CommitGroups []int
+	Elapsed      time.Duration
+}
+
+type etxn struct {
+	prog     model.Program
+	id       model.TxnID
+	attempt  int
+	seq      int
+	steps    []model.Step
+	finished bool
+	commit   bool
+	prio     int64
+	deps     map[model.TxnID]bool
+}
+
+type engine struct {
+	mu      sync.Mutex
+	waitGen chan struct{} // closed and replaced on every state change
+
+	control sched.Control
+	spec    breakpoint.Spec
+	store   *storage.Store
+
+	txns   map[model.TxnID]*etxn
+	order  []model.TxnID
+	trace  []traceEntry
+	author map[model.EntityID]model.TxnID
+
+	stats       Result
+	prioCounter int64
+	rng         *rand.Rand
+	rngMu       sync.Mutex
+}
+
+type traceEntry struct {
+	id      model.TxnID
+	attempt int
+	step    model.Step
+}
+
+// Run executes the programs concurrently to completion.
+func Run(cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 100 * time.Microsecond
+	}
+	e := &engine{
+		waitGen: make(chan struct{}),
+		control: control,
+		spec:    spec,
+		store:   storage.New(init),
+		txns:    make(map[model.TxnID]*etxn),
+		author:  make(map[model.EntityID]model.TxnID),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	for _, p := range programs {
+		e.txns[p.ID()] = &etxn{prog: p, id: p.ID(), deps: make(map[model.TxnID]bool)}
+		e.order = append(e.order, p.ID())
+	}
+
+	start := time.Now()
+	done := make(chan error, len(programs))
+	for i, p := range programs {
+		go e.runTxn(cfg, p, int64(i), done, start)
+	}
+	deadline := time.After(cfg.Timeout)
+	for range programs {
+		select {
+		case err := <-done:
+			if err != nil {
+				return nil, err
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("engine: timeout after %v", cfg.Timeout)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := e.stats
+	res.Exec = e.survivors()
+	res.Final = e.store.Values()
+	res.Elapsed = time.Since(start)
+	if res.Committed != len(programs) {
+		return nil, fmt.Errorf("engine: only %d/%d committed", res.Committed, len(programs))
+	}
+	return &res, nil
+}
+
+// bump closes the current wait generation so blocked goroutines re-check.
+func (e *engine) bump() {
+	close(e.waitGen)
+	e.waitGen = make(chan struct{})
+}
+
+func (e *engine) jitter(base time.Duration, attempt int) time.Duration {
+	if attempt > 8 {
+		attempt = 8
+	}
+	window := base << uint(attempt)
+	e.rngMu.Lock()
+	j := time.Duration(e.rng.Int63n(int64(window) + 1))
+	e.rngMu.Unlock()
+	return base + j
+}
+
+// runTxn is one transaction's goroutine: execute, restart on abort, signal
+// completion once committed.
+func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- error, start time.Time) {
+	id := p.ID()
+	for {
+		e.mu.Lock()
+		t := e.txns[id]
+		attempt := t.attempt
+		t.seq = 0
+		t.steps = nil
+		t.finished = false
+		t.deps = make(map[model.TxnID]bool)
+		if t.prio == 0 {
+			e.prioCounter++
+			t.prio = prio*1024 + e.prioCounter
+		} else if rp, ok := e.control.(interface {
+			NewPriority(t model.TxnID, old, fresh int64) int64
+		}); ok {
+			// Timestamp ordering needs a fresh, larger timestamp on restart.
+			e.prioCounter++
+			t.prio = rp.NewPriority(id, t.prio, 1_000_000_000+e.prioCounter)
+		}
+		e.control.Begin(id, t.prio)
+		cur := p.Init()
+		e.mu.Unlock()
+
+		aborted, err := e.attempt(cfg, id, attempt, cur)
+		if err != nil {
+			done <- err
+			return
+		}
+		if !aborted {
+			// Wait until our commit group forms.
+			e.mu.Lock()
+			for !e.txns[id].commit && e.txns[id].attempt == attempt {
+				ch := e.waitGen
+				e.mu.Unlock()
+				<-ch
+				e.mu.Lock()
+			}
+			committed := e.txns[id].commit
+			e.mu.Unlock()
+			if committed {
+				done <- nil
+				return
+			}
+			// Cascaded abort after finishing: fall through to restart.
+		}
+		e.mu.Lock()
+		att := e.txns[id].attempt
+		e.mu.Unlock()
+		time.Sleep(e.jitter(cfg.BackoffBase, att))
+	}
+}
+
+// attempt runs one attempt of the transaction; it returns aborted=true when
+// the attempt was rolled back (by itself or a cascade).
+func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.ProgState) (bool, error) {
+	for {
+		x, more := cur.Next()
+		e.mu.Lock()
+		t := e.txns[id]
+		if t.attempt != attempt {
+			e.mu.Unlock()
+			return true, nil // rolled back meanwhile
+		}
+		if !more {
+			t.finished = true
+			e.control.Finished(id)
+			e.tryCommitLocked()
+			e.bump()
+			e.mu.Unlock()
+			return false, nil
+		}
+		d := e.control.Request(id, t.seq+1, x)
+		switch d.Kind {
+		case sched.Grant:
+			var next model.ProgState
+			step := e.store.Perform(id, t.seq+1, x, func(v model.Value) (model.Value, string) {
+				w, label, ns := cur.Apply(v)
+				next = ns
+				return w, label
+			})
+			if a, ok := e.author[x]; ok && a != id {
+				t.deps[a] = true
+			}
+			if step.After != step.Before {
+				e.author[x] = id
+			}
+			t.seq++
+			t.steps = append(t.steps, step)
+			e.trace = append(e.trace, traceEntry{id: id, attempt: attempt, step: step})
+			cut := 0
+			if _, m := next.Next(); m && e.spec != nil {
+				cut = e.spec.CutAfter(id, t.steps)
+			}
+			e.control.Performed(id, t.seq, x, cut)
+			cur = next
+			e.bump()
+			e.mu.Unlock()
+			if cfg.StepDelay > 0 {
+				time.Sleep(cfg.StepDelay)
+			}
+		case sched.Wait:
+			ch := e.waitGen
+			e.mu.Unlock()
+			<-ch
+		case sched.Abort:
+			e.abortLocked(d.Victims)
+			selfDead := e.txns[id].attempt != attempt
+			e.bump()
+			e.mu.Unlock()
+			if selfDead {
+				return true, nil
+			}
+		}
+	}
+}
+
+// abortLocked rolls back the victims plus their value dependents. Caller
+// holds the mutex.
+func (e *engine) abortLocked(victims []model.TxnID) {
+	set := make(map[model.TxnID]bool)
+	var frontier []model.TxnID
+	for _, v := range victims {
+		t := e.txns[v]
+		if t != nil && !t.commit {
+			set[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []model.TxnID
+		for id, t := range e.txns {
+			if set[id] || t.commit {
+				continue
+			}
+			for _, f := range frontier {
+				if t.deps[f] {
+					set[id] = true
+					next = append(next, id)
+					e.stats.Cascades++
+					break
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(set) == 0 {
+		return
+	}
+	if err := e.store.Abort(set); err != nil {
+		panic(err) // dependency closure above must make this unreachable
+	}
+	ids := make([]model.TxnID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := e.txns[id]
+		t.attempt++
+		t.finished = false
+		t.deps = make(map[model.TxnID]bool)
+		e.stats.Aborts++
+		e.stats.Restarts++
+	}
+	e.control.Aborted(ids)
+	e.rebuildAuthorsLocked()
+}
+
+func (e *engine) rebuildAuthorsLocked() {
+	e.author = make(map[model.EntityID]model.TxnID)
+	for _, te := range e.trace {
+		t := e.txns[te.id]
+		if te.attempt != t.attempt || t.commit {
+			continue
+		}
+		if te.step.After != te.step.Before {
+			e.author[te.step.Entity] = te.id
+		}
+	}
+}
+
+// tryCommitLocked commits the largest set of finished transactions whose
+// value dependencies stay within the set or the committed. Caller holds the
+// mutex.
+func (e *engine) tryCommitLocked() {
+	inS := make(map[model.TxnID]bool)
+	for id, t := range e.txns {
+		if t.finished && !t.commit {
+			inS[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for id := range inS {
+			for dep := range e.txns[id].deps {
+				d := e.txns[dep]
+				if d == nil || (!d.commit && !inS[dep]) {
+					delete(inS, id)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if len(inS) == 0 {
+		return
+	}
+	ids := make([]model.TxnID, 0, len(inS))
+	for id := range inS {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
+	type retirer interface{ Retired(model.TxnID) }
+	for _, id := range ids {
+		e.txns[id].commit = true
+		e.store.Commit(id)
+		e.stats.Committed++
+		if ret, ok := e.control.(retirer); ok {
+			ret.Retired(id)
+		}
+	}
+	for x, a := range e.author {
+		if e.txns[a].commit {
+			delete(e.author, x)
+		}
+	}
+	for _, t := range e.txns {
+		for dep := range t.deps {
+			if d := e.txns[dep]; d != nil && d.commit {
+				delete(t.deps, dep)
+			}
+		}
+	}
+}
+
+// survivors returns the committed steps in performance order. Caller holds
+// the mutex.
+func (e *engine) survivors() model.Execution {
+	out := make(model.Execution, 0, len(e.trace))
+	for _, te := range e.trace {
+		t := e.txns[te.id]
+		if t.commit && te.attempt == t.attempt {
+			out = append(out, te.step)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package lock provides the exclusive per-entity lock manager used by the
+// strict two-phase-locking baseline [EGLT]. In the paper's model every step
+// is an atomic read-modify-write, so all locks are exclusive; there is no
+// shared mode. Deadlocks are resolved by wound-wait: an older requester
+// wounds (aborts) a younger holder, a younger requester waits.
+package lock
+
+import "mla/internal/model"
+
+// Outcome of an acquisition attempt.
+type Outcome int
+
+const (
+	// Granted: the requester now holds the lock.
+	Granted Outcome = iota
+	// Wait: a higher-priority transaction holds the lock; retry later.
+	Wait
+	// Wound: the holder is younger; the caller must abort the returned
+	// victim and retry.
+	Wound
+)
+
+// Manager tracks exclusive entity locks.
+type Manager struct {
+	holder map[model.EntityID]model.TxnID
+	held   map[model.TxnID]map[model.EntityID]bool
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		holder: make(map[model.EntityID]model.TxnID),
+		held:   make(map[model.TxnID]map[model.EntityID]bool),
+	}
+}
+
+// Acquire attempts to take the exclusive lock on x for t. prio returns a
+// transaction's priority; smaller values are older (higher priority). On
+// Wound, victim is the current holder, which the caller must abort (its
+// locks are released by Release) before retrying.
+func (m *Manager) Acquire(t model.TxnID, x model.EntityID, prio func(model.TxnID) int64) (Outcome, model.TxnID) {
+	ok, h := m.TryAcquire(t, x)
+	if ok {
+		return Granted, ""
+	}
+	if prio(t) < prio(h) {
+		return Wound, h
+	}
+	return Wait, h
+}
+
+// TryAcquire takes the lock when it is free or already held by t, otherwise
+// reporting the current holder. Callers that prefer deadlock detection over
+// wound-wait use this directly.
+func (m *Manager) TryAcquire(t model.TxnID, x model.EntityID) (bool, model.TxnID) {
+	h, locked := m.holder[x]
+	if !locked || h == t {
+		m.holder[x] = t
+		if m.held[t] == nil {
+			m.held[t] = make(map[model.EntityID]bool)
+		}
+		m.held[t][x] = true
+		return true, ""
+	}
+	return false, h
+}
+
+// Holds reports whether t holds the lock on x.
+func (m *Manager) Holds(t model.TxnID, x model.EntityID) bool {
+	return m.holder[x] == t
+}
+
+// Release frees every lock held by t (commit or abort — strict 2PL).
+func (m *Manager) Release(t model.TxnID) {
+	for x := range m.held[t] {
+		if m.holder[x] == t {
+			delete(m.holder, x)
+		}
+	}
+	delete(m.held, t)
+}
+
+// Locked returns the number of currently locked entities.
+func (m *Manager) Locked() int { return len(m.holder) }

@@ -1,0 +1,153 @@
+// Package metrics provides the small reporting toolkit used by the bench
+// harness: aligned text tables and summary statistics over int64 samples.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	N             int
+	Min, Max      int64
+	Mean          float64
+	P50, P95, P99 int64
+}
+
+// Summarize computes order statistics. An empty input yields a zero
+// Summary.
+func Summarize(samples []int64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	pct := func(p float64) int64 {
+		i := int(p / 100 * float64(len(s)-1))
+		return s[i]
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: float64(sum) / float64(len(s)),
+		P50:  pct(50),
+		P95:  pct(95),
+		P99:  pct(99),
+	}
+}
+
+// Ratio formats a/b as "x.xx×", guarding division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		fmt.Fprint(w, "|")
+		for _, c := range cells {
+			fmt.Fprintf(w, " %s |", c)
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.rows {
+		row(r)
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.Row("alpha", 1)
+	tbl.Row("b", 123.456)
+	out := tbl.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "123.46") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Columns aligned: the header row and data rows share prefix widths.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{5, 1, 9, 3, 7})
+	if s.N != 5 || s.Min != 1 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 5 {
+		t.Errorf("p50 = %d", s.P50)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if z := Summarize(nil); z.N != 0 || z.P99 != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	one := Summarize([]int64{42})
+	if one.P50 != 42 || one.P99 != 42 || one.Min != 42 {
+		t.Errorf("singleton = %+v", one)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []int64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("Ratio = %s", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "∞" {
+		t.Errorf("Ratio by zero = %s", Ratio(1, 0))
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tbl := NewTable("demo", "a", "b")
+	tbl.Row(1, "x")
+	var buf strings.Builder
+	tbl.RenderMarkdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "| 1 | x |") {
+		t.Errorf("markdown:\n%s", out)
+	}
+}

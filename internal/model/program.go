@@ -1,0 +1,62 @@
+package model
+
+// Op is one scripted access: the entity to touch, a label, and a transform
+// applied to the observed value to produce the written value. A nil
+// transform leaves the value unchanged (a pure read).
+type Op struct {
+	Entity EntityID
+	Label  string
+	Apply  func(Value) Value
+}
+
+// Scripted is the simplest Program: a fixed, unconditional sequence of
+// accesses. It covers straight-line transactions; branching transactions
+// implement Program directly (see the bank package's transfer).
+type Scripted struct {
+	Txn TxnID
+	Ops []Op
+}
+
+// ID implements Program.
+func (s *Scripted) ID() TxnID { return s.Txn }
+
+// Init implements Program.
+func (s *Scripted) Init() ProgState { return scriptedState{s, 0} }
+
+type scriptedState struct {
+	p *Scripted
+	i int
+}
+
+func (st scriptedState) Next() (EntityID, bool) {
+	if st.i >= len(st.p.Ops) {
+		return "", false
+	}
+	return st.p.Ops[st.i].Entity, true
+}
+
+func (st scriptedState) Apply(v Value) (Value, string, ProgState) {
+	op := st.p.Ops[st.i]
+	w := v
+	if op.Apply != nil {
+		w = op.Apply(v)
+	}
+	return w, op.Label, scriptedState{st.p, st.i + 1}
+}
+
+// Read returns an Op that reads x and writes the value back unchanged.
+func Read(x EntityID) Op { return Op{Entity: x, Label: "read"} }
+
+// Write returns an Op that overwrites x with v.
+func Write(x EntityID, v Value) Op {
+	return Op{Entity: x, Label: "write", Apply: func(Value) Value { return v }}
+}
+
+// Add returns an Op that adds d to x (withdrawals are negative deposits).
+func Add(x EntityID, d Value) Op {
+	label := "deposit"
+	if d < 0 {
+		label = "withdraw"
+	}
+	return Op{Entity: x, Label: label, Apply: func(v Value) Value { return v + d }}
+}

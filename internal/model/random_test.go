@@ -1,0 +1,96 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomInterleaveCompletesAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	progs := []Program{
+		&Scripted{Txn: "a", Ops: []Op{Add("x", 1), Add("y", 1), Add("z", 1)}},
+		&Scripted{Txn: "b", Ops: []Op{Add("x", 2)}},
+		&Scripted{Txn: "c", Ops: []Op{Add("y", 3), Add("z", 3)}},
+	}
+	vals := map[EntityID]Value{}
+	e, err := RandomInterleave(progs, vals, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 6 {
+		t.Fatalf("steps = %d", len(e))
+	}
+	if vals["x"] != 3 || vals["y"] != 4 || vals["z"] != 4 {
+		t.Errorf("vals = %v", vals)
+	}
+	if err := e.Validate(map[EntityID]Value{}); err != nil {
+		t.Fatal(err)
+	}
+	// Per-transaction order is preserved.
+	if e.StepsOf("a")[0].Entity != "x" || e.StepsOf("a")[2].Entity != "z" {
+		t.Error("program order violated")
+	}
+}
+
+func TestRandomInterleaveBranchingPrograms(t *testing.T) {
+	// A branching program (conditional step counts) must be handled — the
+	// exact step count is not known up front.
+	rng := rand.New(rand.NewSource(9))
+	cond := &condProg{}
+	vals := map[EntityID]Value{"flag": 1}
+	e, err := RandomInterleave([]Program{cond, &Scripted{Txn: "s", Ops: []Op{Read("flag")}}}, vals, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flag=1 at cond's read → it takes the long branch (2 more steps).
+	if got := len(e.StepsOf("cond")); got != 3 {
+		t.Errorf("cond steps = %d, want 3", got)
+	}
+}
+
+// condProg reads "flag"; if nonzero it performs two extra steps.
+type condProg struct{}
+
+func (*condProg) ID() TxnID       { return "cond" }
+func (*condProg) Init() ProgState { return condState{0} }
+
+type condState struct{ phase int }
+
+func (s condState) Next() (EntityID, bool) {
+	switch s.phase {
+	case 0:
+		return "flag", true
+	case 1:
+		return "a", true
+	case 2:
+		return "b", true
+	}
+	return "", false
+}
+
+func (s condState) Apply(v Value) (Value, string, ProgState) {
+	if s.phase == 0 {
+		if v != 0 {
+			return v, "read", condState{1}
+		}
+		return v, "read", condState{3}
+	}
+	return v + 1, "work", condState{s.phase + 1}
+}
+
+func TestRunSerialStepLimit(t *testing.T) {
+	// An infinite program trips the step limit instead of hanging.
+	if _, err := RunSerial([]Program{infinite{}}, map[EntityID]Value{}); err == nil {
+		t.Fatal("infinite program must be rejected")
+	}
+}
+
+type infinite struct{}
+
+func (infinite) ID() TxnID       { return "inf" }
+func (infinite) Init() ProgState { return infState{} }
+
+type infState struct{}
+
+func (infState) Next() (EntityID, bool)                   { return "x", true }
+func (infState) Apply(v Value) (Value, string, ProgState) { return v, "spin", infState{} }

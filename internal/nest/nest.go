@@ -1,0 +1,159 @@
+// Package nest implements k-nests (Section 4.2 of the paper): a chain of
+// successively finer equivalence relations π(1) ⊇ π(2) ⊇ … ⊇ π(k) over a set
+// of transactions, where π(1) has a single class and π(k) has singleton
+// classes. Because nested equivalence relations form a hierarchy, a k-nest
+// is represented by assigning each transaction a path of class labels: two
+// transactions are π(i)-equivalent exactly when their paths agree on the
+// first i labels. level(t,t′) — the largest i with (t,t′) ∈ π(i) — is then
+// the length of the longest common prefix.
+package nest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mla/internal/model"
+)
+
+// Nest is a k-nest for a set of transactions. The zero value is unusable;
+// construct with New.
+type Nest struct {
+	k     int
+	paths map[model.TxnID][]string
+}
+
+// New creates an empty k-nest. k must be at least 2: the paper's definition
+// needs the trivial top relation π(1) and the singleton bottom relation
+// π(k). k=2 yields classical serializability (Section 4.3).
+func New(k int) *Nest {
+	if k < 2 {
+		panic(fmt.Sprintf("nest: k must be >= 2, got %d", k))
+	}
+	return &Nest{k: k, paths: make(map[model.TxnID][]string)}
+}
+
+// K returns the number of levels.
+func (n *Nest) K() int { return n.k }
+
+// Add registers transaction t with the given intermediate class labels for
+// levels 2..k-1 (so len(mid) must be k-2). Level 1 is the universal class
+// and level k is the singleton class {t}; both are implicit. Add panics on a
+// wrong label count or a duplicate transaction — both are programming
+// errors in the specification being built.
+func (n *Nest) Add(t model.TxnID, mid ...string) {
+	if len(mid) != n.k-2 {
+		panic(fmt.Sprintf("nest: transaction %s: need %d intermediate labels for a %d-nest, got %d",
+			t, n.k-2, n.k, len(mid)))
+	}
+	if _, dup := n.paths[t]; dup {
+		panic(fmt.Sprintf("nest: transaction %s added twice", t))
+	}
+	path := make([]string, 0, n.k)
+	path = append(path, "*") // level 1: everyone
+	path = append(path, mid...)
+	path = append(path, "t:"+string(t)) // level k: singleton
+	n.paths[t] = path
+}
+
+// Has reports whether t is registered.
+func (n *Nest) Has(t model.TxnID) bool { _, ok := n.paths[t]; return ok }
+
+// Txns returns the registered transactions, sorted.
+func (n *Nest) Txns() []model.TxnID {
+	out := make([]model.TxnID, 0, len(n.paths))
+	for t := range n.paths {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Level returns level(t,t′): the largest i (1-based) such that t and t′ lie
+// in a common π(i) class. Level(t,t) = k. It panics if either transaction is
+// unregistered, since a missing transaction means the interleaving
+// specification is incomplete.
+func (n *Nest) Level(t, u model.TxnID) int {
+	pt, ok := n.paths[t]
+	if !ok {
+		panic(fmt.Sprintf("nest: unknown transaction %s", t))
+	}
+	pu, ok := n.paths[u]
+	if !ok {
+		panic(fmt.Sprintf("nest: unknown transaction %s", u))
+	}
+	lvl := 0
+	for i := 0; i < n.k; i++ {
+		if pt[i] != pu[i] {
+			break
+		}
+		lvl = i + 1
+	}
+	return lvl
+}
+
+// SameClass reports whether (t,u) ∈ π(level).
+func (n *Nest) SameClass(t, u model.TxnID, level int) bool {
+	if level < 1 || level > n.k {
+		panic(fmt.Sprintf("nest: level %d out of range [1,%d]", level, n.k))
+	}
+	return n.Level(t, u) >= level
+}
+
+// Classes returns the equivalence classes of π(level), each sorted, in a
+// deterministic order.
+func (n *Nest) Classes(level int) [][]model.TxnID {
+	if level < 1 || level > n.k {
+		panic(fmt.Sprintf("nest: level %d out of range [1,%d]", level, n.k))
+	}
+	byKey := make(map[string][]model.TxnID)
+	for t, p := range n.paths {
+		key := strings.Join(p[:level], "\x00")
+		byKey[key] = append(byKey[key], t)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]model.TxnID, 0, len(keys))
+	for _, k := range keys {
+		c := byKey[k]
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		out = append(out, c)
+	}
+	return out
+}
+
+// Validate checks the k-nest axioms over the registered transactions:
+// π(1) is one class, π(k) is singletons, and each π(i) refines π(i-1). With
+// the path representation the first two hold by construction; refinement is
+// likewise structural, so Validate mainly guards against label collisions
+// that would merge singleton classes (e.g. two distinct transactions whose
+// paths coincide, which cannot happen because level k embeds the TxnID).
+// It also rejects a label reused under *different* parents only if that
+// would be ambiguous — with path semantics it is not, so the same label may
+// safely recur under different parents ("team1" inside two specialties).
+func (n *Nest) Validate() error {
+	if len(n.paths) == 0 {
+		return fmt.Errorf("nest: no transactions registered")
+	}
+	for t, p := range n.paths {
+		if len(p) != n.k {
+			return fmt.Errorf("nest: transaction %s has path length %d, want %d", t, len(p), n.k)
+		}
+	}
+	return nil
+}
+
+// Restrict returns a new nest containing only the transactions in keep,
+// preserving k and paths. Transactions absent from the nest are ignored.
+func (n *Nest) Restrict(keep []model.TxnID) *Nest {
+	out := &Nest{k: n.k, paths: make(map[model.TxnID][]string)}
+	for _, t := range keep {
+		if p, ok := n.paths[t]; ok {
+			out.paths[t] = p
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package nest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mla/internal/model"
+)
+
+// bankingNest builds the 4-nest from the paper's Section 4.2 banking
+// example: customers (by family), creditors, and bank audits.
+func bankingNest() *Nest {
+	n := New(4)
+	n.Add("t1", "cust", "famA")
+	n.Add("t2", "cust", "famA")
+	n.Add("t3", "cust", "famB")
+	n.Add("c1", "cust", "cred1")
+	n.Add("a1", "audit1", "audit1")
+	return n
+}
+
+func TestLevelBankingExample(t *testing.T) {
+	n := bankingNest()
+	cases := []struct {
+		a, b model.TxnID
+		want int
+	}{
+		{"t1", "t1", 4}, // self: level k
+		{"t1", "t2", 3}, // same family
+		{"t1", "t3", 2}, // both customers, different family
+		{"t1", "c1", 2}, // customer vs creditor
+		{"t1", "a1", 1}, // anything vs bank audit
+		{"a1", "c1", 1},
+	}
+	for _, c := range cases {
+		if got := n.Level(c.a, c.b); got != c.want {
+			t.Errorf("Level(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := n.Level(c.b, c.a); got != c.want {
+			t.Errorf("Level(%s,%s) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSameClass(t *testing.T) {
+	n := bankingNest()
+	if !n.SameClass("t1", "t3", 2) {
+		t.Error("t1,t3 should share the level-2 class")
+	}
+	if n.SameClass("t1", "t3", 3) {
+		t.Error("t1,t3 must not share a level-3 class")
+	}
+	if !n.SameClass("t1", "a1", 1) {
+		t.Error("everything shares the level-1 class")
+	}
+}
+
+func TestClassesStructure(t *testing.T) {
+	n := bankingNest()
+	if got := len(n.Classes(1)); got != 1 {
+		t.Errorf("π(1) has %d classes, want 1", got)
+	}
+	if got := len(n.Classes(4)); got != 5 {
+		t.Errorf("π(4) has %d classes, want 5 singletons", got)
+	}
+	// π(2): {t1,t2,t3,c1}, {a1}.
+	c2 := n.Classes(2)
+	if len(c2) != 2 {
+		t.Fatalf("π(2) has %d classes, want 2: %v", len(c2), c2)
+	}
+	sizes := map[int]bool{len(c2[0]): true, len(c2[1]): true}
+	if !sizes[1] || !sizes[4] {
+		t.Errorf("π(2) class sizes wrong: %v", c2)
+	}
+	// π(3): {t1,t2}, {t3}, {c1}, {a1}.
+	if got := len(n.Classes(3)); got != 4 {
+		t.Errorf("π(3) has %d classes, want 4", got)
+	}
+}
+
+// Property: the class chain is a genuine nest — π(i) refines π(i-1) — and
+// level is consistent with class membership.
+func TestQuickNestAxioms(t *testing.T) {
+	n := bankingNest()
+	txns := n.Txns()
+	f := func(ai, bi uint8, lvl uint8) bool {
+		a := txns[int(ai)%len(txns)]
+		b := txns[int(bi)%len(txns)]
+		l := n.Level(a, b)
+		if l < 1 || l > n.K() {
+			return false
+		}
+		// Level(a,b) >= i ⇔ same π(i) class, and refinement: same at i ⇒
+		// same at every j < i.
+		for i := 1; i <= n.K(); i++ {
+			if n.SameClass(a, b, i) != (l >= i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestK2NestIsSerializabilityShape(t *testing.T) {
+	n := New(2)
+	n.Add("a")
+	n.Add("b")
+	if n.Level("a", "b") != 1 {
+		t.Error("distinct transactions in a 2-nest relate only at level 1")
+	}
+	if n.Level("a", "a") != 2 {
+		t.Error("self level must be k")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := New(3)
+	if err := n.Validate(); err == nil {
+		t.Error("empty nest should not validate")
+	}
+	n.Add("a", "g1")
+	if err := n.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	n := bankingNest()
+	r := n.Restrict([]model.TxnID{"t1", "a1", "zz"})
+	if len(r.Txns()) != 2 {
+		t.Fatalf("Restrict kept %v", r.Txns())
+	}
+	if r.Level("t1", "a1") != 1 {
+		t.Error("Restrict must preserve levels")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k<2", func() { New(1) })
+	mustPanic("wrong label count", func() { New(4).Add("t", "only-one") })
+	mustPanic("duplicate add", func() {
+		n := New(2)
+		n.Add("t")
+		n.Add("t")
+	})
+	mustPanic("unknown txn", func() {
+		n := New(2)
+		n.Add("t")
+		n.Level("t", "ghost")
+	})
+	mustPanic("bad level", func() {
+		n := New(2)
+		n.Add("t")
+		n.Add("u")
+		n.SameClass("t", "u", 9)
+	})
+}
+
+func TestSameLabelUnderDifferentParents(t *testing.T) {
+	// "team1" under two different specialties must not merge classes.
+	n := New(4)
+	n.Add("a", "spec1", "team1")
+	n.Add("b", "spec2", "team1")
+	if n.Level("a", "b") != 1 {
+		t.Errorf("Level = %d, want 1: shared leaf label must not merge", n.Level("a", "b"))
+	}
+}

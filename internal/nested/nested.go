@@ -1,0 +1,242 @@
+// Package nested implements the Section 7 correspondence between multilevel
+// atomicity and the nested transaction model [M, R, Ly]: every multilevel
+// atomic execution can be described by a nested action tree in which
+//
+//   - all steps below a level-i node belong to π(i)-equivalent transactions,
+//     and
+//   - (for i > 1) those steps carry each transaction involved from one
+//     level-(i−1) breakpoint to another.
+//
+// The tree is built from the execution, not statically: "the reorganization
+// of transactions into actions is not statically determined, but rather
+// depends on the particular execution."
+package nested
+
+import (
+	"fmt"
+	"strings"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// Node is one action in the nested action tree. Leaves carry a single step;
+// internal nodes at Level i group a contiguous run of the execution whose
+// transactions are pairwise π(i)-equivalent.
+type Node struct {
+	Level    int // 1 = root
+	Start    int // first execution position covered (inclusive)
+	End      int // last execution position covered (inclusive)
+	Step     *model.Step
+	Children []*Node
+}
+
+// Txns returns the distinct transactions appearing under the node.
+func (n *Node) Txns(e model.Execution) []model.TxnID {
+	seen := make(map[model.TxnID]bool)
+	var out []model.TxnID
+	for i := n.Start; i <= n.End; i++ {
+		if !seen[e[i].Txn] {
+			seen[e[i].Txn] = true
+			out = append(out, e[i].Txn)
+		}
+	}
+	return out
+}
+
+// Tree is the nested action tree of one multilevel atomic execution.
+type Tree struct {
+	Exec model.Execution
+	Nest *nest.Nest
+	Spec breakpoint.Spec
+	Root *Node
+}
+
+// Build constructs the nested action tree of a multilevel atomic execution.
+// It recursively partitions the execution: a node at level i splits its
+// range into maximal contiguous blocks whose transactions are pairwise
+// π(i+1)-equivalent; leaves are single steps at level k+1. Build fails if
+// the execution does not admit the tree structure — which, per Section 7,
+// happens exactly when it is not multilevel atomic (callers should check
+// atomicity first for a precise diagnosis).
+func Build(e model.Execution, n *nest.Nest, spec breakpoint.Spec) (*Tree, error) {
+	if n.K() != spec.K() {
+		return nil, fmt.Errorf("nested: nest k=%d but spec k=%d", n.K(), spec.K())
+	}
+	t := &Tree{Exec: e, Nest: n, Spec: spec}
+	if len(e) == 0 {
+		t.Root = &Node{Level: 1, Start: 0, End: -1}
+		return t, nil
+	}
+	root := &Node{Level: 1, Start: 0, End: len(e) - 1}
+	if err := t.split(root); err != nil {
+		return nil, err
+	}
+	t.Root = root
+	if err := t.Verify(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// split partitions node into children at level+1.
+func (t *Tree) split(node *Node) error {
+	k := t.Nest.K()
+	if node.Level == k {
+		// Children are single-step leaves.
+		for i := node.Start; i <= node.End; i++ {
+			s := t.Exec[i]
+			node.Children = append(node.Children, &Node{Level: k + 1, Start: i, End: i, Step: &s})
+		}
+		return nil
+	}
+	childLevel := node.Level + 1
+	start := node.Start
+	for i := node.Start + 1; i <= node.End+1; i++ {
+		if i <= node.End && t.Nest.SameClass(t.Exec[i].Txn, t.Exec[start].Txn, childLevel) {
+			continue
+		}
+		child := &Node{Level: childLevel, Start: start, End: i - 1}
+		if err := t.split(child); err != nil {
+			return err
+		}
+		node.Children = append(node.Children, child)
+		start = i
+	}
+	return nil
+}
+
+// Verify checks the two Section 7 properties on every node:
+//
+//  1. all steps below a level-i node belong to π(i)-equivalent transactions
+//     (true by construction for the greedy split, but re-checked), and
+//  2. for i > 1, the node's steps carry each involved transaction from one
+//     level-(i−1) breakpoint to another: the transaction's steps inside the
+//     node start just after a B(i−1) boundary (or at its beginning) and end
+//     at one (or at its end).
+func (t *Tree) Verify() error {
+	descs := make(map[model.TxnID]*breakpoint.Description)
+	for txn, steps := range stepsByTxn(t.Exec) {
+		descs[txn] = breakpoint.Describe(t.Spec, txn, steps)
+	}
+	return t.verifyNode(t.Root, descs)
+}
+
+func stepsByTxn(e model.Execution) map[model.TxnID][]model.Step {
+	m := make(map[model.TxnID][]model.Step)
+	for _, s := range e {
+		m[s.Txn] = append(m[s.Txn], s)
+	}
+	return m
+}
+
+func (t *Tree) verifyNode(node *Node, descs map[model.TxnID]*breakpoint.Description) error {
+	if node.End < node.Start {
+		return nil
+	}
+	txns := node.Txns(t.Exec)
+	// Property 1: pairwise π(level) equivalence.
+	for i := 1; i < len(txns); i++ {
+		if !t.Nest.SameClass(txns[0], txns[i], node.Level) {
+			return fmt.Errorf("nested: node at level %d mixes %s and %s (level %d)",
+				node.Level, txns[0], txns[i], t.Nest.Level(txns[0], txns[i]))
+		}
+	}
+	// Property 2: each transaction's step range inside the node is bounded
+	// by B(level-1) breakpoints.
+	if node.Level > 1 {
+		first := make(map[model.TxnID]int) // first seq inside the node
+		last := make(map[model.TxnID]int)  // last seq inside the node
+		seqs := seqOf(t.Exec)
+		for i := node.Start; i <= node.End; i++ {
+			s := t.Exec[i]
+			if _, ok := first[s.Txn]; !ok {
+				first[s.Txn] = seqs[i]
+			}
+			last[s.Txn] = seqs[i]
+		}
+		lv := node.Level - 1
+		for txn, fs := range first {
+			d := descs[txn]
+			if fs > 1 && !d.IsCut(fs-1, lv) {
+				return fmt.Errorf("nested: %s enters level-%d node mid-segment (seq %d)", txn, node.Level, fs)
+			}
+			ls := last[txn]
+			if ls < d.Len() && !d.IsCut(ls, lv) {
+				return fmt.Errorf("nested: %s leaves level-%d node mid-segment (seq %d)", txn, node.Level, ls)
+			}
+		}
+	}
+	for _, c := range node.Children {
+		if err := t.verifyNode(c, descs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seqOf maps each execution position to the step's Seq (identical to the
+// recorded Seq but recomputed defensively).
+func seqOf(e model.Execution) []int {
+	counts := make(map[model.TxnID]int)
+	out := make([]int, len(e))
+	for i, s := range e {
+		counts[s.Txn]++
+		out[i] = counts[s.Txn]
+	}
+	return out
+}
+
+// Stats summarizes a tree's shape.
+type Stats struct {
+	Nodes     int
+	Leaves    int
+	MaxDepth  int
+	MaxFanout int
+}
+
+// Stats walks the tree.
+func (t *Tree) Stats() Stats {
+	var st Stats
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		st.Nodes++
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if len(n.Children) > st.MaxFanout {
+			st.MaxFanout = len(n.Children)
+		}
+		if len(n.Children) == 0 {
+			st.Leaves++
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 1)
+	}
+	return st
+}
+
+// String renders the tree, one node per line, for the examples.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		if n.Step != nil {
+			fmt.Fprintf(&b, "%s%s\n", indent, n.Step)
+			return
+		}
+		fmt.Fprintf(&b, "%slevel %d [%d..%d] txns=%v\n", indent, n.Level, n.Start, n.End, n.Txns(t.Exec))
+		for _, c := range n.Children {
+			walk(c, indent+"  ")
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, "")
+	}
+	return b.String()
+}

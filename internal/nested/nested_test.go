@@ -1,0 +1,215 @@
+package nested
+
+import (
+	"strings"
+	"testing"
+
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// fixture builds the paper's Section 7 banking scenario: transfers t1..t4
+// (withdraw w then deposit δ) that may combine pairwise into actions, plus
+// an audit relating to everything at level 1 only.
+func fixture() (*nest.Nest, breakpoint.Spec, []model.Program, map[model.EntityID]model.Value) {
+	n := nest.New(3)
+	n.Add("t1", "xfers")
+	n.Add("t2", "xfers")
+	n.Add("t3", "xfers")
+	n.Add("t4", "xfers")
+	n.Add("a1", "audit")
+	spec := breakpoint.Func{Levels: 3, Fn: func(t model.TxnID, _ []model.Step) int {
+		if t == "a1" {
+			return 3
+		}
+		return 2 // transfers: every interior boundary open to the class
+	}}
+	mk := func(id model.TxnID, w, d model.EntityID) *model.Scripted {
+		return &model.Scripted{Txn: id, Ops: []model.Op{model.Add(w, -1), model.Add(d, 1)}}
+	}
+	progs := []model.Program{
+		mk("t1", "A", "B"), mk("t2", "C", "D"),
+		mk("t3", "E", "F"), mk("t4", "G", "H"),
+		&model.Scripted{Txn: "a1", Ops: []model.Op{model.Read("A"), model.Read("C")}},
+	}
+	init := map[model.EntityID]model.Value{}
+	for _, x := range []model.EntityID{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		init[x] = 10
+	}
+	return n, spec, progs, init
+}
+
+func interleave(t *testing.T, progs []model.Program, init map[model.EntityID]model.Value, order []int) model.Execution {
+	t.Helper()
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range init {
+		vals[k] = v
+	}
+	e, err := model.Interleave(progs, vals, order, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestPaperTreeShape reproduces the Section 7 tree: t1 and t2 interleave
+// (forming one level-2 action with their four steps as siblings), then t3
+// and t4, with the audit serialized between — each group becomes one
+// level-2 node.
+func TestPaperTreeShape(t *testing.T) {
+	n, spec, progs, init := fixture()
+	// w1 w2 δ1 δ2 | audit | w3 w4 δ3 δ4
+	order := []int{0, 1, 0, 1, 4, 4, 2, 3, 2, 3}
+	e := interleave(t, progs, init, order)
+	ok, err := coherent.MultilevelAtomic(e, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("fixture execution must be multilevel atomic")
+	}
+	tree, err := Build(e, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Root.Children); got != 3 {
+		t.Fatalf("root has %d children, want 3 ({t1,t2}, {a1}, {t3,t4}): \n%s", got, tree)
+	}
+	first := tree.Root.Children[0]
+	if tx := first.Txns(e); len(tx) != 2 {
+		t.Errorf("first action covers %v, want t1+t2", tx)
+	}
+	mid := tree.Root.Children[1]
+	if tx := mid.Txns(e); len(tx) != 1 || tx[0] != "a1" {
+		t.Errorf("middle action covers %v, want audit alone", tx)
+	}
+	st := tree.Stats()
+	if st.Leaves != len(e) {
+		t.Errorf("leaves = %d, want %d", st.Leaves, len(e))
+	}
+	if st.MaxDepth < 3 {
+		t.Errorf("depth = %d", st.MaxDepth)
+	}
+	if !strings.Contains(tree.String(), "level 2") {
+		t.Error("String() should render levels")
+	}
+}
+
+// TestBuildRejectsNonAtomic: an execution in which the audit interrupts a
+// transfer cannot be organized into a valid action tree.
+func TestBuildRejectsNonAtomic(t *testing.T) {
+	n, spec, progs, init := fixture()
+	// audit reads A, t1 runs, audit reads C: audit split across t1.
+	order := []int{4, 0, 0, 4, 1, 1, 2, 2, 3, 3}
+	e := interleave(t, progs, init, order)
+	if ok, _ := coherent.MultilevelAtomic(e, n, spec); ok {
+		t.Fatal("fixture: expected non-atomic execution")
+	}
+	if _, err := Build(e, n, spec); err == nil {
+		t.Fatal("Build must reject a non-atomic execution")
+	}
+}
+
+// TestBreakpointBoundaryProperty: with coarseness-3 interior boundaries
+// (no class-level breakpoints) a mid-transaction interleave violates the
+// level-(i-1) breakpoint property even among class members.
+func TestBreakpointBoundaryProperty(t *testing.T) {
+	n := nest.New(3)
+	n.Add("t1", "g")
+	n.Add("t2", "g")
+	spec := breakpoint.Uniform{Levels: 3, C: 3} // no level-2 breakpoints
+	progs := []model.Program{
+		&model.Scripted{Txn: "t1", Ops: []model.Op{model.Add("x", 1), model.Add("y", 1)}},
+		&model.Scripted{Txn: "t2", Ops: []model.Op{model.Add("z", 1), model.Add("w", 1)}},
+	}
+	vals := map[model.EntityID]model.Value{}
+	e, err := model.Interleave(progs, vals, []int{0, 1, 0, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := coherent.MultilevelAtomic(e, n, spec); ok {
+		t.Fatal("interleaving without breakpoints must not be atomic")
+	}
+	if _, err := Build(e, n, spec); err == nil {
+		t.Fatal("Build must reject executions violating the breakpoint property")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	n := nest.New(2)
+	n.Add("t1")
+	spec := breakpoint.Uniform{Levels: 2, C: 2}
+	tree, err := Build(nil, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Nodes != 1 {
+		t.Error("empty tree is just a root")
+	}
+	e := model.Execution{{Txn: "t1", Seq: 1, Entity: "x"}, {Txn: "t1", Seq: 2, Entity: "y"}}
+	tree, err = Build(e, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.Leaves != 2 {
+		t.Errorf("leaves = %d", st.Leaves)
+	}
+}
+
+func TestBuildKMismatch(t *testing.T) {
+	n := nest.New(2)
+	n.Add("t1")
+	if _, err := Build(nil, n, breakpoint.Uniform{Levels: 3, C: 2}); err == nil {
+		t.Error("k mismatch must error")
+	}
+}
+
+// TestSerialAlwaysBuilds: serial executions always admit action trees, for
+// any spec.
+func TestSerialAlwaysBuilds(t *testing.T) {
+	n, spec, progs, init := fixture()
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range init {
+		vals[k] = v
+	}
+	e, err := model.RunSerial(progs, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(e, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Leaves != len(e) {
+		t.Error("every step must be a leaf")
+	}
+}
+
+func TestTreeNodeTxnsAndStats(t *testing.T) {
+	n, spec, progs, init := fixture()
+	vals := map[model.EntityID]model.Value{}
+	for k, v := range init {
+		vals[k] = v
+	}
+	e, err := model.RunSerial(progs, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(e, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.Nodes <= st.Leaves {
+		t.Errorf("nodes=%d leaves=%d: internal nodes missing", st.Nodes, st.Leaves)
+	}
+	if got := tree.Root.Txns(e); len(got) != 5 {
+		t.Errorf("root txns = %v", got)
+	}
+	if s := tree.String(); !strings.Contains(s, "level 1") {
+		t.Error("String misses the root")
+	}
+}

@@ -1,0 +1,92 @@
+package sched
+
+import "mla/internal/model"
+
+// waitGraph is the waits-for graph shared by the blocking controls
+// (Preventer, TwoPhase): an edge t → u means t's pending request cannot
+// proceed until u changes state. A cycle is a deadlock; victims are chosen
+// by priority elsewhere.
+type waitGraph struct {
+	edges map[model.TxnID]map[model.TxnID]bool
+}
+
+func newWaitGraph() *waitGraph {
+	return &waitGraph{edges: make(map[model.TxnID]map[model.TxnID]bool)}
+}
+
+// setWaits replaces t's outgoing edges.
+func (g *waitGraph) setWaits(t model.TxnID, blockers map[model.TxnID]bool) {
+	g.edges[t] = blockers
+}
+
+// clear removes t's outgoing edges.
+func (g *waitGraph) clear(t model.TxnID) { delete(g.edges, t) }
+
+// drop removes t entirely (edges in both directions).
+func (g *waitGraph) drop(t model.TxnID) {
+	delete(g.edges, t)
+	for _, m := range g.edges {
+		delete(m, t)
+	}
+}
+
+// cycleThrough returns the members of a waits-for cycle reachable from t,
+// or nil. DFS over a graph bounded by the number of active transactions;
+// successor order is sorted for determinism.
+func (g *waitGraph) cycleThrough(t model.TxnID) []model.TxnID {
+	var path []model.TxnID
+	onPath := make(map[model.TxnID]bool)
+	visited := make(map[model.TxnID]bool)
+	var dfs func(u model.TxnID) []model.TxnID
+	dfs = func(u model.TxnID) []model.TxnID {
+		if onPath[u] {
+			for i, w := range path {
+				if w == u {
+					return append([]model.TxnID(nil), path[i:]...)
+				}
+			}
+			return path
+		}
+		if visited[u] {
+			return nil
+		}
+		visited[u] = true
+		onPath[u] = true
+		path = append(path, u)
+		next := make([]model.TxnID, 0, len(g.edges[u]))
+		for v := range g.edges[u] {
+			next = append(next, v)
+		}
+		sortTxnIDs(next)
+		for _, v := range next {
+			if c := dfs(v); c != nil {
+				return c
+			}
+		}
+		onPath[u] = false
+		path = path[:len(path)-1]
+		return nil
+	}
+	return dfs(t)
+}
+
+// youngest returns the member with the largest priority according to prio,
+// breaking ties by larger ID.
+func youngest(cycle []model.TxnID, prio func(model.TxnID) int64) model.TxnID {
+	victim := cycle[0]
+	best := prio(victim)
+	for _, u := range cycle[1:] {
+		if pr := prio(u); pr > best || (pr == best && u > victim) {
+			victim, best = u, pr
+		}
+	}
+	return victim
+}
+
+func sortTxnIDs(ids []model.TxnID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/sched"
+)
+
+// runSessions executes a sessioned banking workload under the named control
+// with or without partial recovery.
+func runSessions(t *testing.T, name string, partial bool, length int, seed int64) (*Result, *bank.SessionWorkload) {
+	t.Helper()
+	p := bank.DefaultSessionParams()
+	p.SessionLength = length
+	p.Sessions = 6
+	p.Seed = seed
+	wl := bank.GenerateSessions(p)
+	var c sched.Control
+	switch name {
+	case "prevent":
+		c = sched.NewPreventer(wl.Nest, wl.Spec)
+	case "detect":
+		c = sched.NewDetector(wl.Nest, wl.Spec)
+	case "2pl":
+		c = sched.NewTwoPhase()
+	}
+	cfg := DefaultConfig()
+	cfg.PartialRecovery = partial
+	res, err := Run(cfg, wl.Programs, c, wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatalf("%s partial=%v: %v", name, partial, err)
+	}
+	return res, wl
+}
+
+// TestPartialRecoveryInvariants: sessioned runs with suffix-only rollbacks
+// must preserve every invariant — conservation, audit exactness, valid
+// value chains — and remain Theorem-2 correctable.
+func TestPartialRecoveryInvariants(t *testing.T) {
+	for _, name := range []string{"prevent", "detect"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			res, wl := runSessions(t, name, true, 4, seed)
+			inv := wl.Check(res.Exec, res.Final)
+			if !inv.ConservationOK {
+				t.Errorf("%s seed %d: money not conserved", name, seed)
+			}
+			if inv.AuditsInexact > 0 {
+				t.Errorf("%s seed %d: %d inexact audits", name, seed, inv.AuditsInexact)
+			}
+			if inv.TraceValid != nil {
+				t.Errorf("%s seed %d: %v", name, seed, inv.TraceValid)
+			}
+			ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s seed %d: non-correctable execution admitted", name, seed)
+			}
+		}
+	}
+}
+
+// TestPartialRecoveryActuallyPartial: on a contended long-session run, some
+// rollbacks must be suffix-only, and they must save work relative to the
+// full-restart policy.
+func TestPartialRecoveryActuallyPartial(t *testing.T) {
+	var sawPartial bool
+	var undoneWith, undoneWithout int64
+	for seed := int64(1); seed <= 5; seed++ {
+		with, _ := runSessions(t, "prevent", true, 6, seed)
+		without, _ := runSessions(t, "prevent", false, 6, seed)
+		if with.Stats.PartialRollbacks > 0 {
+			sawPartial = true
+		}
+		undoneWith += with.Stats.StepsUndone
+		undoneWithout += without.Stats.StepsUndone
+		if without.Stats.PartialRollbacks != 0 {
+			t.Error("partial rollbacks recorded with PartialRecovery disabled")
+		}
+	}
+	if !sawPartial {
+		t.Error("no partial rollbacks occurred in 5 contended runs")
+	}
+	if undoneWith >= undoneWithout {
+		t.Errorf("partial recovery saved nothing: undone %d (partial) vs %d (full)", undoneWith, undoneWithout)
+	}
+}
+
+// TestPartialRecoveryDeterministic: the discrete-event run with partial
+// recovery stays deterministic.
+func TestPartialRecoveryDeterministic(t *testing.T) {
+	a, _ := runSessions(t, "prevent", true, 4, 9)
+	b, _ := runSessions(t, "prevent", true, 4, 9)
+	if len(a.Exec) != len(b.Exec) || a.Time != b.Time || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.Exec {
+		if a.Exec[i] != b.Exec[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}
+
+// TestPartialRecoveryIgnoredFor2PL: controls without the AbortedTo hook use
+// full aborts even when the config enables partial recovery.
+func TestPartialRecoveryIgnoredFor2PL(t *testing.T) {
+	res, wl := runSessions(t, "2pl", true, 4, 2)
+	if res.Stats.PartialRollbacks != 0 {
+		t.Errorf("2PL cannot do partial rollbacks, recorded %d", res.Stats.PartialRollbacks)
+	}
+	inv := wl.Check(res.Exec, res.Final)
+	if !inv.ConservationOK || inv.AuditsInexact > 0 || inv.TraceValid != nil {
+		t.Errorf("invariants: %+v", inv)
+	}
+}
+
+// TestSessionWorkloadSerialBaseline: the sessioned workload behaves under
+// serial execution (multilevel atomic, invariants hold).
+func TestSessionWorkloadSerialBaseline(t *testing.T) {
+	res, wl := runSessions(t, "2pl", false, 3, 1)
+	if res.Stats.Committed != len(wl.Programs) {
+		t.Fatalf("committed %d/%d", res.Stats.Committed, len(wl.Programs))
+	}
+	atomicOK, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atomicOK {
+		t.Error("2PL sessioned run must be correctable")
+	}
+}

@@ -1,0 +1,838 @@
+// Package sim is a deterministic discrete-event simulator of the
+// "migrating transaction" model the paper adopts from [RSL] (Section 6):
+// entities reside at processors of a network; a transaction originates at a
+// home processor and migrates from entity to entity, carrying its state in
+// (p,t,s) messages; the total order of the system's execution is the order
+// in which steps are actually performed, i.e. real clock time.
+//
+// The simulator drives a pluggable concurrency control (internal/sched),
+// maintains the undo-log store (internal/storage), closes abort sets under
+// value dependencies before rolling back, performs cascading restarts, and
+// records the surviving execution for offline verification against
+// Theorem 2 (internal/coherent).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/storage"
+)
+
+// Config sets the simulated system's shape and timing. All durations are in
+// abstract time units.
+type Config struct {
+	Processors   int   // number of processors (entities are hashed across them)
+	ServiceTime  int64 // time to perform one step
+	Latency      int64 // one network hop (message between processors)
+	InterArrival int64 // gap between successive transaction arrivals
+	RestartDelay int64 // backoff before an aborted transaction restarts
+	MaxTime      int64 // safety horizon; 0 means 100M units
+	StopAt       int64 // stop cleanly at this time with work incomplete (0 = run to completion); used for crash injection
+
+	// PartialRecovery shrinks the unit of recovery (Section 1 of the paper:
+	// "one would probably not want to roll back very long transactions"):
+	// when a control that supports it names a victim, the victim is rolled
+	// back only to its last class-wide (coarseness-2) breakpoint and
+	// resumes from there, instead of restarting from scratch. Transactions
+	// that observed values written by the undone suffix still cascade to
+	// full aborts. Repeated partial rollbacks without progress escalate to
+	// a full abort, so deadlocks whose cause lies in the kept prefix are
+	// still resolved.
+	PartialRecovery bool
+}
+
+// DefaultConfig returns a small, contended configuration used by the
+// examples and tests.
+func DefaultConfig() Config {
+	return Config{Processors: 4, ServiceTime: 10, Latency: 5, InterArrival: 3, RestartDelay: 25, MaxTime: 0}
+}
+
+// Stats aggregates what happened during a run.
+type Stats struct {
+	Committed   int   // transactions committed
+	Steps       int64 // steps performed, including later-undone ones
+	Aborts      int   // rollbacks, including cascades
+	Cascades    int   // rollbacks forced by value dependencies
+	StallBreaks int   // deadlock resolutions by aborting the youngest waiter
+	Messages    int64 // network messages sent
+	Restarts    int   // transaction attempts beyond the first
+
+	// Unit-of-recovery accounting (Section 1 of the paper distinguishes the
+	// unit of recovery from the unit of atomicity): StepsUndone counts all
+	// rolled-back steps; StepsUndoneSavable counts those at or before the
+	// victim's last class-wide (coarseness-2) breakpoint, which a
+	// segment-granular recovery unit could have preserved.
+	StepsUndone        int64
+	StepsUndoneSavable int64
+	PartialRollbacks   int // suffix-only rollbacks (PartialRecovery)
+}
+
+// Result of a run.
+type Result struct {
+	Exec      model.Execution // surviving (committed) steps in performance order
+	Stats     Stats
+	Control   *sched.Stats
+	Time      int64   // completion time of the last commit
+	Latencies []int64 // per committed transaction: begin-to-commit time
+	Final     map[model.EntityID]model.Value
+
+	// CommitGroups records the size of each atomic commit group: value
+	// dependencies can cycle between finished transactions (the paper's
+	// Section 6 commitment-chaining observation), and such groups must
+	// commit together. Serializable controls always produce groups of 1.
+	CommitGroups []int
+}
+
+// Throughput returns committed transactions per 1000 time units.
+func (r *Result) Throughput() float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(r.Stats.Committed) * 1000 / float64(r.Time)
+}
+
+// LatencyPercentile returns the p-th percentile (0..100) of commit latency.
+func (r *Result) LatencyPercentile(p float64) int64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	ls := append([]int64(nil), r.Latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	i := int(p / 100 * float64(len(ls)-1))
+	return ls[i]
+}
+
+type evKind int
+
+const (
+	evArrive evKind = iota // the transaction's next step request reaches the entity's owner
+	evDone                 // the current step's service time elapsed
+	evBegin                // transaction (re)starts
+)
+
+type event struct {
+	time    int64
+	seq     int64 // FIFO tiebreak for determinism
+	kind    evKind
+	txn     int // index into txns
+	attempt int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type txnStatus int
+
+const (
+	stIdle  txnStatus = iota // not yet begun or between abort and restart
+	stReady                  // request being decided / in flight
+	stWaiting
+	stRunning // step in service
+	stFinished
+	stCommitted
+)
+
+type txn struct {
+	prog          model.Program
+	cur           model.ProgState
+	id            model.TxnID
+	seq           int
+	prio          int64
+	begun         int64 // time of first Begin (for latency)
+	attempt       int
+	steps         []model.Step
+	loc           int // current processor
+	home          int
+	status        txnStatus
+	bound2        int                 // last class-wide (coarseness-2) breakpoint position
+	deps          map[model.TxnID]int // uncommitted author -> max author seq observed
+	states        []model.ProgState   // states[i] = program state before step i+1 (for resume)
+	lastKeep      int                 // keep point of the previous partial rollback
+	partialStreak int                 // consecutive partial rollbacks at the same keep point
+}
+
+type traceEntry struct {
+	txn     int
+	attempt int
+	step    model.Step
+}
+
+// authorRef identifies the uncommitted step that wrote an entity's current
+// value.
+type authorRef struct {
+	txn model.TxnID
+	seq int
+}
+
+// Runner executes one simulation.
+type Runner struct {
+	cfg     Config
+	control sched.Control
+	spec    breakpoint.Spec
+	store   Store
+	init    map[model.EntityID]model.Value
+
+	txns  []*txn
+	byID  map[model.TxnID]int
+	trace []traceEntry
+
+	queue   eventHeap
+	evSeq   int64
+	now     int64
+	waiters map[int]bool
+	author  map[model.EntityID]authorRef // uncommitted writer of the current value
+
+	stats        Stats
+	lastCommit   int64
+	latencies    []int64
+	commitGroups []int
+
+	offering     bool // reentrancy guard for offerWaiters
+	offerPending bool
+
+	stallCommits  int // commit count at the last stall break
+	stallEscalate int // stall breaks since the last commit
+}
+
+// New prepares a run of the given programs under the control. spec provides
+// the breakpoint coarseness reported to the control after each step; it may
+// be nil for controls that ignore breakpoints (the baselines), in which
+// case 0 is reported.
+func New(cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) *Runner {
+	if cfg.Processors <= 0 {
+		cfg.Processors = 1
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 100_000_000
+	}
+	r := &Runner{
+		cfg:     cfg,
+		control: control,
+		spec:    spec,
+		store:   storage.New(init),
+		init:    init,
+		byID:    make(map[model.TxnID]int),
+		waiters: make(map[int]bool),
+		author:  make(map[model.EntityID]authorRef),
+	}
+	for i, p := range programs {
+		t := &txn{prog: p, id: p.ID(), home: hashString(string(p.ID())) % cfg.Processors}
+		t.loc = t.home
+		r.txns = append(r.txns, t)
+		r.byID[p.ID()] = i
+		r.push(int64(i)*cfg.InterArrival, evBegin, i, 0)
+	}
+	return r
+}
+
+func hashString(s string) int {
+	h := 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ int(s[i])) * 16777619 & 0x7fffffff
+	}
+	return h
+}
+
+func (r *Runner) owner(x model.EntityID) int {
+	return hashString(string(x)) % r.cfg.Processors
+}
+
+// OwnerFunc exposes the simulator's entity-placement function so
+// distributed controls can agree with it.
+func OwnerFunc(processors int) func(model.EntityID) int {
+	if processors <= 0 {
+		processors = 1
+	}
+	return func(x model.EntityID) int { return hashString(string(x)) % processors }
+}
+
+func (r *Runner) push(time int64, kind evKind, ti, attempt int) {
+	r.evSeq++
+	heap.Push(&r.queue, event{time: time, seq: r.evSeq, kind: kind, txn: ti, attempt: attempt})
+}
+
+// Run executes the simulation to completion and returns the result. It
+// returns an error if the safety horizon is exceeded or an internal
+// invariant breaks (e.g. an abort set that was not dependency-closed).
+func (r *Runner) Run() (*Result, error) {
+	for {
+		if r.allCommitted() {
+			break
+		}
+		if len(r.queue) == 0 {
+			if !r.breakStall() {
+				return nil, fmt.Errorf("sim: no events and no waiters but %d transactions incomplete", r.incomplete())
+			}
+			continue
+		}
+		ev := heap.Pop(&r.queue).(event)
+		if r.cfg.StopAt > 0 && ev.time > r.cfg.StopAt {
+			break // crash point: volatile state is abandoned
+		}
+		if ev.time > r.cfg.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime=%d with %d transactions incomplete", r.cfg.MaxTime, r.incomplete())
+		}
+		r.now = ev.time
+		if tk, ok := r.control.(interface{ Tick(int64) }); ok {
+			tk.Tick(r.now)
+		}
+		t := r.txns[ev.txn]
+		if ev.attempt != t.attempt {
+			continue // stale event from a rolled-back attempt
+		}
+		switch ev.kind {
+		case evBegin:
+			t.status = stReady
+			if t.begun == 0 {
+				t.begun = r.now
+			}
+			fresh := r.now*1024 + int64(ev.txn) + 1
+			if t.prio == 0 {
+				t.prio = fresh
+			} else if rp, ok := r.control.(interface {
+				NewPriority(t model.TxnID, old, fresh int64) int64
+			}); ok {
+				// Controls like timestamp ordering need a fresh timestamp on
+				// restart; wound-wait controls keep the original so aged
+				// transactions eventually win.
+				t.prio = rp.NewPriority(t.id, t.prio, fresh)
+			}
+			t.cur = t.prog.Init()
+			t.seq = 0
+			t.bound2 = 0
+			t.steps = nil
+			t.states = nil
+			t.deps = make(map[model.TxnID]int)
+			t.lastKeep = -1
+			t.loc = t.home
+			r.control.Begin(t.id, t.prio)
+			r.decide(ev.txn)
+		case evArrive:
+			r.decide(ev.txn)
+		case evDone:
+			r.stepDone(ev.txn)
+		}
+	}
+	return r.result(), nil
+}
+
+func (r *Runner) incomplete() int {
+	n := 0
+	for _, t := range r.txns {
+		if t.status != stCommitted {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Runner) allCommitted() bool { return r.incomplete() == 0 }
+
+// decide asks the control about the transaction's next step and acts on the
+// decision.
+func (r *Runner) decide(ti int) {
+	t := r.txns[ti]
+	for retries := 0; ; retries++ {
+		x, ok := t.cur.Next()
+		if !ok {
+			r.finish(ti)
+			return
+		}
+		d := r.control.Request(t.id, t.seq+1, x)
+		switch d.Kind {
+		case sched.Grant:
+			r.perform(ti, x)
+			return
+		case sched.Wait:
+			t.status = stWaiting
+			r.waiters[ti] = true
+			return
+		case sched.Abort:
+			r.abort(d.Victims, false)
+			if r.txns[ti].attempt != t.attempt || t.status == stIdle {
+				return // we were among the victims
+			}
+			if retries >= 8 {
+				// The control keeps demanding aborts; back off.
+				t.status = stWaiting
+				r.waiters[ti] = true
+				return
+			}
+		}
+	}
+}
+
+// perform executes the granted step atomically at the current instant.
+func (r *Runner) perform(ti int, x model.EntityID) {
+	t := r.txns[ti]
+	// Migration: move to the entity's owner if not already there.
+	if own := r.owner(x); own != t.loc {
+		t.loc = own
+		r.stats.Messages++
+	}
+	t.states = append(t.states, t.cur)
+	var next model.ProgState
+	step := r.store.Perform(t.id, t.seq+1, x, func(v model.Value) (model.Value, string) {
+		w, label, ns := t.cur.Apply(v)
+		next = ns
+		return w, label
+	})
+	// Value dependency: observing a value authored by an uncommitted
+	// transaction ties our fate to it.
+	if a, ok := r.author[x]; ok && a.txn != t.id {
+		if a.seq > t.deps[a.txn] {
+			t.deps[a.txn] = a.seq
+		}
+	}
+	if step.After != step.Before {
+		r.author[x] = authorRef{txn: t.id, seq: t.seq + 1}
+	}
+	t.seq++
+	t.cur = next
+	t.steps = append(t.steps, step)
+	r.trace = append(r.trace, traceEntry{txn: ti, attempt: t.attempt, step: step})
+	r.stats.Steps++
+
+	cut := 0
+	if _, more := next.Next(); more && r.spec != nil {
+		cut = r.spec.CutAfter(t.id, t.steps)
+	}
+	if cut == 2 {
+		t.bound2 = t.seq
+	}
+	r.control.Performed(t.id, t.seq, x, cut)
+
+	t.status = stRunning
+	r.push(r.now+r.cfg.ServiceTime, evDone, ti, t.attempt)
+	r.offerWaiters()
+}
+
+func (r *Runner) stepDone(ti int) {
+	t := r.txns[ti]
+	t.status = stReady
+	if _, more := t.cur.Next(); more {
+		r.push(r.now+r.cfg.Latency, evArrive, ti, t.attempt)
+	} else {
+		r.finish(ti)
+	}
+	r.offerWaiters()
+}
+
+func (r *Runner) finish(ti int) {
+	t := r.txns[ti]
+	if t.status == stFinished || t.status == stCommitted {
+		return
+	}
+	t.status = stFinished
+	r.stats.Messages++ // result returns to the originator
+	r.control.Finished(t.id)
+	r.tryCommit()
+	r.offerWaiters()
+}
+
+// tryCommit commits the largest set S of finished transactions whose value
+// dependencies lie within S ∪ committed. Dependencies can form cycles
+// (t1 read from t2 and t2 from t1 on different entities), which is exactly
+// the paper's observation that commitment under multilevel atomicity can
+// chain; such groups commit together.
+func (r *Runner) tryCommit() {
+	inS := make(map[model.TxnID]bool)
+	for _, t := range r.txns {
+		if t.status == stFinished {
+			inS[t.id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for id := range inS {
+			t := r.txns[r.byID[id]]
+			for dep := range t.deps {
+				di, ok := r.byID[dep]
+				if !ok {
+					continue
+				}
+				d := r.txns[di]
+				if d.status != stCommitted && !inS[dep] {
+					delete(inS, id)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if len(inS) == 0 {
+		return
+	}
+	ids := make([]model.TxnID, 0, len(inS))
+	for id := range inS {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r.commitGroups = append(r.commitGroups, len(ids))
+	type retirer interface{ Retired(model.TxnID) }
+	for _, id := range ids {
+		t := r.txns[r.byID[id]]
+		t.status = stCommitted
+		r.store.Commit(id)
+		r.stats.Committed++
+		r.latencies = append(r.latencies, r.now-t.begun)
+		if r.now > r.lastCommit {
+			r.lastCommit = r.now
+		}
+		if ret, ok := r.control.(retirer); ok {
+			ret.Retired(id)
+		}
+	}
+	// Committed authors no longer create dependencies.
+	for x, a := range r.author {
+		if r.txns[r.byID[a.txn]].status == stCommitted {
+			delete(r.author, x)
+		}
+	}
+	for _, t := range r.txns {
+		for dep := range t.deps {
+			if di, ok := r.byID[dep]; ok && r.txns[di].status == stCommitted {
+				delete(t.deps, dep)
+			}
+		}
+	}
+}
+
+// partialAborter is implemented by controls that can clamp their
+// bookkeeping to a kept prefix after a suffix-only rollback.
+type partialAborter interface {
+	AbortedTo(t model.TxnID, keep int)
+}
+
+// abort rolls back the victims plus everything that observed their values,
+// notifies the control, and schedules restarts or resumptions.
+//
+// With Config.PartialRecovery and a control implementing partialAborter,
+// each named victim is rolled back only to its last class-wide breakpoint
+// (the kept prefix stays performed and the transaction resumes from the
+// saved program state) — the paper's smaller unit of recovery. Escalation:
+// a victim whose previous partial rollback kept the same prefix is fully
+// aborted instead, so conflicts rooted in the prefix still resolve.
+// Transactions that observed values written by an undone suffix cascade to
+// full aborts.
+func (r *Runner) abort(victims []model.TxnID, stall bool) {
+	pa, canPartial := r.control.(partialAborter)
+	canPartial = canPartial && r.cfg.PartialRecovery
+
+	keep := make(map[model.TxnID]int) // victim -> kept seq (0 = full)
+	var frontier []model.TxnID
+	for _, v := range victims {
+		vi, ok := r.byID[v]
+		if !ok {
+			continue
+		}
+		t := r.txns[vi]
+		if t.status == stCommitted || (t.status == stIdle && t.seq == 0) {
+			continue // committed, or fully rolled back already
+		}
+		k := 0
+		if canPartial && t.status != stFinished {
+			k = t.bound2
+			if k > t.seq {
+				k = t.seq
+			}
+			if k == t.seq {
+				k = 0 // nothing beyond the breakpoint: a partial would be a no-op
+			}
+			// Escalate after repeated partial rollbacks to the same point:
+			// the conflict evidently lives in the kept prefix (or keeps
+			// recurring), so redo the transaction outright.
+			if k > 0 && k == t.lastKeep && t.partialStreak >= 2 {
+				k = 0
+			}
+		}
+		keep[v] = k
+		frontier = append(frontier, v)
+	}
+	// Close under value dependents of the undone suffixes: anyone who
+	// observed a value authored at a seq beyond the kept prefix must fully
+	// abort.
+	for len(frontier) > 0 {
+		var next []model.TxnID
+		for _, t := range r.txns {
+			if t.status == stCommitted || (t.status == stIdle && t.seq == 0) {
+				continue // committed, or holds no live records
+			}
+			if k, hit := keep[t.id]; hit && k == 0 {
+				continue // already a full victim
+			}
+			for _, f := range frontier {
+				if d, ok := t.deps[f]; ok && d > keep[f] {
+					if _, already := keep[t.id]; !already && !stall {
+						r.stats.Cascades++
+					}
+					if k, had := keep[t.id]; !had || k > 0 {
+						keep[t.id] = 0 // cascades are full aborts
+						next = append(next, t.id)
+					}
+					break
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(keep) == 0 {
+		return
+	}
+	if err := r.store.AbortSuffix(keep); err != nil {
+		// The dependency closure above should make this unreachable; an
+		// error means a control/scheduler bug. Surface it loudly in tests
+		// via the trace validation; keep running.
+		panic(err)
+	}
+	ids := make([]model.TxnID, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var fullIDs []model.TxnID
+	rank := 0
+	for _, id := range ids {
+		ti := r.byID[id]
+		t := r.txns[ti]
+		k := keep[id]
+		r.stats.StepsUndone += int64(t.seq - k)
+		savable := t.bound2
+		if savable > t.seq {
+			savable = t.seq
+		}
+		if k == 0 {
+			r.stats.StepsUndoneSavable += int64(savable)
+			r.fullRollback(ti, rank)
+			fullIDs = append(fullIDs, id)
+			rank++
+		} else {
+			r.partialRollback(ti, k)
+			pa.AbortedTo(id, k)
+		}
+	}
+	if len(fullIDs) > 0 {
+		r.control.Aborted(fullIDs)
+	}
+	r.rebuildAuthors()
+	r.offerWaiters()
+}
+
+// fullRollback resets a transaction for a from-scratch restart.
+func (r *Runner) fullRollback(ti, rank int) {
+	t := r.txns[ti]
+	t.attempt++ // invalidates in-flight events
+	t.status = stIdle
+	t.seq = 0
+	t.steps = nil
+	t.states = nil
+	t.bound2 = 0
+	t.lastKeep = -1
+	t.partialStreak = 0
+	t.deps = make(map[model.TxnID]int)
+	delete(r.waiters, ti)
+	r.stats.Aborts++
+	r.stats.Restarts++
+	// Exponential backoff with deterministic pseudo-random jitter (hashed
+	// from the transaction and attempt): victims restarting at identical
+	// offsets re-collide forever — the classic alternating-victim livelock
+	// of restart-based controls.
+	exp := t.attempt
+	if exp > 4 {
+		exp = 4
+	}
+	window := r.cfg.RestartDelay << uint(exp)
+	jitter := int64(hashString(fmt.Sprintf("%s/%d", t.id, t.attempt))) % window
+	delay := r.cfg.RestartDelay*(int64(rank)+1) + jitter
+	r.push(r.now+delay, evBegin, ti, t.attempt)
+}
+
+// partialRollback rewinds a transaction to seq = keep: the undone suffix's
+// trace entries are retagged out of the surviving execution, the program
+// state is restored from the saved snapshot, and the transaction resumes
+// after a short delay under the same logical identity and priority.
+func (r *Runner) partialRollback(ti, keepSeq int) {
+	t := r.txns[ti]
+	oldAttempt := t.attempt
+	t.attempt++ // invalidates in-flight events for the undone suffix
+	// Re-tag the kept prefix so it survives the attempt bump.
+	for i := range r.trace {
+		te := &r.trace[i]
+		if te.txn == ti && te.attempt == oldAttempt && te.step.Seq <= keepSeq {
+			te.attempt = t.attempt
+		}
+	}
+	t.cur = t.states[keepSeq] // state before step keepSeq+1
+	t.states = t.states[:keepSeq]
+	t.steps = t.steps[:keepSeq]
+	t.seq = keepSeq
+	if keepSeq == t.lastKeep {
+		t.partialStreak++
+	} else {
+		t.lastKeep = keepSeq
+		t.partialStreak = 1
+	}
+	if t.bound2 > keepSeq {
+		t.bound2 = keepSeq
+	}
+	// Dependencies on undone suffixes of OTHER transactions cannot remain:
+	// if they existed, this transaction would have cascaded to a full
+	// abort. Its own deps stay valid for the kept prefix... conservatively
+	// keep them (over-approximation is safe for commit ordering).
+	t.status = stIdle
+	delete(r.waiters, ti)
+	r.stats.Aborts++
+	r.stats.PartialRollbacks++
+	// Backoff grows with the streak and carries deterministic jitter so
+	// symmetric conflicts desynchronize instead of replaying.
+	streak := t.partialStreak
+	if streak > 4 {
+		streak = 4
+	}
+	window := r.cfg.RestartDelay << uint(streak)
+	jitter := int64(hashString(fmt.Sprintf("%s@%d/%d", t.id, keepSeq, t.partialStreak))) % window
+	r.push(r.now+r.cfg.RestartDelay+jitter, evArrive, ti, t.attempt)
+}
+
+// rebuildAuthors recomputes, after a rollback, which uncommitted
+// transaction authored each entity's current value.
+func (r *Runner) rebuildAuthors() {
+	r.author = make(map[model.EntityID]authorRef)
+	for _, te := range r.trace {
+		t := r.txns[te.txn]
+		if te.attempt != t.attempt || t.status == stCommitted {
+			continue
+		}
+		if t.status == stIdle && t.seq == 0 {
+			continue // fully aborted, awaiting restart
+		}
+		if te.step.After != te.step.Before {
+			r.author[te.step.Entity] = authorRef{txn: t.id, seq: te.step.Seq}
+		}
+	}
+}
+
+// offerWaiters re-presents every waiting request, oldest priority first.
+// Granting a waiter can trigger further grants, aborts, or commits that
+// re-enter this function; re-entrant calls just flag another pass.
+func (r *Runner) offerWaiters() {
+	if r.offering {
+		r.offerPending = true
+		return
+	}
+	r.offering = true
+	defer func() { r.offering = false }()
+	for pass := 0; ; pass++ {
+		r.offerPending = false
+		if len(r.waiters) == 0 {
+			return
+		}
+		var order []int
+		for ti := range r.waiters {
+			order = append(order, ti)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := r.txns[order[i]], r.txns[order[j]]
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			return order[i] < order[j]
+		})
+		for _, ti := range order {
+			if !r.waiters[ti] {
+				continue // aborted meanwhile
+			}
+			t := r.txns[ti]
+			if t.status != stWaiting {
+				delete(r.waiters, ti)
+				continue
+			}
+			delete(r.waiters, ti)
+			t.status = stReady
+			r.decide(ti)
+		}
+		if !r.offerPending || pass > 4*len(r.txns) {
+			return
+		}
+	}
+}
+
+// breakStall resolves a global stall (every live transaction is waiting) by
+// aborting the youngest waiters, mirroring the paper's assumption of "some
+// priority scheme and rollback mechanism to insure that no initiated
+// transaction gets blocked indefinitely". Consecutive stalls with no
+// intervening progress escalate: each round one more of the youngest
+// waiters is sacrificed, so in the worst case only the oldest remains and
+// must be able to run alone.
+func (r *Runner) breakStall() bool {
+	if len(r.waiters) == 0 {
+		return false
+	}
+	if r.stats.Committed == r.stallCommits {
+		r.stallEscalate++
+	} else {
+		r.stallEscalate = 1
+		r.stallCommits = r.stats.Committed
+	}
+	var order []int
+	for ti := range r.waiters {
+		order = append(order, ti)
+	}
+	sort.Slice(order, func(i, j int) bool { // youngest first
+		a, b := r.txns[order[i]], r.txns[order[j]]
+		if a.prio != b.prio {
+			return a.prio > b.prio
+		}
+		return order[i] > order[j]
+	})
+	nv := r.stallEscalate
+	if nv > len(order) {
+		nv = len(order)
+	}
+	victims := make([]model.TxnID, 0, nv)
+	for _, ti := range order[:nv] {
+		victims = append(victims, r.txns[ti].id)
+	}
+	r.stats.StallBreaks++
+	r.abort(victims, true)
+	return true
+}
+
+func (r *Runner) result() *Result {
+	exec := make(model.Execution, 0, len(r.trace))
+	for _, te := range r.trace {
+		t := r.txns[te.txn]
+		if t.status == stCommitted && te.attempt == t.attempt {
+			exec = append(exec, te.step)
+		}
+	}
+	return &Result{
+		Exec:         exec,
+		Stats:        r.stats,
+		Control:      r.control.Stats(),
+		Time:         r.lastCommit,
+		Latencies:    r.latencies,
+		Final:        r.store.Values(),
+		CommitGroups: r.commitGroups,
+	}
+}
+
+// Run is a convenience wrapper: build a Runner and run it.
+func Run(cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
+	return New(cfg, programs, control, spec, init).Run()
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/sched"
+)
+
+// TestPreventerSoundnessSweep is the regression test for the retired-
+// dependency hole: across many seeds, every execution admitted by the
+// Preventer must be Theorem-2 correctable. (Seeds 58, 67, and 101 exposed
+// cycles before committed transactions left residual obligations behind.)
+func TestPreventerSoundnessSweep(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		p := bank.DefaultParams()
+		p.Families = 3
+		p.AccountsPerFamily = 4
+		p.Transfers = 12
+		p.BankAudits = 1
+		p.CreditorAudits = 2
+		p.Seed = seed
+		wl := bank.Generate(p)
+		c := sched.NewPreventer(wl.Nest, wl.Spec)
+		res, err := Run(DefaultConfig(), wl.Programs, c, wl.Spec, wl.Init)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("seed %d: non-correctable execution admitted", seed)
+		}
+	}
+}
+
+// TestPreventerSoundnessSeed67 pins the exact configuration that exposed
+// the hole.
+func TestPreventerSoundnessSeed67(t *testing.T) {
+	for _, seed := range []int64{58, 67, 101} {
+		p := bank.DefaultParams()
+		p.Families = 3
+		p.AccountsPerFamily = 4
+		p.Transfers = 12
+		p.BankAudits = 1
+		p.CreditorAudits = 2
+		p.Seed = seed
+		wl := bank.Generate(p)
+		c := sched.NewPreventer(wl.Nest, wl.Spec)
+		res, err := Run(DefaultConfig(), wl.Programs, c, wl.Spec, wl.Init)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: regression — non-correctable execution", seed)
+		}
+	}
+}

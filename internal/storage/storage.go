@@ -1,0 +1,171 @@
+// Package storage provides the in-memory entity store used by the
+// concurrency controls: current values plus a global undo log supporting
+// rollback of an arbitrary *dependency-closed* set of transactions (the
+// paper's unit of recovery, Section 1; cascading rollback, Section 6).
+//
+// Rollback restores before-images by walking the log backwards. That is
+// correct only when the aborted set is closed under value dependencies:
+// every transaction that observed a value written by an aborted transaction
+// must itself be in the set. The scheduler layer (internal/sched and
+// internal/sim) maintains that closure; Store checks the resulting value
+// chain and reports violations rather than silently corrupting state.
+package storage
+
+import (
+	"fmt"
+
+	"mla/internal/model"
+)
+
+type record struct {
+	txn    model.TxnID
+	seq    int
+	entity model.EntityID
+	before model.Value
+	after  model.Value
+	dead   bool // committed (truncated) or already undone
+}
+
+// Store holds entity values and the undo log.
+type Store struct {
+	vals map[model.EntityID]model.Value
+	log  []record
+	live int // number of non-dead records
+}
+
+// New creates a store with the given initial values (copied).
+func New(init map[model.EntityID]model.Value) *Store {
+	s := &Store{vals: make(map[model.EntityID]model.Value, len(init))}
+	for x, v := range init {
+		s.vals[x] = v
+	}
+	return s
+}
+
+// Get returns the current value of x (0 if never written).
+func (s *Store) Get(x model.EntityID) model.Value { return s.vals[x] }
+
+// Perform executes one atomic step for transaction t: it reads the current
+// value of x, applies f to obtain the written value and label, logs the
+// before-image, installs the new value, and returns the recorded step.
+func (s *Store) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Value) (model.Value, string)) model.Step {
+	before := s.vals[x]
+	after, label := f(before)
+	s.log = append(s.log, record{txn: t, seq: seq, entity: x, before: before, after: after})
+	s.live++
+	s.vals[x] = after
+	return model.Step{Txn: t, Seq: seq, Entity: x, Label: label, Before: before, After: after}
+}
+
+// Abort rolls back every logged step of the transactions in set, newest
+// first, restoring before-images. It returns an error if the log shows that
+// a surviving transaction observed a value being undone (the set was not
+// dependency-closed); the store is still left with the set's effects
+// removed, but the caller's schedule is unsound.
+func (s *Store) Abort(set map[model.TxnID]bool) error {
+	var unsound error
+	for i := len(s.log) - 1; i >= 0; i-- {
+		r := &s.log[i]
+		if r.dead || !set[r.txn] {
+			continue
+		}
+		if r.before == r.after {
+			// A value-preserving access (pure read, zero-amount deposit)
+			// needs no undo, and later writers legitimately do not depend
+			// on it — restoring would clobber their values.
+			r.dead = true
+			s.live--
+			continue
+		}
+		if cur := s.vals[r.entity]; cur != r.after && unsound == nil {
+			// Someone outside the set overwrote after us and was not undone
+			// first: dependency closure was violated.
+			unsound = fmt.Errorf("storage: abort set not dependency-closed at %s seq %d entity %s (value %d, expected %d)",
+				r.txn, r.seq, r.entity, cur, r.after)
+		}
+		s.vals[r.entity] = r.before
+		r.dead = true
+		s.live--
+	}
+	s.maybeCompact()
+	return unsound
+}
+
+// AbortSuffix rolls back each transaction in keep to its given sequence
+// number: records with seq > keep[txn] are undone, newest first; earlier
+// records survive. This is the paper's smaller unit of recovery — rolling a
+// transaction back to a breakpoint instead of aborting it entirely. The
+// same dependency-closure requirement applies, now at step granularity:
+// every surviving step that observed an undone value must itself be in the
+// undone suffix of its transaction, or the error is reported.
+func (s *Store) AbortSuffix(keep map[model.TxnID]int) error {
+	var unsound error
+	for i := len(s.log) - 1; i >= 0; i-- {
+		r := &s.log[i]
+		k, ok := keep[r.txn]
+		if r.dead || !ok || r.seq <= k {
+			continue
+		}
+		if r.before == r.after {
+			r.dead = true
+			s.live--
+			continue
+		}
+		if cur := s.vals[r.entity]; cur != r.after && unsound == nil {
+			unsound = fmt.Errorf("storage: partial abort not dependency-closed at %s seq %d entity %s (value %d, expected %d)",
+				r.txn, r.seq, r.entity, cur, r.after)
+		}
+		s.vals[r.entity] = r.before
+		r.dead = true
+		s.live--
+	}
+	s.maybeCompact()
+	return unsound
+}
+
+// Commit truncates the log records of t; its effects become permanent.
+func (s *Store) Commit(t model.TxnID) {
+	for i := range s.log {
+		if !s.log[i].dead && s.log[i].txn == t {
+			s.log[i].dead = true
+			s.live--
+		}
+	}
+	s.maybeCompact()
+}
+
+func (s *Store) maybeCompact() {
+	if len(s.log) < 1024 || s.live*2 > len(s.log) {
+		return
+	}
+	out := s.log[:0]
+	for _, r := range s.log {
+		if !r.dead {
+			out = append(out, r)
+		}
+	}
+	s.log = out
+}
+
+// PendingRecords returns the number of live (uncommitted, not undone) log
+// records.
+func (s *Store) PendingRecords() int { return s.live }
+
+// Values returns a copy of the current entity values.
+func (s *Store) Values() map[model.EntityID]model.Value {
+	out := make(map[model.EntityID]model.Value, len(s.vals))
+	for x, v := range s.vals {
+		out[x] = v
+	}
+	return out
+}
+
+// Sum returns the sum of the values of the given entities; applications use
+// it for conservation invariants.
+func (s *Store) Sum(entities []model.EntityID) model.Value {
+	var total model.Value
+	for _, x := range entities {
+		total += s.vals[x]
+	}
+	return total
+}

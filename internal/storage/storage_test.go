@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mla/internal/model"
+)
+
+func add(d model.Value) func(model.Value) (model.Value, string) {
+	return func(v model.Value) (model.Value, string) { return v + d, "add" }
+}
+
+func TestPerformRecordsStep(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 100})
+	step := s.Perform("t1", 1, "x", add(-30))
+	if step.Before != 100 || step.After != 70 || step.Label != "add" {
+		t.Fatalf("step = %v", step)
+	}
+	if s.Get("x") != 70 {
+		t.Errorf("x = %d", s.Get("x"))
+	}
+	if s.PendingRecords() != 1 {
+		t.Errorf("pending = %d", s.PendingRecords())
+	}
+}
+
+func TestAbortRestoresValues(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 10, "y": 20})
+	s.Perform("t1", 1, "x", add(5))
+	s.Perform("t1", 2, "y", add(7))
+	if err := s.Abort(map[model.TxnID]bool{"t1": true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 10 || s.Get("y") != 20 {
+		t.Errorf("values after abort: x=%d y=%d", s.Get("x"), s.Get("y"))
+	}
+	if s.PendingRecords() != 0 {
+		t.Errorf("pending = %d", s.PendingRecords())
+	}
+}
+
+func TestAbortDependencyClosedSet(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 0})
+	s.Perform("t1", 1, "x", add(1)) // x=1
+	s.Perform("t2", 1, "x", add(2)) // x=3, observed t1's value
+	// Aborting both (dependency-closed) restores 0 without error.
+	if err := s.Abort(map[model.TxnID]bool{"t1": true, "t2": true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 0 {
+		t.Errorf("x = %d", s.Get("x"))
+	}
+}
+
+func TestAbortDetectsUnclosedSet(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 0})
+	s.Perform("t1", 1, "x", add(1))
+	s.Perform("t2", 1, "x", add(2)) // t2 depends on t1
+	// Aborting only t1 is unsound: t2's record stays, value chain broken.
+	if err := s.Abort(map[model.TxnID]bool{"t1": true}); err == nil {
+		t.Fatal("unclosed abort set must be reported")
+	}
+}
+
+func TestCommitTruncates(t *testing.T) {
+	s := New(nil)
+	s.Perform("t1", 1, "x", add(1))
+	s.Perform("t2", 1, "y", add(1))
+	s.Commit("t1")
+	if s.PendingRecords() != 1 {
+		t.Errorf("pending = %d", s.PendingRecords())
+	}
+	// Aborting a committed transaction's records is a no-op.
+	if err := s.Abort(map[model.TxnID]bool{"t1": true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 1 {
+		t.Error("committed write must survive")
+	}
+}
+
+func TestInterleavedAbortKeepsSurvivors(t *testing.T) {
+	// t1 and t3 touch disjoint entities from t2; abort t2 alone.
+	s := New(map[model.EntityID]model.Value{"x": 0, "y": 0})
+	s.Perform("t1", 1, "x", add(1))
+	s.Perform("t2", 1, "y", add(5))
+	s.Perform("t3", 1, "x", add(2)) // depends on t1, not t2
+	if err := s.Abort(map[model.TxnID]bool{"t2": true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 3 || s.Get("y") != 0 {
+		t.Errorf("x=%d y=%d", s.Get("x"), s.Get("y"))
+	}
+}
+
+func TestValuesAndSum(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"a": 1, "b": 2})
+	v := s.Values()
+	v["a"] = 99 // must be a copy
+	if s.Get("a") != 1 {
+		t.Error("Values leaked internal map")
+	}
+	if got := s.Sum([]model.EntityID{"a", "b"}); got != 3 {
+		t.Errorf("Sum = %d", got)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	s := New(nil)
+	for i := 0; i < 3000; i++ {
+		s.Perform("t", i+1, "x", add(1))
+	}
+	s.Commit("t")
+	if s.PendingRecords() != 0 {
+		t.Errorf("pending = %d", s.PendingRecords())
+	}
+	// Log should have been compacted away.
+	if len(s.log) != 0 {
+		t.Errorf("log still has %d records after commit+compaction", len(s.log))
+	}
+}
+
+func TestAbortSuffixKeepsPrefix(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 0, "y": 0})
+	s.Perform("t1", 1, "x", add(1)) // kept
+	s.Perform("t1", 2, "y", add(2)) // undone
+	s.Perform("t1", 3, "y", add(3)) // undone
+	if err := s.AbortSuffix(map[model.TxnID]int{"t1": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 1 || s.Get("y") != 0 {
+		t.Errorf("x=%d y=%d, want 1 0", s.Get("x"), s.Get("y"))
+	}
+	if s.PendingRecords() != 1 {
+		t.Errorf("pending = %d, want 1", s.PendingRecords())
+	}
+	// The surviving prefix can still be fully aborted later.
+	if err := s.Abort(map[model.TxnID]bool{"t1": true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 0 {
+		t.Errorf("x = %d after full abort", s.Get("x"))
+	}
+}
+
+func TestAbortSuffixZeroKeepEqualsAbort(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 10})
+	s.Perform("t1", 1, "x", add(5))
+	s.Perform("t1", 2, "x", add(7))
+	if err := s.AbortSuffix(map[model.TxnID]int{"t1": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 10 {
+		t.Errorf("x = %d", s.Get("x"))
+	}
+}
+
+func TestAbortSuffixDetectsUnclosed(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 0})
+	s.Perform("t1", 1, "x", add(1))
+	s.Perform("t2", 1, "x", add(2)) // observed t1's suffix value
+	// Undoing t1's step while keeping t2's is unsound.
+	if err := s.AbortSuffix(map[model.TxnID]int{"t1": 0}); err == nil {
+		t.Fatal("unclosed partial abort must be reported")
+	}
+}
+
+func TestAbortSuffixMultipleTxns(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 0, "y": 0})
+	s.Perform("t1", 1, "x", add(1))
+	s.Perform("t2", 1, "y", add(10))
+	s.Perform("t1", 2, "x", add(2))  // undone
+	s.Perform("t2", 2, "y", add(20)) // undone
+	if err := s.AbortSuffix(map[model.TxnID]int{"t1": 1, "t2": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 1 || s.Get("y") != 10 {
+		t.Errorf("x=%d y=%d", s.Get("x"), s.Get("y"))
+	}
+}
+
+// Property: perform k ops then abort all transactions → initial state.
+func TestQuickAbortAllRestoresInit(t *testing.T) {
+	prop := func(deltas []int8) bool {
+		s := New(map[model.EntityID]model.Value{"x": 42, "y": -7})
+		ents := []model.EntityID{"x", "y"}
+		seqs := map[model.TxnID]int{}
+		set := map[model.TxnID]bool{}
+		for i, d := range deltas {
+			txn := model.TxnID(rune('a' + i%3))
+			seqs[txn]++
+			set[txn] = true
+			s.Perform(txn, seqs[txn], ents[i%2], add(model.Value(d)))
+		}
+		if err := s.Abort(set); err != nil {
+			return false
+		}
+		return s.Get("x") == 42 && s.Get("y") == -7
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

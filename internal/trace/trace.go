@@ -1,0 +1,159 @@
+// Package trace serializes executions and multilevel-atomicity
+// specifications to JSON, so recorded histories can be checked offline by
+// cmd/mlacheck and exchanged between tools.
+//
+// A specification is serialized structurally: the nest as per-transaction
+// label paths and the breakpoints as explicit per-transaction coarseness
+// arrays (a materialized breakpoint description for the recorded
+// execution). Function-valued specs are therefore captured extensionally —
+// exactly what an offline checker needs.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// File is the on-disk format.
+type File struct {
+	K     int                            `json:"k"`
+	Init  map[model.EntityID]model.Value `json:"init,omitempty"`
+	Nest  map[model.TxnID][]string       `json:"nest"` // intermediate labels (levels 2..k-1)
+	Cuts  map[model.TxnID][]int          `json:"cuts"` // coarseness per interior boundary
+	Steps []StepJSON                     `json:"steps"`
+}
+
+// StepJSON mirrors model.Step with stable field names.
+type StepJSON struct {
+	Txn    model.TxnID    `json:"txn"`
+	Seq    int            `json:"seq"`
+	Entity model.EntityID `json:"entity"`
+	Label  string         `json:"label,omitempty"`
+	Before model.Value    `json:"before"`
+	After  model.Value    `json:"after"`
+}
+
+// Encode captures an execution together with its specification.
+func Encode(w io.Writer, e model.Execution, n *nest.Nest, spec breakpoint.Spec, init map[model.EntityID]model.Value) error {
+	if n.K() != spec.K() {
+		return fmt.Errorf("trace: nest k=%d but spec k=%d", n.K(), spec.K())
+	}
+	f := File{
+		K:    n.K(),
+		Init: init,
+		Nest: make(map[model.TxnID][]string),
+		Cuts: make(map[model.TxnID][]int),
+	}
+	perTxn := make(map[model.TxnID][]model.Step)
+	for _, s := range e {
+		f.Steps = append(f.Steps, StepJSON(s))
+		perTxn[s.Txn] = append(perTxn[s.Txn], s)
+	}
+	txns := make([]model.TxnID, 0, len(perTxn))
+	for t := range perTxn {
+		txns = append(txns, t)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	for _, t := range txns {
+		if !n.Has(t) {
+			return fmt.Errorf("trace: transaction %s missing from nest", t)
+		}
+		f.Nest[t] = nestPath(n, t)
+		d := breakpoint.Describe(spec, t, perTxn[t])
+		cuts := make([]int, 0, d.Len())
+		for p := 1; p < d.Len(); p++ {
+			cuts = append(cuts, d.Coarseness(p))
+		}
+		f.Cuts[t] = cuts
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// nestPath recovers a transaction's intermediate labels by probing class
+// membership level by level against all transactions — the nest API does
+// not expose raw paths, so we synthesize stable labels from class indices.
+func nestPath(n *nest.Nest, t model.TxnID) []string {
+	var path []string
+	for lv := 2; lv < n.K(); lv++ {
+		classes := n.Classes(lv)
+		for ci, class := range classes {
+			for _, u := range class {
+				if u == t {
+					path = append(path, fmt.Sprintf("L%d-C%d", lv, ci))
+				}
+			}
+		}
+	}
+	return path
+}
+
+// Decoded bundles everything reconstructed from a trace file.
+type Decoded struct {
+	Exec model.Execution
+	Nest *nest.Nest
+	Spec breakpoint.Spec
+	Init map[model.EntityID]model.Value
+}
+
+// Decode parses a trace file and reconstructs the execution and
+// specification.
+func Decode(r io.Reader) (*Decoded, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if f.K < 2 {
+		return nil, fmt.Errorf("trace: k=%d out of range", f.K)
+	}
+	d := &Decoded{Init: f.Init}
+	for _, s := range f.Steps {
+		d.Exec = append(d.Exec, model.Step(s))
+	}
+	n := nest.New(f.K)
+	txns := make([]model.TxnID, 0, len(f.Nest))
+	for t := range f.Nest {
+		txns = append(txns, t)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	for _, t := range txns {
+		path := f.Nest[t]
+		if len(path) != f.K-2 {
+			return nil, fmt.Errorf("trace: %s has %d labels, want %d", t, len(path), f.K-2)
+		}
+		n.Add(t, path...)
+	}
+	d.Nest = n
+
+	// The spec replays the recorded coarseness arrays by prefix length.
+	cuts := f.Cuts
+	d.Spec = breakpoint.Func{Levels: f.K, Fn: func(t model.TxnID, prefix []model.Step) int {
+		cs, ok := cuts[t]
+		if !ok || len(prefix)-1 >= len(cs) {
+			return f.K
+		}
+		return cs[len(prefix)-1]
+	}}
+	return d, nil
+}
+
+// Check decodes and runs the Theorem 2 analysis in one call.
+func Check(r io.Reader) (*coherent.Result, *Decoded, error) {
+	d, err := Decode(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := coherent.CheckExecution(d.Exec, d.Nest, d.Spec)
+	if err != nil {
+		return nil, d, err
+	}
+	return res, d, nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/model"
+)
+
+// sampleExecution builds a serial banking run plus its specification.
+func sampleExecution(t *testing.T) (*bank.Workload, model.Execution) {
+	t.Helper()
+	p := bank.DefaultParams()
+	p.Transfers = 4
+	p.BankAudits = 1
+	p.CreditorAudits = 1
+	wl := bank.Generate(p)
+	vals := make(map[model.EntityID]model.Value, len(wl.Init))
+	for k, v := range wl.Init {
+		vals[k] = v
+	}
+	e, err := model.RunSerial(wl.Programs, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl, e
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	wl, e := sampleExecution(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, e, wl.Nest, wl.Spec, wl.Init); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Exec) != len(e) {
+		t.Fatalf("steps: %d vs %d", len(d.Exec), len(e))
+	}
+	for i := range e {
+		if d.Exec[i] != e[i] {
+			t.Fatalf("step %d: %v vs %v", i, d.Exec[i], e[i])
+		}
+	}
+	if d.Nest.K() != wl.Nest.K() {
+		t.Errorf("k = %d", d.Nest.K())
+	}
+	// Levels must be preserved for every pair.
+	txns := e.Txns()
+	for _, a := range txns {
+		for _, b := range txns {
+			if d.Nest.Level(a, b) != wl.Nest.Level(a, b) {
+				t.Errorf("level(%s,%s): %d vs %d", a, b, d.Nest.Level(a, b), wl.Nest.Level(a, b))
+			}
+		}
+	}
+	// The Theorem 2 verdict must agree before and after the round trip.
+	orig, err := coherent.CheckExecution(e, wl.Nest, wl.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := coherent.CheckExecution(d.Exec, d.Nest, d.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Atomic != rt.Atomic || orig.Correctable != rt.Correctable {
+		t.Errorf("verdicts differ: %v/%v vs %v/%v", orig.Atomic, orig.Correctable, rt.Atomic, rt.Correctable)
+	}
+}
+
+func TestCheckHelper(t *testing.T) {
+	wl, e := sampleExecution(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, e, wl.Nest, wl.Spec, wl.Init); err != nil {
+		t.Fatal(err)
+	}
+	res, d, err := Check(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correctable || !res.Atomic {
+		t.Error("serial run must be atomic and correctable")
+	}
+	if err := d.Exec.Validate(d.Init); err != nil {
+		t.Errorf("decoded init/exec inconsistent: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"k":1}`)); err == nil {
+		t.Error("k=1 accepted")
+	}
+	// Wrong label count for k.
+	bad := `{"k":4,"nest":{"t1":["only-one"]},"cuts":{"t1":[]},"steps":[]}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	wl, e := sampleExecution(t)
+	// Spec/nest k mismatch is caught.
+	if err := Encode(&bytes.Buffer{}, e, wl.Nest, badSpec{}, wl.Init); err == nil {
+		t.Error("k mismatch accepted")
+	}
+	// A transaction missing from the nest is caught.
+	ghost := append(model.Execution{}, e...)
+	ghost = append(ghost, model.Step{Txn: "ghost", Seq: 1, Entity: "x"})
+	if err := Encode(&bytes.Buffer{}, ghost, wl.Nest, wl.Spec, wl.Init); err == nil {
+		t.Error("ghost transaction accepted")
+	}
+}
+
+type badSpec struct{}
+
+func (badSpec) K() int                                 { return 99 }
+func (badSpec) CutAfter(model.TxnID, []model.Step) int { return 2 }

@@ -1,0 +1,342 @@
+// Package wal adds durability to the entity store: a write-ahead log on a
+// simulated durable medium, a volatile value cache, checkpoints, crash
+// injection, and restart recovery. The paper's Section 1 separates three
+// roles of a transaction — logical unit, unit of atomicity, unit of
+// recovery — and this package realizes the recovery role across crashes:
+// committed transactions survive, in-flight transactions are rolled back on
+// restart.
+//
+// The design follows the standard write-ahead discipline with compensation
+// log records (CLRs): every physical undo performed by a rollback is itself
+// logged, so recovery is a single forward redo pass (updates and
+// compensations alike) followed by undo of the remaining live updates of
+// loser transactions. Recovery is idempotent — recovering an
+// already-recovered log changes nothing.
+//
+// The commit discipline is the scheduler layer's: a transaction may commit
+// only when every transaction whose values it observed has committed (group
+// commit). Recovery relies on that — winners never depend on losers — and
+// verifies the value chain, reporting corruption if a winner observed a
+// loser's value.
+package wal
+
+import (
+	"fmt"
+
+	"mla/internal/model"
+)
+
+// Kind tags a log record.
+type Kind int
+
+const (
+	// Update records one step's before/after images.
+	Update Kind = iota
+	// Compensation records one physical undo applied during a rollback:
+	// the entity was restored from Before to After (= the cancelled
+	// update's before-image). Redone like an Update at recovery.
+	Compensation
+	// Commit marks a transaction durable.
+	Commit
+	// Abort marks the completion of a rollback; Keep is the kept prefix
+	// length (0 = full abort).
+	Abort
+	// Checkpoint snapshots the full value state, bounding recovery work.
+	Checkpoint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Update:
+		return "update"
+	case Compensation:
+		return "compensation"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	case Checkpoint:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// Record is one durable log entry.
+type Record struct {
+	LSN    int64
+	Kind   Kind
+	Txn    model.TxnID
+	Seq    int
+	Entity model.EntityID
+	Before model.Value
+	After  model.Value
+	// Keep is set on Abort records: the kept prefix length (0 = full).
+	Keep int
+	// Snapshot is set on Checkpoint records.
+	Snapshot map[model.EntityID]model.Value
+}
+
+// Medium is the simulated durable device: an append-only record sequence
+// that survives Crash. Prefix returns a truncated copy for torn-crash
+// tests.
+type Medium struct {
+	records []Record
+	nextLSN int64
+}
+
+// NewMedium returns an empty durable medium.
+func NewMedium() *Medium { return &Medium{nextLSN: 1} }
+
+func (m *Medium) append(r Record) Record {
+	r.LSN = m.nextLSN
+	m.nextLSN++
+	m.records = append(m.records, r)
+	return r
+}
+
+// Len returns the number of durable records.
+func (m *Medium) Len() int { return len(m.records) }
+
+// Records returns a copy of the durable log.
+func (m *Medium) Records() []Record { return append([]Record(nil), m.records...) }
+
+// Prefix returns a new medium holding only records with LSN ≤ lsn —
+// simulating a crash where later records never reached the device. Because
+// the DB appends each record before applying its effect (the WAL rule),
+// any prefix is a consistent recovery input.
+func (m *Medium) Prefix(lsn int64) *Medium {
+	out := NewMedium()
+	for _, r := range m.records {
+		if r.LSN <= lsn {
+			out.records = append(out.records, r)
+			out.nextLSN = r.LSN + 1
+		}
+	}
+	return out
+}
+
+// DB is the recoverable store.
+type DB struct {
+	medium *Medium
+	init   map[model.EntityID]model.Value
+
+	vals      map[model.EntityID]model.Value
+	committed map[model.TxnID]bool
+	// live: per transaction, the stack of update records not yet cancelled
+	// by a compensation (oldest first).
+	live map[model.TxnID][]Record
+}
+
+// Open mounts a DB on the medium, running recovery if the log is nonempty.
+// init provides the values of a fresh database (used when no checkpoint
+// precedes the replay point).
+func Open(m *Medium, init map[model.EntityID]model.Value) (*DB, error) {
+	db := &DB{
+		medium:    m,
+		init:      copyVals(init),
+		vals:      copyVals(init),
+		committed: make(map[model.TxnID]bool),
+		live:      make(map[model.TxnID][]Record),
+	}
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func copyVals(in map[model.EntityID]model.Value) map[model.EntityID]model.Value {
+	out := make(map[model.EntityID]model.Value, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// recover replays the durable log: start from the latest checkpoint (or
+// init), redo every update and compensation in order, then undo the losers
+// (transactions with live updates but no Commit), newest-first, logging the
+// undo as fresh compensations plus Abort markers.
+func (db *DB) recover() error {
+	records := db.medium.records
+	start := 0
+	for i := len(records) - 1; i >= 0; i-- {
+		if records[i].Kind == Checkpoint {
+			db.vals = copyVals(records[i].Snapshot)
+			start = i + 1
+			break
+		}
+	}
+	for _, r := range records[start:] {
+		switch r.Kind {
+		case Update:
+			if cur := db.vals[r.Entity]; cur != r.Before {
+				return fmt.Errorf("wal: redo mismatch at lsn %d: %s expected %d, found %d",
+					r.LSN, r.Entity, r.Before, cur)
+			}
+			db.vals[r.Entity] = r.After
+			db.live[r.Txn] = append(db.live[r.Txn], r)
+		case Compensation:
+			if r.Before != r.After {
+				// Value-preserving updates compensate as pure stack pops.
+				if cur := db.vals[r.Entity]; cur != r.Before {
+					return fmt.Errorf("wal: compensation redo mismatch at lsn %d: %s expected %d, found %d",
+						r.LSN, r.Entity, r.Before, cur)
+				}
+				db.vals[r.Entity] = r.After
+			}
+			// Cancel the transaction's most recent live update.
+			stack := db.live[r.Txn]
+			if len(stack) == 0 {
+				return fmt.Errorf("wal: compensation at lsn %d without a live update for %s", r.LSN, r.Txn)
+			}
+			top := stack[len(stack)-1]
+			if top.Entity != r.Entity {
+				return fmt.Errorf("wal: compensation at lsn %d cancels %s but top of stack is %s",
+					r.LSN, r.Entity, top.Entity)
+			}
+			db.live[r.Txn] = stack[:len(stack)-1]
+		case Commit:
+			db.committed[r.Txn] = true
+			delete(db.live, r.Txn)
+		case Abort:
+			// Marker only; the physical work was logged as compensations.
+			if len(db.live[r.Txn]) == 0 {
+				delete(db.live, r.Txn)
+			}
+		case Checkpoint:
+			// Only the latest checkpoint is used.
+		}
+	}
+	// Undo losers: all remaining live updates, newest first globally.
+	var loserRecs []Record
+	for t, stack := range db.live {
+		if db.committed[t] {
+			return fmt.Errorf("wal: committed transaction %s has live updates", t)
+		}
+		loserRecs = append(loserRecs, stack...)
+	}
+	sortByLSNDesc(loserRecs)
+	for _, u := range loserRecs {
+		if u.Before != u.After {
+			if cur := db.vals[u.Entity]; cur != u.After {
+				return fmt.Errorf("wal: loser undo mismatch at lsn %d (%s on %s): a committed transaction observed an uncommitted value",
+					u.LSN, u.Txn, u.Entity)
+			}
+			db.vals[u.Entity] = u.Before
+		}
+		db.medium.append(Record{Kind: Compensation, Txn: u.Txn, Seq: u.Seq, Entity: u.Entity, Before: u.After, After: u.Before})
+	}
+	seen := make(map[model.TxnID]bool)
+	for _, u := range loserRecs {
+		if !seen[u.Txn] {
+			seen[u.Txn] = true
+			db.medium.append(Record{Kind: Abort, Txn: u.Txn})
+			delete(db.live, u.Txn)
+		}
+	}
+	return nil
+}
+
+func sortByLSNDesc(rs []Record) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].LSN > rs[j-1].LSN; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Get returns the current value of x.
+func (db *DB) Get(x model.EntityID) model.Value { return db.vals[x] }
+
+// Values returns a copy of the current state.
+func (db *DB) Values() map[model.EntityID]model.Value { return copyVals(db.vals) }
+
+// Committed reports whether t has a durable commit.
+func (db *DB) Committed(t model.TxnID) bool { return db.committed[t] }
+
+// Perform executes one atomic step WAL-first: the update record is durable
+// before the volatile value changes.
+func (db *DB) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Value) (model.Value, string)) (model.Step, error) {
+	if db.committed[t] {
+		return model.Step{}, fmt.Errorf("wal: %s already committed", t)
+	}
+	before := db.vals[x]
+	after, label := f(before)
+	rec := db.medium.append(Record{Kind: Update, Txn: t, Seq: seq, Entity: x, Before: before, After: after})
+	db.vals[x] = after
+	db.live[t] = append(db.live[t], rec)
+	return model.Step{Txn: t, Seq: seq, Entity: x, Label: label, Before: before, After: after}, nil
+}
+
+// Commit makes t durable.
+func (db *DB) Commit(t model.TxnID) {
+	db.medium.append(Record{Kind: Commit, Txn: t})
+	db.committed[t] = true
+	delete(db.live, t)
+}
+
+// Abort fully rolls back the transactions in set; the set must be closed
+// under value dependencies, exactly as in storage.Store.
+func (db *DB) Abort(set map[model.TxnID]bool) error {
+	keep := make(map[model.TxnID]int, len(set))
+	for t := range set {
+		keep[t] = 0
+	}
+	return db.AbortSuffix(keep)
+}
+
+// AbortSuffix rolls each transaction in keep back to its given sequence
+// number (0 = full abort), logging each physical undo as a compensation
+// record and finishing with an Abort marker. The step-granular
+// dependency-closure requirement of storage.Store.AbortSuffix applies.
+func (db *DB) AbortSuffix(keep map[model.TxnID]int) error {
+	var recs []Record
+	for t, k := range keep {
+		for _, r := range db.live[t] {
+			if r.Seq > k {
+				recs = append(recs, r)
+			}
+		}
+	}
+	sortByLSNDesc(recs)
+	var unsound error
+	for _, u := range recs {
+		if u.Before != u.After {
+			if cur := db.vals[u.Entity]; cur != u.After && unsound == nil {
+				unsound = fmt.Errorf("wal: abort set not dependency-closed at %s seq %d", u.Txn, u.Seq)
+			}
+			db.vals[u.Entity] = u.Before
+		}
+		db.medium.append(Record{Kind: Compensation, Txn: u.Txn, Seq: u.Seq, Entity: u.Entity, Before: u.After, After: u.Before})
+	}
+	for t, k := range keep {
+		var kept []Record
+		for _, r := range db.live[t] {
+			if r.Seq <= k {
+				kept = append(kept, r)
+			}
+		}
+		db.medium.append(Record{Kind: Abort, Txn: t, Keep: k})
+		if len(kept) == 0 {
+			delete(db.live, t)
+		} else {
+			db.live[t] = kept
+		}
+	}
+	return unsound
+}
+
+// Checkpoint writes a snapshot record; recovery after a checkpoint replays
+// only the suffix. The checkpoint is quiescent: it returns an error when
+// transactions are in flight (the simplest sound discipline).
+func (db *DB) Checkpoint() error {
+	if len(db.live) > 0 {
+		return fmt.Errorf("wal: checkpoint requires quiescence (%d active transactions)", len(db.live))
+	}
+	db.medium.append(Record{Kind: Checkpoint, Snapshot: copyVals(db.vals)})
+	return nil
+}
+
+// Crash simulates losing all volatile state: it returns the durable medium,
+// from which Open recovers a fresh DB. The old DB must not be used again.
+func (db *DB) Crash() *Medium { return db.medium }
