@@ -1,0 +1,12 @@
+.PHONY: check test bench
+
+# Tier-1 gate: build + vet + full suite under -race (includes the engine
+# goroutine-leak and cancellation tests).
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

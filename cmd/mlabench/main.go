@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"mla/internal/bench"
@@ -23,11 +25,19 @@ func main() {
 	markdown := flag.Bool("md", false, "render tables as markdown")
 	flag.Parse()
 
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	// ^C cancels the in-flight simulation and skips the rest of the suite.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, Context: ctx}
 	failed := 0
 	for _, ex := range bench.All() {
 		if *exp != "" && ex.ID != *exp {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mlabench: interrupted")
+			os.Exit(1)
 		}
 		start := time.Now()
 		tbl, err := ex.Run(opts)

@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	mlacheck [-witness] [-sample] [file]
+//	mlacheck [-witness] [-stats] [-sample] [file]
 //
 // Reads the trace from file or stdin. -witness prints the reordered
-// witness execution. -sample instead writes an example trace (a correctable
-// banking execution) to stdout, for trying the tool out.
+// witness execution. -stats prints a per-transaction breakdown table.
+// -sample instead writes an example trace (a correctable banking
+// execution) to stdout, for trying the tool out.
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"mla/internal/bank"
+	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/nested"
 	"mla/internal/trace"
@@ -29,6 +31,7 @@ func main() {
 	witness := flag.Bool("witness", false, "print the equivalent multilevel atomic execution")
 	tree := flag.Bool("tree", false, "print the witness's Section 7 nested action tree")
 	timeline := flag.Bool("timeline", false, "render the execution as per-transaction lanes")
+	stats := flag.Bool("stats", false, "print a per-transaction breakdown table")
 	sample := flag.Bool("sample", false, "emit a sample trace instead of checking")
 	flag.Parse()
 
@@ -65,6 +68,9 @@ func main() {
 		fmt.Println("timeline:")
 		fmt.Print(viz.Timeline(dec.Exec, dec.Spec, viz.Options{Width: 48}))
 	}
+	if *stats {
+		txnStats(dec.Exec).Render(os.Stdout)
+	}
 	if !res.Correctable {
 		fmt.Println("verdict:      the coherent closure of ≤e contains a cycle (Theorem 2)")
 		os.Exit(2)
@@ -93,6 +99,37 @@ func main() {
 			fmt.Print(tr.String())
 		}
 	}
+}
+
+// txnStats builds the -stats table: per transaction, its step count,
+// distinct entities, span in the total order, and own/foreign — the ratio
+// of its own steps to other transactions' steps inside its span ("∞" means
+// it ran contiguously, with no interleaving at all).
+func txnStats(exec model.Execution) *metrics.Table {
+	type agg struct {
+		steps       int
+		first, last int
+		entities    map[model.EntityID]bool
+	}
+	byTxn := make(map[model.TxnID]*agg)
+	for i, s := range exec {
+		a := byTxn[s.Txn]
+		if a == nil {
+			a = &agg{first: i, entities: make(map[model.EntityID]bool)}
+			byTxn[s.Txn] = a
+		}
+		a.steps++
+		a.last = i
+		a.entities[s.Entity] = true
+	}
+	t := metrics.NewTable("per-transaction:", "txn", "steps", "entities", "span", "own/foreign")
+	for _, id := range exec.Txns() {
+		a := byTxn[id]
+		span := a.last - a.first + 1
+		t.Row(string(id), a.steps, len(a.entities), span,
+			metrics.Ratio(float64(a.steps), float64(span-a.steps)))
+	}
+	return t
 }
 
 // emitSample writes a correctable banking execution: two transfers

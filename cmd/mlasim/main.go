@@ -6,20 +6,27 @@
 //
 //	mlasim [-workload bank|sessions|cad|conv] [-config workload.json]
 //	       [-control prevent|detect|2pl|tso|serial|none]
-//	       [-txns 24] [-seed 1] [-partial] [-check] [-trace out.json]
+//	       [-txns 24] [-seed 1] [-partial] [-engine] [-check] [-trace out.json]
 //
 // -config runs a user-defined workload (see internal/config for the JSON
 // format) instead of a generated one.
 //
 // -partial enables breakpoint-granular rollback (the paper's smaller unit
-// of recovery); -check verifies the admitted execution against Theorem 2
-// offline; -trace writes the execution in mlacheck's JSON format.
+// of recovery); -engine executes the workload on the concurrent engine
+// (goroutine per transaction, wall-clock timing) instead of the
+// deterministic simulator; -check verifies the admitted execution against
+// Theorem 2 offline; -trace writes the execution in mlacheck's JSON format.
+//
+// An interrupt (^C) cancels the run promptly — both executors stop and
+// report the cancellation instead of running to completion.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"mla/internal/bank"
 	"mla/internal/breakpoint"
@@ -27,6 +34,7 @@ import (
 	"mla/internal/coherent"
 	"mla/internal/config"
 	"mla/internal/conv"
+	"mla/internal/engine"
 	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/nest"
@@ -42,6 +50,7 @@ func main() {
 	txns := flag.Int("txns", 24, "number of main transactions (transfers / sessions / modifications / conversations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	partial := flag.Bool("partial", false, "enable breakpoint-granular partial recovery")
+	useEngine := flag.Bool("engine", false, "run on the concurrent engine instead of the simulator")
 	check := flag.Bool("check", false, "verify the execution against Theorem 2")
 	traceOut := flag.String("trace", "", "write the execution trace to this file (JSON)")
 	flag.Parse()
@@ -51,7 +60,9 @@ func main() {
 		n        *nest.Nest
 		spec     breakpoint.Spec
 		init     map[model.EntityID]model.Value
-		report   func(*sim.Result)
+		// report checks application invariants over the surviving execution
+		// and final store — shared by the simulator and engine paths.
+		report func(model.Execution, map[model.EntityID]model.Value)
 	)
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
@@ -66,8 +77,8 @@ func main() {
 			os.Exit(1)
 		}
 		programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
-		report = func(res *sim.Result) {
-			if err := res.Exec.Validate(init); err != nil {
+		report = func(exec model.Execution, _ map[model.EntityID]model.Value) {
+			if err := exec.Validate(init); err != nil {
 				fmt.Printf("TRACE INVALID:  %v\n", err)
 			}
 		}
@@ -80,8 +91,8 @@ func main() {
 			p.Seed = *seed
 			wl := bank.Generate(p)
 			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
-			report = func(res *sim.Result) {
-				inv := wl.Check(res.Exec, res.Final)
+			report = func(exec model.Execution, final map[model.EntityID]model.Value) {
+				inv := wl.Check(exec, final)
 				fmt.Printf("conservation:   %v (total %d)\n", inv.ConservationOK, inv.Expected)
 				fmt.Printf("audits exact:   %d, inexact: %d\n", inv.AuditsExact, inv.AuditsInexact)
 				if inv.TraceValid != nil {
@@ -94,8 +105,8 @@ func main() {
 			p.Seed = *seed
 			wl := bank.GenerateSessions(p)
 			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
-			report = func(res *sim.Result) {
-				inv := wl.Check(res.Exec, res.Final)
+			report = func(exec model.Execution, final map[model.EntityID]model.Value) {
+				inv := wl.Check(exec, final)
 				fmt.Printf("conservation:   %v (total %d)\n", inv.ConservationOK, inv.Expected)
 				fmt.Printf("audits exact:   %d, inexact: %d\n", inv.AuditsExact, inv.AuditsInexact)
 				if inv.TraceValid != nil {
@@ -108,8 +119,8 @@ func main() {
 			p.Seed = *seed
 			wl := conv.Generate(p)
 			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
-			report = func(res *sim.Result) {
-				out := wl.Check(res.Final)
+			report = func(_ model.Execution, final map[model.EntityID]model.Value) {
+				out := wl.Check(final)
 				fmt.Printf("conversations:  %d completed, %d failed\n", out.Completed, out.Failed)
 			}
 		case "cad":
@@ -118,8 +129,8 @@ func main() {
 			p.Seed = *seed
 			wl := cad.Generate(p)
 			programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
-			report = func(res *sim.Result) {
-				inv := wl.Check(res.Exec, res.Final)
+			report = func(exec model.Execution, final map[model.EntityID]model.Value) {
+				inv := wl.Check(exec, final)
 				fmt.Printf("totals consistent: %v\n", inv.TotalsConsistent)
 				fmt.Printf("snapshots clean:   %d, dirty: %d\n", inv.SnapshotsClean, inv.SnapshotsDirty)
 				if inv.TraceValid != nil {
@@ -151,27 +162,58 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := sim.DefaultConfig()
-	cfg.PartialRecovery = *partial
-	res, err := sim.Run(cfg, programs, c, spec, init)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlasim:", err)
-		os.Exit(1)
-	}
+	// ^C cancels the run: both executors take the context and stop promptly.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
-	lat := metrics.Summarize(res.Latencies)
-	fmt.Printf("workload=%s control=%s txns=%d seed=%d\n", *workload, c.Name(), *txns, *seed)
-	fmt.Printf("committed:      %d in %d time units (throughput %.2f/1000u)\n",
-		res.Stats.Committed, res.Time, res.Throughput())
-	fmt.Printf("latency:        p50=%d p95=%d p99=%d mean=%.1f\n", lat.P50, lat.P95, lat.P99, lat.Mean)
-	fmt.Printf("steps:          %d (%d messages)\n", res.Stats.Steps, res.Stats.Messages)
-	fmt.Printf("aborts:         %d (%d cascades, %d partial, %d stall breaks)\n",
-		res.Stats.Aborts, res.Stats.Cascades, res.Stats.PartialRollbacks, res.Stats.StallBreaks)
-	fmt.Printf("control:        %+v\n", *res.Control)
-	report(res)
+	var (
+		exec  model.Execution
+		final map[model.EntityID]model.Value
+	)
+	if *useEngine {
+		if *partial {
+			fmt.Fprintln(os.Stderr, "mlasim: -partial is simulator-only (the engine rolls back whole transactions)")
+			os.Exit(2)
+		}
+		var ev engine.EventCounts
+		res, err := engine.Run(ctx, engine.Config{Seed: *seed, Observer: &ev}, programs, c, spec, init)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		exec, final = res.Exec, res.Final
+		lat, wt := res.LatencySummary(), res.WaitSummary()
+		fmt.Printf("workload=%s control=%s txns=%d seed=%d executor=engine\n", *workload, c.Name(), *txns, *seed)
+		fmt.Printf("committed:      %d in %v (%d restarts)\n", res.Committed, res.Elapsed, res.Restarts)
+		fmt.Printf("latency:        p50=%dµs p95=%dµs p99=%dµs mean=%.1fµs\n", lat.P50, lat.P95, lat.P99, lat.Mean)
+		fmt.Printf("lock wait:      p50=%dµs p95=%dµs p99=%dµs mean=%.1fµs\n", wt.P50, wt.P95, wt.P99, wt.Mean)
+		fmt.Printf("events:         %d steps, %d waits (%v waiting), %d commit groups\n",
+			ev.Steps, ev.Waits, ev.WaitTime, ev.Groups)
+		fmt.Printf("aborts:         %d (%d cascades)\n", res.Aborts, res.Cascades)
+		fmt.Printf("control:        %+v\n", *c.Stats())
+	} else {
+		cfg := sim.DefaultConfig()
+		cfg.PartialRecovery = *partial
+		res, err := sim.RunContext(ctx, cfg, programs, c, spec, init)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		exec, final = res.Exec, res.Final
+		lat := metrics.Summarize(res.Latencies)
+		fmt.Printf("workload=%s control=%s txns=%d seed=%d\n", *workload, c.Name(), *txns, *seed)
+		fmt.Printf("committed:      %d in %d time units (throughput %.2f/1000u)\n",
+			res.Stats.Committed, res.Time, res.Throughput())
+		fmt.Printf("latency:        p50=%d p95=%d p99=%d mean=%.1f\n", lat.P50, lat.P95, lat.P99, lat.Mean)
+		fmt.Printf("steps:          %d (%d messages)\n", res.Stats.Steps, res.Stats.Messages)
+		fmt.Printf("aborts:         %d (%d cascades, %d partial, %d stall breaks)\n",
+			res.Stats.Aborts, res.Stats.Cascades, res.Stats.PartialRollbacks, res.Stats.StallBreaks)
+		fmt.Printf("control:        %+v\n", *res.Control)
+	}
+	report(exec, final)
 
 	if *check {
-		chk, err := coherent.CheckExecution(res.Exec, n, spec)
+		chk, err := coherent.CheckExecution(exec, n, spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim: check:", err)
 			os.Exit(1)
@@ -189,7 +231,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := trace.Encode(f, res.Exec, n.Restrict(res.Exec.Txns()), spec, init); err != nil {
+		if err := trace.Encode(f, exec, n.Restrict(exec.Txns()), spec, init); err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
 			os.Exit(1)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,7 +34,7 @@ func main() {
 		case "detect":
 			c = sched.NewDetector(wl.Nest, wl.Spec)
 		}
-		res, err := engine.Run(engine.Config{Seed: 42, StepDelay: 300 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
+		res, err := engine.Run(context.Background(), engine.Config{Seed: 42, StepDelay: 300 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
@@ -42,8 +43,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s committed=%d in %v  aborts=%d (cascades %d)\n",
-			name, res.Committed, res.Elapsed.Round(1000), res.Aborts, res.Cascades)
+		lat, ws := res.LatencySummary(), res.WaitSummary()
+		fmt.Printf("%-8s committed=%d in %v  aborts=%d (cascades %d)  lat-p50=%dµs wait-p50=%dµs\n",
+			name, res.Committed, res.Elapsed.Round(1000), res.Aborts, res.Cascades, lat.P50, ws.P50)
 		fmt.Printf("         conserved=%v auditsExact=%d/%d correctable=%v serializable=%v groups=%v\n",
 			inv.ConservationOK, inv.AuditsExact, inv.AuditsExact+inv.AuditsInexact,
 			correctable, serial.Serializable(res.Exec), res.CommitGroups)

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,6 +27,10 @@ type Options struct {
 	Scale int
 	// Seed drives all randomness.
 	Seed int64
+	// Context, when non-nil, cancels in-flight simulations between events;
+	// a cancelled experiment returns the wrapped ctx error. cmd/mlabench
+	// wires the interrupt signal here so ^C stops a long sweep promptly.
+	Context context.Context
 }
 
 // DefaultOptions returns Scale 1, Seed 1.
@@ -39,6 +44,13 @@ func (o Options) scale() int {
 }
 
 func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
+}
 
 // Experiment couples an identifier with its runner.
 type Experiment struct {
@@ -93,9 +105,9 @@ func controlByName(name string, n *nest.Nest, spec breakpoint.Spec) sched.Contro
 }
 
 // runSim executes one simulation with the default configuration.
-func runSim(programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*sim.Result, error) {
+func runSim(ctx context.Context, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*sim.Result, error) {
 	cfg := sim.DefaultConfig()
-	res, err := sim.Run(cfg, programs, control, spec, init)
+	res, err := sim.RunContext(ctx, cfg, programs, control, spec, init)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", control.Name(), err)
 	}
@@ -106,8 +118,8 @@ func runSim(programs []model.Program, control sched.Control, spec breakpoint.Spe
 // re-importing it everywhere.
 func simDefault() sim.Config { return sim.DefaultConfig() }
 
-func simRun(cfg sim.Config, programs []model.Program, control sched.Control, spec breakpoint.Spec) (*sim.Result, error) {
-	return sim.Run(cfg, programs, control, spec, map[model.EntityID]model.Value{})
+func simRun(ctx context.Context, cfg sim.Config, programs []model.Program, control sched.Control, spec breakpoint.Spec) (*sim.Result, error) {
+	return sim.RunContext(ctx, cfg, programs, control, spec, map[model.EntityID]model.Value{})
 }
 
 func copyInit(init map[model.EntityID]model.Value) map[model.EntityID]model.Value {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -62,14 +63,14 @@ func TestE2AllExamplesPass(t *testing.T) {
 }
 
 func TestE10ChainDetectsUnsoundness(t *testing.T) {
-	ok, err := chainScenarioCorrectable("prevent")
+	ok, err := chainScenarioCorrectable(context.Background(), "prevent")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Error("sound preventer must admit only correctable executions on the chain")
 	}
-	ok, err = chainScenarioCorrectable("prevent-direct")
+	ok, err = chainScenarioCorrectable(context.Background(), "prevent-direct")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func E13Distributed(o Options) (*metrics.Table, error) {
 	for s := 0; s < seeds; s++ {
 		wl := bankWorkload(3, 4, 14, 1, o.Seed+int64(s)*41)
 		c := controlByName("prevent", wl.Nest, wl.Spec)
-		res, err := runSim(wl.Programs, c, wl.Spec, wl.Init)
+		res, err := runSim(o.ctx(), wl.Programs, c, wl.Spec, wl.Init)
 		if err != nil {
 			return nil, err
 		}

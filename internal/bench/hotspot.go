@@ -30,7 +30,7 @@ func E16HotSpot(o Options) (*metrics.Table, error) {
 				wl := bankWorkload(3, 4, 14, 0, o.Seed+int64(s)*19)
 				hotify(wl, hotPct)
 				c := controlByName(name, wl.Nest, wl.Spec)
-				res, err := runSim(wl.Programs, c, wl.Spec, wl.Init)
+				res, err := runSim(o.ctx(), wl.Programs, c, wl.Spec, wl.Init)
 				if err != nil {
 					return nil, err
 				}

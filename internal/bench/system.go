@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,7 +42,7 @@ func E5Throughput(o Options) (*metrics.Table, error) {
 		for _, name := range []string{"serial", "2pl", "tso", "prevent", "detect"} {
 			wl := bankWorkload(cfg.fams, 4, cfg.xfers, 1, o.Seed)
 			c := controlByName(name, wl.Nest, wl.Spec)
-			res, err := runSim(wl.Programs, c, wl.Spec, wl.Init)
+			res, err := runSim(o.ctx(), wl.Programs, c, wl.Spec, wl.Init)
 			if err != nil {
 				return nil, err
 			}
@@ -76,7 +77,7 @@ func E6Audit(o Options) (*metrics.Table, error) {
 		for _, name := range []string{"prevent", "2pl", "none"} {
 			wl := bankWorkload(3, 4, 12*sc, audits, o.Seed)
 			c := controlByName(name, wl.Nest, wl.Spec)
-			res, err := runSim(wl.Programs, c, wl.Spec, wl.Init)
+			res, err := runSim(o.ctx(), wl.Programs, c, wl.Spec, wl.Init)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +112,7 @@ func E7NestDepth(o Options) (*metrics.Table, error) {
 			wl := cad.Generate(p)
 			n, spec := wl.WithDepth(k)
 			c := controlByName("prevent", n, spec)
-			res, err := runSim(wl.Programs, c, spec, wl.Init)
+			res, err := runSim(o.ctx(), wl.Programs, c, spec, wl.Init)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +153,7 @@ func E8ActionTrees(o Options) (*metrics.Table, error) {
 	p.Seed = o.Seed
 	wl := cad.Generate(p)
 	c := controlByName("prevent", wl.Nest, wl.Spec)
-	res, err := runSim(wl.Programs, c, wl.Spec, wl.Init)
+	res, err := runSim(o.ctx(), wl.Programs, c, wl.Spec, wl.Init)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +175,7 @@ func E8ActionTrees(o Options) (*metrics.Table, error) {
 	// Banking, same pipeline.
 	bwl := bankWorkload(3, 4, 8*o.scale(), 1, o.Seed)
 	bc := controlByName("prevent", bwl.Nest, bwl.Spec)
-	bres, err := runSim(bwl.Programs, bc, bwl.Spec, bwl.Init)
+	bres, err := runSim(o.ctx(), bwl.Programs, bc, bwl.Spec, bwl.Init)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +263,7 @@ func E10Ablations(o Options) (*metrics.Table, error) {
 		for r := 0; r < runs; r++ {
 			wl := bankWorkload(2, 3, 10, 1, o.Seed+int64(r)*17)
 			c := controlByName(name, wl.Nest, wl.Spec)
-			res, err := runSim(wl.Programs, c, wl.Spec, wl.Init)
+			res, err := runSim(o.ctx(), wl.Programs, c, wl.Spec, wl.Init)
 			if err != nil {
 				return nil, err
 			}
@@ -283,7 +284,7 @@ func E10Ablations(o Options) (*metrics.Table, error) {
 		t.Row(name, "banking", runs, correctable, unsound, thSum/float64(runs))
 
 		// Targeted chain.
-		ok, err := chainScenarioCorrectable(name)
+		ok, err := chainScenarioCorrectable(o.ctx(), name)
 		if err != nil {
 			return nil, err
 		}
@@ -309,7 +310,7 @@ func boolToInt(b bool) int {
 // chainScenarioCorrectable runs the targeted three-transaction chain under
 // the named control and reports whether the admitted execution is
 // correctable.
-func chainScenarioCorrectable(name string) (bool, error) {
+func chainScenarioCorrectable(ctx context.Context, name string) (bool, error) {
 	// t1: x, then private work, then w. t2: x, y (fast, finishes early).
 	// t3: private warm-up, then y, then w. level(t1,t2)=2 with per-step
 	// level-2 breakpoints, so t2 overtakes t1 mid-flight; t3 relates to
@@ -332,7 +333,7 @@ func chainScenarioCorrectable(name string) (bool, error) {
 	spec := breakpoint.Uniform{Levels: 3, C: 2}
 	c := controlByName(name, n, spec)
 	cfg := simDefault()
-	res, err := simRun(cfg, []model.Program{t1, t2, t3}, c, spec)
+	res, err := simRun(ctx, cfg, []model.Program{t1, t2, t3}, c, spec)
 	if err != nil {
 		return false, err
 	}

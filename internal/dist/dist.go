@@ -54,6 +54,7 @@ type Preventer struct {
 	prio     map[model.TxnID]int64
 	finished map[model.TxnID]bool
 	active   map[model.TxnID]*dtxn
+	retired  map[model.TxnID]bool // committed; view tables freed once every processor learned the finish
 
 	pending []announcement
 	waitFor map[model.TxnID]map[model.TxnID]bool
@@ -97,6 +98,7 @@ func New(n *nest.Nest, spec breakpoint.Spec, procs int, owner func(model.EntityI
 		prio:     make(map[model.TxnID]int64),
 		finished: make(map[model.TxnID]bool),
 		active:   make(map[model.TxnID]*dtxn),
+		retired:  make(map[model.TxnID]bool),
 		waitFor:  make(map[model.TxnID]map[model.TxnID]bool),
 	}
 }
@@ -128,6 +130,13 @@ func (p *Preventer) Tick(now int64) {
 					d.view[proc][lv] = a.bound[lv]
 				}
 			}
+		}
+		if a.finished && p.retired[a.txn] {
+			// Every processor now knows the finish: the committed
+			// transaction's view tables can no longer influence any decision
+			// (closedAt treats a missing entry as closed), so free them.
+			delete(p.active, a.txn)
+			delete(p.retired, a.txn)
 		}
 	}
 	p.pending = kept
@@ -206,7 +215,6 @@ func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) sched.Decisi
 			}
 		}
 		delete(p.waitFor, t)
-		p.stats.Aborts++
 		if victim != t {
 			p.stats.Wounds++
 		}
@@ -285,25 +293,45 @@ func (p *Preventer) Finished(t model.TxnID) {
 }
 
 // Retired keeps the closure entries (see sched.Preventer.Retired) but drops
-// the per-processor view tables, which no longer matter once finished.
+// the per-processor view tables, which no longer matter once finished:
+// closedAt treats a missing entry as closed, exactly what a committed
+// transaction is at every level. With Delay > 0 the tables must survive
+// until the finish announcement has matured at every processor — freeing
+// them earlier would let a stale view flip from "wait" to "grant" — so
+// Retired marks the transaction and Tick frees it when the announcement
+// lands. Keep finished[t] either way so closedTrue stays correct.
 func (p *Preventer) Retired(t model.TxnID) {
-	if p.finished[t] {
-		// Keep finished[t] so closedTrue stays correct; view tables can go
-		// once every processor has learned the finish.
-		if p.Delay == 0 {
-			delete(p.active, t)
+	if !p.finished[t] {
+		return
+	}
+	d := p.active[t]
+	if d == nil {
+		return
+	}
+	if p.Delay == 0 {
+		delete(p.active, t)
+		return
+	}
+	for _, f := range d.viewFinished {
+		if !f {
+			// The finish announcement is still in flight; Tick collects the
+			// tables when it matures.
+			p.retired[t] = true
+			return
 		}
 	}
+	delete(p.active, t)
 }
 
 // Aborted implements sched.Control.
 func (p *Preventer) Aborted(victims []model.TxnID) {
-	p.stats.Aborts++
+	p.stats.Aborts += len(victims)
 	drop := make(map[model.TxnID]bool, len(victims))
 	for _, t := range victims {
 		drop[t] = true
 		delete(p.active, t)
 		delete(p.finished, t)
+		delete(p.retired, t)
 		delete(p.waitFor, t)
 	}
 	for _, m := range p.waitFor {

@@ -162,3 +162,52 @@ func TestNewValidation(t *testing.T) {
 	}()
 	New(wl.Nest, wl.Spec, 0, sim.OwnerFunc(1), 0)
 }
+
+// TestRetiredFreesViewTablesAfterDelay pins the Retired memory-leak fix:
+// with Delay > 0 a committed transaction's per-processor view tables must
+// be freed once the matured finish announcement has reached every
+// processor — and not a tick earlier, since a stale view may only
+// under-report progress, never over-report it.
+func TestRetiredFreesViewTablesAfterDelay(t *testing.T) {
+	n := nest.New(3)
+	n.Add("t1", "g")
+	n.Add("t2", "g")
+	spec := breakpoint.Uniform{Levels: 3, C: 2}
+	c := New(n, spec, 2, func(model.EntityID) int { return 0 }, 50)
+	c.Tick(0)
+	c.Begin("t1", 1)
+	if d := c.Request("t1", 1, "x"); d.Kind != sched.Grant {
+		t.Fatal("fresh entity must grant")
+	}
+	c.Performed("t1", 1, "x", 2)
+	c.Finished("t1")
+	c.Retired("t1")
+	// The finish announcement is still in flight: the tables must survive.
+	if c.active["t1"] == nil {
+		t.Fatal("view tables freed before the finish announcement matured")
+	}
+	c.Tick(10) // not yet matured
+	if c.active["t1"] == nil {
+		t.Fatal("view tables freed while the announcement was still in flight")
+	}
+	c.Tick(60) // matured at every processor
+	if c.active["t1"] != nil {
+		t.Fatal("view tables leaked after the finish announcement matured everywhere")
+	}
+	// A later transaction still sees t1 as closed (finished ⇒ closed).
+	c.Begin("t2", 2)
+	if d := c.Request("t2", 1, "x"); d.Kind != sched.Grant {
+		t.Fatal("committed transactions must impose no constraints")
+	}
+
+	// Zero delay frees immediately on Retired.
+	c0 := New(n, spec, 2, func(model.EntityID) int { return 0 }, 0)
+	c0.Begin("t1", 1)
+	c0.Request("t1", 1, "x")
+	c0.Performed("t1", 1, "x", 2)
+	c0.Finished("t1")
+	c0.Retired("t1")
+	if c0.active["t1"] != nil {
+		t.Fatal("zero-delay Retired must free the view tables at once")
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -40,7 +41,7 @@ func TestEngineMatchesSimulatorOnCommutativeWorkloads(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d %s sim: %v", trial, name, err)
 			}
-			engRes, err := Run(Config{Seed: int64(trial)}, progs, mk(), spec, map[model.EntityID]model.Value{})
+			engRes, err := Run(context.Background(), Config{Seed: int64(trial)}, progs, mk(), spec, map[model.EntityID]model.Value{})
 			if err != nil {
 				t.Fatalf("trial %d %s engine: %v", trial, name, err)
 			}

@@ -13,9 +13,18 @@
 // Blocked transactions wait on a generation channel that is closed whenever
 // any state changes; aborted transactions observe their bumped attempt
 // counter, back off, and restart.
+//
+// Run lifecycle: Run owns every goroutine it starts. The run ends when all
+// transactions commit, the caller's context is cancelled, the configured
+// timeout expires, or a worker fails; in every case Run closes a stop
+// channel that all blocking points (generation waits, backoff sleeps,
+// commit waits) select on, then joins the workers before returning. No
+// goroutine outlives Run — the regression test counts them.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -23,6 +32,7 @@ import (
 	"time"
 
 	"mla/internal/breakpoint"
+	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/sched"
 	"mla/internal/storage"
@@ -31,7 +41,8 @@ import (
 // Config bounds a run.
 type Config struct {
 	// Timeout aborts the whole run if it has not completed; defaults to
-	// 30s.
+	// 30s. It composes with the caller's context: whichever expires first
+	// stops the run.
 	Timeout time.Duration
 	// BackoffBase is the initial restart backoff; defaults to 100µs.
 	BackoffBase time.Duration
@@ -41,6 +52,9 @@ type Config struct {
 	StepDelay time.Duration
 	// Seed drives backoff jitter.
 	Seed int64
+	// Observer, when non-nil, receives the run's lifecycle events (see
+	// Observer); hooks are serialized under the engine mutex.
+	Observer Observer
 }
 
 // Result mirrors sim.Result for the concurrent engine.
@@ -53,6 +67,30 @@ type Result struct {
 	Restarts     int
 	CommitGroups []int
 	Elapsed      time.Duration
+
+	// Latencies holds one sample per committed transaction: wall-clock
+	// time from its first Begin to commit.
+	Latencies []time.Duration
+	// WaitTimes holds one sample per committed transaction: total
+	// wall-clock time it spent blocked on Wait decisions (lock/closure
+	// waits), summed across attempts.
+	WaitTimes []time.Duration
+}
+
+// LatencySummary returns order statistics, in microseconds, over the
+// per-transaction commit latencies.
+func (r *Result) LatencySummary() metrics.Summary { return summarizeDurations(r.Latencies) }
+
+// WaitSummary returns order statistics, in microseconds, over the
+// per-transaction lock/closure wait times.
+func (r *Result) WaitSummary() metrics.Summary { return summarizeDurations(r.WaitTimes) }
+
+func summarizeDurations(ds []time.Duration) metrics.Summary {
+	us := make([]int64, len(ds))
+	for i, d := range ds {
+		us[i] = d.Microseconds()
+	}
+	return metrics.Summarize(us)
 }
 
 type etxn struct {
@@ -65,15 +103,19 @@ type etxn struct {
 	commit   bool
 	prio     int64
 	deps     map[model.TxnID]bool
+	began    time.Time     // first Begin, for commit latency
+	waited   time.Duration // total time blocked on Wait decisions
 }
 
 type engine struct {
 	mu      sync.Mutex
 	waitGen chan struct{} // closed and replaced on every state change
+	stop    chan struct{} // closed exactly once when the run is abandoned or done
 
 	control sched.Control
 	spec    breakpoint.Spec
 	store   *storage.Store
+	obs     Observer
 
 	txns   map[model.TxnID]*etxn
 	order  []model.TxnID
@@ -81,6 +123,7 @@ type engine struct {
 	author map[model.EntityID]model.TxnID
 
 	stats       Result
+	start       time.Time
 	prioCounter int64
 	rng         *rand.Rand
 	rngMu       sync.Mutex
@@ -92,19 +135,34 @@ type traceEntry struct {
 	step    model.Step
 }
 
-// Run executes the programs concurrently to completion.
-func Run(cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
+// errStopped is the workers' internal signal that the run was abandoned
+// (cancellation, timeout, or another worker's failure). It never escapes
+// Run.
+var errStopped = errors.New("engine: run stopped")
+
+// Run executes the programs concurrently to completion. Cancelling ctx (or
+// exceeding cfg.Timeout, whichever comes first) stops every transaction
+// goroutine deterministically; Run joins all of them before returning, so
+// no goroutine it started outlives it.
+func Run(ctx context.Context, cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 30 * time.Second
 	}
 	if cfg.BackoffBase == 0 {
 		cfg.BackoffBase = 100 * time.Microsecond
 	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
 	e := &engine{
 		waitGen: make(chan struct{}),
+		stop:    make(chan struct{}),
 		control: control,
 		spec:    spec,
 		store:   storage.New(init),
+		obs:     cfg.Observer,
 		txns:    make(map[model.TxnID]*etxn),
 		author:  make(map[model.EntityID]model.TxnID),
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
@@ -114,28 +172,45 @@ func Run(cfg Config, programs []model.Program, control sched.Control, spec break
 		e.order = append(e.order, p.ID())
 	}
 
-	start := time.Now()
+	e.start = time.Now()
 	done := make(chan error, len(programs))
+	var wg sync.WaitGroup
+	wg.Add(len(programs))
 	for i, p := range programs {
-		go e.runTxn(cfg, p, int64(i), done, start)
+		go func(i int, p model.Program) {
+			defer wg.Done()
+			e.runTxn(cfg, p, int64(i), done)
+		}(i, p)
 	}
-	deadline := time.After(cfg.Timeout)
+	var runErr error
 	for range programs {
 		select {
 		case err := <-done:
-			if err != nil {
-				return nil, err
+			runErr = err
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				runErr = fmt.Errorf("engine: timeout after %v", cfg.Timeout)
+			} else {
+				runErr = fmt.Errorf("engine: run cancelled: %w", ctx.Err())
 			}
-		case <-deadline:
-			return nil, fmt.Errorf("engine: timeout after %v", cfg.Timeout)
 		}
+		if runErr != nil {
+			break
+		}
+	}
+	// Shut down: wake and stop every worker, then join them. This is what
+	// makes a timed-out or cancelled run leak-free.
+	close(e.stop)
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	res := e.stats
 	res.Exec = e.survivors()
 	res.Final = e.store.Values()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(e.start)
 	if res.Committed != len(programs) {
 		return nil, fmt.Errorf("engine: only %d/%d committed", res.Committed, len(programs))
 	}
@@ -146,6 +221,28 @@ func Run(cfg Config, programs []model.Program, control sched.Control, spec break
 func (e *engine) bump() {
 	close(e.waitGen)
 	e.waitGen = make(chan struct{})
+}
+
+// stopped reports whether the run has been abandoned.
+func (e *engine) stopped() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep blocks for d or until the run stops; it reports false on stop.
+func (e *engine) sleep(d time.Duration) bool {
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-e.stop:
+		return false
+	}
 }
 
 func (e *engine) jitter(base time.Duration, attempt int) time.Duration {
@@ -160,10 +257,13 @@ func (e *engine) jitter(base time.Duration, attempt int) time.Duration {
 }
 
 // runTxn is one transaction's goroutine: execute, restart on abort, signal
-// completion once committed.
-func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- error, start time.Time) {
+// completion once committed. It exits silently when the run stops.
+func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- error) {
 	id := p.ID()
 	for {
+		if e.stopped() {
+			return
+		}
 		e.mu.Lock()
 		t := e.txns[id]
 		attempt := t.attempt
@@ -171,6 +271,9 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 		t.steps = nil
 		t.finished = false
 		t.deps = make(map[model.TxnID]bool)
+		if t.began.IsZero() {
+			t.began = time.Now()
+		}
 		if t.prio == 0 {
 			e.prioCounter++
 			t.prio = prio*1024 + e.prioCounter
@@ -187,7 +290,9 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 
 		aborted, err := e.attempt(cfg, id, attempt, cur)
 		if err != nil {
-			done <- err
+			if !errors.Is(err, errStopped) {
+				done <- err
+			}
 			return
 		}
 		if !aborted {
@@ -196,7 +301,11 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 			for !e.txns[id].commit && e.txns[id].attempt == attempt {
 				ch := e.waitGen
 				e.mu.Unlock()
-				<-ch
+				select {
+				case <-ch:
+				case <-e.stop:
+					return
+				}
 				e.mu.Lock()
 			}
 			committed := e.txns[id].commit
@@ -210,14 +319,20 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 		e.mu.Lock()
 		att := e.txns[id].attempt
 		e.mu.Unlock()
-		time.Sleep(e.jitter(cfg.BackoffBase, att))
+		if !e.sleep(e.jitter(cfg.BackoffBase, att)) {
+			return
+		}
 	}
 }
 
 // attempt runs one attempt of the transaction; it returns aborted=true when
-// the attempt was rolled back (by itself or a cascade).
+// the attempt was rolled back (by itself or a cascade), and errStopped when
+// the run was abandoned.
 func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.ProgState) (bool, error) {
 	for {
+		if e.stopped() {
+			return false, errStopped
+		}
 		x, more := cur.Next()
 		e.mu.Lock()
 		t := e.txns[id]
@@ -256,16 +371,36 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 				cut = e.spec.CutAfter(id, t.steps)
 			}
 			e.control.Performed(id, t.seq, x, cut)
+			if e.obs != nil {
+				e.obs.StepPerformed(id, t.seq, x, attempt)
+			}
 			cur = next
 			e.bump()
 			e.mu.Unlock()
 			if cfg.StepDelay > 0 {
-				time.Sleep(cfg.StepDelay)
+				if !e.sleep(cfg.StepDelay) {
+					return false, errStopped
+				}
 			}
 		case sched.Wait:
+			if e.obs != nil {
+				e.obs.WaitBegin(id, x)
+			}
 			ch := e.waitGen
 			e.mu.Unlock()
-			<-ch
+			t0 := time.Now()
+			select {
+			case <-ch:
+			case <-e.stop:
+				return false, errStopped
+			}
+			waited := time.Since(t0)
+			e.mu.Lock()
+			t.waited += waited
+			if e.obs != nil {
+				e.obs.WaitEnd(id, x, waited)
+			}
+			e.mu.Unlock()
 		case sched.Abort:
 			e.abortLocked(d.Victims)
 			selfDead := e.txns[id].attempt != attempt
@@ -282,6 +417,7 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 // holds the mutex.
 func (e *engine) abortLocked(victims []model.TxnID) {
 	set := make(map[model.TxnID]bool)
+	cascaded := make(map[model.TxnID]bool)
 	var frontier []model.TxnID
 	for _, v := range victims {
 		t := e.txns[v]
@@ -299,6 +435,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 			for _, f := range frontier {
 				if t.deps[f] {
 					set[id] = true
+					cascaded[id] = true
 					next = append(next, id)
 					e.stats.Cascades++
 					break
@@ -325,6 +462,9 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 		t.deps = make(map[model.TxnID]bool)
 		e.stats.Aborts++
 		e.stats.Restarts++
+		if e.obs != nil {
+			e.obs.TxnAborted(id, cascaded[id])
+		}
 	}
 	e.control.Aborted(ids)
 	e.rebuildAuthorsLocked()
@@ -375,14 +515,21 @@ func (e *engine) tryCommitLocked() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
+	now := time.Now()
 	type retirer interface{ Retired(model.TxnID) }
 	for _, id := range ids {
-		e.txns[id].commit = true
+		t := e.txns[id]
+		t.commit = true
 		e.store.Commit(id)
 		e.stats.Committed++
+		e.stats.Latencies = append(e.stats.Latencies, now.Sub(t.began))
+		e.stats.WaitTimes = append(e.stats.WaitTimes, t.waited)
 		if ret, ok := e.control.(retirer); ok {
 			ret.Retired(id)
 		}
+	}
+	if e.obs != nil {
+		e.obs.CommitGroup(ids)
 	}
 	for x, a := range e.author {
 		if e.txns[a].commit {

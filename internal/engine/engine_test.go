@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -46,7 +49,7 @@ func TestEngineBankingAllControls(t *testing.T) {
 			wl := bank.Generate(params)
 			c := mkControl(name, wl.Nest, wl.Spec)
 			// A small per-step delay forces genuine goroutine overlap.
-			res, err := Run(Config{Seed: 7, StepDelay: 50 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
+			res, err := Run(context.Background(), Config{Seed: 7, StepDelay: 50 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +90,7 @@ func TestEngineCommitGroups(t *testing.T) {
 	params.CreditorAudits = 0
 	wl := bank.Generate(params)
 	c := sched.NewPreventer(wl.Nest, wl.Spec)
-	res, err := Run(Config{Seed: 3}, wl.Programs, c, wl.Spec, wl.Init)
+	res, err := Run(context.Background(), Config{Seed: 3}, wl.Programs, c, wl.Spec, wl.Init)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestEngineSimpleDisjoint(t *testing.T) {
 		n.Add(id)
 	}
 	spec := breakpoint.Uniform{Levels: 2, C: 2}
-	res, err := Run(Config{Seed: 1}, progs, sched.NewTwoPhase(), spec, map[model.EntityID]model.Value{})
+	res, err := Run(context.Background(), Config{Seed: 1}, progs, sched.NewTwoPhase(), spec, map[model.EntityID]model.Value{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestEngineContendedCounter(t *testing.T) {
 	spec := breakpoint.Uniform{Levels: 2, C: 2}
 	for _, name := range []string{"2pl", "detect", "prevent"} {
 		c := mkControl(name, n, spec)
-		res, err := Run(Config{Seed: 5}, progs, c, spec, map[model.EntityID]model.Value{})
+		res, err := Run(context.Background(), Config{Seed: 5}, progs, c, spec, map[model.EntityID]model.Value{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -167,7 +170,7 @@ func TestEngineConversations(t *testing.T) {
 	for _, name := range []string{"prevent", "detect"} {
 		wl := conv.Generate(p)
 		c := mkControl(name, wl.Nest, wl.Spec)
-		res, err := Run(Config{Seed: 11, StepDelay: 20 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
+		res, err := Run(context.Background(), Config{Seed: 11, StepDelay: 20 * time.Microsecond}, wl.Programs, c, wl.Spec, wl.Init)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -203,8 +206,117 @@ func TestEngineTimeout(t *testing.T) {
 		&model.Scripted{Txn: "t", Ops: []model.Op{model.Add("x", 1)}},
 	}
 	spec := breakpoint.Uniform{Levels: 2, C: 2}
-	_, err := Run(Config{Timeout: 50 * time.Millisecond}, progs, &stuckControl{}, spec, nil)
+	_, err := Run(context.Background(), Config{Timeout: 50 * time.Millisecond}, progs, &stuckControl{}, spec, nil)
 	if err == nil {
 		t.Fatal("a permanently waiting control must time out")
+	}
+}
+
+// stuckProgs builds n single-step programs for forced-timeout runs.
+func stuckProgs(n int) []model.Program {
+	progs := make([]model.Program, n)
+	for i := range progs {
+		id := model.TxnID(rune('a' + i))
+		progs[i] = &model.Scripted{Txn: id, Ops: []model.Op{model.Add("x", 1)}}
+	}
+	return progs
+}
+
+// TestEngineTimeoutLeaksNoGoroutines is the lifecycle regression test: a
+// forced-timeout run must stop and join every transaction goroutine before
+// Run returns — previously they spun forever on the wait generation,
+// mutating the shared store after Run had already given up.
+func TestEngineTimeoutLeaksNoGoroutines(t *testing.T) {
+	spec := breakpoint.Uniform{Levels: 2, C: 2}
+	before := runtime.NumGoroutine()
+	_, err := Run(context.Background(), Config{Timeout: 50 * time.Millisecond}, stuckProgs(8), &stuckControl{}, spec, nil)
+	if err == nil {
+		t.Fatal("a permanently waiting control must time out")
+	}
+	// Run joins its workers; allow the runtime a moment to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after timeout: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEngineCancelStopsRun: caller cancellation (not just the engine's own
+// timeout) must stop a stuck run promptly and leak-free.
+func TestEngineCancelStopsRun(t *testing.T) {
+	spec := breakpoint.Uniform{Levels: 2, C: 2}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, Config{Timeout: 30 * time.Second}, stuckProgs(4), &stuckControl{}, spec, nil)
+	if err == nil {
+		t.Fatal("a cancelled run must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled run took %v to return", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEngineObserverAndHistograms: the observability layer — event hooks
+// fire consistently with the run's counters, and every committed
+// transaction contributes one latency and one wait-time sample.
+func TestEngineObserverAndHistograms(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 10
+	params.BankAudits = 1
+	params.CreditorAudits = 1
+	wl := bank.Generate(params)
+	var ev EventCounts
+	c := sched.NewPreventer(wl.Nest, wl.Spec)
+	res, err := Run(context.Background(), Config{Seed: 13, StepDelay: 20 * time.Microsecond, Observer: &ev}, wl.Programs, c, wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Steps < len(res.Exec) {
+		t.Errorf("observer saw %d steps, surviving execution has %d", ev.Steps, len(res.Exec))
+	}
+	if ev.Aborts != res.Aborts {
+		t.Errorf("observer aborts = %d, result aborts = %d", ev.Aborts, res.Aborts)
+	}
+	if ev.Cascades != res.Cascades {
+		t.Errorf("observer cascades = %d, result cascades = %d", ev.Cascades, res.Cascades)
+	}
+	if ev.Groups != len(res.CommitGroups) {
+		t.Errorf("observer groups = %d, result groups = %d", ev.Groups, len(res.CommitGroups))
+	}
+	if len(res.Latencies) != res.Committed || len(res.WaitTimes) != res.Committed {
+		t.Errorf("histograms: %d latency and %d wait samples for %d commits",
+			len(res.Latencies), len(res.WaitTimes), res.Committed)
+	}
+	lat := res.LatencySummary()
+	if lat.N != res.Committed || lat.Max < lat.P50 || lat.P50 < 0 {
+		t.Errorf("latency summary inconsistent: %+v", lat)
+	}
+	ws := res.WaitSummary()
+	if ws.N != res.Committed {
+		t.Errorf("wait summary has %d samples, want %d", ws.N, res.Committed)
+	}
+	var totalWait time.Duration
+	for _, w := range res.WaitTimes {
+		totalWait += w
+	}
+	if totalWait > ev.WaitTime {
+		t.Errorf("committed wait time %v exceeds observed total %v", totalWait, ev.WaitTime)
 	}
 }

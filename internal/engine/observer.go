@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"time"
+
+	"mla/internal/model"
+)
+
+// Observer receives the engine's per-run lifecycle events. The engine
+// invokes every hook while holding its internal mutex, so calls are
+// serialized and totally ordered with respect to the run's state changes;
+// implementations must return quickly and must not call back into the
+// engine or the control. A nil Config.Observer disables eventing with no
+// overhead beyond a nil check.
+type Observer interface {
+	// StepPerformed fires after a granted step executed against the store.
+	// attempt is the transaction's current attempt number (0 = first).
+	StepPerformed(t model.TxnID, seq int, x model.EntityID, attempt int)
+	// WaitBegin fires when the control answers Wait and the transaction
+	// blocks until the next state change.
+	WaitBegin(t model.TxnID, x model.EntityID)
+	// WaitEnd fires when the blocked transaction wakes; waited is the
+	// wall-clock time spent blocked on this wait.
+	WaitEnd(t model.TxnID, x model.EntityID, waited time.Duration)
+	// TxnAborted fires once per rolled-back victim. cascade reports whether
+	// the victim was added by the value-dependency closure rather than
+	// named by the control's decision.
+	TxnAborted(t model.TxnID, cascade bool)
+	// CommitGroup fires when a commit group forms, with the sorted members.
+	CommitGroup(txns []model.TxnID)
+}
+
+// NopObserver implements Observer with no-ops; embed it to implement only
+// the events of interest.
+type NopObserver struct{}
+
+// StepPerformed implements Observer.
+func (NopObserver) StepPerformed(model.TxnID, int, model.EntityID, int) {}
+
+// WaitBegin implements Observer.
+func (NopObserver) WaitBegin(model.TxnID, model.EntityID) {}
+
+// WaitEnd implements Observer.
+func (NopObserver) WaitEnd(model.TxnID, model.EntityID, time.Duration) {}
+
+// TxnAborted implements Observer.
+func (NopObserver) TxnAborted(model.TxnID, bool) {}
+
+// CommitGroup implements Observer.
+func (NopObserver) CommitGroup([]model.TxnID) {}
+
+// EventCounts is a ready-made Observer that tallies every event; cmd/mlasim
+// prints it after an engine run. The engine serializes hook calls, so no
+// internal locking is needed — but the counts must only be read after Run
+// returns.
+type EventCounts struct {
+	Steps    int
+	Waits    int
+	WaitTime time.Duration
+	Aborts   int
+	Cascades int
+	Groups   int
+}
+
+// StepPerformed implements Observer.
+func (c *EventCounts) StepPerformed(model.TxnID, int, model.EntityID, int) { c.Steps++ }
+
+// WaitBegin implements Observer.
+func (c *EventCounts) WaitBegin(model.TxnID, model.EntityID) { c.Waits++ }
+
+// WaitEnd implements Observer.
+func (c *EventCounts) WaitEnd(_ model.TxnID, _ model.EntityID, waited time.Duration) {
+	c.WaitTime += waited
+}
+
+// TxnAborted implements Observer.
+func (c *EventCounts) TxnAborted(_ model.TxnID, cascade bool) {
+	c.Aborts++
+	if cascade {
+		c.Cascades++
+	}
+}
+
+// CommitGroup implements Observer.
+func (c *EventCounts) CommitGroup([]model.TxnID) { c.Groups++ }

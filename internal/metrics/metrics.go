@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -42,12 +43,12 @@ func (t *Table) Len() int { return len(t.rows) }
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = cellWidth(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && cellWidth(c) > widths[i] {
+				widths[i] = cellWidth(c)
 			}
 		}
 	}
@@ -79,11 +80,17 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// cellWidth measures a cell's display width in runes, not bytes —
+// multi-byte cells like Ratio's "∞" would otherwise misalign columns.
+// (Runes approximate display columns well enough for the harness's output;
+// none of it uses combining marks or double-width scripts.)
+func cellWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func pad(s string, w int) string {
-	if len(s) >= w {
+	if cellWidth(s) >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-cellWidth(s))
 }
 
 // Summary holds order statistics of a sample set.

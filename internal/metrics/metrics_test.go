@@ -3,6 +3,7 @@ package metrics
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -60,6 +61,27 @@ func TestRatio(t *testing.T) {
 	}
 	if Ratio(1, 0) != "∞" {
 		t.Errorf("Ratio by zero = %s", Ratio(1, 0))
+	}
+}
+
+// TestRenderAlignsNonASCII: column widths must be measured in runes, not
+// bytes — Ratio's "∞" is three bytes wide in UTF-8 but one display column,
+// so byte-based padding shifts every cell after it.
+func TestRenderAlignsNonASCII(t *testing.T) {
+	tbl := NewTable("", "control", "ratio", "note")
+	tbl.Row("prevent", Ratio(1, 0), "zero baseline") // "∞"
+	tbl.Row("detect", Ratio(3, 2), "ok")             // "1.50x"
+	tbl.Row("naïve-2pl", "10.00x", "é")              // non-ASCII in other columns too
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	want := utf8.RuneCountInString(lines[0])
+	for i, ln := range lines {
+		if got := utf8.RuneCountInString(ln); got != want {
+			t.Errorf("line %d is %d runes wide, header row is %d:\n%s", i, got, want, out)
+		}
 	}
 }
 

@@ -64,7 +64,6 @@ func (d *Detector) Request(t model.TxnID, _ int, x model.EntityID) Decision {
 		return grant
 	}
 	d.stats.Cycles++
-	d.stats.Aborts++
 	d.oc.PopStep()
 	victim := d.pickVictim(append(d.oc.CycleTxns(), t))
 	if victim != t {
@@ -114,6 +113,7 @@ func (d *Detector) AbortedTo(t model.TxnID, keep int) {
 // closure replayed. This also cleans the dirty state left by a rejected
 // AddStep.
 func (d *Detector) Aborted(victims []model.TxnID) {
+	d.stats.Aborts += len(victims)
 	drop := make(map[model.TxnID]bool, len(victims))
 	for _, t := range victims {
 		drop[t] = true

@@ -146,7 +146,6 @@ func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) Decision {
 			return -1
 		})
 		p.waitFor.clear(t)
-		p.stats.Aborts++
 		if victim != t {
 			p.stats.Wounds++
 		}
@@ -200,7 +199,7 @@ func (p *Preventer) Retired(model.TxnID) {}
 
 // Aborted implements Control: victims' events leave the closure entirely.
 func (p *Preventer) Aborted(victims []model.TxnID) {
-	p.stats.Aborts++
+	p.stats.Aborts += len(victims)
 	drop := make(map[model.TxnID]bool, len(victims))
 	for _, t := range victims {
 		drop[t] = true

@@ -83,13 +83,32 @@ type Control interface {
 	Stats() *Stats
 }
 
-// Stats counts control decisions.
+// Stats counts control decisions. Every control — including dist.Preventer
+// — implements one accounting contract so counters are comparable across
+// controls and consistent with the harness's own rollback counts:
+//
+//   - Requests, Grants, and Waits count Request calls and their Grant/Wait
+//     outcomes.
+//   - Aborts counts victim rollbacks: incremented once per victim inside
+//     Aborted (and once per suffix rollback inside AbortedTo, for controls
+//     with partial recovery). A Request returning an Abort decision does
+//     NOT touch Aborts — the harness echoes the decision's dependency-closed
+//     victim set back through Aborted exactly once, so counting at decision
+//     time would double-count every control-initiated rollback while
+//     missing harness-initiated ones (stall breaks, cascades).
+//   - Wounds counts Abort decisions naming a victim other than the
+//     requester, incremented in Request at decision time.
+//   - Cycles counts dependency cycles detected (Detector only).
+//
+// Under this contract a simulator run without partial recovery satisfies
+// Control.Stats().Aborts == sim full-rollback count for every control; the
+// cross-control consistency test in internal/dist pins it.
 type Stats struct {
 	Requests int
 	Grants   int
 	Waits    int
-	Aborts   int // abort decisions issued
-	Wounds   int // aborts of a transaction other than the requester
+	Aborts   int // victim rollbacks, counted per victim in Aborted/AbortedTo
+	Wounds   int // abort decisions naming a non-requester victim (in Request)
 	Cycles   int // dependency cycles detected (Detector only)
 }
 
@@ -119,8 +138,9 @@ func (*None) Performed(model.TxnID, int, model.EntityID, int) {}
 // Finished implements Control.
 func (*None) Finished(model.TxnID) {}
 
-// Aborted implements Control.
-func (*None) Aborted([]model.TxnID) {}
+// Aborted implements Control. None never demands aborts itself, but the
+// harness may still roll its transactions back (stall breaking, cascades).
+func (n *None) Aborted(victims []model.TxnID) { n.stats.Aborts += len(victims) }
 
 // Stats implements Control.
 func (n *None) Stats() *Stats { return &n.stats }
@@ -166,6 +186,7 @@ func (s *Serial) Finished(t model.TxnID) {
 
 // Aborted implements Control.
 func (s *Serial) Aborted(victims []model.TxnID) {
+	s.stats.Aborts += len(victims)
 	for _, t := range victims {
 		if s.holder == t {
 			s.holder = ""

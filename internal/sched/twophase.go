@@ -47,7 +47,6 @@ func (tp *TwoPhase) Request(t model.TxnID, _ int, x model.EntityID) Decision {
 	if cycle := tp.waitFor.cycleThrough(t); len(cycle) > 0 {
 		victim := youngest(cycle, func(u model.TxnID) int64 { return tp.prio[u] })
 		tp.waitFor.clear(t)
-		tp.stats.Aborts++
 		if victim != t {
 			tp.stats.Wounds++
 		}
@@ -69,6 +68,7 @@ func (tp *TwoPhase) Finished(t model.TxnID) {
 
 // Aborted implements Control.
 func (tp *TwoPhase) Aborted(victims []model.TxnID) {
+	tp.stats.Aborts += len(victims)
 	for _, t := range victims {
 		tp.locks.Release(t)
 		tp.waitFor.drop(t)
@@ -108,7 +108,6 @@ func (ts *Timestamp) Request(t model.TxnID, _ int, x model.EntityID) Decision {
 		ts.stats.Grants++
 		return grant
 	}
-	ts.stats.Aborts++
 	return Decision{Kind: Abort, Victims: []model.TxnID{t}}
 }
 
@@ -123,7 +122,7 @@ func (ts *Timestamp) Performed(t model.TxnID, _ int, x model.EntityID, _ int) {
 func (ts *Timestamp) Finished(t model.TxnID) { delete(ts.prio, t) }
 
 // Aborted implements Control.
-func (ts *Timestamp) Aborted([]model.TxnID) {}
+func (ts *Timestamp) Aborted(victims []model.TxnID) { ts.stats.Aborts += len(victims) }
 
 // NewPriority restarts an aborted transaction with a fresh timestamp — a
 // transaction aborts under TO precisely because its timestamp is too old,

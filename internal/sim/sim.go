@@ -14,6 +14,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -270,7 +271,25 @@ func (r *Runner) push(time int64, kind evKind, ti, attempt int) {
 // returns an error if the safety horizon is exceeded or an internal
 // invariant breaks (e.g. an abort set that was not dependency-closed).
 func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// between events (every ctxCheckEvery events, so a hot loop costs one atomic
+// load per batch) and a cancelled run returns ctx.Err() wrapped with the
+// simulated-time position. The simulator is single-goroutine, so unlike
+// engine.Run there is nothing to join — returning is already leak-free.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	const ctxCheckEvery = 256
+	events := 0
 	for {
+		if events%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled at t=%d with %d transactions incomplete: %w",
+					r.now, r.incomplete(), err)
+			}
+		}
+		events++
 		if r.allCommitted() {
 			break
 		}
@@ -835,4 +854,9 @@ func (r *Runner) result() *Result {
 // Run is a convenience wrapper: build a Runner and run it.
 func Run(cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
 	return New(cfg, programs, control, spec, init).Run()
+}
+
+// RunContext is Run with cooperative cancellation.
+func RunContext(ctx context.Context, cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
+	return New(cfg, programs, control, spec, init).RunContext(ctx)
 }

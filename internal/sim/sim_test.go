@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"mla/internal/bank"
@@ -251,5 +253,28 @@ func TestCascadingAbortsAreClosed(t *testing.T) {
 		if res.Final[x] != v {
 			t.Errorf("final[%s] = %d, want %d", x, res.Final[x], v)
 		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	progs, init := smallWorkload()
+	n, spec := k2Spec(progs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, DefaultConfig(), progs, sched.NewPreventer(n, spec), spec, init)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// A live context changes nothing: Run and RunContext(Background) agree.
+	r1, err := Run(DefaultConfig(), progs, sched.NewPreventer(n, spec), spec, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunContext(context.Background(), DefaultConfig(), progs, sched.NewPreventer(n, spec), spec, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time || r1.Stats != r2.Stats {
+		t.Errorf("RunContext diverged from Run: %v vs %v", r1.Stats, r2.Stats)
 	}
 }
