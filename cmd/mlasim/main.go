@@ -7,6 +7,7 @@
 //	mlasim [-workload bank|sessions|cad|conv] [-config workload.json]
 //	       [-control prevent|detect|2pl|tso|serial|none]
 //	       [-txns 24] [-seed 1] [-partial] [-engine] [-check] [-trace out.json]
+//	       [-crashes 0] [-tear 2] [-errrate 0]
 //
 // -config runs a user-defined workload (see internal/config for the JSON
 // format) instead of a generated one.
@@ -16,6 +17,12 @@
 // (goroutine per transaction, wall-clock timing) instead of the
 // deterministic simulator; -check verifies the admitted execution against
 // Theorem 2 offline; -trace writes the execution in mlacheck's JSON format.
+//
+// -crashes and -errrate enable the deterministic fault-injection layer
+// (engine only): -crashes kills the system that many times at fixed
+// WAL-append counts, tearing -tear records off the durable tail each time,
+// and recovers between rounds; -errrate injects transient step errors the
+// engine retries with capped exponential backoff.
 //
 // An interrupt (^C) cancels the run promptly — both executors stop and
 // report the cancellation instead of running to completion.
@@ -35,6 +42,7 @@ import (
 	"mla/internal/config"
 	"mla/internal/conv"
 	"mla/internal/engine"
+	"mla/internal/fault"
 	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/nest"
@@ -53,6 +61,9 @@ func main() {
 	useEngine := flag.Bool("engine", false, "run on the concurrent engine instead of the simulator")
 	check := flag.Bool("check", false, "verify the execution against Theorem 2")
 	traceOut := flag.String("trace", "", "write the execution trace to this file (JSON)")
+	crashes := flag.Int("crashes", 0, "engine only: inject this many crashes on a WAL-backed store, recovering between rounds")
+	tear := flag.Int("tear", 2, "records torn off the durable tail at each injected crash")
+	errRate := flag.Float64("errrate", 0, "engine only: transient step-error rate in [0,1]")
 	flag.Parse()
 
 	var (
@@ -143,24 +154,28 @@ func main() {
 		}
 	}
 
-	var c sched.Control
-	switch *control {
-	case "prevent":
-		c = sched.NewPreventer(n, spec)
-	case "detect":
-		c = sched.NewDetector(n, spec)
-	case "2pl":
-		c = sched.NewTwoPhase()
-	case "tso":
-		c = sched.NewTimestamp()
-	case "serial":
-		c = sched.NewSerial()
-	case "none":
-		c = sched.NewNone()
-	default:
+	// Controls are volatile: the crash-recovery path builds a fresh one per
+	// round, everything else uses a single instance.
+	mkCtl := func() sched.Control {
+		switch *control {
+		case "prevent":
+			return sched.NewPreventer(n, spec)
+		case "detect":
+			return sched.NewDetector(n, spec)
+		case "2pl":
+			return sched.NewTwoPhase()
+		case "tso":
+			return sched.NewTimestamp()
+		case "serial":
+			return sched.NewSerial()
+		case "none":
+			return sched.NewNone()
+		}
 		fmt.Fprintf(os.Stderr, "mlasim: unknown control %q\n", *control)
 		os.Exit(2)
+		return nil
 	}
+	c := mkCtl()
 
 	// ^C cancels the run: both executors take the context and stop promptly.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -170,7 +185,45 @@ func main() {
 		exec  model.Execution
 		final map[model.EntityID]model.Value
 	)
-	if *useEngine {
+	if !*useEngine && (*crashes > 0 || *errRate > 0) {
+		fmt.Fprintln(os.Stderr, "mlasim: -crashes and -errrate require -engine (the simulator's crash path is sim.RunWithCrashes)")
+		os.Exit(2)
+	}
+	if *useEngine && (*crashes > 0 || *errRate > 0) {
+		if *partial {
+			fmt.Fprintln(os.Stderr, "mlasim: -partial is simulator-only (the engine rolls back whole transactions)")
+			os.Exit(2)
+		}
+		var ev engine.EventCounts
+		appends := make([]int64, *crashes)
+		for i := range appends {
+			appends[i] = int64(10 * (i + 1))
+		}
+		plan := engine.CrashPlan{
+			Cfg:  engine.Config{Seed: *seed, Observer: &ev},
+			Spec: spec,
+			Init: init,
+			Faults: fault.Plan{
+				Seed:          *seed,
+				CrashAppends:  appends,
+				TearTail:      *tear,
+				StepErrorRate: *errRate,
+			},
+			NewControl: mkCtl,
+		}
+		res, err := engine.RunWithCrashes(ctx, plan, programs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			os.Exit(1)
+		}
+		exec, final = res.Exec, res.Final
+		fmt.Printf("workload=%s control=%s txns=%d seed=%d executor=engine+faults\n", *workload, c.Name(), *txns, *seed)
+		fmt.Printf("committed:      %d (%d gave up) across %d rounds\n", res.Committed, res.GaveUp, res.Rounds)
+		fmt.Printf("crashes:        %d (%d records torn, %d txn attempts redone)\n", res.Crashes, res.TornTotal, res.RedoneTxns)
+		fmt.Printf("faults:         %d transient step errors injected, %d restarts\n", res.FaultsInjected, res.Restarts)
+		fmt.Printf("events:         %d steps, %d commit groups, %d crashes, %d recoveries observed\n",
+			ev.Steps, ev.Groups, ev.Crashes, ev.Recoveries)
+	} else if *useEngine {
 		if *partial {
 			fmt.Fprintln(os.Stderr, "mlasim: -partial is simulator-only (the engine rolls back whole transactions)")
 			os.Exit(2)

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one runner per experiment in
-// EXPERIMENTS.md (E1–E14), each regenerating the corresponding table. The
+// EXPERIMENTS.md (E1–E17), each regenerating the corresponding table. The
 // paper (PODS 1982) is theory-only, so the experiments reproduce its formal
 // claims and worked examples, and run the evaluation its Section 6 and
 // Section 7 call for. cmd/mlabench prints the tables; the root-level
@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"E14", "crash recovery on the WAL-backed store (unit of recovery, Sec 1)", E14CrashRecovery},
 		{"E15", "conversations: applications serializability cannot express (Sec 7, [Ra])", E15Conversations},
 		{"E16", "hot-spot contention: MLA degrades gently where 2PL serializes", E16HotSpot},
+		{"E17", "engine crash tolerance under deterministic fault injection", E17EngineCrash},
 	}
 }
 

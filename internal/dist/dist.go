@@ -49,6 +49,17 @@ type Preventer struct {
 	// Delay is the announcement propagation time in simulator units.
 	Delay int64
 
+	// AnnounceFault, when non-nil, is consulted once per announcement and
+	// may drop it or add extra latency (see fault.Injector.Announce, the
+	// usual supplier). Dropped or delayed boundary announcements are safe
+	// by the monotone-wait argument: remote processors keep an older view,
+	// which only under-reports boundaries and makes them wait longer.
+	// Finish announcements are never dropped — a committed transaction
+	// whose finish never arrives would leave remote waiters stuck forever
+	// (a liveness failure, not a safety one) — so for them only the extra
+	// delay applies.
+	AnnounceFault func() (drop bool, extra int64)
+
 	now      int64
 	oc       *coherent.Online
 	prio     map[model.TxnID]int64
@@ -261,14 +272,22 @@ func (p *Preventer) Performed(t model.TxnID, seq int, x model.EntityID, cut int)
 			d.view[proc][lv] = bound[lv]
 		}
 	}
-	if p.Delay == 0 {
+	drop, extra := false, int64(0)
+	if p.AnnounceFault != nil {
+		drop, extra = p.AnnounceFault()
+	}
+	switch {
+	case drop:
+		// The boundary announcement is lost: only x's owner learned the new
+		// boundary; everyone else decides with the older (smaller) view.
+	case p.Delay == 0 && extra == 0:
 		for q := 0; q < p.procs; q++ {
 			copy(d.view[q], bound)
 		}
-	} else {
+	default:
 		b := make([]int, p.k+1)
 		copy(b, bound)
-		p.pending = append(p.pending, announcement{at: p.now + p.Delay, txn: t, bound: b})
+		p.pending = append(p.pending, announcement{at: p.now + p.Delay + extra, txn: t, bound: b})
 	}
 }
 
@@ -279,12 +298,17 @@ func (p *Preventer) Finished(t model.TxnID) {
 	if d == nil {
 		return
 	}
-	if p.Delay == 0 {
+	extra := int64(0)
+	if p.AnnounceFault != nil {
+		// Drop is deliberately ignored: finish announcements must arrive.
+		_, extra = p.AnnounceFault()
+	}
+	if p.Delay == 0 && extra == 0 {
 		for q := range d.viewFinished {
 			d.viewFinished[q] = true
 		}
 	} else {
-		p.pending = append(p.pending, announcement{at: p.now + p.Delay, txn: t, finished: true})
+		p.pending = append(p.pending, announcement{at: p.now + p.Delay + extra, txn: t, finished: true})
 	}
 	delete(p.waitFor, t)
 	for _, m := range p.waitFor {

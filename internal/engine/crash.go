@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mla/internal/breakpoint"
+	"mla/internal/fault"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/wal"
+)
+
+// CrashPlan runs a workload to completion across injected crashes, the
+// concurrent counterpart of sim.CrashPlan: the engine executes on a
+// WAL-backed store until the fault injector kills it (at a configured
+// append count or after a wall-clock budget), the volatile state —
+// control, in-flight transactions, program states — is lost, optionally
+// the durable tail is torn, the WAL recovers the committed state, and a
+// fresh round restarts every transaction without a durable commit.
+type CrashPlan struct {
+	Cfg  Config
+	Spec breakpoint.Spec
+	Init map[model.EntityID]model.Value
+	// Faults configures the injector shared across all recovery rounds;
+	// crash-append counts are cumulative over the whole run, so each
+	// configured crash fires exactly once and the run provably converges.
+	Faults fault.Plan
+	// NewControl builds a fresh control per round (controls are volatile).
+	NewControl func() sched.Control
+}
+
+// CrashResult aggregates a crash-recovery run of the concurrent engine.
+type CrashResult struct {
+	// Exec holds the committed steps across all rounds in performance
+	// order, filtered to transactions whose commits were durable — steps
+	// of a commit group torn off the log tail are excluded (those
+	// transactions re-ran in a later round).
+	Exec      model.Execution
+	Final     map[model.EntityID]model.Value
+	Rounds    int
+	Crashes   int
+	TornTotal int // durable records lost to torn tails across all crashes
+	Committed int
+	// GaveUp counts transactions parked by the final round's restart
+	// budget. A crash reboots parked transactions — the operator restarts
+	// the system and parked work is retried — so only the completing
+	// round's give-ups are terminal.
+	GaveUp int
+	// RedoneTxns counts transaction attempts lost to crashes: in-flight
+	// (or in-memory committed but durably torn) at a crash and restarted
+	// in a later round.
+	RedoneTxns     int
+	Restarts       int
+	FaultsInjected int
+}
+
+// RunWithCrashes executes the plan to completion. Each crash is a full
+// stop: rounds are separate engine runs over the recovered durable state,
+// sharing only the durable medium and the fault injector. Committed work
+// is never redone — a transaction with a durable commit record is filtered
+// out of every later round, and its steps survive in Exec exactly once.
+func RunWithCrashes(ctx context.Context, plan CrashPlan, programs []model.Program) (*CrashResult, error) {
+	if plan.NewControl == nil {
+		return nil, fmt.Errorf("engine: CrashPlan.NewControl is required")
+	}
+	inj := fault.New(plan.Faults)
+	medium := wal.NewMedium()
+	out := &CrashResult{Final: map[model.EntityID]model.Value{}}
+	obs := plan.Cfg.Observer
+	maxRounds := plan.Faults.Crashes() + 8
+
+	// pending holds the crashed round's in-memory committed steps; they
+	// join Exec only after the next recovery confirms the commits survived
+	// the torn tail.
+	var pending model.Execution
+	prevTodo, prevDurable := 0, 0
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("engine: crash plan did not converge after %d rounds", round)
+		}
+		db, err := wal.Open(medium, plan.Init)
+		if err != nil {
+			return nil, fmt.Errorf("engine: recovery before round %d: %w", round, err)
+		}
+		// Keep only steps whose transaction is durably committed; the rest
+		// belonged to commit groups lost with the torn tail and will be
+		// re-executed (and re-recorded) by a later round.
+		for _, s := range pending {
+			if db.Committed(s.Txn) {
+				out.Exec = append(out.Exec, s)
+			}
+		}
+		pending = nil
+
+		// Restart every transaction without a durable commit. Give-ups are
+		// not carried across crashes: a reboot retries parked work with a
+		// fresh restart budget.
+		var todo []model.Program
+		durable := 0
+		for _, p := range programs {
+			if db.Committed(p.ID()) {
+				durable++
+			} else {
+				todo = append(todo, p)
+			}
+		}
+		if round > 0 {
+			// Attempts lost to the last crash: everything the crashed round
+			// tried minus what it made durable (post-tear).
+			out.RedoneTxns += prevTodo - (durable - prevDurable)
+			if obs != nil {
+				obs.Recovered(round, durable)
+			}
+		}
+		out.Rounds = round + 1
+		out.Committed = durable
+		if len(todo) == 0 {
+			out.Final = db.Values()
+			return out, nil
+		}
+
+		cfg := plan.Cfg
+		cfg.Faults = inj
+		store := NewWALStore(db, inj)
+		base := db.LogLen()
+		res, err := RunOnStore(ctx, cfg, todo, plan.NewControl(), plan.Spec, store)
+		switch {
+		case err == nil:
+			// Clean completion: every commit this round is durable and the
+			// round's give-ups are terminal.
+			out.Exec = append(out.Exec, res.Exec...)
+			out.Committed += res.Committed
+			out.GaveUp = res.GaveUp
+			out.Restarts += res.Restarts
+			out.FaultsInjected += res.FaultsInjected
+			out.Final = res.Final
+			return out, nil
+		case errors.Is(err, fault.ErrCrash):
+			out.Crashes++
+			prevTodo, prevDurable = len(todo), durable
+			if res != nil {
+				pending = res.Exec
+				out.Restarts += res.Restarts
+				out.FaultsInjected += res.FaultsInjected
+			}
+			// Tear the tail: in-flight writes of this round never reached
+			// the device. Records that survived an earlier recovery were
+			// already durable, so the tear cannot reach past this round's
+			// first append.
+			torn := inj.TearTail()
+			if n := db.LogLen() - base; torn > n {
+				torn = n
+			}
+			medium = db.Crash()
+			if torn > 0 {
+				recs := medium.Records()
+				keep := int64(0)
+				if torn < len(recs) {
+					keep = recs[len(recs)-1-torn].LSN
+				}
+				medium = medium.Prefix(keep)
+				out.TornTotal += torn
+			}
+			if obs != nil {
+				obs.Crashed(round, torn)
+			}
+		default:
+			return nil, fmt.Errorf("engine: round %d: %w", round, err)
+		}
+	}
+}

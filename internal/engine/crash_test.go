@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"mla/internal/bank"
+	"mla/internal/breakpoint"
+	"mla/internal/coherent"
+	"mla/internal/fault"
+	"mla/internal/model"
+	"mla/internal/sched"
+)
+
+// TestEngineRunWithCrashesRecovers is the headline robustness test: a real
+// concurrent banking run killed by two injected crashes, each tearing
+// records off the durable tail, must recover, re-run only the uncommitted
+// transactions, and still satisfy every workload invariant plus the
+// offline Theorem 2 checker. Run with -race for the full payoff.
+func TestEngineRunWithCrashesRecovers(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 10
+	params.BankAudits = 1
+	params.CreditorAudits = 1
+	wl := bank.Generate(params)
+	before := runtime.NumGoroutine()
+	var ev EventCounts
+	plan := CrashPlan{
+		Cfg:  Config{Seed: 21, StepDelay: 20 * time.Microsecond, Observer: &ev},
+		Spec: wl.Spec,
+		Init: wl.Init,
+		Faults: fault.Plan{
+			Seed:         21,
+			CrashAppends: []int64{5, 14},
+			TearTail:     2,
+		},
+		NewControl: func() sched.Control { return sched.NewPreventer(wl.Nest, wl.Spec) },
+	}
+	out, err := RunWithCrashes(context.Background(), plan, wl.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashes != 2 {
+		t.Errorf("crashes = %d, want 2", out.Crashes)
+	}
+	if out.TornTotal == 0 {
+		t.Error("no records were torn off the tail")
+	}
+	if out.Rounds < 3 {
+		t.Errorf("rounds = %d, want at least 3", out.Rounds)
+	}
+	if out.Committed != len(wl.Programs) || out.GaveUp != 0 {
+		t.Fatalf("committed %d/%d (gave up %d)", out.Committed, len(wl.Programs), out.GaveUp)
+	}
+	if ev.Crashes != out.Crashes || ev.Recoveries != out.Crashes {
+		t.Errorf("observer saw %d crashes / %d recoveries, result has %d", ev.Crashes, ev.Recoveries, out.Crashes)
+	}
+	// Each committed transaction contributes its steps exactly once, even
+	// though crashed rounds re-ran the unlucky ones.
+	seen := make(map[model.StepID]bool)
+	for _, s := range out.Exec {
+		if seen[s.ID()] {
+			t.Fatalf("step %v appears twice in the stitched execution", s.ID())
+		}
+		seen[s.ID()] = true
+	}
+	inv := wl.Check(out.Exec, out.Final)
+	if !inv.ConservationOK {
+		t.Error("money not conserved across crashes")
+	}
+	if inv.AuditsInexact > 0 {
+		t.Errorf("%d inexact audits", inv.AuditsInexact)
+	}
+	if inv.TraceValid != nil {
+		t.Errorf("stitched trace invalid: %v", inv.TraceValid)
+	}
+	ok, err := coherent.Correctable(out.Exec, wl.Nest, wl.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("crash-recovery run admitted a non-correctable execution")
+	}
+	// No goroutine outlives the run — across every round.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// redoTracker flags any step performed by a transaction that already
+// committed — with TearTail 0 every in-memory commit is durable, so a
+// committed transaction must never run again in a later round.
+type redoTracker struct {
+	NopObserver
+	committed map[model.TxnID]bool
+	redone    []model.TxnID
+}
+
+func (r *redoTracker) StepPerformed(t model.TxnID, _ int, _ model.EntityID, _ int) {
+	if r.committed[t] {
+		r.redone = append(r.redone, t)
+	}
+}
+
+func (r *redoTracker) CommitGroup(ids []model.TxnID) {
+	for _, id := range ids {
+		r.committed[id] = true
+	}
+}
+
+func TestEngineCrashCommittedNotRedone(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 10
+	params.BankAudits = 0
+	params.CreditorAudits = 0
+	wl := bank.Generate(params)
+	tr := &redoTracker{committed: make(map[model.TxnID]bool)}
+	plan := CrashPlan{
+		Cfg:  Config{Seed: 5, StepDelay: 20 * time.Microsecond, Observer: tr},
+		Spec: wl.Spec,
+		Init: wl.Init,
+		Faults: fault.Plan{
+			Seed:         5,
+			CrashAppends: []int64{8, 20},
+			// TearTail 0: the durable log and the in-memory commit history
+			// agree, so the tracker's judgement is exact.
+		},
+		NewControl: func() sched.Control { return sched.NewPreventer(wl.Nest, wl.Spec) },
+	}
+	out, err := RunWithCrashes(context.Background(), plan, wl.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Committed != len(wl.Programs) {
+		t.Fatalf("committed %d/%d", out.Committed, len(wl.Programs))
+	}
+	if len(tr.redone) > 0 {
+		t.Errorf("committed transactions re-ran after recovery: %v", tr.redone)
+	}
+	if out.Crashes < 1 {
+		t.Error("no crash fired; the test exercised nothing")
+	}
+}
+
+// TestEngineWallClockCrash: the time-budget crash kills a slowed-down run
+// mid-flight; recovery completes the workload.
+func TestEngineWallClockCrash(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 8
+	params.BankAudits = 0
+	params.CreditorAudits = 0
+	wl := bank.Generate(params)
+	plan := CrashPlan{
+		Cfg:  Config{Seed: 9, StepDelay: 5 * time.Millisecond},
+		Spec: wl.Spec,
+		Init: wl.Init,
+		Faults: fault.Plan{
+			Seed:       9,
+			CrashAfter: 4 * time.Millisecond,
+			TearTail:   1,
+		},
+		NewControl: func() sched.Control { return sched.NewPreventer(wl.Nest, wl.Spec) },
+	}
+	out, err := RunWithCrashes(context.Background(), plan, wl.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1 (wall-clock budget fires once)", out.Crashes)
+	}
+	if out.Committed != len(wl.Programs) {
+		t.Fatalf("committed %d/%d", out.Committed, len(wl.Programs))
+	}
+	inv := wl.Check(out.Exec, out.Final)
+	if !inv.ConservationOK || inv.TraceValid != nil {
+		t.Errorf("invariants violated: conservation=%v trace=%v", inv.ConservationOK, inv.TraceValid)
+	}
+}
+
+// TestEngineTransientFaultsRetried: a moderate transient-error rate slows
+// the run but every step eventually goes through; the run completes with
+// no give-ups and counts the injected faults.
+func TestEngineTransientFaultsRetried(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 8
+	params.BankAudits = 0
+	params.CreditorAudits = 0
+	wl := bank.Generate(params)
+	var ev EventCounts
+	cfg := Config{
+		Seed:     3,
+		Observer: &ev,
+		Faults:   fault.New(fault.Plan{Seed: 3, StepErrorRate: 0.3}),
+	}
+	c := sched.NewPreventer(wl.Nest, wl.Spec)
+	res, err := Run(context.Background(), cfg, wl.Programs, c, wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != len(wl.Programs) || res.GaveUp != 0 {
+		t.Fatalf("committed %d/%d (gave up %d)", res.Committed, len(wl.Programs), res.GaveUp)
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("a 30%% error rate injected nothing")
+	}
+	if ev.Faults != res.FaultsInjected {
+		t.Errorf("observer faults = %d, result = %d", ev.Faults, res.FaultsInjected)
+	}
+	inv := wl.Check(res.Exec, res.Final)
+	if !inv.ConservationOK || inv.TraceValid != nil {
+		t.Errorf("invariants violated under transient faults")
+	}
+}
+
+// TestEngineGiveUpInsteadOfLivelock: with every step attempt failing, the
+// restart budget parks each transaction and the run returns GaveUp ==
+// len(programs) quickly — graceful degradation, not a timeout.
+func TestEngineGiveUpInsteadOfLivelock(t *testing.T) {
+	progs := []model.Program{
+		&model.Scripted{Txn: "a", Ops: []model.Op{model.Add("x", 1)}},
+		&model.Scripted{Txn: "b", Ops: []model.Op{model.Add("x", 2)}},
+		&model.Scripted{Txn: "c", Ops: []model.Op{model.Add("y", 3)}},
+	}
+	var ev EventCounts
+	cfg := Config{
+		Seed:           1,
+		Timeout:        10 * time.Second,
+		MaxRestarts:    2,
+		MaxStepRetries: 2,
+		Observer:       &ev,
+		Faults:         fault.New(fault.Plan{Seed: 1, StepErrorRate: 1.0}),
+	}
+	spec := breakpoint.Uniform{Levels: 2, C: 2}
+	start := time.Now()
+	res, err := Run(context.Background(), cfg, progs, sched.NewTwoPhase(), spec, map[model.EntityID]model.Value{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GaveUp != len(progs) || res.Committed != 0 {
+		t.Fatalf("gaveUp=%d committed=%d, want %d/0", res.GaveUp, res.Committed, len(progs))
+	}
+	if ev.GaveUps != res.GaveUp {
+		t.Errorf("observer gave-ups = %d, result = %d", ev.GaveUps, res.GaveUp)
+	}
+	if len(res.Exec) != 0 {
+		t.Errorf("parked transactions contributed %d steps", len(res.Exec))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("give-up path took %v; should be far below the timeout", elapsed)
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("no faults recorded despite rate 1.0")
+	}
+}
+
+// TestEngineCrashGiveUpTerminal: give-ups in the completing round of a
+// crash plan surface in CrashResult.GaveUp rather than failing the run.
+func TestEngineCrashGiveUpTerminal(t *testing.T) {
+	progs := []model.Program{
+		&model.Scripted{Txn: "a", Ops: []model.Op{model.Add("x", 1)}},
+		&model.Scripted{Txn: "b", Ops: []model.Op{model.Add("y", 2)}},
+	}
+	plan := CrashPlan{
+		Cfg: Config{
+			Seed:           2,
+			Timeout:        10 * time.Second,
+			MaxRestarts:    2,
+			MaxStepRetries: 2,
+		},
+		Spec:       breakpoint.Uniform{Levels: 2, C: 2},
+		Init:       map[model.EntityID]model.Value{},
+		Faults:     fault.Plan{Seed: 2, StepErrorRate: 1.0},
+		NewControl: func() sched.Control { return sched.NewTwoPhase() },
+	}
+	out, err := RunWithCrashes(context.Background(), plan, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GaveUp != len(progs) || out.Committed != 0 {
+		t.Fatalf("gaveUp=%d committed=%d, want %d/0", out.GaveUp, out.Committed, len(progs))
+	}
+}

@@ -32,10 +32,10 @@ import (
 	"time"
 
 	"mla/internal/breakpoint"
+	"mla/internal/fault"
 	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/sched"
-	"mla/internal/storage"
 )
 
 // Config bounds a run.
@@ -55,6 +55,20 @@ type Config struct {
 	// Observer, when non-nil, receives the run's lifecycle events (see
 	// Observer); hooks are serialized under the engine mutex.
 	Observer Observer
+
+	// Faults, when non-nil, injects deterministic failures: transient step
+	// errors the engine retries with capped exponential backoff, and — on
+	// a WAL-backed store — crashes at configured append counts or after a
+	// wall-clock budget (see internal/fault and RunWithCrashes).
+	Faults *fault.Injector
+	// MaxRestarts is the per-transaction restart budget: a transaction
+	// rolled back more than this many times is parked and reported in
+	// Result.GaveUp instead of livelocking the run. 0 means unlimited.
+	MaxRestarts int
+	// MaxStepRetries caps in-place retries of a transiently failing step
+	// before the transaction aborts itself and restarts (consuming one
+	// unit of the restart budget); defaults to 6.
+	MaxStepRetries int
 }
 
 // Result mirrors sim.Result for the concurrent engine.
@@ -67,6 +81,15 @@ type Result struct {
 	Restarts     int
 	CommitGroups []int
 	Elapsed      time.Duration
+
+	// GaveUp counts transactions parked after exhausting the restart
+	// budget (Config.MaxRestarts): graceful degradation instead of
+	// livelock. A run with GaveUp > 0 completes without error; the parked
+	// transactions simply contribute no steps.
+	GaveUp int
+	// FaultsInjected counts transient step errors the fault injector
+	// placed in this run (each was retried or escalated to a restart).
+	FaultsInjected int
 
 	// Latencies holds one sample per committed transaction: wall-clock
 	// time from its first Begin to commit.
@@ -101,6 +124,7 @@ type etxn struct {
 	steps    []model.Step
 	finished bool
 	commit   bool
+	gaveUp   bool // parked after exhausting the restart budget
 	prio     int64
 	deps     map[model.TxnID]bool
 	began    time.Time     // first Begin, for commit latency
@@ -114,7 +138,8 @@ type engine struct {
 
 	control sched.Control
 	spec    breakpoint.Spec
-	store   *storage.Store
+	store   Store
+	faults  *fault.Injector
 	obs     Observer
 
 	txns   map[model.TxnID]*etxn
@@ -145,6 +170,20 @@ var errStopped = errors.New("engine: run stopped")
 // goroutine deterministically; Run joins all of them before returning, so
 // no goroutine it started outlives it.
 func Run(ctx context.Context, cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, init map[model.EntityID]model.Value) (*Result, error) {
+	res, err := RunOnStore(ctx, cfg, programs, control, spec, NewVolatileStore(init))
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunOnStore is Run against a caller-provided backend. Unlike Run it can
+// return BOTH a result and an error: when the fault injector crashes the
+// system (errors.Is(err, fault.ErrCrash)) the returned Result carries the
+// partial run — the steps of transactions that committed before the crash —
+// which RunWithCrashes stitches across recovery rounds. Every other error
+// returns a nil Result.
+func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, control sched.Control, spec breakpoint.Spec, store Store) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -154,14 +193,26 @@ func Run(ctx context.Context, cfg Config, programs []model.Program, control sche
 	if cfg.BackoffBase == 0 {
 		cfg.BackoffBase = 100 * time.Microsecond
 	}
-	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	if cfg.MaxStepRetries == 0 {
+		cfg.MaxStepRetries = 6
+	}
+	tctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
+	cctx, crash := context.WithCancelCause(tctx)
+	defer crash(nil)
+	ctx = cctx
+	if d, ok := cfg.Faults.ArmWallClock(); ok {
+		// The wall-clock crash budget: the whole system dies mid-run.
+		tm := time.AfterFunc(d, func() { crash(fault.ErrCrash) })
+		defer tm.Stop()
+	}
 	e := &engine{
 		waitGen: make(chan struct{}),
 		stop:    make(chan struct{}),
 		control: control,
 		spec:    spec,
-		store:   storage.New(init),
+		store:   store,
+		faults:  cfg.Faults,
 		obs:     cfg.Observer,
 		txns:    make(map[model.TxnID]*etxn),
 		author:  make(map[model.EntityID]model.TxnID),
@@ -188,9 +239,12 @@ func Run(ctx context.Context, cfg Config, programs []model.Program, control sche
 		case err := <-done:
 			runErr = err
 		case <-ctx.Done():
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			switch cause := context.Cause(ctx); {
+			case errors.Is(cause, fault.ErrCrash):
+				runErr = fmt.Errorf("engine: wall-clock crash: %w", fault.ErrCrash)
+			case errors.Is(ctx.Err(), context.DeadlineExceeded):
 				runErr = fmt.Errorf("engine: timeout after %v", cfg.Timeout)
-			} else {
+			default:
 				runErr = fmt.Errorf("engine: run cancelled: %w", ctx.Err())
 			}
 		}
@@ -199,10 +253,10 @@ func Run(ctx context.Context, cfg Config, programs []model.Program, control sche
 		}
 	}
 	// Shut down: wake and stop every worker, then join them. This is what
-	// makes a timed-out or cancelled run leak-free.
+	// makes a timed-out, cancelled, or crashed run leak-free.
 	close(e.stop)
 	wg.Wait()
-	if runErr != nil {
+	if runErr != nil && !errors.Is(runErr, fault.ErrCrash) {
 		return nil, runErr
 	}
 	e.mu.Lock()
@@ -211,8 +265,12 @@ func Run(ctx context.Context, cfg Config, programs []model.Program, control sche
 	res.Exec = e.survivors()
 	res.Final = e.store.Values()
 	res.Elapsed = time.Since(e.start)
-	if res.Committed != len(programs) {
-		return nil, fmt.Errorf("engine: only %d/%d committed", res.Committed, len(programs))
+	if runErr != nil {
+		// Injected crash: hand the partial run to the recovery loop.
+		return &res, runErr
+	}
+	if res.Committed+res.GaveUp != len(programs) {
+		return nil, fmt.Errorf("engine: only %d/%d committed (%d gave up)", res.Committed, len(programs), res.GaveUp)
 	}
 	return &res, nil
 }
@@ -257,7 +315,8 @@ func (e *engine) jitter(base time.Duration, attempt int) time.Duration {
 }
 
 // runTxn is one transaction's goroutine: execute, restart on abort, signal
-// completion once committed. It exits silently when the run stops.
+// completion once committed or parked. It exits silently when the run
+// stops.
 func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- error) {
 	id := p.ID()
 	for {
@@ -266,6 +325,21 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 		}
 		e.mu.Lock()
 		t := e.txns[id]
+		if cfg.MaxRestarts > 0 && t.attempt > cfg.MaxRestarts {
+			// Restart budget exhausted: park instead of livelocking. The
+			// transaction was fully rolled back by its last abort, so it
+			// holds no store records, no control state, and no dependents;
+			// the run completes without it and reports it in GaveUp.
+			t.gaveUp = true
+			e.stats.GaveUp++
+			if e.obs != nil {
+				e.obs.TxnGaveUp(id, t.attempt)
+			}
+			e.bump()
+			e.mu.Unlock()
+			done <- nil
+			return
+		}
 		attempt := t.attempt
 		t.seq = 0
 		t.steps = nil
@@ -327,13 +401,48 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 
 // attempt runs one attempt of the transaction; it returns aborted=true when
 // the attempt was rolled back (by itself or a cascade), and errStopped when
-// the run was abandoned.
+// the run was abandoned. Non-errStopped errors (an injected crash, a store
+// failure) abandon the whole run.
 func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.ProgState) (bool, error) {
+	performed := 0 // this attempt's step count (local mirror of t.seq)
+	retries := 0   // in-place retries of the current step after transient faults
 	for {
 		if e.stopped() {
 			return false, errStopped
 		}
 		x, more := cur.Next()
+		// Transient fault injection: the step request fails before it
+		// reaches the control or the store (a lost message, a timed-out
+		// I/O). The engine retries in place with capped exponential
+		// backoff; a step that keeps failing escalates to a self-abort and
+		// restart, which consumes one unit of the restart budget.
+		if more && e.faults != nil {
+			if ferr := e.faults.StepError(id, performed+1, attempt, retries); ferr != nil {
+				e.mu.Lock()
+				if e.txns[id].attempt != attempt {
+					e.mu.Unlock()
+					return true, nil // rolled back meanwhile
+				}
+				e.stats.FaultsInjected++
+				if e.obs != nil {
+					e.obs.FaultInjected(id, performed+1, retries)
+				}
+				retries++
+				exhausted := retries > cfg.MaxStepRetries
+				if exhausted {
+					e.abortLocked([]model.TxnID{id})
+					e.bump()
+				}
+				e.mu.Unlock()
+				if exhausted {
+					return true, nil
+				}
+				if !e.sleep(e.jitter(cfg.BackoffBase, retries)) {
+					return false, errStopped
+				}
+				continue
+			}
+		}
 		e.mu.Lock()
 		t := e.txns[id]
 		if t.attempt != attempt {
@@ -352,11 +461,18 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 		switch d.Kind {
 		case sched.Grant:
 			var next model.ProgState
-			step := e.store.Perform(id, t.seq+1, x, func(v model.Value) (model.Value, string) {
+			step, perr := e.store.Perform(id, t.seq+1, x, func(v model.Value) (model.Value, string) {
 				w, label, ns := cur.Apply(v)
 				next = ns
 				return w, label
 			})
+			if perr != nil {
+				// An injected crash (or a fatal store error): the volatile
+				// system is dead. Abandon the run; RunWithCrashes recovers
+				// from the durable medium.
+				e.mu.Unlock()
+				return false, perr
+			}
 			if a, ok := e.author[x]; ok && a != id {
 				t.deps[a] = true
 			}
@@ -364,6 +480,8 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 				e.author[x] = id
 			}
 			t.seq++
+			performed++
+			retries = 0
 			t.steps = append(t.steps, step)
 			e.trace = append(e.trace, traceEntry{id: id, attempt: attempt, step: step})
 			cut := 0
@@ -421,7 +539,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 	var frontier []model.TxnID
 	for _, v := range victims {
 		t := e.txns[v]
-		if t != nil && !t.commit {
+		if t != nil && !t.commit && !t.gaveUp {
 			set[v] = true
 			frontier = append(frontier, v)
 		}
@@ -429,7 +547,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 	for len(frontier) > 0 {
 		var next []model.TxnID
 		for id, t := range e.txns {
-			if set[id] || t.commit {
+			if set[id] || t.commit || t.gaveUp {
 				continue
 			}
 			for _, f := range frontier {
@@ -487,6 +605,15 @@ func (e *engine) rebuildAuthorsLocked() {
 // value dependencies stay within the set or the committed. Caller holds the
 // mutex.
 func (e *engine) tryCommitLocked() {
+	// After a crash the store silently discards writes; committing now
+	// would mark transactions committed in memory (and fire the observer)
+	// with no durable record behind them, so the next recovery round would
+	// expose the lie. Workers still mid-flight when another worker hits
+	// the crash point simply stop committing.
+	type crashedStore interface{ Crashed() bool }
+	if cs, ok := e.store.(crashedStore); ok && cs.Crashed() {
+		return
+	}
 	inS := make(map[model.TxnID]bool)
 	for id, t := range e.txns {
 		if t.finished && !t.commit {
@@ -516,11 +643,13 @@ func (e *engine) tryCommitLocked() {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
 	now := time.Now()
+	// One store call for the whole group: members may have observed each
+	// other's values, so a durable backend must commit them atomically.
+	e.store.CommitGroup(ids)
 	type retirer interface{ Retired(model.TxnID) }
 	for _, id := range ids {
 		t := e.txns[id]
 		t.commit = true
-		e.store.Commit(id)
 		e.stats.Committed++
 		e.stats.Latencies = append(e.stats.Latencies, now.Sub(t.began))
 		e.stats.WaitTimes = append(e.stats.WaitTimes, t.waited)

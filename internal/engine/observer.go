@@ -28,6 +28,22 @@ type Observer interface {
 	TxnAborted(t model.TxnID, cascade bool)
 	// CommitGroup fires when a commit group forms, with the sorted members.
 	CommitGroup(txns []model.TxnID)
+
+	// FaultInjected fires when the fault injector fails a step attempt
+	// transiently; try counts the in-place retries of this step so far.
+	FaultInjected(t model.TxnID, seq int, try int)
+	// TxnGaveUp fires when a transaction exhausts its restart budget and
+	// is parked (reported in Result.GaveUp) instead of restarting again.
+	TxnGaveUp(t model.TxnID, restarts int)
+	// Crashed fires when an injected crash kills round (0-based) of a
+	// RunWithCrashes plan; torn is the number of durable records the crash
+	// tore off the log tail. Unlike the per-step hooks it is invoked by the
+	// recovery loop between rounds, not under the engine mutex.
+	Crashed(round int, torn int)
+	// Recovered fires after wal.Open replays the durable log before round
+	// (0-based); committed is the number of durably committed transactions
+	// that survived. Invoked by the recovery loop between rounds.
+	Recovered(round int, committed int)
 }
 
 // NopObserver implements Observer with no-ops; embed it to implement only
@@ -49,17 +65,33 @@ func (NopObserver) TxnAborted(model.TxnID, bool) {}
 // CommitGroup implements Observer.
 func (NopObserver) CommitGroup([]model.TxnID) {}
 
+// FaultInjected implements Observer.
+func (NopObserver) FaultInjected(model.TxnID, int, int) {}
+
+// TxnGaveUp implements Observer.
+func (NopObserver) TxnGaveUp(model.TxnID, int) {}
+
+// Crashed implements Observer.
+func (NopObserver) Crashed(int, int) {}
+
+// Recovered implements Observer.
+func (NopObserver) Recovered(int, int) {}
+
 // EventCounts is a ready-made Observer that tallies every event; cmd/mlasim
 // prints it after an engine run. The engine serializes hook calls, so no
 // internal locking is needed — but the counts must only be read after Run
 // returns.
 type EventCounts struct {
-	Steps    int
-	Waits    int
-	WaitTime time.Duration
-	Aborts   int
-	Cascades int
-	Groups   int
+	Steps      int
+	Waits      int
+	WaitTime   time.Duration
+	Aborts     int
+	Cascades   int
+	Groups     int
+	Faults     int
+	GaveUps    int
+	Crashes    int
+	Recoveries int
 }
 
 // StepPerformed implements Observer.
@@ -83,3 +115,15 @@ func (c *EventCounts) TxnAborted(_ model.TxnID, cascade bool) {
 
 // CommitGroup implements Observer.
 func (c *EventCounts) CommitGroup([]model.TxnID) { c.Groups++ }
+
+// FaultInjected implements Observer.
+func (c *EventCounts) FaultInjected(model.TxnID, int, int) { c.Faults++ }
+
+// TxnGaveUp implements Observer.
+func (c *EventCounts) TxnGaveUp(model.TxnID, int) { c.GaveUps++ }
+
+// Crashed implements Observer.
+func (c *EventCounts) Crashed(int, int) { c.Crashes++ }
+
+// Recovered implements Observer.
+func (c *EventCounts) Recovered(int, int) { c.Recoveries++ }

@@ -1,0 +1,243 @@
+// Package fault is a seeded, deterministic fault-injection layer for the
+// executors. The paper's Section 1 names the transaction as a *unit of
+// recovery*; making that role testable requires failures that are
+// first-class and reproducible rather than ad-hoc. A Plan describes which
+// faults to inject — system crashes keyed to WAL-append counts or a
+// wall-clock budget, torn durable tails, transient step errors the engine
+// must retry, and dropped or extra-delayed distributed announcements — and
+// an Injector executes the plan deterministically: every decision is a pure
+// function of the plan's seed and the event's identity (transaction, step,
+// attempt, retry, or a global counter), so a failing run replays exactly.
+//
+// The Injector is safe for concurrent use: the engine consults it from one
+// goroutine per transaction. One Injector spans all rounds of a
+// crash-recovery run, so each configured crash fires exactly once and the
+// run provably converges once the plan is exhausted.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mla/internal/model"
+)
+
+// ErrCrash is the sentinel for an injected whole-system crash: all volatile
+// state (schedulers, in-flight transactions, value caches) is lost and only
+// the durable medium survives. engine.RunWithCrashes recognizes it and runs
+// recovery instead of failing the plan.
+var ErrCrash = errors.New("fault: injected crash")
+
+// TransientError is an injected, retryable step failure — the model of a
+// lost message or timed-out I/O. The step was NOT performed; the engine
+// retries it with capped exponential backoff.
+type TransientError struct {
+	Txn model.TxnID
+	Seq int
+	Try int // 0 = first attempt at this step
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: transient error at %s seq %d (try %d)", e.Txn, e.Seq, e.Try)
+}
+
+// Plan describes the faults to inject. The zero value injects nothing.
+type Plan struct {
+	// Seed drives every probabilistic decision. Two injectors built from
+	// equal plans make identical decisions for identical event identities.
+	Seed int64
+
+	// CrashAppends lists cumulative WAL-append counts at which the system
+	// crashes: the Nth durable append (update and commit records alike,
+	// counted across recovery rounds) triggers ErrCrash. Each entry fires
+	// once; entries are sorted internally.
+	CrashAppends []int64
+
+	// CrashAfter, when positive, crashes the system once after this much
+	// wall-clock time in the engine. It fires at most once per Injector.
+	CrashAfter time.Duration
+
+	// TearTail drops the last TearTail records from the durable medium at
+	// each crash — a torn write: records the engine believed durable never
+	// reached the device. The WAL discipline makes any prefix a consistent
+	// recovery input, which the recovery path (and FuzzWALRecovery) assert.
+	TearTail int
+
+	// StepErrorRate is the probability in [0, 1] that a step attempt fails
+	// with a TransientError before reaching the store. At 1.0 every try
+	// fails, which exercises the retry cap and the restart budget.
+	StepErrorRate float64
+
+	// AnnounceDropRate is the probability that a distributed boundary
+	// announcement is dropped entirely. Safe by the monotone-wait argument
+	// (internal/dist): a missing announcement only under-reports progress,
+	// making remote schedulers wait longer, never admit more.
+	AnnounceDropRate float64
+
+	// AnnounceDelayRate is the probability that an announcement is delayed
+	// by AnnounceExtraDelay additional time units.
+	AnnounceDelayRate float64
+
+	// AnnounceExtraDelay is the extra latency applied to delayed
+	// announcements, in simulator time units.
+	AnnounceExtraDelay int64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return len(p.CrashAppends) > 0 || p.CrashAfter > 0 || p.StepErrorRate > 0 ||
+		p.AnnounceDropRate > 0 || p.AnnounceDelayRate > 0
+}
+
+// Crashes returns the total number of crashes the plan can inject — the
+// bound on recovery rounds a crash-tolerant run needs.
+func (p Plan) Crashes() int {
+	n := len(p.CrashAppends)
+	if p.CrashAfter > 0 {
+		n++
+	}
+	return n
+}
+
+// Injector executes a Plan. Create one per crash-tolerant run and share it
+// across recovery rounds.
+type Injector struct {
+	plan Plan
+
+	mu        sync.Mutex
+	appends   int64
+	crashIdx  int  // next unfired entry of plan.CrashAppends
+	wallArmed bool // CrashAfter not yet handed out
+	announceN int64
+}
+
+// New builds an injector for the plan.
+func New(p Plan) *Injector {
+	crashes := append([]int64(nil), p.CrashAppends...)
+	sort.Slice(crashes, func(i, j int) bool { return crashes[i] < crashes[j] })
+	p.CrashAppends = crashes
+	return &Injector{plan: p, wallArmed: p.CrashAfter > 0}
+}
+
+// Plan returns the injector's plan (crash points sorted).
+func (i *Injector) Plan() Plan { return i.plan }
+
+// OnAppend counts one durable WAL append and reports whether the system
+// crashes now. Each configured crash point fires exactly once.
+func (i *Injector) OnAppend() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.appends++
+	if i.crashIdx < len(i.plan.CrashAppends) && i.appends >= i.plan.CrashAppends[i.crashIdx] {
+		i.crashIdx++
+		return true
+	}
+	return false
+}
+
+// Appends returns the number of durable appends counted so far.
+func (i *Injector) Appends() int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.appends
+}
+
+// ArmWallClock hands out the wall-clock crash budget at most once: the
+// first caller receives (CrashAfter, true) and must crash the system when
+// the budget elapses; later callers receive false.
+func (i *Injector) ArmWallClock() (time.Duration, bool) {
+	if i == nil {
+		return 0, false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.wallArmed {
+		return 0, false
+	}
+	i.wallArmed = false
+	return i.plan.CrashAfter, true
+}
+
+// TearTail returns how many trailing records each crash tears off the
+// durable medium.
+func (i *Injector) TearTail() int {
+	if i == nil {
+		return 0
+	}
+	return i.plan.TearTail
+}
+
+// StepError decides whether transaction t's step seq fails transiently on
+// its try-th retry during the given attempt. Deterministic in (seed, txn,
+// seq, attempt, try); at rates below 1 a retried step eventually succeeds
+// because every try re-flips an independent coin.
+func (i *Injector) StepError(t model.TxnID, seq, attempt, try int) error {
+	if i == nil || i.plan.StepErrorRate <= 0 {
+		return nil
+	}
+	if !i.coin(i.plan.StepErrorRate, fmt.Sprintf("step/%s/%d/%d/%d", t, seq, attempt, try)) {
+		return nil
+	}
+	return &TransientError{Txn: t, Seq: seq, Try: try}
+}
+
+// Announce decides the fate of the next distributed announcement: dropped
+// entirely, or delivered with extra delay. The caller distinguishes
+// boundary from finish announcements (finishes must never be dropped —
+// see dist.Preventer.AnnounceFault).
+func (i *Injector) Announce() (drop bool, extra int64) {
+	if i == nil {
+		return false, 0
+	}
+	i.mu.Lock()
+	n := i.announceN
+	i.announceN++
+	i.mu.Unlock()
+	key := fmt.Sprintf("announce/%d", n)
+	if i.coin(i.plan.AnnounceDropRate, "drop/"+key) {
+		return true, 0
+	}
+	if i.coin(i.plan.AnnounceDelayRate, "delay/"+key) {
+		return false, i.plan.AnnounceExtraDelay
+	}
+	return false, 0
+}
+
+// coin flips a deterministic biased coin: true with probability rate.
+func (i *Injector) coin(rate float64, key string) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := hash64(fmt.Sprintf("%d/%s", i.plan.Seed, key))
+	// Map the hash to [0, 1) with 53 usable bits.
+	u := float64(h>>11) / float64(1<<53)
+	return u < rate
+}
+
+// hash64 is FNV-1a with an avalanche finalizer (FNV alone disperses short
+// keys poorly in the high bits, which the coin mapping uses). Inlined to
+// keep the package dependency-free.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -35,6 +35,7 @@ func (d durableStore) Perform(t model.TxnID, seq int, x model.EntityID, f func(m
 
 func (d durableStore) AbortSuffix(keep map[model.TxnID]int) error { return d.db.AbortSuffix(keep) }
 func (d durableStore) Commit(t model.TxnID)                       { d.db.Commit(t) }
+func (d durableStore) CommitGroup(ids []model.TxnID)              { d.db.CommitGroup(ids) }
 func (d durableStore) Values() map[model.EntityID]model.Value     { return d.db.Values() }
 
 // CrashPlan runs a workload to completion across injected crashes: the

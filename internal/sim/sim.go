@@ -503,11 +503,22 @@ func (r *Runner) tryCommit() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	r.commitGroups = append(r.commitGroups, len(ids))
+	// Group members may have observed each other's values (commitment
+	// chaining, paper Section 6), so a durable store must make the whole
+	// group durable atomically — one log record, not one per member —
+	// or a torn log tail could keep half a cycle.
+	type groupCommitter interface{ CommitGroup(ids []model.TxnID) }
+	if gc, ok := r.store.(groupCommitter); ok {
+		gc.CommitGroup(ids)
+	} else {
+		for _, id := range ids {
+			r.store.Commit(id)
+		}
+	}
 	type retirer interface{ Retired(model.TxnID) }
 	for _, id := range ids {
 		t := r.txns[r.byID[id]]
 		t.status = stCommitted
-		r.store.Commit(id)
 		r.stats.Committed++
 		r.latencies = append(r.latencies, r.now-t.begun)
 		if r.now > r.lastCommit {

@@ -31,11 +31,19 @@ type Store struct {
 	vals map[model.EntityID]model.Value
 	log  []record
 	live int // number of non-dead records
+	// byTxn indexes each transaction's log positions so Commit touches
+	// only the transaction's own records instead of scanning the whole
+	// log. Entries may point at dead records (aborts kill records without
+	// maintaining the index); readers skip those.
+	byTxn map[model.TxnID][]int
 }
 
 // New creates a store with the given initial values (copied).
 func New(init map[model.EntityID]model.Value) *Store {
-	s := &Store{vals: make(map[model.EntityID]model.Value, len(init))}
+	s := &Store{
+		vals:  make(map[model.EntityID]model.Value, len(init)),
+		byTxn: make(map[model.TxnID][]int),
+	}
 	for x, v := range init {
 		s.vals[x] = v
 	}
@@ -52,6 +60,7 @@ func (s *Store) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.V
 	before := s.vals[x]
 	after, label := f(before)
 	s.log = append(s.log, record{txn: t, seq: seq, entity: x, before: before, after: after})
+	s.byTxn[t] = append(s.byTxn[t], len(s.log)-1)
 	s.live++
 	s.vals[x] = after
 	return model.Step{Txn: t, Seq: seq, Entity: x, Label: label, Before: before, After: after}
@@ -86,6 +95,11 @@ func (s *Store) Abort(set map[model.TxnID]bool) error {
 		s.vals[r.entity] = r.before
 		r.dead = true
 		s.live--
+	}
+	// A full abort kills every record of the set, so the index entries
+	// are all dead; drop them (restarts re-index from scratch).
+	for t := range set {
+		delete(s.byTxn, t)
 	}
 	s.maybeCompact()
 	return unsound
@@ -124,13 +138,16 @@ func (s *Store) AbortSuffix(keep map[model.TxnID]int) error {
 }
 
 // Commit truncates the log records of t; its effects become permanent.
+// The per-transaction index makes this proportional to t's own records
+// rather than the whole undo log.
 func (s *Store) Commit(t model.TxnID) {
-	for i := range s.log {
-		if !s.log[i].dead && s.log[i].txn == t {
+	for _, i := range s.byTxn[t] {
+		if !s.log[i].dead {
 			s.log[i].dead = true
 			s.live--
 		}
 	}
+	delete(s.byTxn, t)
 	s.maybeCompact()
 }
 
@@ -145,6 +162,10 @@ func (s *Store) maybeCompact() {
 		}
 	}
 	s.log = out
+	s.byTxn = make(map[model.TxnID][]int)
+	for i, r := range s.log {
+		s.byTxn[r.txn] = append(s.byTxn[r.txn], i)
+	}
 }
 
 // PendingRecords returns the number of live (uncommitted, not undone) log

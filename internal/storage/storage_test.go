@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -200,5 +201,42 @@ func TestQuickAbortAllRestoresInit(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCommitIndexAcrossCompactionAndAborts: Commit uses the per-transaction
+// position index; it must stay correct after abort-killed records, restarts
+// that re-append under the same ID, and log compaction (which renumbers
+// every position).
+func TestCommitIndexAcrossCompactionAndAborts(t *testing.T) {
+	s := New(map[model.EntityID]model.Value{"x": 0})
+	// Enough committed churn to force compaction (threshold 1024 records).
+	for i := 0; i < 1500; i++ {
+		txn := model.TxnID(fmt.Sprintf("churn-%04d", i))
+		s.Perform(txn, 1, "x", add(1))
+		s.Commit(txn)
+	}
+	// A transaction that aborts, restarts, performs again, then commits.
+	s.Perform("t", 1, "x", add(5))
+	if err := s.Abort(map[model.TxnID]bool{"t": true}); err != nil {
+		t.Fatal(err)
+	}
+	s.Perform("t", 1, "x", add(7))
+	live := s.PendingRecords()
+	if live != 1 {
+		t.Fatalf("live = %d, want 1", live)
+	}
+	s.Commit("t")
+	if s.PendingRecords() != 0 {
+		t.Errorf("pending after commit = %d", s.PendingRecords())
+	}
+	if s.Get("x") != 1507 {
+		t.Errorf("x = %d, want 1507", s.Get("x"))
+	}
+	// Committing again (or an unknown txn) is a harmless no-op.
+	s.Commit("t")
+	s.Commit("never-ran")
+	if s.PendingRecords() != 0 {
+		t.Errorf("no-op commits changed accounting: %d", s.PendingRecords())
 	}
 }

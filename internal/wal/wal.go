@@ -22,6 +22,7 @@ package wal
 
 import (
 	"fmt"
+	"sort"
 
 	"mla/internal/model"
 )
@@ -72,6 +73,12 @@ type Record struct {
 	After  model.Value
 	// Keep is set on Abort records: the kept prefix length (0 = full).
 	Keep int
+	// Group is set on Commit records written by CommitGroup: the
+	// additional members committed atomically with Txn. A commit group
+	// whose members observed each other's values must be one record — a
+	// torn tail then keeps the whole group or none of it, never a winner
+	// depending on a loser.
+	Group []model.TxnID
 	// Snapshot is set on Checkpoint records.
 	Snapshot map[model.EntityID]model.Value
 }
@@ -198,6 +205,10 @@ func (db *DB) recover() error {
 		case Commit:
 			db.committed[r.Txn] = true
 			delete(db.live, r.Txn)
+			for _, t := range r.Group {
+				db.committed[t] = true
+				delete(db.live, t)
+			}
 		case Abort:
 			// Marker only; the physical work was logged as compensations.
 			if len(db.live[r.Txn]) == 0 {
@@ -238,11 +249,7 @@ func (db *DB) recover() error {
 }
 
 func sortByLSNDesc(rs []Record) {
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].LSN > rs[j-1].LSN; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
-	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].LSN > rs[j].LSN })
 }
 
 // Get returns the current value of x.
@@ -273,6 +280,24 @@ func (db *DB) Commit(t model.TxnID) {
 	db.medium.append(Record{Kind: Commit, Txn: t})
 	db.committed[t] = true
 	delete(db.live, t)
+}
+
+// CommitGroup makes all of ids durable with ONE log record. Commit groups
+// exist because value dependencies can cycle between finished transactions
+// (the paper's commitment-chaining observation, Section 6); members may
+// have observed each other's values, so their durability must be atomic:
+// a torn tail that kept some members' commits but not others' would leave
+// a committed winner depending on an uncommitted loser, which recovery
+// rejects. One record keeps the group indivisible under any prefix.
+func (db *DB) CommitGroup(ids []model.TxnID) {
+	if len(ids) == 0 {
+		return
+	}
+	db.medium.append(Record{Kind: Commit, Txn: ids[0], Group: append([]model.TxnID(nil), ids[1:]...)})
+	for _, t := range ids {
+		db.committed[t] = true
+		delete(db.live, t)
+	}
 }
 
 // Abort fully rolls back the transactions in set; the set must be closed
@@ -340,3 +365,7 @@ func (db *DB) Checkpoint() error {
 // Crash simulates losing all volatile state: it returns the durable medium,
 // from which Open recovers a fresh DB. The old DB must not be used again.
 func (db *DB) Crash() *Medium { return db.medium }
+
+// LogLen returns the number of durable records, without the copying of
+// Records(); fault injectors use it to attribute appends.
+func (db *DB) LogLen() int { return db.medium.Len() }

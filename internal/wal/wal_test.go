@@ -314,6 +314,66 @@ func TestQuickRandomHistories(t *testing.T) {
 	}
 }
 
+// TestCommitGroupAtomicUnderTornTail: a group whose members observed each
+// other's values commits with one record, so every torn prefix either keeps
+// the whole group or rolls all of it back — per-member commit records would
+// leave a winner depending on a loser at some prefix, which recovery
+// rejects.
+func TestCommitGroupAtomicUnderTornTail(t *testing.T) {
+	init := map[model.EntityID]model.Value{"x": 0, "y": 0}
+	m := NewMedium()
+	db, err := Open(m, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cyclic value dependency: a writes x, b reads-and-writes x then y,
+	// a reads-and-writes y. Neither can commit before the other.
+	mustPerform(t, db, "a", 1, "x", 1)
+	mustPerform(t, db, "b", 1, "x", 1) // b observes a's uncommitted x
+	mustPerform(t, db, "b", 2, "y", 1)
+	mustPerform(t, db, "a", 2, "y", 1) // a observes b's uncommitted y
+	db.CommitGroup([]model.TxnID{"a", "b"})
+	if !db.Committed("a") || !db.Committed("b") {
+		t.Fatal("group members not committed")
+	}
+	full := db.Crash()
+	for lsn := int64(0); lsn <= int64(full.Len()); lsn++ {
+		db2, err := Open(full.Prefix(lsn), init)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", lsn, err)
+		}
+		if db2.Committed("a") != db2.Committed("b") {
+			t.Fatalf("prefix %d split the commit group", lsn)
+		}
+		x, y := db2.Get("x"), db2.Get("y")
+		if db2.Committed("a") {
+			if x != 2 || y != 2 {
+				t.Errorf("prefix %d: x=%d y=%d want 2 2", lsn, x, y)
+			}
+		} else if x != 0 || y != 0 {
+			t.Errorf("prefix %d: x=%d y=%d want 0 0", lsn, x, y)
+		}
+	}
+}
+
+func TestCommitGroupEmptyAndSingle(t *testing.T) {
+	m := NewMedium()
+	db, _ := Open(m, nil)
+	db.CommitGroup(nil) // no-op, no record
+	if m.Len() != 0 {
+		t.Fatalf("empty group appended %d records", m.Len())
+	}
+	mustPerform(t, db, "t", 1, "x", 1)
+	db.CommitGroup([]model.TxnID{"t"})
+	db2, err := Open(db.Crash(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db2.Committed("t") || db2.Get("x") != 1 {
+		t.Errorf("single-member group: committed=%v x=%d", db2.Committed("t"), db2.Get("x"))
+	}
+}
+
 func TestMediumRecordsIsACopy(t *testing.T) {
 	m := NewMedium()
 	db, _ := Open(m, nil)

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 gate: build, vet, and the full test suite under the race detector
-# (which exercises the engine's leak-free shutdown guarantees).
+# (which exercises the engine's leak-free shutdown guarantees), then a short
+# coverage-guided fuzz smoke over WAL recovery (every log prefix must be a
+# consistent recovery input; recovery must be idempotent).
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
