@@ -59,6 +59,8 @@ func BenchmarkE13Distributed(b *testing.B)   { benchExperiment(b, "E13") }
 func BenchmarkE14CrashRecovery(b *testing.B) { benchExperiment(b, "E14") }
 func BenchmarkE15Conversations(b *testing.B) { benchExperiment(b, "E15") }
 func BenchmarkE16HotSpot(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17EngineCrash(b *testing.B)   { benchExperiment(b, "E17") }
+func BenchmarkE18Chaos(b *testing.B)         { benchExperiment(b, "E18") }
 
 // Micro-benchmarks for the hot paths.
 

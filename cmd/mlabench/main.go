@@ -4,7 +4,7 @@
 //
 //	mlabench [-exp E5] [-scale 2] [-seed 1]
 //
-// Without -exp it runs the full suite E1..E17.
+// Without -exp it runs the full suite E1..E18.
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run only this experiment (E1..E17)")
+	exp := flag.String("exp", "", "run only this experiment (E1..E18)")
 	scale := flag.Int("scale", 2, "workload scale multiplier (1 = quick)")
 	seed := flag.Int64("seed", 1, "random seed")
 	markdown := flag.Bool("md", false, "render tables as markdown")

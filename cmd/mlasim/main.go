@@ -5,9 +5,10 @@
 // Usage:
 //
 //	mlasim [-workload bank|sessions|cad|conv] [-config workload.json]
-//	       [-control prevent|detect|2pl|tso|serial|none]
+//	       [-control prevent|detect|2pl|tso|serial|none|dist]
 //	       [-txns 24] [-seed 1] [-partial] [-engine] [-check] [-trace out.json]
 //	       [-crashes 0] [-tear 2] [-errrate 0]
+//	       [-delay 5] [-loss 0] [-reorder 0] [-partition 0] [-heal 0] [-procfail 0]
 //
 // -config runs a user-defined workload (see internal/config for the JSON
 // format) instead of a generated one.
@@ -23,6 +24,16 @@
 // WAL-append counts, tearing -tear records off the durable tail each time,
 // and recovers between rounds; -errrate injects transient step errors the
 // engine retries with capped exponential backoff.
+//
+// -control dist runs the multi-node prevention control (internal/dist) on
+// its simulated message bus, simulator only. -delay is the one-hop bus
+// latency; the chaos flags schedule failures: -loss drops each message
+// with the given probability, -reorder delays it (60 extra units) with the
+// given probability, -partition splits the processors into two halves at
+// that simulated time (healing at -heal, default partition+300), and
+// -procfail crashes that many processors in sequence, each rejoining 400
+// units later. Every chaos run still reports the invariants, and -check
+// verifies Theorem 2 on the admitted execution.
 //
 // An interrupt (^C) cancels the run promptly — both executors stop and
 // report the cancellation instead of running to completion.
@@ -41,6 +52,7 @@ import (
 	"mla/internal/coherent"
 	"mla/internal/config"
 	"mla/internal/conv"
+	"mla/internal/dist"
 	"mla/internal/engine"
 	"mla/internal/fault"
 	"mla/internal/metrics"
@@ -54,7 +66,7 @@ import (
 func main() {
 	workload := flag.String("workload", "bank", "bank, sessions, cad, or conv")
 	configPath := flag.String("config", "", "run a JSON-defined workload instead (see internal/config)")
-	control := flag.String("control", "prevent", "prevent, detect, 2pl, tso, serial, or none")
+	control := flag.String("control", "prevent", "prevent, detect, 2pl, tso, serial, none, or dist")
 	txns := flag.Int("txns", 24, "number of main transactions (transfers / sessions / modifications / conversations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	partial := flag.Bool("partial", false, "enable breakpoint-granular partial recovery")
@@ -64,6 +76,12 @@ func main() {
 	crashes := flag.Int("crashes", 0, "engine only: inject this many crashes on a WAL-backed store, recovering between rounds")
 	tear := flag.Int("tear", 2, "records torn off the durable tail at each injected crash")
 	errRate := flag.Float64("errrate", 0, "engine only: transient step-error rate in [0,1]")
+	delay := flag.Int64("delay", 5, "dist control: one-hop bus latency in simulated time units")
+	loss := flag.Float64("loss", 0, "dist control: per-message drop probability in [0,1]")
+	reorder := flag.Float64("reorder", 0, "dist control: per-message extra-delay probability in [0,1] (60 extra units, reorders)")
+	partTime := flag.Int64("partition", 0, "dist control: split the processors into two halves at this time (0 = never)")
+	healTime := flag.Int64("heal", 0, "dist control: heal the partition at this time (0 = partition+300)")
+	procFail := flag.Int("procfail", 0, "dist control: crash this many processors in sequence, each rejoining 400 units later")
 	flag.Parse()
 
 	var (
@@ -154,8 +172,19 @@ func main() {
 		}
 	}
 
+	chaosFlags := *loss > 0 || *reorder > 0 || *partTime > 0 || *healTime > 0 || *procFail > 0
+	if *control != "dist" && chaosFlags {
+		fmt.Fprintln(os.Stderr, "mlasim: -loss, -reorder, -partition, -heal, and -procfail apply to -control dist only")
+		os.Exit(2)
+	}
+	if *control == "dist" && *useEngine {
+		fmt.Fprintln(os.Stderr, "mlasim: -control dist is simulator-only (the engine has no message-bus clock)")
+		os.Exit(2)
+	}
+
 	// Controls are volatile: the crash-recovery path builds a fresh one per
 	// round, everything else uses a single instance.
+	var distCtl *dist.Preventer
 	mkCtl := func() sched.Control {
 		switch *control {
 		case "prevent":
@@ -170,6 +199,34 @@ func main() {
 			return sched.NewSerial()
 		case "none":
 			return sched.NewNone()
+		case "dist":
+			procs := sim.DefaultConfig().Processors
+			plan := fault.Plan{
+				Seed:          *seed,
+				NetDropRate:   *loss,
+				NetDelayRate:  *reorder,
+				NetExtraDelay: 60,
+			}
+			if *partTime > 0 {
+				h := *healTime
+				if h == 0 {
+					h = *partTime + 300
+				}
+				plan.Partitions = []fault.Partition{{At: *partTime, Heal: h}}
+			}
+			for i := 0; i < *procFail; i++ {
+				at := int64(150 * (i + 1))
+				plan.ProcCrashes = append(plan.ProcCrashes, fault.ProcCrash{
+					Proc: (i + 1) % procs, At: at, Rejoin: at + 400,
+				})
+			}
+			distCtl = dist.NewNet(n, spec, dist.Params{
+				Procs:  procs,
+				Owner:  sim.OwnerFunc(procs),
+				Delay:  *delay,
+				Faults: fault.New(plan),
+			})
+			return distCtl
 		}
 		fmt.Fprintf(os.Stderr, "mlasim: unknown control %q\n", *control)
 		os.Exit(2)
@@ -262,6 +319,15 @@ func main() {
 		fmt.Printf("aborts:         %d (%d cascades, %d partial, %d stall breaks)\n",
 			res.Stats.Aborts, res.Stats.Cascades, res.Stats.PartialRollbacks, res.Stats.StallBreaks)
 		fmt.Printf("control:        %+v\n", *res.Control)
+		if distCtl != nil {
+			ns := distCtl.NetStats()
+			fmt.Printf("network:        %d sent, %d delivered, %d dropped (%d fault, %d link, %d crash)\n",
+				ns.Sent, ns.Delivered, ns.Dropped+ns.DroppedLink+ns.DroppedCrash,
+				ns.Dropped, ns.DroppedLink, ns.DroppedCrash)
+			fmt.Printf("chaos:          %d stale waits, %d grace aborts, %d crash aborts, %d probe deadlocks, %d retransmits\n",
+				distCtl.StaleWaits, distCtl.GraceAborts, distCtl.CrashAborts,
+				distCtl.ProbeDeadlocks, distCtl.Retransmits)
+		}
 	}
 	report(exec, final)
 

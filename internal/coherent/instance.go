@@ -7,7 +7,6 @@ package coherent
 
 import (
 	"fmt"
-	"sort"
 
 	"mla/internal/breakpoint"
 	"mla/internal/model"
@@ -44,7 +43,7 @@ func NewAbstract(n *nest.Nest, counts map[model.TxnID]int, descs map[model.TxnID
 	for t := range counts {
 		txns = append(txns, t)
 	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	model.SortTxnIDs(txns)
 
 	inst := &Instance{nest: n, txnIdx: make(map[model.TxnID]int)}
 	for _, t := range txns {

@@ -4,26 +4,46 @@
 // them — so a realistic prevention scheduler cannot consult a global,
 // instantaneous picture of every transaction's breakpoint positions.
 //
-// Split of knowledge:
+// The control is structured as per-processor replicas connected by a real
+// (simulated) message bus (internal/net):
 //
 //   - The dependency structure (which steps precede which in the coherent
 //     closure) is derived from entity access orders and migration, and is
 //     maintained exactly — conceptually the control plane that the
-//     migrating transactions themselves carry from processor to processor.
+//     migrating transactions themselves carry from processor to processor,
+//     along with their priorities and incarnation epochs.
 //   - Breakpoint positions and completions of *remote* transactions are
-//     data-plane state learned from asynchronous announcements that take
-//     Delay time units to arrive: each processor holds a stale view of
-//     remote progress and decides with it.
+//     data-plane soft state: each replica holds only its own view table,
+//     learned from boundary and finish messages on the bus, and decides
+//     with it. A processor crash loses this soft state entirely; the
+//     replica rebuilds it by anti-entropy resync when it rejoins.
 //
 // Staleness is safe by construction: the delay rule's wait condition is
 // monotone in the announced boundary position, so a stale view can only
 // under-report boundaries and make the scheduler wait longer — never admit
-// an execution the fresh-view scheduler would reject. The StaleWaits
-// counter measures exactly this cost (waits that a zero-delay view would
-// have granted), and experiment E13 sweeps the announcement delay.
+// an execution the fresh-view scheduler would reject. Every message the
+// replicas exchange preserves that monotonicity (bounds merge by max,
+// finishes are terminal, epochs fence incarnations so rollback-invalidated
+// progress cannot resurrect), which is why arbitrary loss, delay,
+// reordering, partitions, and crashes cost only waits and aborts, never
+// wrong admissions. The StaleWaits counter measures the cost (waits a
+// zero-delay view would have granted); experiments E13 and E18 sweep the
+// delay and the failure space.
 //
-// Deadlock detection uses one waits-for graph across processors — the
-// standard "centralized detector" deployment; its messages are not modeled.
+// Robustness machinery, all replica-local and message-driven:
+//
+//   - Finish announcements, which strand remote waiters if lost, are
+//     delivered by retransmission with capped exponential backoff until
+//     each peer acknowledges; anti-entropy resync covers peers that were
+//     crashed or partitioned through every retransmission.
+//   - A heartbeat failure detector makes each replica suspect silent
+//     peers; once a waiter has been blocked on a transaction sited at a
+//     suspected (or crashed) processor for longer than the grace period,
+//     the waiter is aborted — partitions cost aborts, never eternal hangs.
+//   - Deadlocks local to one processor are caught synchronously; cycles
+//     spanning processors are found by edge-chasing probes forwarded along
+//     waits-for edges, with no global graph anywhere — detection survives
+//     the loss of any single node.
 package dist
 
 import (
@@ -31,169 +51,267 @@ import (
 
 	"mla/internal/breakpoint"
 	"mla/internal/coherent"
+	"mla/internal/fault"
 	"mla/internal/model"
 	"mla/internal/nest"
+	mnet "mla/internal/net"
 	"mla/internal/sched"
 )
 
-// Preventer is the distributed prevention control. It implements
-// sched.Control plus Tick (the simulator's clock hook, used to mature
-// pending announcements).
-type Preventer struct {
-	nest  *nest.Nest
-	spec  breakpoint.Spec
-	k     int
-	owner func(model.EntityID) int
-	procs int
-
-	// Delay is the announcement propagation time in simulator units.
+// Params configures the distributed control. Zero timer fields get
+// defaults derived from Delay so larger announcement latencies do not
+// trip the failure detector spuriously.
+type Params struct {
+	Procs int
+	Owner func(model.EntityID) int
+	// Delay is the bus's one-hop message latency in simulator units.
 	Delay int64
 
-	// AnnounceFault, when non-nil, is consulted once per announcement and
-	// may drop it or add extra latency (see fault.Injector.Announce, the
-	// usual supplier). Dropped or delayed boundary announcements are safe
-	// by the monotone-wait argument: remote processors keep an older view,
-	// which only under-reports boundaries and makes them wait longer.
-	// Finish announcements are never dropped — a committed transaction
-	// whose finish never arrives would leave remote waiters stuck forever
-	// (a liveness failure, not a safety one) — so for them only the extra
-	// delay applies.
-	AnnounceFault func() (drop bool, extra int64)
+	// HeartbeatEvery is the failure detector's broadcast period.
+	HeartbeatEvery int64
+	// SuspectAfter is how long a peer may stay silent before it is
+	// suspected. Must exceed Delay + HeartbeatEvery or live peers flap.
+	SuspectAfter int64
+	// Grace is how long a waiter may stay blocked on a transaction sited
+	// at a suspected or crashed processor before it is aborted.
+	Grace int64
+	// RetransmitEvery is the base finish-retransmission period; the
+	// backoff doubles per round, capped at 16x.
+	RetransmitEvery int64
+	// ProbeAfter is how long a request waits before its replica starts
+	// edge-chasing deadlock probes for it.
+	ProbeAfter int64
+	// ProbeEvery is the re-probe period (probes are unreliable messages;
+	// re-probing makes detection survive loss).
+	ProbeEvery int64
 
-	now      int64
+	// Faults supplies per-message drop/delay verdicts and the scheduled
+	// partition and processor-crash chaos (fault.Plan.Partitions,
+	// fault.Plan.ProcCrashes). Nil means a reliable, failure-free network.
+	Faults *fault.Injector
+	// NetPolicy, when non-nil, overrides Faults for per-message verdicts.
+	// Test seam for scripting exact message fates.
+	NetPolicy mnet.Policy
+}
+
+func (pr Params) withDefaults() Params {
+	if pr.HeartbeatEvery == 0 {
+		pr.HeartbeatEvery = 20
+	}
+	if pr.SuspectAfter == 0 {
+		pr.SuspectAfter = pr.Delay + 3*pr.HeartbeatEvery
+	}
+	if pr.Grace == 0 {
+		pr.Grace = 2 * pr.SuspectAfter
+	}
+	if pr.RetransmitEvery == 0 {
+		pr.RetransmitEvery = 2*pr.Delay + pr.HeartbeatEvery
+	}
+	if pr.ProbeAfter == 0 {
+		pr.ProbeAfter = 2*pr.Delay + pr.HeartbeatEvery
+	}
+	if pr.ProbeEvery == 0 {
+		pr.ProbeEvery = pr.ProbeAfter
+	}
+	return pr
+}
+
+// Preventer is the distributed prevention control: a facade over
+// per-processor replicas that the simulator drives through sched.Control,
+// sched.Ticker (clock), sched.Waker (protocol timers), and
+// sched.AsyncAborter (probe- and failure-detector-initiated aborts).
+type Preventer struct {
+	nest   *nest.Nest
+	spec   breakpoint.Spec
+	k      int
+	params Params
+	owner  func(model.EntityID) int
+	procs  int
+
+	bus  *mnet.Bus
+	reps []*replica
+
+	// Control plane, carried by the migrating transactions themselves:
+	// the exact closure, priorities, incarnation epochs, and the processor
+	// each transaction currently sits at.
 	oc       *coherent.Online
 	prio     map[model.TxnID]int64
-	finished map[model.TxnID]bool
-	active   map[model.TxnID]*dtxn
-	retired  map[model.TxnID]bool // committed; view tables freed once every processor learned the finish
+	epoch    map[model.TxnID]int
+	site     map[model.TxnID]int
+	waitSite map[model.TxnID]int // processor holding t's wait record
 
-	pending []announcement
-	waitFor map[model.TxnID]map[model.TxnID]bool
+	// finishedTruth is the zero-delay ground truth (staleness attribution
+	// and victim filtering only — replicas never consult it to decide).
+	finishedTruth map[model.TxnID]bool
+	// retiredAll marks finishes acknowledged by every processor: the
+	// durable commit-log fact any replica may rely on after pruning its
+	// soft state. Monotone while the transaction stays finished; cleared
+	// if a cascade rolls the finished transaction back.
+	retiredAll map[model.TxnID]bool
 
-	stats      sched.Stats
-	StaleWaits int // waits a zero-delay view would have granted
+	// pendingFinish is the finish-retransmission daemon's state, acting
+	// for the transaction's durable commit coordinator at its origin.
+	pendingFinish map[model.TxnID]*finRec
+
+	// stranded tracks requests addressed to a crashed processor: the step
+	// cannot even be decided there, and after Grace the waiter aborts.
+	stranded map[model.TxnID]*strandRec
+
+	victims map[model.TxnID]bool // asynchronous abort queue
+
+	chaos    []chaosEvent
+	chaosIdx int
+
+	now   int64
+	stats sched.Stats
+
+	StaleWaits     int // waits a zero-delay view would have granted
+	GraceAborts    int // waiters aborted after the unreachability grace period
+	CrashAborts    int // transactions lost with their crashed processor
+	ProbeDeadlocks int // deadlock cycles closed by edge-chasing probes
+	Retransmits    int // finish retransmissions beyond the first round
 }
 
-type dtxn struct {
-	// view[p][lv]: processor p's knowledge of this transaction's latest
-	// boundary position of coarseness ≤ lv. The ground truth lives in the
-	// shared closure (SegmentClosedAfter).
-	view         [][]int
-	viewFinished []bool
+type finRec struct {
+	origin   int
+	epoch    int
+	need     map[int]bool // peers that have not acknowledged yet
+	tries    int
+	nextSend int64
 }
 
-type announcement struct {
-	at       int64
-	txn      model.TxnID
-	bound    []int // per level; nil for a finish announcement
-	finished bool
+type strandRec struct {
+	proc  int
+	since int64
 }
 
-// New creates the distributed control. owner maps entities to processors
-// [0, procs); delay is the announcement latency.
+// New creates the distributed control over a reliable, failure-free
+// network. owner maps entities to processors [0, procs); delay is the
+// one-hop message latency.
 func New(n *nest.Nest, spec breakpoint.Spec, procs int, owner func(model.EntityID) int, delay int64) *Preventer {
+	return NewNet(n, spec, Params{Procs: procs, Owner: owner, Delay: delay})
+}
+
+// NewNet creates the distributed control with full network, failure, and
+// chaos configuration.
+func NewNet(n *nest.Nest, spec breakpoint.Spec, pr Params) *Preventer {
 	if n.K() != spec.K() {
 		panic("dist: nest and breakpoint spec disagree on k")
 	}
-	if procs < 1 {
+	if pr.Procs < 1 {
 		panic("dist: need at least one processor")
 	}
-	return &Preventer{
-		nest:     n,
-		spec:     spec,
-		k:        n.K(),
-		owner:    owner,
-		procs:    procs,
-		Delay:    delay,
-		oc:       coherent.NewOnline(n.K(), n.Level),
-		prio:     make(map[model.TxnID]int64),
-		finished: make(map[model.TxnID]bool),
-		active:   make(map[model.TxnID]*dtxn),
-		retired:  make(map[model.TxnID]bool),
-		waitFor:  make(map[model.TxnID]map[model.TxnID]bool),
+	if pr.Owner == nil {
+		panic("dist: need an entity owner function")
 	}
+	pr = pr.withDefaults()
+	p := &Preventer{
+		nest:          n,
+		spec:          spec,
+		k:             n.K(),
+		params:        pr,
+		owner:         pr.Owner,
+		procs:         pr.Procs,
+		oc:            coherent.NewOnline(n.K(), n.Level),
+		prio:          make(map[model.TxnID]int64),
+		epoch:         make(map[model.TxnID]int),
+		site:          make(map[model.TxnID]int),
+		waitSite:      make(map[model.TxnID]int),
+		finishedTruth: make(map[model.TxnID]bool),
+		retiredAll:    make(map[model.TxnID]bool),
+		pendingFinish: make(map[model.TxnID]*finRec),
+		stranded:      make(map[model.TxnID]*strandRec),
+		victims:       make(map[model.TxnID]bool),
+	}
+	pol := pr.NetPolicy
+	if pol == nil && pr.Faults != nil {
+		inj := pr.Faults
+		pol = func(m mnet.Message) (bool, int64) { return inj.Net(m.Kind.String()) }
+	}
+	p.bus = mnet.New(pr.Procs, pr.Delay, pol)
+	p.bus.OnDeliver(p.receive)
+	p.reps = make([]*replica, pr.Procs)
+	for i := range p.reps {
+		p.reps[i] = newReplica(i, pr.Procs, p.k)
+	}
+	p.buildChaos()
+	return p
 }
 
 // Name implements sched.Control.
-func (p *Preventer) Name() string { return fmt.Sprintf("dist-prevent/d=%d", p.Delay) }
+func (p *Preventer) Name() string { return fmt.Sprintf("dist-prevent/d=%d", p.params.Delay) }
 
-// Tick matures announcements that have arrived by now. The simulator calls
-// it whenever simulated time advances.
-func (p *Preventer) Tick(now int64) {
-	p.now = now
-	kept := p.pending[:0]
-	for _, a := range p.pending {
-		if a.at > now {
-			kept = append(kept, a)
-			continue
-		}
-		d := p.active[a.txn]
-		if d == nil {
-			continue
-		}
-		for proc := 0; proc < p.procs; proc++ {
-			if a.finished {
-				d.viewFinished[proc] = true
-				continue
-			}
-			for lv := 1; lv <= p.k; lv++ {
-				if a.bound[lv] > d.view[proc][lv] {
-					d.view[proc][lv] = a.bound[lv]
-				}
-			}
-		}
-		if a.finished && p.retired[a.txn] {
-			// Every processor now knows the finish: the committed
-			// transaction's view tables can no longer influence any decision
-			// (closedAt treats a missing entry as closed), so free them.
-			delete(p.active, a.txn)
-			delete(p.retired, a.txn)
-		}
-	}
-	p.pending = kept
-}
+// NetStats returns the bus traffic counters.
+func (p *Preventer) NetStats() mnet.Stats { return p.bus.Stats() }
 
-// Begin implements sched.Control.
+// Begin implements sched.Control. Each (re)start bumps the transaction's
+// epoch, fencing every message about the previous incarnation.
 func (p *Preventer) Begin(t model.TxnID, prio int64) {
 	p.prio[t] = prio
-	delete(p.finished, t)
-	d := &dtxn{view: make([][]int, p.procs), viewFinished: make([]bool, p.procs)}
-	for i := range d.view {
-		d.view[i] = make([]int, p.k+1)
-	}
-	p.active[t] = d
+	p.epoch[t]++
+	p.forget(t)
 }
 
-// closedAt: processor proc's (possibly stale) verdict on whether u's step
-// at seq is closed for a level-lv observer.
-func (p *Preventer) closedAt(proc int, u model.TxnID, seq, lv int) bool {
-	d := p.active[u]
-	if d == nil {
+// forget erases all per-transaction state except priority and epoch.
+func (p *Preventer) forget(t model.TxnID) {
+	delete(p.finishedTruth, t)
+	delete(p.retiredAll, t)
+	delete(p.pendingFinish, t)
+	delete(p.stranded, t)
+	delete(p.victims, t)
+	delete(p.site, t)
+	p.clearWait(t)
+	for _, rep := range p.reps {
+		delete(rep.view, t)
+		delete(rep.waiting, t)
+	}
+}
+
+// closedAt: replica rep's (possibly stale, possibly crash-emptied) verdict
+// on whether u's step at seq is closed for a level-lv observer.
+func (p *Preventer) closedAt(rep *replica, u model.TxnID, seq, lv int) bool {
+	if p.retiredAll[u] {
 		return true
 	}
-	if d.viewFinished[proc] {
+	v := rep.view[u]
+	if v == nil || v.epoch != p.epoch[u] {
+		return false // no (current-incarnation) knowledge: assume open
+	}
+	if v.finished {
 		return true
 	}
-	return d.view[proc][lv] >= seq
+	return v.bound[lv] >= seq
 }
 
 // closedTrue is the zero-delay ground truth, used only to attribute waits
 // to staleness.
 func (p *Preventer) closedTrue(u model.TxnID, seq, lv int) bool {
-	if p.finished[u] {
-		return true
-	}
-	if p.active[u] == nil {
+	if p.finishedTruth[u] || p.retiredAll[u] {
 		return true
 	}
 	return p.oc.SegmentClosedAfter(u, seq, lv)
 }
 
 // Request implements sched.Control: the Section 6 delay rule with exact
-// closure predecessors but the owner processor's stale boundary views.
-func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) sched.Decision {
+// closure predecessors but the owner processor's replica-local views. A
+// request addressed to a crashed processor strands (and aborts after the
+// grace period); deadlock cycles local to the owner processor are caught
+// synchronously, cross-processor ones by probes.
+func (p *Preventer) Request(t model.TxnID, seq int, x model.EntityID) sched.Decision {
 	p.stats.Requests++
 	proc := p.owner(x) % p.procs
+	p.site[t] = proc
+	rep := p.reps[proc]
+	if !rep.up {
+		if p.stranded[t] == nil {
+			p.stranded[t] = &strandRec{proc: proc, since: p.now}
+		} else {
+			p.stranded[t].proc = proc
+		}
+		p.stats.Waits++
+		return sched.Decision{Kind: sched.Wait}
+	}
+	delete(p.stranded, t)
 	blockers := make(map[model.TxnID]bool)
 	stale := true
 	for u, s := range p.oc.PredForNewStep(t, x) {
@@ -201,7 +319,7 @@ func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) sched.Decisi
 			continue
 		}
 		lv := p.nest.Level(u, t)
-		if !p.closedAt(proc, u, s, lv) {
+		if !p.closedAt(rep, u, s, lv) {
 			blockers[u] = true
 			if !p.closedTrue(u, s, lv) {
 				stale = false // a fresh view would block too
@@ -209,15 +327,22 @@ func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) sched.Decisi
 		}
 	}
 	if len(blockers) == 0 {
-		delete(p.waitFor, t)
+		p.clearWait(t)
 		p.stats.Grants++
 		return sched.Decision{Kind: sched.Grant}
 	}
 	if stale {
 		p.StaleWaits++
 	}
-	p.waitFor[t] = blockers
-	if cycle := p.cycleThrough(t); len(cycle) > 0 {
+	w := rep.waiting[t]
+	if w == nil || w.seq != seq {
+		p.clearWait(t)
+		w = &waitRec{seq: seq, since: p.now, nextProbe: p.now + p.params.ProbeAfter}
+		rep.waiting[t] = w
+		p.waitSite[t] = proc
+	}
+	w.blockers = blockers
+	if cycle := p.localCycle(rep, t); len(cycle) > 0 {
 		victim := cycle[0]
 		best := p.prioOf(victim)
 		for _, u := range cycle[1:] {
@@ -225,7 +350,7 @@ func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) sched.Decisi
 				victim, best = u, pr
 			}
 		}
-		delete(p.waitFor, t)
+		p.clearWait(t)
 		if victim != t {
 			p.stats.Wounds++
 		}
@@ -242,9 +367,18 @@ func (p *Preventer) prioOf(t model.TxnID) int64 {
 	return -1
 }
 
+// clearWait drops t's wait record wherever it is held.
+func (p *Preventer) clearWait(t model.TxnID) {
+	if q, ok := p.waitSite[t]; ok {
+		delete(p.reps[q].waiting, t)
+		delete(p.waitSite, t)
+	}
+}
+
 // Performed implements sched.Control: the step enters the exact closure;
-// the boundary becomes visible to x's owner immediately and to every other
-// processor after Delay.
+// the new boundary vector is merged into the owner replica's view
+// immediately and broadcast to every peer as an (unreliable) boundary
+// announcement — loss only under-reports progress.
 func (p *Preventer) Performed(t model.TxnID, seq int, x model.EntityID, cut int) {
 	if !p.oc.AddStep(t, x) {
 		panic(fmt.Sprintf("dist: preventer admitted a cyclic step %s on %s", t, x))
@@ -252,14 +386,13 @@ func (p *Preventer) Performed(t model.TxnID, seq int, x model.EntityID, cut int)
 	if cut > 0 {
 		p.oc.AddCut(t, cut)
 	}
-	d := p.active[t]
 	proc := p.owner(x) % p.procs
-	// Ground-truth boundary vector for announcements.
+	p.site[t] = proc
+	// Ground-truth boundary vector for the announcement: the latest
+	// boundary of coarseness ≤ lv is derivable from the closure — position
+	// q is closed for lv iff a boundary ≥ q exists.
 	bound := make([]int, p.k+1)
 	for lv := 1; lv <= p.k; lv++ {
-		// The latest boundary of coarseness ≤ lv is derivable from the
-		// closure: position q is closed for lv iff a boundary ≥ q exists.
-		// Binary-search-free: walk down from seq.
 		for q := seq; q >= 1; q-- {
 			if p.oc.SegmentClosedAfter(t, q, lv) {
 				bound[lv] = q
@@ -267,117 +400,128 @@ func (p *Preventer) Performed(t model.TxnID, seq int, x model.EntityID, cut int)
 			}
 		}
 	}
+	rep := p.reps[proc]
+	if !rep.up {
+		return // processor died under the step; the announcement dies with it
+	}
+	v := rep.viewFor(t, p.epoch[t])
 	for lv := 1; lv <= p.k; lv++ {
-		if bound[lv] > d.view[proc][lv] {
-			d.view[proc][lv] = bound[lv]
+		if bound[lv] > v.bound[lv] {
+			v.bound[lv] = bound[lv]
 		}
 	}
-	drop, extra := false, int64(0)
-	if p.AnnounceFault != nil {
-		drop, extra = p.AnnounceFault()
-	}
-	switch {
-	case drop:
-		// The boundary announcement is lost: only x's owner learned the new
-		// boundary; everyone else decides with the older (smaller) view.
-	case p.Delay == 0 && extra == 0:
-		for q := 0; q < p.procs; q++ {
-			copy(d.view[q], bound)
-		}
-	default:
+	if p.procs > 1 {
 		b := make([]int, p.k+1)
 		copy(b, bound)
-		p.pending = append(p.pending, announcement{at: p.now + p.Delay + extra, txn: t, bound: b})
+		p.bus.Broadcast(mnet.Message{Kind: mnet.Boundary, From: proc, Txn: t, Epoch: p.epoch[t], Bound: b})
 	}
 }
 
-// Finished implements sched.Control.
+// Finished implements sched.Control. The finish is recorded at the origin
+// replica and handed to the retransmission daemon, which resends it with
+// capped backoff until every peer acknowledges; only then is the
+// transaction's soft state pruned everywhere (retire).
 func (p *Preventer) Finished(t model.TxnID) {
-	p.finished[t] = true
-	d := p.active[t]
-	if d == nil {
+	p.finishedTruth[t] = true
+	delete(p.stranded, t)
+	p.clearWait(t)
+	origin, ok := p.site[t]
+	if !ok {
+		origin = 0
+		p.site[t] = 0
+	}
+	ep := p.epoch[t]
+	if rep := p.reps[origin]; rep.up {
+		rep.viewFor(t, ep).finished = true
+	}
+	need := make(map[int]bool, p.procs-1)
+	for q := 0; q < p.procs; q++ {
+		if q != origin {
+			need[q] = true
+		}
+	}
+	if len(need) == 0 {
+		p.retire(t)
 		return
 	}
-	extra := int64(0)
-	if p.AnnounceFault != nil {
-		// Drop is deliberately ignored: finish announcements must arrive.
-		_, extra = p.AnnounceFault()
-	}
-	if p.Delay == 0 && extra == 0 {
-		for q := range d.viewFinished {
-			d.viewFinished[q] = true
-		}
-	} else {
-		p.pending = append(p.pending, announcement{at: p.now + p.Delay + extra, txn: t, finished: true})
-	}
-	delete(p.waitFor, t)
-	for _, m := range p.waitFor {
-		delete(m, t)
+	fr := &finRec{origin: origin, epoch: ep, need: need, nextSend: p.now}
+	p.pendingFinish[t] = fr
+	p.sendFinish(t, fr)
+}
+
+// retire prunes a universally-acknowledged finish: every replica knows the
+// transaction finished, so its view tables can no longer influence any
+// decision and the durable retiredAll fact answers for it from here on.
+func (p *Preventer) retire(t model.TxnID) {
+	p.retiredAll[t] = true
+	delete(p.pendingFinish, t)
+	delete(p.stranded, t)
+	delete(p.site, t)
+	for _, rep := range p.reps {
+		delete(rep.view, t)
 	}
 }
 
-// Retired keeps the closure entries (see sched.Preventer.Retired) but drops
-// the per-processor view tables, which no longer matter once finished:
-// closedAt treats a missing entry as closed, exactly what a committed
-// transaction is at every level. With Delay > 0 the tables must survive
-// until the finish announcement has matured at every processor — freeing
-// them earlier would let a stale view flip from "wait" to "grant" — so
-// Retired marks the transaction and Tick frees it when the announcement
-// lands. Keep finished[t] either way so closedTrue stays correct.
-func (p *Preventer) Retired(t model.TxnID) {
-	if !p.finished[t] {
-		return
-	}
-	d := p.active[t]
-	if d == nil {
-		return
-	}
-	if p.Delay == 0 {
-		delete(p.active, t)
-		return
-	}
-	for _, f := range d.viewFinished {
-		if !f {
-			// The finish announcement is still in flight; Tick collects the
-			// tables when it matures.
-			p.retired[t] = true
-			return
-		}
-	}
-	delete(p.active, t)
-}
+// Retired implements the simulator's optional retirer hook. Memory
+// reclamation here is driven by the finish acknowledgment protocol (see
+// retire), not by commit time, so there is nothing left to do.
+func (p *Preventer) Retired(model.TxnID) {}
 
-// Aborted implements sched.Control.
+// Aborted implements sched.Control. The epoch bump fences every in-flight
+// message about the rolled-back incarnation; replica soft state about the
+// victims is erased synchronously (the rollback is a control-plane event
+// the transactions themselves carry, like Begin).
 func (p *Preventer) Aborted(victims []model.TxnID) {
 	p.stats.Aborts += len(victims)
 	drop := make(map[model.TxnID]bool, len(victims))
 	for _, t := range victims {
 		drop[t] = true
-		delete(p.active, t)
-		delete(p.finished, t)
-		delete(p.retired, t)
-		delete(p.waitFor, t)
+		p.epoch[t]++
+		p.forget(t)
 	}
-	for _, m := range p.waitFor {
-		for t := range drop {
-			delete(m, t)
+	for _, rep := range p.reps {
+		for _, w := range rep.waiting {
+			for t := range drop {
+				delete(w.blockers, t)
+			}
 		}
 	}
-	kept := p.pending[:0]
-	for _, a := range p.pending {
-		if !drop[a.txn] {
-			kept = append(kept, a)
-		}
-	}
-	p.pending = kept
 	p.oc.Rebuild(drop)
 }
 
 // Stats implements sched.Control.
 func (p *Preventer) Stats() *sched.Stats { return &p.stats }
 
-// cycleThrough is a DFS over the waits-for edges (deterministic order).
-func (p *Preventer) cycleThrough(t model.TxnID) []model.TxnID {
+// TakeVictims implements sched.AsyncAborter: transactions the protocol
+// machinery (probes, failure detector, processor crashes) decided to abort
+// since the last drain, sorted for determinism.
+func (p *Preventer) TakeVictims() []model.TxnID {
+	if len(p.victims) == 0 {
+		return nil
+	}
+	out := make([]model.TxnID, 0, len(p.victims))
+	for t := range p.victims {
+		if p.finishedTruth[t] {
+			continue
+		}
+		out = append(out, t)
+	}
+	p.victims = make(map[model.TxnID]bool)
+	model.SortTxnIDs(out)
+	return out
+}
+
+func (p *Preventer) enqueueVictim(t model.TxnID) {
+	if _, began := p.prio[t]; !began || p.finishedTruth[t] || p.retiredAll[t] {
+		return
+	}
+	p.victims[t] = true
+}
+
+// localCycle is a DFS over the waits-for edges recorded at one replica
+// (deterministic order). Cycles spanning replicas have no single holder of
+// all their edges; those are found by probes.
+func (p *Preventer) localCycle(rep *replica, t model.TxnID) []model.TxnID {
 	var path []model.TxnID
 	onPath := map[model.TxnID]bool{}
 	visited := map[model.TxnID]bool{}
@@ -397,14 +541,16 @@ func (p *Preventer) cycleThrough(t model.TxnID) []model.TxnID {
 		visited[u] = true
 		onPath[u] = true
 		path = append(path, u)
-		next := make([]model.TxnID, 0, len(p.waitFor[u]))
-		for v := range p.waitFor[u] {
-			next = append(next, v)
-		}
-		sortIDs(next)
-		for _, v := range next {
-			if c := dfs(v); c != nil {
-				return c
+		if w := rep.waiting[u]; w != nil {
+			next := make([]model.TxnID, 0, len(w.blockers))
+			for v := range w.blockers {
+				next = append(next, v)
+			}
+			model.SortTxnIDs(next)
+			for _, v := range next {
+				if c := dfs(v); c != nil {
+					return c
+				}
 			}
 		}
 		onPath[u] = false
@@ -412,12 +558,4 @@ func (p *Preventer) cycleThrough(t model.TxnID) []model.TxnID {
 		return nil
 	}
 	return dfs(t)
-}
-
-func sortIDs(ids []model.TxnID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }

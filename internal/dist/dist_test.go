@@ -101,14 +101,15 @@ func TestStalenessCostsWaits(t *testing.T) {
 }
 
 // TestStaleViewDelaysGrant drives the control directly: a boundary that
-// would admit a peer is invisible at a remote processor until the
-// announcement matures, and visible immediately at the owner.
+// would admit a peer is visible immediately at the entity's owner replica
+// and invisible at a remote replica until the announcement matures on the
+// bus — and the resulting wait is attributed to staleness.
 func TestStaleViewDelaysGrant(t *testing.T) {
 	n := nest.New(3)
 	n.Add("t1", "g")
 	n.Add("t2", "g") // level(t1,t2) = 2
 	spec := breakpoint.Uniform{Levels: 3, C: 2}
-	// Two "processors": x is owned by 0, y by 1.
+	// Two processors: x lives at 0, y at 1.
 	owner := func(e model.EntityID) int {
 		if e == "x" {
 			return 0
@@ -122,34 +123,33 @@ func TestStaleViewDelaysGrant(t *testing.T) {
 	if d := c.Request("t1", 1, "x"); d.Kind != sched.Grant {
 		t.Fatal("fresh entity must grant")
 	}
-	// A level-2 boundary after the step: the owner of x sees it at once.
+	// A level-2 boundary after the step: the owner replica sees it at once,
+	// the remote replica only when the broadcast matures.
 	c.Performed("t1", 1, "x", 2)
+	if v := c.reps[0].view["t1"]; v == nil || v.bound[2] != 1 {
+		t.Fatal("owner replica must learn its own boundary immediately")
+	}
+	if v := c.reps[1].view["t1"]; v != nil && v.bound[2] != 0 {
+		t.Fatal("remote replica saw the boundary before the announcement matured")
+	}
 	if d := c.Request("t2", 1, "x"); d.Kind != sched.Grant {
 		t.Fatal("owner processor sees the boundary immediately")
 	}
 	c.Performed("t2", 1, "x", 2)
-	// t1 now works on y (processor 1); its boundary announcement for the
-	// x-step already matured... drive a second boundary: t1 steps on y with
-	// a level-2 cut, then t2 asks for y — processor 1 saw it at once.
-	if d := c.Request("t1", 2, "y"); d.Kind != sched.Grant {
-		t.Fatal("t1 on y should grant (t2's x-boundary is level-2, owner is 0; y's owner view matures later)")
+	// t2 moves on to y at processor 1, whose replica has not yet heard
+	// t1's boundary: the request waits, and only because of staleness.
+	if d := c.Request("t2", 2, "y"); d.Kind != sched.Wait {
+		t.Fatalf("remote processor should wait on the unmatured announcement, got %v", d.Kind)
 	}
-	c.Performed("t1", 2, "y", 2)
-	if d := c.Request("t2", 2, "y"); d.Kind != sched.Grant {
-		t.Fatal("y's owner sees t1's boundary immediately")
+	if c.StaleWaits == 0 {
+		t.Error("the wait was caused purely by staleness and must be attributed")
 	}
-	c.Performed("t2", 2, "y", 2)
-	// Now make t2 touch x again: x's owner (0) must wait for the
-	// announcement of t1's y-boundary... t1's last access to x was seq 1
-	// with a boundary already known at 0, so this grants; instead check the
-	// staleness path explicitly via view tables.
-	d1 := c.active["t1"]
-	if d1.view[0][2] >= 2 && c.Delay > 0 {
-		t.Fatal("processor 0 should not yet know t1's seq-2 boundary")
-	}
-	c.Tick(100) // mature announcements
-	if d1.view[0][2] < 2 {
+	c.Tick(50) // announcements mature
+	if v := c.reps[1].view["t1"]; v == nil || v.bound[2] != 1 {
 		t.Fatal("announcement did not mature")
+	}
+	if d := c.Request("t2", 2, "y"); d.Kind != sched.Grant {
+		t.Fatal("matured boundary must admit the remote request")
 	}
 }
 
@@ -163,12 +163,12 @@ func TestNewValidation(t *testing.T) {
 	New(wl.Nest, wl.Spec, 0, sim.OwnerFunc(1), 0)
 }
 
-// TestRetiredFreesViewTablesAfterDelay pins the Retired memory-leak fix:
-// with Delay > 0 a committed transaction's per-processor view tables must
-// be freed once the matured finish announcement has reached every
-// processor — and not a tick earlier, since a stale view may only
-// under-report progress, never over-report it.
-func TestRetiredFreesViewTablesAfterDelay(t *testing.T) {
+// TestFinishAckRetiresViewTables pins the soft-state reclamation protocol:
+// a finished transaction's replica views are pruned only once every peer
+// has acknowledged the finish — the round-trip of the finish message and
+// its ack at the configured latency — and not a tick earlier, since until
+// the ack the origin cannot know the peer learned the finish.
+func TestFinishAckRetiresViewTables(t *testing.T) {
 	n := nest.New(3)
 	n.Add("t1", "g")
 	n.Add("t2", "g")
@@ -182,32 +182,48 @@ func TestRetiredFreesViewTablesAfterDelay(t *testing.T) {
 	c.Performed("t1", 1, "x", 2)
 	c.Finished("t1")
 	c.Retired("t1")
-	// The finish announcement is still in flight: the tables must survive.
-	if c.active["t1"] == nil {
-		t.Fatal("view tables freed before the finish announcement matured")
+	// The finish is still in flight to processor 1: state must survive.
+	if c.retiredAll["t1"] {
+		t.Fatal("retired before the peer acknowledged the finish")
 	}
-	c.Tick(10) // not yet matured
-	if c.active["t1"] == nil {
-		t.Fatal("view tables freed while the announcement was still in flight")
+	if c.reps[0].view["t1"] == nil || !c.reps[0].view["t1"].finished {
+		t.Fatal("origin replica must record the finish at once")
 	}
-	c.Tick(60) // matured at every processor
-	if c.active["t1"] != nil {
-		t.Fatal("view tables leaked after the finish announcement matured everywhere")
+	c.Tick(49)
+	if c.retiredAll["t1"] {
+		t.Fatal("retired while the finish was still in flight")
 	}
-	// A later transaction still sees t1 as closed (finished ⇒ closed).
+	c.Tick(50) // finish delivered at peer; ack now in flight back
+	if c.retiredAll["t1"] {
+		t.Fatal("retired before the ack returned")
+	}
+	if v := c.reps[1].view["t1"]; v == nil || !v.finished {
+		t.Fatal("peer replica must record the delivered finish")
+	}
+	c.Tick(100) // ack delivered: all peers known reached
+	if !c.retiredAll["t1"] {
+		t.Fatal("not retired after the full finish/ack round-trip")
+	}
+	if c.reps[0].view["t1"] != nil || c.reps[1].view["t1"] != nil {
+		t.Fatal("view tables leaked after retirement")
+	}
+	if c.pendingFinish["t1"] != nil {
+		t.Fatal("retransmission record leaked after retirement")
+	}
+	// A later transaction still sees t1 as closed (retired ⇒ closed).
 	c.Begin("t2", 2)
 	if d := c.Request("t2", 1, "x"); d.Kind != sched.Grant {
-		t.Fatal("committed transactions must impose no constraints")
+		t.Fatal("retired transactions must impose no constraints")
 	}
 
-	// Zero delay frees immediately on Retired.
+	// Zero latency: the finish/ack round-trip completes inline, so the
+	// transaction retires during Finished itself.
 	c0 := New(n, spec, 2, func(model.EntityID) int { return 0 }, 0)
 	c0.Begin("t1", 1)
 	c0.Request("t1", 1, "x")
 	c0.Performed("t1", 1, "x", 2)
 	c0.Finished("t1")
-	c0.Retired("t1")
-	if c0.active["t1"] != nil {
-		t.Fatal("zero-delay Retired must free the view tables at once")
+	if !c0.retiredAll["t1"] || c0.reps[0].view["t1"] != nil {
+		t.Fatal("zero-latency finish must retire inline")
 	}
 }

@@ -33,9 +33,17 @@ func TestKMismatchPanics(t *testing.T) {
 	New(n, breakpoint.Uniform{Levels: 2, C: 2}, 1, sim.OwnerFunc(1), 0)
 }
 
+// TestDeadlockDetectionAcrossProcessors: a cycle whose edges live at
+// different processors is invisible to any single replica, so no Request
+// can answer Abort synchronously. Edge-chasing probes must find it: each
+// blocked replica periodically launches a probe along its waits-for edges,
+// the probe hops to the processor where the blocker is sited, and a probe
+// that returns to its initiator closes the cycle and aborts the youngest
+// transaction seen on the path.
 func TestDeadlockDetectionAcrossProcessors(t *testing.T) {
-	// A genuine cross-processor deadlock: t1 holds x (proc 0) and wants y
-	// (proc 1); t2 holds y and wants x. No breakpoints, level 1.
+	// t1 holds x (proc 0) and wants y (proc 1); t2 holds y and wants x.
+	// With k=2 and no shared group, level(t1,t2)=1: each must wait for the
+	// other to finish.
 	n := nest.New(2)
 	n.Add("t1")
 	n.Add("t2")
@@ -47,6 +55,7 @@ func TestDeadlockDetectionAcrossProcessors(t *testing.T) {
 		return 1
 	}
 	c := New(n, spec, 2, owner, 10)
+	c.Tick(0)
 	c.Begin("t1", 1)
 	c.Begin("t2", 2)
 	if d := c.Request("t1", 1, "x"); d.Kind != sched.Grant {
@@ -57,18 +66,29 @@ func TestDeadlockDetectionAcrossProcessors(t *testing.T) {
 		t.Fatal("t2 y")
 	}
 	c.Performed("t2", 1, "y", 2)
-	// With k=2, level(t1,t2)=1: each must wait for the other to finish.
 	if d := c.Request("t1", 2, "y"); d.Kind != sched.Wait {
 		t.Fatalf("t1 on y: %v", d.Kind)
 	}
-	d := c.Request("t2", 2, "x")
-	if d.Kind != sched.Abort {
-		t.Fatalf("t2 on x should close the deadlock, got %v", d.Kind)
+	// The closing edge is at processor 0, but t1's wait record lives at
+	// processor 1: no replica sees the whole cycle, so the answer is Wait,
+	// not a synchronous Abort.
+	if d := c.Request("t2", 2, "x"); d.Kind != sched.Wait {
+		t.Fatalf("t2 on x: got %v, want Wait (cycle spans processors)", d.Kind)
 	}
-	if len(d.Victims) != 1 || d.Victims[0] != "t2" {
-		t.Errorf("victim = %v, want the youngest (t2)", d.Victims)
+	// Drive the clock: probes launch after ProbeAfter, chase the cycle,
+	// and surface the victim through the async abort queue.
+	var victims []model.TxnID
+	for now := int64(1); now <= 500 && len(victims) == 0; now += 5 {
+		c.Tick(now)
+		victims = append(victims, c.TakeVictims()...)
 	}
-	c.Aborted(d.Victims)
+	if len(victims) != 1 || victims[0] != "t2" {
+		t.Fatalf("victims = %v, want the youngest (t2)", victims)
+	}
+	if c.ProbeDeadlocks == 0 {
+		t.Error("probe deadlock counter not incremented")
+	}
+	c.Aborted(victims)
 	// t1 can proceed after the rollback.
 	if d := c.Request("t1", 2, "y"); d.Kind != sched.Grant {
 		t.Fatalf("t1 on y after rollback: %v", d.Kind)

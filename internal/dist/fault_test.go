@@ -9,14 +9,15 @@ import (
 	"mla/internal/fault"
 	"mla/internal/model"
 	"mla/internal/nest"
+	mnet "mla/internal/net"
 	"mla/internal/sim"
 )
 
-// TestAnnounceFaultDropAndDelay drives the control directly: a dropped
-// boundary announcement leaves the remote processor's view stale (the owner
-// still learns its own boundary), a delayed one matures after the extra
-// latency, and a finish announcement is delayed but never dropped.
-func TestAnnounceFaultDropAndDelay(t *testing.T) {
+// TestNetFaultDropAndDelay drives the control directly through a scripted
+// network policy: a dropped boundary announcement leaves the remote
+// replica's view stale (the owner replica still learns its own boundary);
+// a delayed one matures after the extra latency, even at Delay 0.
+func TestNetFaultDropAndDelay(t *testing.T) {
 	n := nest.New(3)
 	n.Add("t1", "g")
 	n.Add("t2", "g")
@@ -27,55 +28,54 @@ func TestAnnounceFaultDropAndDelay(t *testing.T) {
 		}
 		return 1
 	}
-	c := New(n, spec, 2, owner, 0)
 	drop, extra := true, int64(0)
-	c.AnnounceFault = func() (bool, int64) { return drop, extra }
+	c := NewNet(n, spec, Params{
+		Procs: 2, Owner: owner, Delay: 0,
+		NetPolicy: func(m mnet.Message) (bool, int64) {
+			if m.Kind != mnet.Boundary {
+				return false, 0
+			}
+			return drop, extra
+		},
+	})
 	c.Tick(0)
 	c.Begin("t1", 1)
 	c.Request("t1", 1, "x")
 	c.Performed("t1", 1, "x", 2)
-	d1 := c.active["t1"]
-	if d1.view[0][2] != 1 {
-		t.Fatalf("owner view = %d, want 1 (the owner learns its own boundary)", d1.view[0][2])
+	if v := c.reps[0].view["t1"]; v == nil || v.bound[2] != 1 {
+		t.Fatal("owner replica must learn its own boundary despite the drop")
 	}
-	if d1.view[1][2] != 0 {
-		t.Fatalf("remote view = %d, want 0 (the announcement was dropped)", d1.view[1][2])
+	if c.reps[1].view["t1"] != nil {
+		t.Fatal("dropped announcement must not reach the remote replica")
+	}
+	if c.NetStats().Dropped == 0 {
+		t.Fatal("policy drop not accounted")
 	}
 
-	// A delayed (not dropped) announcement matures after the extra latency,
-	// even at Delay 0.
+	// A delayed (not dropped) announcement matures after the extra
+	// latency, even at Delay 0.
 	drop, extra = false, 30
 	c.Request("t1", 2, "x")
 	c.Performed("t1", 2, "x", 2)
-	if d1.view[1][2] != 0 {
+	if v := c.reps[1].view["t1"]; v != nil && v.bound[2] != 0 {
 		t.Fatal("delayed announcement arrived instantly")
 	}
 	c.Tick(29)
-	if d1.view[1][2] != 0 {
+	if v := c.reps[1].view["t1"]; v != nil && v.bound[2] != 0 {
 		t.Fatal("announcement matured early")
 	}
 	c.Tick(30)
-	if d1.view[1][2] != 2 {
-		t.Fatalf("remote view = %d after maturation, want 2", d1.view[1][2])
-	}
-
-	// Finish announcements ignore the drop verdict — only the delay applies.
-	drop, extra = true, 40
-	c.Finished("t1")
-	if d1.viewFinished[0] || d1.viewFinished[1] {
-		t.Fatal("finish arrived instantly despite the extra delay")
-	}
-	c.Tick(70) // now(30) + extra(40)
-	if !d1.viewFinished[0] || !d1.viewFinished[1] {
-		t.Fatal("finish announcement must always arrive (liveness)")
+	if v := c.reps[1].view["t1"]; v == nil || v.bound[2] != 2 {
+		t.Fatal("delayed announcement never matured")
 	}
 }
 
-// TestAnnounceFaultSoundness: with announcements randomly dropped and
-// delayed by the fault injector, the distributed preventer still admits
-// only Theorem-2-correctable executions and preserves every banking
-// invariant — message loss can cost waits, never correctness.
-func TestAnnounceFaultSoundness(t *testing.T) {
+// TestNetFaultSoundness: with every kind of bus message randomly dropped
+// and delayed by the seeded fault injector, the distributed preventer
+// still admits only Theorem-2-correctable executions and preserves every
+// banking invariant — message loss can cost waits and aborts, never
+// correctness.
+func TestNetFaultSoundness(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		p := bank.DefaultParams()
 		p.Transfers = 14
@@ -85,30 +85,27 @@ func TestAnnounceFaultSoundness(t *testing.T) {
 		wl := bank.Generate(p)
 		cfg := sim.DefaultConfig()
 		inj := fault.New(fault.Plan{
-			Seed:               seed,
-			AnnounceDropRate:   0.3,
-			AnnounceDelayRate:  0.3,
-			AnnounceExtraDelay: 40,
+			Seed:          seed,
+			NetDropRate:   0.3,
+			NetDelayRate:  0.3,
+			NetExtraDelay: 40,
 		})
-		c := New(wl.Nest, wl.Spec, cfg.Processors, sim.OwnerFunc(cfg.Processors), 10)
-		drops := 0
-		c.AnnounceFault = func() (bool, int64) {
-			d, e := inj.Announce()
-			if d {
-				drops++
-			}
-			return d, e
-		}
+		c := NewNet(wl.Nest, wl.Spec, Params{
+			Procs: cfg.Processors,
+			Owner: sim.OwnerFunc(cfg.Processors),
+			Delay: 10,
+			Faults: inj,
+		})
 		res, err := sim.Run(cfg, wl.Programs, c, wl.Spec, wl.Init)
 		if err != nil {
 			t.Fatalf("seed=%d: %v", seed, err)
 		}
-		if drops == 0 {
+		if c.NetStats().Dropped == 0 {
 			t.Errorf("seed=%d: a 30%% drop rate dropped nothing", seed)
 		}
 		inv := wl.Check(res.Exec, res.Final)
 		if !inv.ConservationOK {
-			t.Errorf("seed=%d: money not conserved under lossy announcements", seed)
+			t.Errorf("seed=%d: money not conserved under lossy messaging", seed)
 		}
 		if inv.AuditsInexact > 0 {
 			t.Errorf("seed=%d: inexact audits", seed)

@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -572,7 +571,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 	for id := range set {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	model.SortTxnIDs(ids)
 	for _, id := range ids {
 		t := e.txns[id]
 		t.attempt++
@@ -640,7 +639,7 @@ func (e *engine) tryCommitLocked() {
 	for id := range inS {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	model.SortTxnIDs(ids)
 	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
 	now := time.Now()
 	// One store call for the whole group: members may have observed each

@@ -84,12 +84,57 @@ type Plan struct {
 	// AnnounceExtraDelay is the extra latency applied to delayed
 	// announcements, in simulator time units.
 	AnnounceExtraDelay int64
+
+	// NetDropRate is the probability that an individual bus message of the
+	// distributed control (boundary, finish, ack, heartbeat, probe, or sync
+	// traffic — see internal/net) is lost. Loss is safe end to end:
+	// boundary announcements only under-report remote progress, finishes
+	// are retransmitted until acknowledged, and heartbeat loss at worst
+	// makes the failure detector suspect a live peer — which costs aborts,
+	// never wrong admissions.
+	NetDropRate float64
+
+	// NetDelayRate is the probability that a bus message takes
+	// NetExtraDelay additional time units — enough extra reorders it
+	// behind later traffic.
+	NetDelayRate float64
+
+	// NetExtraDelay is the extra latency applied to delayed bus messages.
+	NetExtraDelay int64
+
+	// Partitions are named network partitions applied on the simulated
+	// clock by the distributed control's chaos harness (internal/dist).
+	Partitions []Partition
+
+	// ProcCrashes are processor crash windows: at At the processor loses
+	// its volatile scheduler state (views, wait records, and the
+	// transactions resident on it); at Rejoin it comes back empty and
+	// rebuilds its views by anti-entropy resync from its peers.
+	ProcCrashes []ProcCrash
+}
+
+// Partition describes one named partition window. While active, processors
+// on different sides cannot exchange any message.
+type Partition struct {
+	Name  string
+	At    int64
+	Heal  int64   // 0 = never heals
+	Sides [][]int // processor groups; empty = split into two halves
+}
+
+// ProcCrash describes one processor crash window.
+type ProcCrash struct {
+	Proc   int
+	At     int64
+	Rejoin int64 // 0 = stays down forever
 }
 
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
 	return len(p.CrashAppends) > 0 || p.CrashAfter > 0 || p.StepErrorRate > 0 ||
-		p.AnnounceDropRate > 0 || p.AnnounceDelayRate > 0
+		p.AnnounceDropRate > 0 || p.AnnounceDelayRate > 0 ||
+		p.NetDropRate > 0 || p.NetDelayRate > 0 ||
+		len(p.Partitions) > 0 || len(p.ProcCrashes) > 0
 }
 
 // Crashes returns the total number of crashes the plan can inject — the
@@ -112,6 +157,7 @@ type Injector struct {
 	crashIdx  int  // next unfired entry of plan.CrashAppends
 	wallArmed bool // CrashAfter not yet handed out
 	announceN int64
+	netN      map[string]int64 // per-kind bus message counters
 }
 
 // New builds an injector for the plan.
@@ -119,7 +165,7 @@ func New(p Plan) *Injector {
 	crashes := append([]int64(nil), p.CrashAppends...)
 	sort.Slice(crashes, func(i, j int) bool { return crashes[i] < crashes[j] })
 	p.CrashAppends = crashes
-	return &Injector{plan: p, wallArmed: p.CrashAfter > 0}
+	return &Injector{plan: p, wallArmed: p.CrashAfter > 0, netN: make(map[string]int64)}
 }
 
 // Plan returns the injector's plan (crash points sorted).
@@ -190,10 +236,32 @@ func (i *Injector) StepError(t model.TxnID, seq, attempt, try int) error {
 	return &TransientError{Txn: t, Seq: seq, Try: try}
 }
 
+// Net decides the fate of one bus message of the given kind: dropped, or
+// delivered with extra latency (which reorders it past later traffic).
+// Deterministic in (seed, kind, per-kind counter), so equal plans driving
+// equal message sequences make identical decisions.
+func (i *Injector) Net(kind string) (drop bool, extra int64) {
+	if i == nil || (i.plan.NetDropRate <= 0 && i.plan.NetDelayRate <= 0) {
+		return false, 0
+	}
+	i.mu.Lock()
+	n := i.netN[kind]
+	i.netN[kind] = n + 1
+	i.mu.Unlock()
+	key := fmt.Sprintf("net/%s/%d", kind, n)
+	if i.coin(i.plan.NetDropRate, "drop/"+key) {
+		return true, 0
+	}
+	if i.coin(i.plan.NetDelayRate, "delay/"+key) {
+		return false, i.plan.NetExtraDelay
+	}
+	return false, 0
+}
+
 // Announce decides the fate of the next distributed announcement: dropped
-// entirely, or delivered with extra delay. The caller distinguishes
-// boundary from finish announcements (finishes must never be dropped —
-// see dist.Preventer.AnnounceFault).
+// entirely, or delivered with extra delay. Legacy single-table knob — the
+// bus-backed distributed control uses Net instead, where a dropped finish
+// is recovered by retransmission rather than forbidden.
 func (i *Injector) Announce() (drop bool, extra int64) {
 	if i == nil {
 		return false, 0

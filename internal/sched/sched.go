@@ -83,6 +83,32 @@ type Control interface {
 	Stats() *Stats
 }
 
+// Ticker is implemented by controls that track simulated time. The
+// simulator calls Tick with the current time before dispatching each event,
+// and additionally at every instant a Waker asked for.
+type Ticker interface {
+	Tick(now int64)
+}
+
+// Waker is implemented by controls that need Tick calls even when no
+// workload event is scheduled — message deliveries, retransmission timers,
+// heartbeats. NextWake returns the earliest future instant the control
+// wants a Tick, or 0 for none; the simulator schedules a synthetic event
+// there and re-offers waiting requests afterwards.
+type Waker interface {
+	NextWake(now int64) int64
+}
+
+// AsyncAborter is implemented by controls that decide aborts outside
+// Request — probe-based deadlock detection, failure-detector escalation.
+// The harness drains TakeVictims after every Tick and rolls the victims
+// back through the normal dependency-closed Aborted path, so the Stats
+// accounting contract below is unchanged: the victims are counted once
+// each, inside Aborted.
+type AsyncAborter interface {
+	TakeVictims() []model.TxnID
+}
+
 // Stats counts control decisions. Every control — including dist.Preventer
 // — implements one accounting contract so counters are comparable across
 // controls and consistent with the harness's own rollback counts:

@@ -114,6 +114,7 @@ const (
 	evArrive evKind = iota // the transaction's next step request reaches the entity's owner
 	evDone                 // the current step's service time elapsed
 	evBegin                // transaction (re)starts
+	evTick                 // control wake-up (sched.Waker): deliver messages, run protocol timers
 )
 
 type event struct {
@@ -205,6 +206,8 @@ type Runner struct {
 
 	offering     bool // reentrancy guard for offerWaiters
 	offerPending bool
+
+	wakeAt int64 // earliest queued evTick, 0 = none (sched.Waker controls)
 
 	stallCommits  int // commit count at the last stall break
 	stallEscalate int // stall breaks since the last commit
@@ -307,11 +310,32 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("sim: exceeded MaxTime=%d with %d transactions incomplete", r.cfg.MaxTime, r.incomplete())
 		}
 		r.now = ev.time
-		if tk, ok := r.control.(interface{ Tick(int64) }); ok {
+		if tk, ok := r.control.(sched.Ticker); ok {
 			tk.Tick(r.now)
+			// Controls with asynchronous detection (probe-based deadlock
+			// chasing, failure-detector escalation) surface their victims
+			// here; the rollback runs through the normal dependency-closed
+			// abort path, so accounting and cascades are identical to
+			// decision-time aborts.
+			if aa, ok := r.control.(sched.AsyncAborter); ok {
+				if victims := aa.TakeVictims(); len(victims) > 0 {
+					r.abort(victims, false)
+				}
+			}
+		}
+		if ev.kind == evTick {
+			if ev.time >= r.wakeAt {
+				r.wakeAt = 0
+			}
+			// Message deliveries and timer escalations can unblock waiters
+			// without any workload event, so re-offer here.
+			r.offerWaiters()
+			r.scheduleWake()
+			continue
 		}
 		t := r.txns[ev.txn]
 		if ev.attempt != t.attempt {
+			r.scheduleWake()
 			continue // stale event from a rolled-back attempt
 		}
 		switch ev.kind {
@@ -346,8 +370,32 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		case evDone:
 			r.stepDone(ev.txn)
 		}
+		r.scheduleWake()
 	}
 	return r.result(), nil
+}
+
+// scheduleWake queues a synthetic evTick at the control's next requested
+// wake-up instant (sched.Waker): pending message deliveries, heartbeat and
+// retransmission timers. Only the earliest wake is kept armed; stale queued
+// ticks cost one idempotent Tick call and nothing else.
+func (r *Runner) scheduleWake() {
+	w, ok := r.control.(sched.Waker)
+	if !ok {
+		return
+	}
+	at := w.NextWake(r.now)
+	if at <= 0 {
+		return
+	}
+	if at <= r.now {
+		at = r.now + 1
+	}
+	if r.wakeAt > r.now && r.wakeAt <= at {
+		return // an earlier-or-equal wake is already queued
+	}
+	r.wakeAt = at
+	r.push(at, evTick, -1, 0)
 }
 
 func (r *Runner) incomplete() int {
@@ -501,7 +549,7 @@ func (r *Runner) tryCommit() {
 	for id := range inS {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	model.SortTxnIDs(ids)
 	r.commitGroups = append(r.commitGroups, len(ids))
 	// Group members may have observed each other's values (commitment
 	// chaining, paper Section 6), so a durable store must make the whole
@@ -634,7 +682,7 @@ func (r *Runner) abort(victims []model.TxnID, stall bool) {
 	for id := range keep {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	model.SortTxnIDs(ids)
 	var fullIDs []model.TxnID
 	rank := 0
 	for _, id := range ids {

@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"mla/internal/breakpoint"
 	"mla/internal/coherent"
@@ -60,7 +59,7 @@ func Encode(w io.Writer, e model.Execution, n *nest.Nest, spec breakpoint.Spec, 
 	for t := range perTxn {
 		txns = append(txns, t)
 	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	model.SortTxnIDs(txns)
 	for _, t := range txns {
 		if !n.Has(t) {
 			return fmt.Errorf("trace: transaction %s missing from nest", t)
@@ -123,7 +122,7 @@ func Decode(r io.Reader) (*Decoded, error) {
 	for t := range f.Nest {
 		txns = append(txns, t)
 	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	model.SortTxnIDs(txns)
 	for _, t := range txns {
 		path := f.Nest[t]
 		if len(path) != f.K-2 {
