@@ -3,8 +3,12 @@
 // Usage:
 //
 //	mlabench [-exp E5] [-scale 2] [-seed 1]
+//	mlabench -perf [-out BENCH_4.json] [-quick]
 //
-// Without -exp it runs the full suite E1..E18.
+// Without -exp it runs the full suite E1..E19. With -perf it runs the
+// engine performance sweep (E19's harness) instead, prints the table, and
+// writes the JSON report; it exits nonzero if the optimized engine paths
+// changed any commit outcome relative to the unoptimized ones.
 package main
 
 import (
@@ -19,15 +23,37 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run only this experiment (E1..E18)")
+	exp := flag.String("exp", "", "run only this experiment (E1..E19)")
 	scale := flag.Int("scale", 2, "workload scale multiplier (1 = quick)")
 	seed := flag.Int64("seed", 1, "random seed")
 	markdown := flag.Bool("md", false, "render tables as markdown")
+	perf := flag.Bool("perf", false, "run the engine performance sweep and write the JSON report")
+	out := flag.String("out", "BENCH_4.json", "output path for the -perf JSON report")
+	quick := flag.Bool("quick", false, "-perf: smaller workloads, GOMAXPROCS {1,8} only")
 	flag.Parse()
 
 	// ^C cancels the in-flight simulation and skips the rest of the suite.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+
+	if *perf {
+		rep, err := bench.PerfRun(ctx, bench.PerfOptions{Seed: *seed, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Render(os.Stdout)
+		if err := rep.WriteJSON(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: perf: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (hotspot speedup %.2fx at max procs)\n", *out, rep.HotspotSpeedup)
+		if !rep.EquivalenceOK {
+			fmt.Fprintln(os.Stderr, "mlabench: perf: EQUIVALENCE FAILED — optimized paths changed commit outcomes")
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed, Context: ctx}
 	failed := 0

@@ -1,0 +1,327 @@
+// Perf is the engine performance harness behind `mlabench -perf` and E19:
+// it runs hot-spot and low-contention increment workloads on the real
+// concurrent engine in two configurations —
+//
+//   - baseline: the "unoptimized path" — wound-wait 2PL over a SINGLE lock
+//     stripe, commits made durable one group at a time with a device sync
+//     each, performed under the engine mutex;
+//   - optimized: the tentpole — 16 lock stripes with Request outside the
+//     engine mutex, commits batched by the WAL group-commit pipeline with
+//     one sync per flush, acknowledged off the engine's critical path;
+//
+// sweeping GOMAXPROCS, and measuring throughput, commit-latency order
+// statistics, device syncs per commit, and allocations per transaction.
+// The device is simulated with a fixed per-sync delay (a fast SSD's fsync)
+// so durability cost is explicit and identical for both configurations.
+//
+// Safety is asserted, not assumed: the workloads are commutative
+// (increments), so every schedule that commits all transactions must reach
+// the same final state. Each run is checked against the arithmetically
+// expected values and against its sibling configuration at the equal seed;
+// any divergence fails the report (EquivalenceOK=false), which `mlabench
+// -perf` and the nightly perf job turn into a nonzero exit.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mla/internal/engine"
+	"mla/internal/metrics"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/wal"
+)
+
+// perfSyncDelay simulates the device's per-sync latency; perfFlushEvery is
+// the pipeline's flush window (must comfortably exceed the sync delay so
+// flushes never queue behind each other).
+const (
+	perfSyncDelay  = 300 * time.Microsecond
+	perfFlushEvery = 400 * time.Microsecond
+)
+
+// perfProg increments each of its entities once, in order. Increments
+// commute, which is what makes cross-configuration equivalence checkable
+// on a nondeterministic engine: any schedule committing every program
+// yields exactly init + per-entity increment counts.
+type perfProg struct {
+	id   model.TxnID
+	ents []model.EntityID
+}
+
+func (p *perfProg) ID() model.TxnID       { return p.id }
+func (p *perfProg) Init() model.ProgState { return perfState{p: p} }
+
+type perfState struct {
+	p   *perfProg
+	idx int
+}
+
+func (s perfState) Next() (model.EntityID, bool) {
+	if s.idx < len(s.p.ents) {
+		return s.p.ents[s.idx], true
+	}
+	return "", false
+}
+
+func (s perfState) Apply(v model.Value) (model.Value, string, model.ProgState) {
+	return v + 1, "inc", perfState{p: s.p, idx: s.idx + 1}
+}
+
+// perfWorkload is one generated workload plus its schedule-independent
+// expected outcome.
+type perfWorkload struct {
+	name  string
+	progs []model.Program
+	init  map[model.EntityID]model.Value
+	want  map[model.EntityID]model.Value
+}
+
+// genPerfWorkload strides txns of k steps over the given entity count: a
+// small count makes a hot spot (every transaction collides), a large one
+// leaves only incidental overlap between neighbours.
+func genPerfWorkload(name string, txns, k, entities int) perfWorkload {
+	w := perfWorkload{
+		name: name,
+		init: make(map[model.EntityID]model.Value),
+		want: make(map[model.EntityID]model.Value),
+	}
+	for e := 0; e < entities; e++ {
+		x := model.EntityID(fmt.Sprintf("x%03d", e))
+		w.init[x] = 100
+		w.want[x] = 100
+	}
+	for i := 0; i < txns; i++ {
+		p := &perfProg{id: model.TxnID(fmt.Sprintf("t%03d", i))}
+		for j := 0; j < k; j++ {
+			x := model.EntityID(fmt.Sprintf("x%03d", (i*k+j)%entities))
+			p.ents = append(p.ents, x)
+			w.want[x]++
+		}
+		w.progs = append(w.progs, p)
+	}
+	return w
+}
+
+// syncWALStore is the unbatched durability discipline: every commit group
+// becomes durable individually, paying one device sync before the commit
+// is acknowledged — and, because the engine calls CommitGroup under its
+// mutex, stalling every worker for the sync. This is the baseline the
+// group-commit pipeline is measured against.
+type syncWALStore struct{ db *wal.DB }
+
+func (s syncWALStore) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Value) (model.Value, string)) (model.Step, error) {
+	return s.db.Perform(t, seq, x, f)
+}
+func (s syncWALStore) Abort(set map[model.TxnID]bool) error { return s.db.Abort(set) }
+func (s syncWALStore) CommitGroup(ids []model.TxnID) {
+	s.db.CommitGroup(ids)
+	s.db.Sync()
+}
+func (s syncWALStore) Values() map[model.EntityID]model.Value { return s.db.Values() }
+
+// PerfMeasurement is one (workload, configuration, GOMAXPROCS) cell of the
+// report; field names are the BENCH_4.json schema.
+type PerfMeasurement struct {
+	Workload        string  `json:"workload"`          // "hotspot" | "lowcontention"
+	Config          string  `json:"config"`            // "baseline" | "optimized"
+	Procs           int     `json:"gomaxprocs"`        // runtime.GOMAXPROCS during the run
+	Txns            int     `json:"txns"`              // transactions offered
+	Committed       int     `json:"committed"`         // transactions committed (must equal txns)
+	Restarts        int     `json:"restarts"`          // rollback-and-retry count
+	ThroughputTPS   float64 `json:"throughput_tps"`    // committed / elapsed
+	P50LatencyUS    int64   `json:"latency_p50_us"`    // per-txn begin→durable-commit, median
+	P99LatencyUS    int64   `json:"latency_p99_us"`    // …99th percentile
+	Fsyncs          int64   `json:"fsyncs"`            // device syncs over the whole run
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"` // the group-commit amortization
+	AllocsPerTxn    float64 `json:"allocs_per_txn"`    // heap allocations per committed txn
+	ElapsedUS       int64   `json:"elapsed_us"`        // wall clock of the run
+}
+
+// PerfReport is the `mlabench -perf` output, serialized to BENCH_4.json.
+type PerfReport struct {
+	Schema          string            `json:"schema"` // "mla-perf/1"
+	Seed            int64             `json:"seed"`
+	Quick           bool              `json:"quick"`
+	SyncDelayUS     int64             `json:"sync_delay_us"`      // simulated device sync latency
+	FlushIntervalUS int64             `json:"flush_interval_us"`  // pipeline flush window
+	EquivalenceOK   bool              `json:"equivalence_ok"`     // every run reached the expected state
+	HotspotSpeedup  float64           `json:"hotspot_speedup_8p"` // optimized/baseline throughput, hotspot @ max procs
+	Measurements    []PerfMeasurement `json:"measurements"`
+}
+
+// PerfOptions configures PerfRun.
+type PerfOptions struct {
+	Seed  int64
+	Quick bool  // smaller workloads, GOMAXPROCS {1, max} only
+	Procs []int // sweep points; default {1,2,4,8} (quick: {1,8})
+}
+
+// PerfRun executes the full sweep. It mutates GOMAXPROCS during the run
+// and restores it before returning.
+func PerfRun(ctx context.Context, opts PerfOptions) (*PerfReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	procs := opts.Procs
+	if len(procs) == 0 {
+		if opts.Quick {
+			procs = []int{1, 8}
+		} else {
+			procs = []int{1, 2, 4, 8}
+		}
+	}
+	txns, steps := 64, 6
+	if opts.Quick {
+		txns = 24
+	}
+	workloads := []perfWorkload{
+		// Hot spot: every transaction fights over 4 entities.
+		genPerfWorkload("hotspot", txns, steps, 4),
+		// Low contention: only neighbouring transactions overlap.
+		genPerfWorkload("lowcontention", txns, steps, txns*3),
+	}
+	rep := &PerfReport{
+		Schema:          "mla-perf/1",
+		Seed:            opts.Seed,
+		Quick:           opts.Quick,
+		SyncDelayUS:     perfSyncDelay.Microseconds(),
+		FlushIntervalUS: perfFlushEvery.Microseconds(),
+		EquivalenceOK:   true,
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	maxProcs := procs[len(procs)-1]
+	var hotBase, hotOpt float64
+	for _, wl := range workloads {
+		for _, p := range procs {
+			for _, config := range []string{"baseline", "optimized"} {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				m, err := perfCase(ctx, wl, config, p, opts.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("bench: perf %s/%s@%d: %w", wl.name, config, p, err)
+				}
+				if m.Committed != m.Txns {
+					rep.EquivalenceOK = false
+				}
+				if wl.name == "hotspot" && p == maxProcs {
+					if config == "baseline" {
+						hotBase = m.ThroughputTPS
+					} else {
+						hotOpt = m.ThroughputTPS
+					}
+				}
+				rep.Measurements = append(rep.Measurements, m)
+			}
+		}
+	}
+	if hotBase > 0 {
+		rep.HotspotSpeedup = hotOpt / hotBase
+	}
+	return rep, nil
+}
+
+// perfCase runs one cell: build the store for the configuration, run the
+// engine at the given GOMAXPROCS, verify the outcome against the
+// schedule-independent expectation, and fold the counters.
+func perfCase(ctx context.Context, wl perfWorkload, config string, procs int, seed int64) (PerfMeasurement, error) {
+	runtime.GOMAXPROCS(procs)
+	medium := wal.NewMedium()
+	medium.SyncDelay = perfSyncDelay
+	db, err := wal.Open(medium, wl.init)
+	if err != nil {
+		return PerfMeasurement{}, err
+	}
+	var store engine.Store
+	var pipe *wal.Pipeline
+	var control sched.Control
+	if config == "optimized" {
+		pipe = wal.NewPipeline(db, perfFlushEvery)
+		store = engine.NewPipelinedWALStore(pipe)
+		control = sched.NewShardedTwoPhase(16)
+	} else {
+		store = syncWALStore{db: db}
+		control = sched.NewShardedTwoPhase(1) // single stripe: the unoptimized lock path
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := engine.RunOnStore(ctx, engine.Config{Seed: seed}, wl.progs, control, nil, store)
+	if pipe != nil {
+		pipe.Close()
+	}
+	if err != nil {
+		return PerfMeasurement{}, err
+	}
+	runtime.ReadMemStats(&after)
+	// The equivalence assertion: commutative workload, so the optimized and
+	// baseline paths must both land exactly on init + increment counts.
+	for x, v := range wl.want {
+		if res.Final[x] != v {
+			return PerfMeasurement{}, fmt.Errorf("final[%s] = %d, want %d: optimized and baseline paths diverged", x, res.Final[x], v)
+		}
+	}
+	lat := res.LatencySummary()
+	m := PerfMeasurement{
+		Workload:     wl.name,
+		Config:       config,
+		Procs:        procs,
+		Txns:         len(wl.progs),
+		Committed:    res.Committed,
+		Restarts:     res.Restarts,
+		P50LatencyUS: lat.P50,
+		P99LatencyUS: lat.P99,
+		Fsyncs:       db.Snapshot().Syncs,
+		ElapsedUS:    res.Elapsed.Microseconds(),
+	}
+	if res.Elapsed > 0 {
+		m.ThroughputTPS = float64(res.Committed) / res.Elapsed.Seconds()
+	}
+	if res.Committed > 0 {
+		m.FsyncsPerCommit = float64(m.Fsyncs) / float64(res.Committed)
+		m.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(res.Committed)
+	}
+	return m, nil
+}
+
+// Table renders the report for terminal output.
+func (r *PerfReport) Table() *metrics.Table {
+	tbl := metrics.NewTable("E19 engine perf: striped locks + group commit (sync delay 300µs)",
+		"workload", "config", "procs", "txns/s", "p50 µs", "p99 µs", "fsync/commit", "allocs/txn", "restarts")
+	for _, m := range r.Measurements {
+		tbl.Row(m.Workload, m.Config, m.Procs, fmt.Sprintf("%.0f", m.ThroughputTPS),
+			m.P50LatencyUS, m.P99LatencyUS, fmt.Sprintf("%.3f", m.FsyncsPerCommit),
+			fmt.Sprintf("%.0f", m.AllocsPerTxn), m.Restarts)
+	}
+	tbl.Row("hotspot", "speedup@max", "", fmt.Sprintf("%.2fx", r.HotspotSpeedup), "", "", "", "", "")
+	return tbl
+}
+
+// WriteJSON serializes the report (the BENCH_4.json artifact).
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// E19Perf wraps the perf harness as an experiment: a quick sweep whose
+// equivalence assertions must hold. Scale >= 2 runs the full sweep.
+func E19Perf(o Options) (*metrics.Table, error) {
+	rep, err := PerfRun(o.ctx(), PerfOptions{Seed: o.Seed, Quick: o.scale() <= 1})
+	if err != nil {
+		return nil, err
+	}
+	if !rep.EquivalenceOK {
+		return nil, fmt.Errorf("bench: E19: optimized path changed commit outcomes")
+	}
+	return rep.Table(), nil
+}

@@ -21,7 +21,18 @@ import (
 //   - appending a breakpoint (a cut of some coarseness) closes segments and
 //     clears the corresponding pinned sets.
 //
-// Rollback is by rebuild: the event log is filtered and replayed.
+// Rollback is incremental when it can be and a rebuild when it must:
+// dropping a whole transaction whose steps are closure-sinks (no live step
+// is reachable from any of them) retracts exactly those steps in place —
+// tombstone the step slots, clear the victim's per-transaction state, pop
+// its steps off the per-entity access chains, and mask its bits out of
+// every live reach/pred/pinned set. The sink condition makes this exact:
+// a dead step that reaches no live step contributed nothing to any live
+// step's predecessor set, so masking its bits leaves precisely the closure
+// a filter-and-replay would rebuild (TestRetractEquivalence pins this on
+// randomized histories). When bookkeeping is ambiguous — a partial keep, a
+// relation left dirty by a rejected AddStep, or a dropped step with live
+// closure-successors — RebuildPartial falls back to the full replay.
 type Online struct {
 	k     int
 	level func(a, b model.TxnID) int
@@ -31,14 +42,27 @@ type Online struct {
 	// Replayable state below; reset by rebuild.
 	txns    []model.TxnID
 	txnIdx  map[model.TxnID]int
-	stepTxn []int // global step -> txn index
-	stepSeq []int // global step -> 1-based seq
+	stepTxn []int             // global step -> txn index
+	stepSeq []int             // global step -> 1-based seq
+	stepEnt []model.EntityID  // global step -> entity
 	perTxn  [][]int
 	coarse  [][]int // per txn: coarse[pos-1] = coarseness of cut after step pos (0 = none yet)
 
 	reach, pred []obitset
 	lastEntity  map[model.EntityID]int
-	pinned      [][]obitset // per txn, per level 2..k
+	chains      map[model.EntityID][]int // per entity: live accessor steps, in order
+	pinned      [][]obitset              // per txn, per level 2..k
+
+	// Retraction bookkeeping: dead marks tombstoned step slots (indices are
+	// never reused between rebuilds), liveSteps counts the rest, dirty is
+	// set by PopStep — the relation then contains a rejected step's edges
+	// and only a replay can remove them. forceReplay (tests only) disables
+	// the incremental path so replay and retraction can be compared.
+	dead        obitset
+	liveSteps   int
+	dirty       bool
+	forceReplay bool
+	retractions int // total successful incremental retractions
 
 	cyclic         bool
 	cycleA, cycleB int
@@ -89,6 +113,31 @@ func (b obitset) forEach(f func(i int)) {
 	}
 }
 
+// andNot clears every bit of other from b.
+func (b obitset) andNot(other obitset) {
+	n := len(b)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		b[i] &^= other[i]
+	}
+}
+
+// intersects reports whether b and other share a set bit.
+func (b obitset) intersects(other obitset) bool {
+	n := len(b)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func NewOnline(k int, level func(a, b model.TxnID) int) *Online {
 	oc := &Online{k: k, level: level}
 	oc.reset()
@@ -100,12 +149,17 @@ func (oc *Online) reset() {
 	oc.txnIdx = make(map[model.TxnID]int)
 	oc.stepTxn = nil
 	oc.stepSeq = nil
+	oc.stepEnt = nil
 	oc.perTxn = nil
 	oc.coarse = nil
 	oc.reach = nil
 	oc.pred = nil
 	oc.lastEntity = make(map[model.EntityID]int)
+	oc.chains = make(map[model.EntityID][]int)
 	oc.pinned = nil
+	oc.dead = nil
+	oc.liveSteps = 0
+	oc.dirty = false
 	oc.cyclic = false
 }
 
@@ -132,10 +186,13 @@ func (oc *Online) AddStep(t model.TxnID, x model.EntityID) bool {
 }
 
 // PopStep removes the most recent event, which must be the step just
-// rejected by AddStep, and rebuilds. (Cheap path: if the closure is still
-// acyclic nothing needs rebuilding, but AddStep is only popped on cycles.)
+// rejected by AddStep. The rejected step's edges remain in the relation
+// until the Rebuild the caller is contractually about to perform; the
+// dirty flag forces that rebuild down the full-replay path, since
+// incremental retraction cannot see phantom edges.
 func (oc *Online) PopStep() {
 	oc.events = oc.events[:len(oc.events)-1]
+	oc.dirty = true
 }
 
 // AddCut appends a breakpoint of the given coarseness after t's latest
@@ -158,7 +215,14 @@ func (oc *Online) Rebuild(drop map[model.TxnID]bool) {
 // RebuildPartial removes, for each transaction in keep, every step event
 // beyond its kept prefix (and the breakpoints attached to the removed
 // steps), then replays the remainder. keep[t] = 0 drops t entirely.
+//
+// Full drops of closure-sink transactions take the incremental retraction
+// path (see tryRetract) and never replay; partial keeps, dirty relations,
+// and drops with live closure-successors fall back to filter-and-replay.
 func (oc *Online) RebuildPartial(keep map[model.TxnID]int) {
+	if oc.tryRetract(keep) {
+		return
+	}
 	seen := make(map[model.TxnID]int, len(keep))
 	kept := oc.events[:0]
 	for _, ev := range oc.events {
@@ -191,6 +255,135 @@ func (oc *Online) RebuildPartial(keep map[model.TxnID]int) {
 	}
 }
 
+// tryRetract attempts to undo the dropped transactions in place instead of
+// replaying. It succeeds only when the retraction is provably exact:
+//
+//   - the relation is clean (no rejected step's phantom edges — dirty),
+//   - every keep is a full drop (partial keeps shift seq numbering),
+//   - no dropped step reaches a live step outside the drop set (the
+//     closure-sink condition).
+//
+// Under the sink condition the dropped steps contributed nothing to any
+// surviving step's predecessor set — every edge they induced points INTO
+// the drop set — so masking their bits out of reach/pred/pinned leaves
+// exactly the closure a replay would rebuild. It also implies the dropped
+// steps form a suffix of every per-entity access chain (a later live
+// accessor would be a closure-successor), so popping chain suffixes
+// restores each entity's last live accessor.
+//
+// On success the step slots are tombstoned, not compacted; indices stay
+// stable until the next full replay.
+func (oc *Online) tryRetract(keep map[model.TxnID]int) bool {
+	if oc.dirty || oc.forceReplay || oc.cyclic {
+		return false
+	}
+	for _, k := range keep {
+		if k != 0 {
+			return false
+		}
+	}
+	var dying obitset
+	total := 0
+	for t := range keep {
+		ti, ok := oc.txnIdx[t]
+		if !ok {
+			continue
+		}
+		for _, g := range oc.perTxn[ti] {
+			dying.set(g)
+			total++
+		}
+	}
+	// Sink check: a dying step reaching a step that is neither dying nor
+	// already dead has a live closure-successor — retraction would be
+	// inexact, so replay.
+	for t := range keep {
+		ti, ok := oc.txnIdx[t]
+		if !ok {
+			continue
+		}
+		for _, g := range oc.perTxn[ti] {
+			for wi, w := range oc.reach[g] {
+				if wi < len(dying) {
+					w &^= dying[wi]
+				}
+				if wi < len(oc.dead) {
+					w &^= oc.dead[wi]
+				}
+				if w != 0 {
+					return false
+				}
+			}
+		}
+	}
+
+	// Commit point: everything below is pure bookkeeping removal.
+	// 1. The event log loses every event of the dropped transactions.
+	kept := oc.events[:0]
+	for _, ev := range oc.events {
+		if _, dropped := keep[ev.txn]; !dropped {
+			kept = append(kept, ev)
+		}
+	}
+	oc.events = kept
+	// 2. Per-entity chains lose their dead suffixes; the last live accessor
+	// becomes the entity's last accessor again.
+	for t := range keep {
+		ti, ok := oc.txnIdx[t]
+		if !ok {
+			continue
+		}
+		for _, g := range oc.perTxn[ti] {
+			x := oc.stepEnt[g]
+			ch := oc.chains[x]
+			for len(ch) > 0 && (dying.has(ch[len(ch)-1]) || oc.dead.has(ch[len(ch)-1])) {
+				ch = ch[:len(ch)-1]
+			}
+			if len(ch) == 0 {
+				delete(oc.chains, x)
+				delete(oc.lastEntity, x)
+			} else {
+				oc.chains[x] = ch
+				oc.lastEntity[x] = ch[len(ch)-1]
+			}
+		}
+		// 3. The victim's per-transaction state resets; its txn slot is kept
+		// for reuse by a restarted attempt.
+		oc.perTxn[ti] = nil
+		oc.coarse[ti] = nil
+		oc.pinned[ti] = make([]obitset, oc.k+1)
+	}
+	// 4. Tombstone the slots and mask the dead bits out of every live set.
+	// pred of a live step cannot contain a dying bit (that edge would make
+	// the live step a closure-successor), but masking is cheap and keeps
+	// the invariant mechanical rather than argued.
+	dying.forEach(func(g int) {
+		oc.dead.set(g)
+		oc.reach[g] = nil
+		oc.pred[g] = nil
+	})
+	oc.liveSteps -= total
+	for g := range oc.stepTxn {
+		if oc.dead.has(g) {
+			continue
+		}
+		oc.reach[g].andNot(dying)
+		oc.pred[g].andNot(dying)
+	}
+	for ti := range oc.pinned {
+		for lv := range oc.pinned[ti] {
+			oc.pinned[ti][lv].andNot(dying)
+		}
+	}
+	oc.retractions++
+	return true
+}
+
+// Retractions returns the total number of rollbacks handled by incremental
+// retraction rather than replay. Observability for benchmarks and the
+// equivalence tests.
+func (oc *Online) Retractions() int { return oc.retractions }
+
 // CycleTxns returns the transactions of the two steps whose pair closed the
 // cycle (valid after AddStep returned false).
 func (oc *Online) CycleTxns() []model.TxnID {
@@ -206,7 +399,7 @@ func (oc *Online) CycleTxns() []model.TxnID {
 }
 
 // Steps returns the number of live steps.
-func (oc *Online) Steps() int { return len(oc.stepTxn) }
+func (oc *Online) Steps() int { return oc.liveSteps }
 
 func (oc *Online) applyStep(t model.TxnID, x model.EntityID) {
 	ti := oc.txn(t)
@@ -214,8 +407,10 @@ func (oc *Online) applyStep(t model.TxnID, x model.EntityID) {
 	seq := len(oc.perTxn[ti]) + 1
 	oc.stepTxn = append(oc.stepTxn, ti)
 	oc.stepSeq = append(oc.stepSeq, seq)
+	oc.stepEnt = append(oc.stepEnt, x)
 	oc.reach = append(oc.reach, nil)
 	oc.pred = append(oc.pred, nil)
+	oc.liveSteps++
 
 	var queue [][2]int
 	if seq > 1 {
@@ -237,6 +432,7 @@ func (oc *Online) applyStep(t model.TxnID, x model.EntityID) {
 	oc.perTxn[ti] = append(oc.perTxn[ti], g)
 	oc.coarse[ti] = append(oc.coarse[ti], 0) // boundary after seq not yet known
 	oc.lastEntity[x] = g
+	oc.chains[x] = append(oc.chains[x], g)
 	oc.process(queue)
 }
 
@@ -321,8 +517,10 @@ func (oc *Online) process(queue [][2]int) {
 // observer in the Section 6 delay rule.
 func (oc *Online) SegmentClosedAfter(t model.TxnID, seq, lv int) bool {
 	ti, ok := oc.txnIdx[t]
-	if !ok {
-		return true // no live steps: nothing to wait for
+	if !ok || len(oc.perTxn[ti]) == 0 {
+		// No live steps (never seen, or retracted in place): nothing to
+		// wait for.
+		return true
 	}
 	return !oc.segmentOpen(ti, seq, lv)
 }

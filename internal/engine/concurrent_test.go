@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/serial"
+	"mla/internal/wal"
+)
+
+// incProg increments each of its entities once, in order. Increments
+// commute, so any schedule that commits every program yields the same
+// final state — which is what lets these tests compare optimized and
+// unoptimized engine configurations byte-for-byte despite the engine's
+// nondeterminism.
+type incProg struct {
+	id   model.TxnID
+	ents []model.EntityID
+}
+
+func (p *incProg) ID() model.TxnID       { return p.id }
+func (p *incProg) Init() model.ProgState { return incState{p: p} }
+
+type incState struct {
+	p   *incProg
+	idx int
+}
+
+func (s incState) Next() (model.EntityID, bool) {
+	if s.idx < len(s.p.ents) {
+		return s.p.ents[s.idx], true
+	}
+	return "", false
+}
+
+func (s incState) Apply(v model.Value) (model.Value, string, model.ProgState) {
+	return v + 1, "inc", incState{p: s.p, idx: s.idx + 1}
+}
+
+// incWorkload builds n programs of k steps over the given entities,
+// striding so neighbours collide, plus the init map and the expected final
+// state (init + per-entity increment counts).
+func incWorkload(n, k, entities int) ([]model.Program, map[model.EntityID]model.Value, map[model.EntityID]model.Value) {
+	init := make(map[model.EntityID]model.Value)
+	want := make(map[model.EntityID]model.Value)
+	for e := 0; e < entities; e++ {
+		x := model.EntityID(fmt.Sprintf("x%d", e))
+		init[x] = 100
+		want[x] = 100
+	}
+	var progs []model.Program
+	for i := 0; i < n; i++ {
+		p := &incProg{id: model.TxnID(fmt.Sprintf("t%02d", i))}
+		for j := 0; j < k; j++ {
+			x := model.EntityID(fmt.Sprintf("x%d", (i*3+j)%entities))
+			p.ents = append(p.ents, x)
+			want[x]++
+		}
+		progs = append(progs, p)
+	}
+	return progs, init, want
+}
+
+// TestEngineShardedControl runs the banking workload under the concurrent
+// wound-wait control: Request executes outside the engine mutex, on the
+// entity's lock shard. Strict 2PL must still conserve money, keep audits
+// exact, and admit only serializable executions. Run with -race.
+func TestEngineShardedControl(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 12
+	params.BankAudits = 1
+	params.CreditorAudits = 2
+	wl := bank.Generate(params)
+	stp := sched.NewShardedTwoPhase(8)
+	res, err := Run(context.Background(), Config{Seed: 7, StepDelay: 50 * time.Microsecond}, wl.Programs, stp, wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != len(wl.Programs) {
+		t.Fatalf("committed %d/%d", res.Committed, len(wl.Programs))
+	}
+	inv := wl.Check(res.Exec, res.Final)
+	if !inv.ConservationOK {
+		t.Error("money not conserved")
+	}
+	if inv.AuditsInexact > 0 {
+		t.Errorf("%d inexact audits", inv.AuditsInexact)
+	}
+	if inv.TraceValid != nil {
+		t.Errorf("trace invalid: %v", inv.TraceValid)
+	}
+	if !serial.Serializable(res.Exec) {
+		t.Error("strict 2PL produced a non-serializable execution")
+	}
+	if ok, err := coherent.Correctable(res.Exec, wl.Nest, wl.Spec); err != nil || !ok {
+		t.Errorf("not correctable (err=%v)", err)
+	}
+	if got := stp.LockSnapshot(); got.Locked != 0 {
+		t.Errorf("locks leaked after run: %+v", got)
+	}
+}
+
+// TestEnginePipelinedCommitDurable runs on the group-commit pipeline and
+// then recovers the medium from scratch: every transaction the engine
+// reported committed must be durably committed, with the recovered values
+// matching the run's final state, and durability must have cost exactly
+// one device sync per pipeline flush.
+func TestEnginePipelinedCommitDurable(t *testing.T) {
+	progs, init, want := incWorkload(24, 5, 8)
+	medium := wal.NewMedium()
+	db, err := wal.Open(medium, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := wal.NewPipeline(db, time.Millisecond)
+	store := NewPipelinedWALStore(pipe)
+	res, err := RunOnStore(context.Background(), Config{Seed: 3, StepDelay: 30 * time.Microsecond},
+		progs, sched.NewShardedTwoPhase(8), nil, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Close()
+	if res.Committed != len(progs) {
+		t.Fatalf("committed %d/%d", res.Committed, len(progs))
+	}
+	for x, v := range want {
+		if res.Final[x] != v {
+			t.Fatalf("final[%s] = %d, want %d", x, res.Final[x], v)
+		}
+	}
+	ps := pipe.Snapshot()
+	if ps.Txns != int64(len(progs)) {
+		t.Fatalf("pipeline saw %d txns, want %d", ps.Txns, len(progs))
+	}
+	if syncs := db.Snapshot().Syncs; syncs != ps.Flushes {
+		t.Fatalf("syncs = %d, flushes = %d: durability not one sync per flush", syncs, ps.Flushes)
+	}
+	// Recover from the raw medium as if the process died now.
+	db2, err := wal.Open(db.Crash(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		if !db2.Committed(p.ID()) {
+			t.Fatalf("%s reported committed but not durable", p.ID())
+		}
+	}
+	rec := db2.Values()
+	for x, v := range want {
+		if rec[x] != v {
+			t.Fatalf("recovered[%s] = %d, want %d", x, rec[x], v)
+		}
+	}
+}
+
+// TestEngineOptimizedEquivalence pins the tentpole's safety claim: the
+// optimized configuration (sharded concurrent control + pipelined WAL
+// commits) reaches exactly the outcome of the unoptimized one (global-mutex
+// 2PL + volatile store) — same committed set, same final values — on a
+// commutative workload where that comparison is schedule-independent.
+func TestEngineOptimizedEquivalence(t *testing.T) {
+	progs, init, want := incWorkload(16, 4, 6)
+	cfg := Config{Seed: 11, StepDelay: 20 * time.Microsecond}
+
+	base, err := Run(context.Background(), cfg, progs, sched.NewTwoPhase(), nil, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := wal.Open(wal.NewMedium(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := wal.NewPipeline(db, time.Millisecond)
+	defer pipe.Close()
+	opt, err := RunOnStore(context.Background(), cfg, progs, sched.NewShardedTwoPhase(8), nil, NewPipelinedWALStore(pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Committed != len(progs) || opt.Committed != len(progs) {
+		t.Fatalf("committed: base %d, opt %d, want %d", base.Committed, opt.Committed, len(progs))
+	}
+	for x, v := range want {
+		if base.Final[x] != v {
+			t.Fatalf("baseline final[%s] = %d, want %d", x, base.Final[x], v)
+		}
+		if opt.Final[x] != v {
+			t.Fatalf("optimized final[%s] = %d, want %d", x, opt.Final[x], v)
+		}
+	}
+}
+
+// TestEngineShardedGaveUpReleasesLocks drives a hot-spot workload with a
+// tiny restart budget: whether or not transactions actually park, the lock
+// table must be empty when the run ends — the park path and the
+// stale-grant path both discharge through ReleaseAll.
+func TestEngineShardedGaveUpReleasesLocks(t *testing.T) {
+	progs, init, _ := incWorkload(16, 6, 2) // 2 entities: everything collides
+	stp := sched.NewShardedTwoPhase(4)
+	res, err := RunOnStore(context.Background(),
+		Config{Seed: 5, StepDelay: 40 * time.Microsecond, MaxRestarts: 2},
+		progs, stp, nil, NewVolatileStore(init))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.GaveUp != len(progs) {
+		t.Fatalf("committed %d + gaveUp %d != %d", res.Committed, res.GaveUp, len(progs))
+	}
+	if got := stp.LockSnapshot(); got.Locked != 0 {
+		t.Fatalf("locks leaked (gaveUp=%d): %+v", res.GaveUp, got)
+	}
+}

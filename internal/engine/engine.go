@@ -7,12 +7,27 @@
 // correctness is established per run by validating the surviving execution
 // (value chains) and, in tests, by the offline Theorem 2 checker.
 //
-// Concurrency discipline: all control, store, and bookkeeping state is
-// guarded by one engine mutex; a step's Request+Perform is a single
-// critical section, making each step atomic exactly as the model requires.
-// Blocked transactions wait on a generation channel that is closed whenever
-// any state changes; aborted transactions observe their bumped attempt
-// counter, back off, and restart.
+// Concurrency discipline: store and bookkeeping state is guarded by one
+// engine mutex, making each performed step atomic exactly as the model
+// requires. Control calls are serialized under that same mutex UNLESS the
+// control declares the sched.Concurrent capability: then Request — the
+// contended part, where lock waits and wound decisions happen — runs
+// outside the engine mutex, on the control's own per-entity (per-shard)
+// critical sections. That is sound exactly because such a control's
+// decision provably depends only on the requested entity's state and the
+// requester's fixed priority (see sched.ShardedTwoPhase); the engine
+// revalidates the attempt afterwards and discards stale grants through the
+// Releaser capability. Blocked transactions wait on a generation channel
+// that is closed whenever any state changes; aborted transactions observe
+// their bumped attempt counter, back off, and restart.
+//
+// Commit durability is synchronous by default (store.CommitGroup returns
+// durable). A store that additionally implements AsyncCommitter (see
+// PipelinedWALStore) gets group-commit pipelining: the engine submits the
+// group, marks its members "committing", and a finalizer goroutine marks
+// them committed only after the store acknowledges durability. Committing
+// transactions are immune to abort and count as satisfied dependencies —
+// safe because submission order bounds durability order.
 //
 // Run lifecycle: Run owns every goroutine it starts. The run ends when all
 // transactions commit, the caller's context is cancelled, the configured
@@ -123,7 +138,13 @@ type etxn struct {
 	steps    []model.Step
 	finished bool
 	commit   bool
-	gaveUp   bool // parked after exhausting the restart budget
+	// committing marks a transaction whose commit group was submitted to an
+	// AsyncCommitter and is awaiting the durability ack. It is immune to
+	// abort (its record may already be on the device) and counts as a
+	// satisfied dependency for later groups (submission order bounds
+	// durability order); the finalizer goroutine flips it to commit.
+	committing bool
+	gaveUp     bool // parked after exhausting the restart budget
 	prio     int64
 	deps     map[model.TxnID]bool
 	began    time.Time     // first Begin, for commit latency
@@ -136,10 +157,17 @@ type engine struct {
 	stop    chan struct{} // closed exactly once when the run is abandoned or done
 
 	control sched.Control
+	caps    sched.Capabilities
 	spec    breakpoint.Spec
 	store   Store
+	async   AsyncCommitter // non-nil when the store pipelines group commits
 	faults  *fault.Injector
 	obs     Observer
+
+	// committers tracks the finalizer goroutines of in-flight async commit
+	// groups; RunOnStore joins it after the workers so no goroutine
+	// outlives the run.
+	committers sync.WaitGroup
 
 	txns   map[model.TxnID]*etxn
 	order  []model.TxnID
@@ -209,6 +237,7 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 		waitGen: make(chan struct{}),
 		stop:    make(chan struct{}),
 		control: control,
+		caps:    sched.CapabilitiesOf(control),
 		spec:    spec,
 		store:   store,
 		faults:  cfg.Faults,
@@ -217,6 +246,7 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 		author:  make(map[model.EntityID]model.TxnID),
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
+	e.async, _ = store.(AsyncCommitter)
 	for _, p := range programs {
 		e.txns[p.ID()] = &etxn{prog: p, id: p.ID(), deps: make(map[model.TxnID]bool)}
 		e.order = append(e.order, p.ID())
@@ -251,10 +281,12 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 			break
 		}
 	}
-	// Shut down: wake and stop every worker, then join them. This is what
-	// makes a timed-out, cancelled, or crashed run leak-free.
+	// Shut down: wake and stop every worker, then join them — and the
+	// commit finalizers, which select on the same stop channel. This is
+	// what makes a timed-out, cancelled, or crashed run leak-free.
 	close(e.stop)
 	wg.Wait()
+	e.committers.Wait()
 	if runErr != nil && !errors.Is(runErr, fault.ErrCrash) {
 		return nil, runErr
 	}
@@ -328,8 +360,15 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 			// Restart budget exhausted: park instead of livelocking. The
 			// transaction was fully rolled back by its last abort, so it
 			// holds no store records, no control state, and no dependents;
-			// the run completes without it and reports it in GaveUp.
+			// the run completes without it and reports it in GaveUp. One
+			// exception: a concurrent control's Request can race past that
+			// last rollback and grant the dead attempt a lock nobody would
+			// ever release — ReleaseAll discards such residue so the parked
+			// transaction provably blocks no one.
 			t.gaveUp = true
+			if e.caps.ReleaseAll != nil {
+				e.caps.ReleaseAll(id)
+			}
 			e.stats.GaveUp++
 			if e.obs != nil {
 				e.obs.TxnGaveUp(id, t.attempt)
@@ -350,12 +389,10 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 		if t.prio == 0 {
 			e.prioCounter++
 			t.prio = prio*1024 + e.prioCounter
-		} else if rp, ok := e.control.(interface {
-			NewPriority(t model.TxnID, old, fresh int64) int64
-		}); ok {
+		} else if e.caps.NewPriority != nil {
 			// Timestamp ordering needs a fresh, larger timestamp on restart.
 			e.prioCounter++
-			t.prio = rp.NewPriority(id, t.prio, 1_000_000_000+e.prioCounter)
+			t.prio = e.caps.NewPriority(id, t.prio, 1_000_000_000+e.prioCounter)
 		}
 		e.control.Begin(id, t.prio)
 		cur := p.Init()
@@ -456,7 +493,37 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			e.mu.Unlock()
 			return false, nil
 		}
-		d := e.control.Request(id, t.seq+1, x)
+		var d sched.Decision
+		var waitCh chan struct{}
+		if e.caps.Concurrent {
+			// The control's decision depends only on the requested entity's
+			// state (its lock shard) and the requester's fixed priority, so
+			// it needs none of the engine's global state: run it outside the
+			// engine mutex, where contending workers serialize only on the
+			// entity's shard. Revalidate the attempt afterwards — a rollback
+			// can race with the request, in which case any lock the dead
+			// attempt just acquired is residue to discard.
+			//
+			// Capture the wait generation BEFORE requesting: a Wait decision
+			// made outside the mutex can be stale by the time we'd block —
+			// the holder may release (and bump) in the gap — so the waiter
+			// must sleep on a generation that any such release has already
+			// closed, or the wakeup is lost and the run hangs.
+			seq := t.seq + 1
+			waitCh = e.waitGen
+			e.mu.Unlock()
+			d = e.control.Request(id, seq, x)
+			e.mu.Lock()
+			if t.attempt != attempt {
+				if e.caps.ReleaseAll != nil {
+					e.caps.ReleaseAll(id)
+				}
+				e.mu.Unlock()
+				return true, nil
+			}
+		} else {
+			d = e.control.Request(id, t.seq+1, x)
+		}
 		switch d.Kind {
 		case sched.Grant:
 			var next model.ProgState
@@ -504,6 +571,11 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 				e.obs.WaitBegin(id, x)
 			}
 			ch := e.waitGen
+			if waitCh != nil {
+				// Concurrent path: sleep on the pre-request generation (see
+				// above) so a release that raced the decision wakes us.
+				ch = waitCh
+			}
 			e.mu.Unlock()
 			t0 := time.Now()
 			select {
@@ -538,7 +610,12 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 	var frontier []model.TxnID
 	for _, v := range victims {
 		t := e.txns[v]
-		if t != nil && !t.commit && !t.gaveUp {
+		// Committing transactions are immune: their group is submitted and
+		// its record may already be durable. (Unreachable in practice — a
+		// committing transaction is finished, holds no locks, and its deps
+		// are all committed or committing — but the guard keeps the
+		// invariant local instead of spread over that argument.)
+		if t != nil && !t.commit && !t.committing && !t.gaveUp {
 			set[v] = true
 			frontier = append(frontier, v)
 		}
@@ -546,7 +623,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 	for len(frontier) > 0 {
 		var next []model.TxnID
 		for id, t := range e.txns {
-			if set[id] || t.commit || t.gaveUp {
+			if set[id] || t.commit || t.committing || t.gaveUp {
 				continue
 			}
 			for _, f := range frontier {
@@ -615,7 +692,7 @@ func (e *engine) tryCommitLocked() {
 	}
 	inS := make(map[model.TxnID]bool)
 	for id, t := range e.txns {
-		if t.finished && !t.commit {
+		if t.finished && !t.commit && !t.committing {
 			inS[id] = true
 		}
 	}
@@ -624,7 +701,12 @@ func (e *engine) tryCommitLocked() {
 		for id := range inS {
 			for dep := range e.txns[id].deps {
 				d := e.txns[dep]
-				if d == nil || (!d.commit && !inS[dep]) {
+				// A committing dependency is as good as committed: it was
+				// submitted to the pipeline before this group will be, and
+				// the pipeline makes groups durable in submission order (a
+				// flush drains every pending group into one record), so our
+				// record can never become durable ahead of the value we read.
+				if d == nil || (!d.commit && !d.committing && !inS[dep]) {
 					delete(inS, id)
 					changed = true
 					break
@@ -640,20 +722,51 @@ func (e *engine) tryCommitLocked() {
 		ids = append(ids, id)
 	}
 	model.SortTxnIDs(ids)
-	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
-	now := time.Now()
+	if e.async != nil {
+		// Pipelined path: submit the group and let a finalizer goroutine
+		// mark it committed once the store acknowledges durability. Members
+		// are "committing" until then — immune to abort, valid as
+		// dependencies, not yet counted in stats or shown to the observer.
+		for _, id := range ids {
+			e.txns[id].committing = true
+		}
+		ack := e.async.SubmitGroup(ids)
+		e.committers.Add(1)
+		go func() {
+			defer e.committers.Done()
+			select {
+			case <-ack:
+			case <-e.stop:
+				return // run abandoned; the result is discarded
+			}
+			e.mu.Lock()
+			e.finalizeGroupLocked(ids)
+			e.bump()
+			e.mu.Unlock()
+		}()
+		return
+	}
 	// One store call for the whole group: members may have observed each
 	// other's values, so a durable backend must commit them atomically.
 	e.store.CommitGroup(ids)
-	type retirer interface{ Retired(model.TxnID) }
+	e.finalizeGroupLocked(ids)
+}
+
+// finalizeGroupLocked records a now-durable commit group: stats, latency
+// samples, retirement hooks, observer, and the author/deps cleanup that
+// releases the members' dependents. Caller holds the mutex.
+func (e *engine) finalizeGroupLocked(ids []model.TxnID) {
+	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
+	now := time.Now()
 	for _, id := range ids {
 		t := e.txns[id]
+		t.committing = false
 		t.commit = true
 		e.stats.Committed++
 		e.stats.Latencies = append(e.stats.Latencies, now.Sub(t.began))
 		e.stats.WaitTimes = append(e.stats.WaitTimes, t.waited)
-		if ret, ok := e.control.(retirer); ok {
-			ret.Retired(id)
+		if e.caps.Retired != nil {
+			e.caps.Retired(id)
 		}
 	}
 	if e.obs != nil {

@@ -25,6 +25,22 @@ type Store interface {
 	Values() map[model.EntityID]model.Value
 }
 
+// AsyncCommitter is the optional store capability behind the engine's
+// group-commit pipelining: SubmitGroup hands the commit group to the store
+// and returns a channel that closes once the group is durable (on a WAL,
+// after the batched record reaches the device and syncs). The engine marks
+// the group's members "committing" until the ack, so workers keep stepping
+// — and later groups keep forming — while the flush is in flight.
+//
+// A store implementing AsyncCommitter must make groups durable in
+// submission order (batching adjacent groups into one atomic record is
+// fine; reordering is not): the engine lets a submitted-but-unacked
+// transaction satisfy dependencies, which is sound only if its record can
+// never land after its dependents'.
+type AsyncCommitter interface {
+	SubmitGroup(ids []model.TxnID) <-chan struct{}
+}
+
 // volatileStore adapts the undo-log store; Perform cannot fail.
 type volatileStore struct{ s *storage.Store }
 
@@ -114,3 +130,40 @@ func (w *WALStore) CommitGroup(ids []model.TxnID) {
 }
 
 func (w *WALStore) Values() map[model.EntityID]model.Value { return w.db.Values() }
+
+// PipelinedWALStore backs the engine with a group-commit pipeline over a
+// wal.DB: commit groups submitted within a flush window are merged into one
+// durable record and one device sync (see wal.Pipeline). It implements
+// AsyncCommitter, so the engine overlaps execution with the flush instead
+// of stalling every worker on the device. No fault injection — crash
+// recovery testing stays on the synchronous WALStore, whose append-counted
+// crash points the injector understands.
+type PipelinedWALStore struct{ p *wal.Pipeline }
+
+// NewPipelinedWALStore wraps a running pipeline as an engine Store. The
+// caller keeps ownership: close the pipeline after the run (and after
+// reading Values) to flush and stop its committer goroutine.
+func NewPipelinedWALStore(p *wal.Pipeline) *PipelinedWALStore {
+	return &PipelinedWALStore{p: p}
+}
+
+// Pipeline exposes the underlying pipeline (for stats: flushes, batch sizes).
+func (s *PipelinedWALStore) Pipeline() *wal.Pipeline { return s.p }
+
+func (s *PipelinedWALStore) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Value) (model.Value, string)) (model.Step, error) {
+	return s.p.Perform(t, seq, x, f)
+}
+
+func (s *PipelinedWALStore) Abort(set map[model.TxnID]bool) error { return s.p.Abort(set) }
+
+// CommitGroup is the synchronous fallback (Store interface): submit and
+// wait for durability. The engine prefers SubmitGroup.
+func (s *PipelinedWALStore) CommitGroup(ids []model.TxnID) { <-s.p.Submit(ids) }
+
+// SubmitGroup implements AsyncCommitter. Ordering: wal.Pipeline appends
+// pending groups under one mutex and every flush drains ALL of them into a
+// single atomic record, so durability follows submission order exactly as
+// the contract demands.
+func (s *PipelinedWALStore) SubmitGroup(ids []model.TxnID) <-chan struct{} { return s.p.Submit(ids) }
+
+func (s *PipelinedWALStore) Values() map[model.EntityID]model.Value { return s.p.Values() }

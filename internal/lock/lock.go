@@ -1,8 +1,19 @@
-// Package lock provides the exclusive per-entity lock manager used by the
-// strict two-phase-locking baseline [EGLT]. In the paper's model every step
+// Package lock provides the exclusive per-entity lock managers used by the
+// strict two-phase-locking baselines [EGLT]. In the paper's model every step
 // is an atomic read-modify-write, so all locks are exclusive; there is no
 // shared mode. Deadlocks are resolved by wound-wait: an older requester
 // wounds (aborts) a younger holder, a younger requester waits.
+//
+// Two managers share one semantics:
+//
+//   - Manager is the single-table manager. It is not safe for concurrent
+//     use; the simulator and the single-mutex controls drive it serially.
+//   - Striped shards the table by entity hash with one mutex per shard, so
+//     independent entities take independent locks — the concurrent engine's
+//     hot path. Because every entity lives in exactly one shard and shards
+//     share no state, a Striped manager makes precisely the decisions a
+//     Manager would on the same request sequence (pinned by
+//     TestStripedDecisionEquivalence).
 package lock
 
 import "mla/internal/model"
@@ -20,17 +31,35 @@ const (
 	Wound
 )
 
-// Manager tracks exclusive entity locks.
+// Stats is a point-in-time snapshot of a lock table, returned by the
+// Snapshot methods. Like every Snapshot() in this codebase (sched, wal,
+// net), the returned struct is a value copy: it never aliases live state,
+// stays valid forever, and mutating it has no effect on the manager.
+type Stats struct {
+	// Locked is the number of currently locked entities.
+	Locked int
+	// Holders is the number of transactions holding at least one lock.
+	Holders int
+	// Shards is the stripe count (1 for the unsharded Manager).
+	Shards int
+}
+
+// Manager tracks exclusive entity locks. The zero value is not usable; call
+// NewManager.
 type Manager struct {
 	holder map[model.EntityID]model.TxnID
-	held   map[model.TxnID]map[model.EntityID]bool
+	// held indexes holder→entities so Release is O(locks held), not
+	// O(table size): the slice lists every entity t ever acquired in its
+	// current lock epoch, appended once per first acquisition (re-acquiring
+	// a held lock appends nothing, so there are no duplicates).
+	held map[model.TxnID][]model.EntityID
 }
 
 // NewManager returns an empty lock table.
 func NewManager() *Manager {
 	return &Manager{
 		holder: make(map[model.EntityID]model.TxnID),
-		held:   make(map[model.TxnID]map[model.EntityID]bool),
+		held:   make(map[model.TxnID][]model.EntityID),
 	}
 }
 
@@ -54,15 +83,15 @@ func (m *Manager) Acquire(t model.TxnID, x model.EntityID, prio func(model.TxnID
 // wound-wait use this directly.
 func (m *Manager) TryAcquire(t model.TxnID, x model.EntityID) (bool, model.TxnID) {
 	h, locked := m.holder[x]
-	if !locked || h == t {
-		m.holder[x] = t
-		if m.held[t] == nil {
-			m.held[t] = make(map[model.EntityID]bool)
+	if locked {
+		if h == t {
+			return true, ""
 		}
-		m.held[t][x] = true
-		return true, ""
+		return false, h
 	}
-	return false, h
+	m.holder[x] = t
+	m.held[t] = append(m.held[t], x)
+	return true, ""
 }
 
 // Holds reports whether t holds the lock on x.
@@ -70,9 +99,12 @@ func (m *Manager) Holds(t model.TxnID, x model.EntityID) bool {
 	return m.holder[x] == t
 }
 
-// Release frees every lock held by t (commit or abort — strict 2PL).
+// Release frees every lock held by t (commit or abort — strict 2PL). It
+// walks only t's own held index, so the cost is proportional to the locks
+// released, independent of the table size (BenchmarkReleaseManyHolders
+// pins this).
 func (m *Manager) Release(t model.TxnID) {
-	for x := range m.held[t] {
+	for _, x := range m.held[t] {
 		if m.holder[x] == t {
 			delete(m.holder, x)
 		}
@@ -82,3 +114,9 @@ func (m *Manager) Release(t model.TxnID) {
 
 // Locked returns the number of currently locked entities.
 func (m *Manager) Locked() int { return len(m.holder) }
+
+// Snapshot returns a value-copy of the table's counters; see Stats for the
+// immutability contract.
+func (m *Manager) Snapshot() Stats {
+	return Stats{Locked: len(m.holder), Holders: len(m.held), Shards: 1}
+}

@@ -168,6 +168,12 @@ func (b *Bus) Procs() int { return b.procs }
 // Stats returns a copy of the traffic counters.
 func (b *Bus) Stats() Stats { return b.stats }
 
+// Snapshot is the uniform point-in-time reading of the traffic counters —
+// like every Snapshot() in this codebase (lock, sched, wal), the returned
+// struct is a value copy that never aliases live state: it stays valid
+// forever and mutating it has no effect on the bus.
+func (b *Bus) Snapshot() Stats { return b.stats }
+
 // Down reports whether processor p is crashed.
 func (b *Bus) Down(p int) bool { return b.down[p] }
 

@@ -86,6 +86,10 @@ type Control interface {
 // Ticker is implemented by controls that track simulated time. The
 // simulator calls Tick with the current time before dispatching each event,
 // and additionally at every instant a Waker asked for.
+//
+// Ticker, Waker, AsyncAborter and the hooks in capabilities.go are how a
+// control DECLARES an optional capability; harnesses discover them all at
+// once through CapabilitiesOf instead of scattered type assertions.
 type Ticker interface {
 	Tick(now int64)
 }
@@ -137,6 +141,14 @@ type Stats struct {
 	Wounds   int // abort decisions naming a non-requester victim (in Request)
 	Cycles   int // dependency cycles detected (Detector only)
 }
+
+// Snapshot returns a value copy of the counters. The pointer returned by
+// Control.Stats() aliases live state on the serial controls (it keeps
+// counting as the run proceeds); Snapshot is the uniform way to freeze a
+// point-in-time reading — like every Snapshot() in this codebase (lock,
+// wal, net), the returned struct never aliases live state, stays valid
+// forever, and mutating it has no effect on the control.
+func (s *Stats) Snapshot() Stats { return *s }
 
 // None grants everything: no concurrency control. It exists to demonstrate
 // which invariants break without one.

@@ -185,6 +185,7 @@ type authorRef struct {
 type Runner struct {
 	cfg     Config
 	control sched.Control
+	caps    sched.Capabilities // the control's optional hooks, probed once
 	spec    breakpoint.Spec
 	store   Store
 	init    map[model.EntityID]model.Value
@@ -227,6 +228,7 @@ func New(cfg Config, programs []model.Program, control sched.Control, spec break
 	r := &Runner{
 		cfg:     cfg,
 		control: control,
+		caps:    sched.CapabilitiesOf(control),
 		spec:    spec,
 		store:   storage.New(init),
 		init:    init,
@@ -310,15 +312,15 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("sim: exceeded MaxTime=%d with %d transactions incomplete", r.cfg.MaxTime, r.incomplete())
 		}
 		r.now = ev.time
-		if tk, ok := r.control.(sched.Ticker); ok {
-			tk.Tick(r.now)
+		if r.caps.Tick != nil {
+			r.caps.Tick(r.now)
 			// Controls with asynchronous detection (probe-based deadlock
 			// chasing, failure-detector escalation) surface their victims
 			// here; the rollback runs through the normal dependency-closed
 			// abort path, so accounting and cascades are identical to
 			// decision-time aborts.
-			if aa, ok := r.control.(sched.AsyncAborter); ok {
-				if victims := aa.TakeVictims(); len(victims) > 0 {
+			if r.caps.TakeVictims != nil {
+				if victims := r.caps.TakeVictims(); len(victims) > 0 {
 					r.abort(victims, false)
 				}
 			}
@@ -347,13 +349,11 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			fresh := r.now*1024 + int64(ev.txn) + 1
 			if t.prio == 0 {
 				t.prio = fresh
-			} else if rp, ok := r.control.(interface {
-				NewPriority(t model.TxnID, old, fresh int64) int64
-			}); ok {
+			} else if r.caps.NewPriority != nil {
 				// Controls like timestamp ordering need a fresh timestamp on
 				// restart; wound-wait controls keep the original so aged
 				// transactions eventually win.
-				t.prio = rp.NewPriority(t.id, t.prio, fresh)
+				t.prio = r.caps.NewPriority(t.id, t.prio, fresh)
 			}
 			t.cur = t.prog.Init()
 			t.seq = 0
@@ -380,11 +380,10 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 // retransmission timers. Only the earliest wake is kept armed; stale queued
 // ticks cost one idempotent Tick call and nothing else.
 func (r *Runner) scheduleWake() {
-	w, ok := r.control.(sched.Waker)
-	if !ok {
+	if r.caps.NextWake == nil {
 		return
 	}
-	at := w.NextWake(r.now)
+	at := r.caps.NextWake(r.now)
 	if at <= 0 {
 		return
 	}
@@ -563,7 +562,6 @@ func (r *Runner) tryCommit() {
 			r.store.Commit(id)
 		}
 	}
-	type retirer interface{ Retired(model.TxnID) }
 	for _, id := range ids {
 		t := r.txns[r.byID[id]]
 		t.status = stCommitted
@@ -572,8 +570,8 @@ func (r *Runner) tryCommit() {
 		if r.now > r.lastCommit {
 			r.lastCommit = r.now
 		}
-		if ret, ok := r.control.(retirer); ok {
-			ret.Retired(id)
+		if r.caps.Retired != nil {
+			r.caps.Retired(id)
 		}
 	}
 	// Committed authors no longer create dependencies.
@@ -591,16 +589,10 @@ func (r *Runner) tryCommit() {
 	}
 }
 
-// partialAborter is implemented by controls that can clamp their
-// bookkeeping to a kept prefix after a suffix-only rollback.
-type partialAborter interface {
-	AbortedTo(t model.TxnID, keep int)
-}
-
 // abort rolls back the victims plus everything that observed their values,
 // notifies the control, and schedules restarts or resumptions.
 //
-// With Config.PartialRecovery and a control implementing partialAborter,
+// With Config.PartialRecovery and a control implementing sched.PartialAborter,
 // each named victim is rolled back only to its last class-wide breakpoint
 // (the kept prefix stays performed and the transaction resumes from the
 // saved program state) — the paper's smaller unit of recovery. Escalation:
@@ -609,8 +601,7 @@ type partialAborter interface {
 // Transactions that observed values written by an undone suffix cascade to
 // full aborts.
 func (r *Runner) abort(victims []model.TxnID, stall bool) {
-	pa, canPartial := r.control.(partialAborter)
-	canPartial = canPartial && r.cfg.PartialRecovery
+	canPartial := r.caps.AbortedTo != nil && r.cfg.PartialRecovery
 
 	keep := make(map[model.TxnID]int) // victim -> kept seq (0 = full)
 	var frontier []model.TxnID
@@ -701,7 +692,7 @@ func (r *Runner) abort(victims []model.TxnID, stall bool) {
 			rank++
 		} else {
 			r.partialRollback(ti, k)
-			pa.AbortedTo(id, k)
+			r.caps.AbortedTo(id, k)
 		}
 	}
 	if len(fullIDs) > 0 {

@@ -54,8 +54,9 @@ func sameValues(got, want map[model.EntityID]model.Value) bool {
 }
 
 // FuzzWALRecovery drives a random history of performs, single and group
-// commits, and dependency-closed aborts against the WAL, then asserts the
-// two recovery guarantees the crash-tolerant engine rests on:
+// commits, pipeline-style merged batch commits, and dependency-closed
+// aborts against the WAL, then asserts the two recovery guarantees the
+// crash-tolerant engine rests on:
 //
 //  1. Every prefix of the durable log is a consistent recovery input:
 //     Open succeeds and restores exactly init plus the effects of the
@@ -131,7 +132,7 @@ func FuzzWALRecovery(f *testing.F) {
 			ops = 150
 		}
 		for i := 0; i < ops; i++ {
-			op, ti, arg := data[3*i]%8, data[3*i+1], data[3*i+2]
+			op, ti, arg := data[3*i]%9, data[3*i+1], data[3*i+2]
 			id := txns[int(ti)%len(txns)]
 			switch {
 			case op <= 4: // perform
@@ -180,6 +181,36 @@ func FuzzWALRecovery(f *testing.F) {
 				} else {
 					db.CommitGroup(ids)
 				}
+				for _, c := range ids {
+					committed[c] = true
+				}
+				for _, c := range ids {
+					clearTxn(c)
+				}
+			case op == 7: // merged batch commit (the Pipeline flusher's shape)
+				// Merge the closures of two independent commit groups into
+				// ONE record, exactly as the group-commit pipeline does when
+				// submissions land in the same flush window. A torn tail must
+				// keep or drop BOTH groups — the every-prefix loop below
+				// checks that the coarsened record stays sound.
+				id2 := txns[int(arg)%len(txns)]
+				merged := make(map[model.TxnID]bool)
+				for _, seed := range []model.TxnID{id, id2} {
+					if committed[seed] || seqs[seed] == 0 {
+						continue
+					}
+					for v := range closure(seed, deps) {
+						merged[v] = true
+					}
+				}
+				if len(merged) == 0 {
+					continue
+				}
+				ids := make([]model.TxnID, 0, len(merged))
+				for v := range merged {
+					ids = append(ids, v)
+				}
+				db.CommitGroup(ids)
 				for _, c := range ids {
 					committed[c] = true
 				}

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"sync"
+	"time"
+
+	"mla/internal/model"
+)
+
+// Pipeline is the group-commit committer: a dedicated flusher goroutine
+// that batches concurrent commit submissions into one durable CommitGroup
+// record and one device sync per flush interval. Callers submit a
+// dependency-closed commit group and receive an ack channel that closes
+// only after the group's record has been flushed to the device — durability
+// is acknowledged, never assumed.
+//
+// Merging commit groups is sound because it only coarsens atomicity: the
+// merged record commits a superset all-or-none, so every member group is
+// still all-or-none under any torn tail, which is all the recovery
+// invariant needs (FuzzWALRecovery drives merged records through the
+// every-prefix check). The win is the amortization: N groups flushed
+// together cost one Medium.Sync instead of N.
+//
+// The Pipeline serializes all access to its DB: Perform, Abort, and the
+// flusher share one mutex, so the DB's single-threaded invariants hold
+// unchanged. The device sync itself happens outside that mutex — a slow
+// flush never stalls concurrent Performs.
+type Pipeline struct {
+	interval time.Duration
+
+	mu      sync.Mutex // guards db, pending, stats
+	db      *DB
+	pending []pendingCommit
+
+	stats PipelineStats
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+type pendingCommit struct {
+	ids []model.TxnID
+	ack chan struct{}
+}
+
+// PipelineStats is a point-in-time snapshot of the committer's counters,
+// returned by Pipeline.Snapshot. Value copy; never aliases live state.
+type PipelineStats struct {
+	// Groups is the number of commit groups submitted.
+	Groups int64
+	// Txns is the number of transactions committed through the pipeline.
+	Txns int64
+	// Flushes is the number of durable flushes (one CommitGroup record
+	// and one device sync each).
+	Flushes int64
+	// MaxBatch is the largest number of groups merged into one flush.
+	MaxBatch int
+}
+
+// NewPipeline starts a committer over db. interval is the batching window:
+// after the first submission arrives, the flusher waits that long for more
+// before flushing (0 = flush as soon as the goroutine is scheduled; batching
+// then comes only from submission bursts). Close must be called to stop the
+// flusher; no methods may be called after Close.
+func NewPipeline(db *DB, interval time.Duration) *Pipeline {
+	p := &Pipeline{
+		interval: interval,
+		db:       db,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.flusher()
+	return p
+}
+
+func (p *Pipeline) flusher() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.wake:
+			if p.interval > 0 {
+				t := time.NewTimer(p.interval)
+				select {
+				case <-t.C:
+				case <-p.quit:
+					t.Stop()
+				}
+			}
+			p.flush()
+		case <-p.quit:
+			p.flush() // drain anything submitted before Close
+			return
+		}
+	}
+}
+
+// flush commits every pending group in one record, syncs the device, then
+// acks. The record append happens under mu (serialized with Perform/Abort);
+// the sync and the acks happen outside it.
+func (p *Pipeline) flush() {
+	p.mu.Lock()
+	batch := p.pending
+	p.pending = nil
+	if len(batch) > 0 {
+		var ids []model.TxnID
+		seen := make(map[model.TxnID]bool)
+		for _, g := range batch {
+			for _, t := range g.ids {
+				if !seen[t] {
+					seen[t] = true
+					ids = append(ids, t)
+				}
+			}
+		}
+		p.db.CommitGroup(ids)
+		p.stats.Flushes++
+		p.stats.Txns += int64(len(ids))
+		if len(batch) > p.stats.MaxBatch {
+			p.stats.MaxBatch = len(batch)
+		}
+	}
+	p.mu.Unlock()
+	if len(batch) > 0 {
+		p.db.Sync()
+		for _, g := range batch {
+			close(g.ack)
+		}
+	}
+}
+
+// Submit enqueues a dependency-closed commit group and returns a channel
+// that closes once the group is durable (record flushed and synced). The
+// slice is copied; the caller may reuse it.
+func (p *Pipeline) Submit(ids []model.TxnID) <-chan struct{} {
+	pc := pendingCommit{ids: append([]model.TxnID(nil), ids...), ack: make(chan struct{})}
+	p.mu.Lock()
+	p.pending = append(p.pending, pc)
+	p.stats.Groups++
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default: // a wake is already queued; the flusher will see our group
+	}
+	return pc.ack
+}
+
+// Perform executes one step WAL-first under the pipeline's lock; see
+// DB.Perform.
+func (p *Pipeline) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Value) (model.Value, string)) (model.Step, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db.Perform(t, seq, x, f)
+}
+
+// Abort rolls back a dependency-closed set under the pipeline's lock; see
+// DB.Abort. Transactions with an unflushed Submit in flight must not be
+// aborted — the engine guarantees that by never wounding a committing
+// transaction.
+func (p *Pipeline) Abort(set map[model.TxnID]bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db.Abort(set)
+}
+
+// Values returns a copy of the current volatile state.
+func (p *Pipeline) Values() map[model.EntityID]model.Value {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db.Values()
+}
+
+// Committed reports whether t has a durable commit.
+func (p *Pipeline) Committed(t model.TxnID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db.Committed(t)
+}
+
+// LogLen returns the durable log length.
+func (p *Pipeline) LogLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db.LogLen()
+}
+
+// Snapshot returns a value-copy of the committer's counters; see
+// PipelineStats for the immutability contract.
+func (p *Pipeline) Snapshot() PipelineStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close flushes every group submitted so far, stops the flusher, and
+// returns once it has exited. The underlying DB remains usable (e.g. for
+// Crash/recovery); the Pipeline does not.
+func (p *Pipeline) Close() {
+	close(p.quit)
+	<-p.done
+}

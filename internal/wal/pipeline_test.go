@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mla/internal/model"
+)
+
+// TestPipelineBatchesCommits submits many commit groups concurrently and
+// checks the pipeline's whole contract: every ack fires, every transaction
+// is durably committed, and the device saw fewer syncs than groups (the
+// amortization that justifies the pipeline's existence).
+func TestPipelineBatchesCommits(t *testing.T) {
+	db, err := Open(NewMedium(), map[model.EntityID]model.Value{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(db, 2*time.Millisecond)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := model.TxnID(fmt.Sprintf("t%d", i))
+			if _, err := p.Perform(id, 1, "x", func(v model.Value) (model.Value, string) {
+				return v + 1, "add"
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			<-p.Submit([]model.TxnID{id})
+			if !p.Committed(id) {
+				t.Errorf("%s acked but not committed", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.Close()
+
+	st := p.Snapshot()
+	if st.Groups != n || st.Txns != n {
+		t.Fatalf("stats %+v, want %d groups and txns", st, n)
+	}
+	if st.Flushes >= n {
+		t.Fatalf("no batching: %d flushes for %d groups", st.Flushes, n)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d, expected a merged flush", st.MaxBatch)
+	}
+	if got := db.Snapshot().Syncs; got != st.Flushes {
+		t.Fatalf("device syncs %d != flushes %d", got, st.Flushes)
+	}
+	// Crash and recover: all n commits survive.
+	rdb, err := Open(db.Crash(), map[model.EntityID]model.Value{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rdb.Get("x"); got != n {
+		t.Fatalf("recovered x = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if id := model.TxnID(fmt.Sprintf("t%d", i)); !rdb.Committed(id) {
+			t.Fatalf("%s lost across recovery", id)
+		}
+	}
+}
+
+// TestPipelineRecoveryEquivalence runs one deterministic history through
+// an unbatched DB (one Commit record and sync per group) and through the
+// pipeline, crashes both, and demands identical recovered values and
+// committed sets — batching may change record layout, never outcomes.
+func TestPipelineRecoveryEquivalence(t *testing.T) {
+	init := map[model.EntityID]model.Value{"a": 5, "b": -2}
+	type op struct {
+		id    model.TxnID
+		x     model.EntityID
+		delta model.Value
+	}
+	history := []op{
+		{"t0", "a", 3}, {"t1", "b", 4}, {"t2", "a", -1},
+		{"t3", "b", 7}, {"t4", "a", 2},
+	}
+
+	plain, err := Open(NewMedium(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := Open(NewMedium(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(piped, 0)
+	var acks []<-chan struct{}
+	for _, o := range history {
+		f := func(v model.Value) (model.Value, string) { return v + o.delta, "add" }
+		if _, err := plain.Perform(o.id, 1, o.x, f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Perform(o.id, 1, o.x, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// t4 stays uncommitted in both: recovery must roll it back identically.
+	for _, o := range history[:4] {
+		plain.Commit(o.id)
+		plain.Sync()
+		acks = append(acks, p.Submit([]model.TxnID{o.id}))
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+	p.Close()
+
+	ra, err := Open(plain.Crash(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Open(piped.Crash(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameValues(ra.Values(), rb.Values()) {
+		t.Fatalf("recovered values diverge: unbatched %v, pipelined %v", ra.Values(), rb.Values())
+	}
+	for _, o := range history {
+		if ra.Committed(o.id) != rb.Committed(o.id) {
+			t.Fatalf("%s: committed %v unbatched vs %v pipelined", o.id, ra.Committed(o.id), rb.Committed(o.id))
+		}
+	}
+	if rb.Committed("t4") {
+		t.Fatal("uncommitted t4 survived recovery")
+	}
+}
+
+// TestPipelineTornTailKeepsGroupsAtomic crashes the pipelined log at every
+// prefix and checks that each merged commit record keeps its member groups
+// all-or-none: no prefix ever shows a group partially committed.
+func TestPipelineTornTailKeepsGroupsAtomic(t *testing.T) {
+	init := map[model.EntityID]model.Value{"a": 0}
+	db, err := Open(NewMedium(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(db, 5*time.Millisecond)
+	// Two 2-member groups submitted inside one batching window, so the
+	// flusher merges them into one record.
+	for _, id := range []model.TxnID{"g1a", "g1b", "g2a", "g2b"} {
+		if _, err := p.Perform(id, 1, "a", func(v model.Value) (model.Value, string) {
+			return v + 1, "add"
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a1 := p.Submit([]model.TxnID{"g1a", "g1b"})
+	a2 := p.Submit([]model.TxnID{"g2a", "g2b"})
+	<-a1
+	<-a2
+	p.Close()
+
+	m := db.Crash()
+	recs := m.Records()
+	groups := [][]model.TxnID{{"g1a", "g1b"}, {"g2a", "g2b"}}
+	for lsn := int64(0); lsn <= int64(len(recs)); lsn++ {
+		rdb, err := Open(m.Prefix(lsn), init)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", lsn, err)
+		}
+		for _, g := range groups {
+			if rdb.Committed(g[0]) != rdb.Committed(g[1]) {
+				t.Fatalf("prefix %d: group %v torn: %v vs %v",
+					lsn, g, rdb.Committed(g[0]), rdb.Committed(g[1]))
+			}
+		}
+	}
+}
+
+// TestPipelineCloseFlushesPending submits without waiting and closes; Close
+// must flush the stragglers and fire their acks.
+func TestPipelineCloseFlushesPending(t *testing.T) {
+	db, err := Open(NewMedium(), map[model.EntityID]model.Value{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(db, time.Hour) // window far longer than the test
+	if _, err := p.Perform("t0", 1, "x", func(v model.Value) (model.Value, string) {
+		return v + 1, "add"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ack := p.Submit([]model.TxnID{"t0"})
+	p.Close()
+	select {
+	case <-ack:
+	default:
+		t.Fatal("Close returned with an unacked pending commit")
+	}
+	if !db.Committed("t0") {
+		t.Fatal("pending commit lost by Close")
+	}
+}

@@ -23,6 +23,8 @@ package wal
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"mla/internal/model"
 )
@@ -86,9 +88,22 @@ type Record struct {
 // Medium is the simulated durable device: an append-only record sequence
 // that survives Crash. Prefix returns a truncated copy for torn-crash
 // tests.
+//
+// Sync models the device flush (fsync): it costs SyncDelay of wall-clock
+// time and bumps a counter. Appended records are always recoverable in this
+// simulation — Sync exists so that commit paths pay a realistic per-flush
+// latency and so the benchmark harness can report fsyncs/commit; the
+// group-commit Pipeline earns its throughput by amortizing exactly this
+// cost across a batch.
 type Medium struct {
 	records []Record
 	nextLSN int64
+
+	// SyncDelay is the simulated per-fsync device latency. Zero means
+	// syncs are free (counted but instantaneous). Set before use; not
+	// safe to change concurrently with Sync.
+	SyncDelay time.Duration
+	syncs     atomic.Int64
 }
 
 // NewMedium returns an empty durable medium.
@@ -104,6 +119,20 @@ func (m *Medium) append(r Record) Record {
 // Len returns the number of durable records.
 func (m *Medium) Len() int { return len(m.records) }
 
+// Sync flushes the device: sleeps SyncDelay and increments the sync
+// counter. Safe to call concurrently (the counter is atomic); callers
+// deliberately invoke it outside any log lock so a slow flush does not
+// stall appends.
+func (m *Medium) Sync() {
+	if m.SyncDelay > 0 {
+		time.Sleep(m.SyncDelay)
+	}
+	m.syncs.Add(1)
+}
+
+// Syncs returns the number of device flushes performed.
+func (m *Medium) Syncs() int64 { return m.syncs.Load() }
+
 // Records returns a copy of the durable log.
 func (m *Medium) Records() []Record { return append([]Record(nil), m.records...) }
 
@@ -113,6 +142,7 @@ func (m *Medium) Records() []Record { return append([]Record(nil), m.records...)
 // any prefix is a consistent recovery input.
 func (m *Medium) Prefix(lsn int64) *Medium {
 	out := NewMedium()
+	out.SyncDelay = m.SyncDelay
 	for _, r := range m.records {
 		if r.LSN <= lsn {
 			out.records = append(out.records, r)
@@ -369,3 +399,34 @@ func (db *DB) Crash() *Medium { return db.medium }
 // LogLen returns the number of durable records, without the copying of
 // Records(); fault injectors use it to attribute appends.
 func (db *DB) LogLen() int { return db.medium.Len() }
+
+// Sync flushes the underlying medium; see Medium.Sync. Unbatched commit
+// paths call this once per commit record, the group-commit Pipeline once
+// per flushed batch.
+func (db *DB) Sync() { db.medium.Sync() }
+
+// Stats is a point-in-time snapshot of the log, returned by DB.Snapshot.
+// Like every Snapshot() in this codebase (lock, sched, net), the returned
+// struct is a value copy: it never aliases live state, stays valid forever,
+// and mutating it has no effect on the DB.
+type Stats struct {
+	// Records is the durable log length.
+	Records int
+	// Commits is the number of transactions durably committed.
+	Commits int
+	// Live is the number of transactions with un-undone live updates.
+	Live int
+	// Syncs is the number of device flushes performed.
+	Syncs int64
+}
+
+// Snapshot returns a value-copy of the log's counters; see Stats for the
+// immutability contract.
+func (db *DB) Snapshot() Stats {
+	return Stats{
+		Records: db.medium.Len(),
+		Commits: len(db.committed),
+		Live:    len(db.live),
+		Syncs:   db.medium.Syncs(),
+	}
+}

@@ -1,0 +1,108 @@
+package mla
+
+import (
+	"context"
+
+	"mla/internal/engine"
+	"mla/internal/fault"
+	"mla/internal/sched"
+)
+
+// This file is the façade's execution surface: run transaction programs
+// for real — concurrently, under a pluggable concurrency control, with
+// optional crash injection — without importing the internal packages.
+// Everything here is context-first and mirrors internal/engine; the
+// deterministic discrete-event counterpart stays in internal/sim.
+
+// Control is a pluggable concurrency control (see NewControl for the
+// catalogue). Controls are single-run and volatile: build a fresh one per
+// Run.
+type Control = sched.Control
+
+// ControlKind names a control family for NewControl.
+type ControlKind = sched.ControlKind
+
+// The control catalogue: the paper's Section 6 controls plus the
+// serializability baselines.
+const (
+	// ControlNone grants everything (the chaos ceiling).
+	ControlNone = sched.KindNone
+	// ControlSerial runs one transaction at a time (the throughput floor).
+	ControlSerial = sched.KindSerial
+	// ControlTwoPhase is strict 2PL with waits-for deadlock detection.
+	ControlTwoPhase = sched.KindTwoPhase
+	// ControlShardedTwoPhase is strict 2PL with wound-wait over a striped
+	// lock table; the concurrent engine's scalable choice.
+	ControlShardedTwoPhase = sched.KindShardedTwoPhase
+	// ControlTimestamp is basic timestamp ordering.
+	ControlTimestamp = sched.KindTimestamp
+	// ControlPrevent is the paper's cycle-prevention control.
+	ControlPrevent = sched.KindPrevent
+	// ControlPreventDirect is prevention without transitive tracking.
+	ControlPreventDirect = sched.KindPreventDirect
+	// ControlDetect is the paper's cycle-detection control.
+	ControlDetect = sched.KindDetect
+)
+
+// NewControl constructs a fresh control of the given kind. The multilevel
+// controls (ControlPrevent, ControlPreventDirect, ControlDetect) need the
+// class nest and breakpoint specification; the baselines ignore both and
+// accept nil.
+func NewControl(kind ControlKind, n *Nest, bp BreakpointSpec) (Control, error) {
+	return sched.New(kind, n, bp)
+}
+
+// ParseControlKind resolves a kind by name ("2pl", "prevent", ...),
+// inverting ControlKind.String.
+func ParseControlKind(name string) (ControlKind, error) { return sched.ParseControlKind(name) }
+
+// Observer receives a run's lifecycle events (steps, waits, aborts, commit
+// groups, faults, crashes); NopObserver is the embeddable no-op and
+// EventCounts a ready-made tally.
+type Observer = engine.Observer
+
+// NopObserver implements Observer with no-ops; embed it to implement only
+// the events of interest.
+type NopObserver = engine.NopObserver
+
+// EventCounts is a ready-made Observer tallying every event; read it only
+// after the run returns.
+type EventCounts = engine.EventCounts
+
+// RunConfig bounds a concurrent run: timeout, backoff, per-step delay,
+// seed, observer, restart budget, fault injection.
+type RunConfig = engine.Config
+
+// RunResult reports a concurrent run: the committed execution, final
+// values, and throughput/latency/abort accounting.
+type RunResult = engine.Result
+
+// CrashPlan configures RunWithCrashes: the workload bounds plus the fault
+// plan (crash points, torn tails, transient step errors) and a fresh
+// control per recovery round.
+type CrashPlan = engine.CrashPlan
+
+// CrashResult aggregates a crash-recovery run across all rounds.
+type CrashResult = engine.CrashResult
+
+// FaultPlan declares deterministic fault injection: transient step errors,
+// crash append counts, wall-clock crash budgets, torn log tails.
+type FaultPlan = fault.Plan
+
+// Run executes the programs concurrently — one goroutine per transaction —
+// under the control, against an in-memory store initialized with init.
+// Cancelling ctx (or exceeding cfg.Timeout, whichever is first) stops every
+// goroutine before Run returns. The returned execution contains exactly the
+// committed steps; validate it with Spec.Atomic or Spec.Correctable.
+func Run(ctx context.Context, cfg RunConfig, programs []Program, control Control, bp BreakpointSpec, init map[EntityID]Value) (*RunResult, error) {
+	return engine.Run(ctx, cfg, programs, control, bp, init)
+}
+
+// RunWithCrashes executes the plan's workload to completion across
+// injected crashes: each crash loses all volatile state (and optionally
+// tears the durable log tail), a write-ahead log recovers the committed
+// prefix, and a fresh round restarts every transaction without a durable
+// commit. Committed work is never redone.
+func RunWithCrashes(ctx context.Context, plan CrashPlan, programs []Program) (*CrashResult, error) {
+	return engine.RunWithCrashes(ctx, plan, programs)
+}

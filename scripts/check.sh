@@ -9,3 +9,7 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
+# Perf-path smoke under the race detector: the striped-lock engine and the
+# group-commit pipeline at full concurrency, asserting the optimized paths
+# leave commit outcomes unchanged (the report lands in /tmp, not the repo).
+go run -race ./cmd/mlabench -perf -quick -out /tmp/mla_perf_smoke.json
