@@ -1,7 +1,7 @@
-.PHONY: check test bench
+.PHONY: check test bench lint fuzz perf
 
-# Tier-1 gate: build + vet + full suite under -race (includes the engine
-# goroutine-leak and cancellation tests).
+# Tier-1 gate: build + vet + lint + full suite under -race (includes the
+# engine goroutine-leak and cancellation tests), fuzz smoke, perf smoke.
 check:
 	./scripts/check.sh
 
@@ -10,3 +10,18 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Pinned staticcheck + govulncheck (MLA_SKIP_LINT=1 skips; offline machines
+# warn and skip unless MLA_REQUIRE_LINT=1).
+lint:
+	./scripts/lint.sh
+
+# The same fuzz smoke check.sh runs: coverage-guided WAL recovery fuzzing.
+fuzz:
+	go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
+
+# The same perf smoke check.sh runs: quick E19 sweep under -race with
+# telemetry on; trace and report land in /tmp.
+perf:
+	go run -race ./cmd/mlabench -perf -quick -out /tmp/mla_perf_smoke.json \
+		-telemetry -trace-out /tmp/mla_perf_smoke_trace.json

@@ -4,11 +4,18 @@
 //
 //	mlabench [-exp E5] [-scale 2] [-seed 1]
 //	mlabench -perf [-out BENCH_4.json] [-quick]
+//	mlabench -perf -quick -telemetry -trace-out trace.json
 //
 // Without -exp it runs the full suite E1..E19. With -perf it runs the
 // engine performance sweep (E19's harness) instead, prints the table, and
 // writes the JSON report; it exits nonzero if the optimized engine paths
 // changed any commit outcome relative to the unoptimized ones.
+//
+// -telemetry records spans and counters from the runs that support tracing
+// (the engine, the simulator, the dist bus); -trace-out exports the spans
+// as Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing, and implies -telemetry. -pprof PREFIX writes
+// PREFIX.cpu.pprof and PREFIX.heap.pprof for `go tool pprof`.
 package main
 
 import (
@@ -20,9 +27,16 @@ import (
 	"time"
 
 	"mla/internal/bench"
+	"mla/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run keeps the real logic defer-safe: os.Exit in main would skip the
+// telemetry export and pprof stop otherwise.
+func run() int {
 	exp := flag.String("exp", "", "run only this experiment (E1..E19)")
 	scale := flag.Int("scale", 2, "workload scale multiplier (1 = quick)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -30,32 +44,67 @@ func main() {
 	perf := flag.Bool("perf", false, "run the engine performance sweep and write the JSON report")
 	out := flag.String("out", "BENCH_4.json", "output path for the -perf JSON report")
 	quick := flag.Bool("quick", false, "-perf: smaller workloads, GOMAXPROCS {1,8} only")
+	useTel := flag.Bool("telemetry", false, "record spans and counters; print the metrics table at exit")
+	traceOut := flag.String("trace-out", "", "write the recorded spans as Chrome trace-event JSON (implies -telemetry)")
+	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
 
 	// ^C cancels the in-flight simulation and skips the rest of the suite.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	var tel *telemetry.Telemetry
+	if *useTel || *traceOut != "" {
+		tel = telemetry.New()
+	}
+	if *pprofPrefix != "" {
+		stop, err := telemetry.StartPprof(*pprofPrefix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: pprof: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "mlabench: pprof: %v\n", err)
+			}
+		}()
+	}
+	// Export telemetry on every path out, including failures: a trace of a
+	// failed run is the one you actually want to look at.
+	defer func() {
+		if tel == nil {
+			return
+		}
+		if *traceOut != "" {
+			if err := tel.WriteTrace(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "mlabench: trace: %v\n", err)
+			} else {
+				fmt.Printf("wrote %s (load in ui.perfetto.dev)\n", *traceOut)
+			}
+		}
+		tel.Table().Render(os.Stdout)
+	}()
+
 	if *perf {
-		rep, err := bench.PerfRun(ctx, bench.PerfOptions{Seed: *seed, Quick: *quick})
+		rep, err := bench.PerfRun(ctx, bench.PerfOptions{Seed: *seed, Quick: *quick, Telemetry: tel})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mlabench: perf: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Table().Render(os.Stdout)
 		if err := rep.WriteJSON(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "mlabench: perf: write %s: %v\n", *out, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s (hotspot speedup %.2fx at max procs)\n", *out, rep.HotspotSpeedup)
 		if !rep.EquivalenceOK {
 			fmt.Fprintln(os.Stderr, "mlabench: perf: EQUIVALENCE FAILED — optimized paths changed commit outcomes")
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, Context: ctx}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Context: ctx, Telemetry: tel}
 	failed := 0
 	for _, ex := range bench.All() {
 		if *exp != "" && ex.ID != *exp {
@@ -63,7 +112,7 @@ func main() {
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "mlabench: interrupted")
-			os.Exit(1)
+			return 1
 		}
 		start := time.Now()
 		tbl, err := ex.Run(opts)
@@ -81,6 +130,7 @@ func main() {
 		fmt.Println()
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

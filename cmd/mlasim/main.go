@@ -37,6 +37,14 @@
 //
 // An interrupt (^C) cancels the run promptly — both executors stop and
 // report the cancellation instead of running to completion.
+//
+// -telemetry records spans and counters from the run (engine lock waits,
+// commit groups, recoveries; simulator transactions; dist bus messages) and
+// prints the aggregated metrics table at exit. -trace-out writes the spans
+// as Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev), and
+// implies -telemetry; it is distinct from -trace, which writes the admitted
+// execution in mlacheck's format. -pprof PREFIX writes PREFIX.cpu.pprof and
+// PREFIX.heap.pprof.
 package main
 
 import (
@@ -60,10 +68,17 @@ import (
 	"mla/internal/nest"
 	"mla/internal/sched"
 	"mla/internal/sim"
+	"mla/internal/telemetry"
 	"mla/internal/trace"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run keeps the real logic defer-safe: os.Exit in main would skip the
+// telemetry export and pprof stop otherwise.
+func run() int {
 	workload := flag.String("workload", "bank", "bank, sessions, cad, or conv")
 	configPath := flag.String("config", "", "run a JSON-defined workload instead (see internal/config)")
 	control := flag.String("control", "prevent", "prevent, detect, 2pl, tso, serial, none, or dist")
@@ -82,7 +97,42 @@ func main() {
 	partTime := flag.Int64("partition", 0, "dist control: split the processors into two halves at this time (0 = never)")
 	healTime := flag.Int64("heal", 0, "dist control: heal the partition at this time (0 = partition+300)")
 	procFail := flag.Int("procfail", 0, "dist control: crash this many processors in sequence, each rejoining 400 units later")
+	useTel := flag.Bool("telemetry", false, "record spans and counters; print the metrics table at exit")
+	telOut := flag.String("trace-out", "", "write recorded spans as Chrome trace-event JSON (implies -telemetry)")
+	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
+
+	var tel *telemetry.Telemetry
+	if *useTel || *telOut != "" {
+		tel = telemetry.New()
+	}
+	if *pprofPrefix != "" {
+		stop, err := telemetry.StartPprof(*pprofPrefix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim: pprof:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "mlasim: pprof:", err)
+			}
+		}()
+	}
+	// Export telemetry on every path out, including failures: the trace of
+	// a failed run is the one worth looking at.
+	defer func() {
+		if tel == nil {
+			return
+		}
+		if *telOut != "" {
+			if err := tel.WriteTrace(*telOut); err != nil {
+				fmt.Fprintln(os.Stderr, "mlasim: trace-out:", err)
+			} else {
+				fmt.Printf("spans written:  %s (load in ui.perfetto.dev)\n", *telOut)
+			}
+		}
+		tel.Table().Render(os.Stdout)
+	}()
 
 	var (
 		programs []model.Program
@@ -97,13 +147,13 @@ func main() {
 		f, err := os.Open(*configPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		wl, err := config.Load(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		programs, n, spec, init = wl.Programs, wl.Nest, wl.Spec, wl.Init
 		report = func(exec model.Execution, _ map[model.EntityID]model.Value) {
@@ -168,18 +218,18 @@ func main() {
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "mlasim: unknown workload %q\n", *workload)
-			os.Exit(2)
+			return 2
 		}
 	}
 
 	chaosFlags := *loss > 0 || *reorder > 0 || *partTime > 0 || *healTime > 0 || *procFail > 0
 	if *control != "dist" && chaosFlags {
 		fmt.Fprintln(os.Stderr, "mlasim: -loss, -reorder, -partition, -heal, and -procfail apply to -control dist only")
-		os.Exit(2)
+		return 2
 	}
 	if *control == "dist" && *useEngine {
 		fmt.Fprintln(os.Stderr, "mlasim: -control dist is simulator-only (the engine has no message-bus clock)")
-		os.Exit(2)
+		return 2
 	}
 
 	// Controls are volatile: the crash-recovery path builds a fresh one per
@@ -233,6 +283,9 @@ func main() {
 		return nil
 	}
 	c := mkCtl()
+	if tel != nil && distCtl != nil {
+		distCtl.AttachTelemetry(tel)
+	}
 
 	// ^C cancels the run: both executors take the context and stop promptly.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -244,12 +297,12 @@ func main() {
 	)
 	if !*useEngine && (*crashes > 0 || *errRate > 0) {
 		fmt.Fprintln(os.Stderr, "mlasim: -crashes and -errrate require -engine (the simulator's crash path is sim.RunWithCrashes)")
-		os.Exit(2)
+		return 2
 	}
 	if *useEngine && (*crashes > 0 || *errRate > 0) {
 		if *partial {
 			fmt.Fprintln(os.Stderr, "mlasim: -partial is simulator-only (the engine rolls back whole transactions)")
-			os.Exit(2)
+			return 2
 		}
 		var ev engine.EventCounts
 		appends := make([]int64, *crashes)
@@ -257,7 +310,10 @@ func main() {
 			appends[i] = int64(10 * (i + 1))
 		}
 		plan := engine.CrashPlan{
-			Cfg:  engine.Config{Seed: *seed, Observer: &ev},
+			Cfg: engine.Config{
+				Seed:     *seed,
+				Observer: engine.Tee(&ev, engine.NewTelemetryObserver(tel, "mlasim engine")),
+			},
 			Spec: spec,
 			Init: init,
 			Faults: fault.Plan{
@@ -271,7 +327,7 @@ func main() {
 		res, err := engine.RunWithCrashes(ctx, plan, programs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		exec, final = res.Exec, res.Final
 		fmt.Printf("workload=%s control=%s txns=%d seed=%d executor=engine+faults\n", *workload, c.Name(), *txns, *seed)
@@ -283,13 +339,17 @@ func main() {
 	} else if *useEngine {
 		if *partial {
 			fmt.Fprintln(os.Stderr, "mlasim: -partial is simulator-only (the engine rolls back whole transactions)")
-			os.Exit(2)
+			return 2
 		}
 		var ev engine.EventCounts
-		res, err := engine.Run(ctx, engine.Config{Seed: *seed, Observer: &ev}, programs, c, spec, init)
+		cfg := engine.Config{
+			Seed:     *seed,
+			Observer: engine.Tee(&ev, engine.NewTelemetryObserver(tel, "mlasim engine")),
+		}
+		res, err := engine.Run(ctx, cfg, programs, c, spec, init)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		exec, final = res.Exec, res.Final
 		lat, wt := res.LatencySummary(), res.WaitSummary()
@@ -301,13 +361,17 @@ func main() {
 			ev.Steps, ev.Waits, ev.WaitTime, ev.Groups)
 		fmt.Printf("aborts:         %d (%d cascades)\n", res.Aborts, res.Cascades)
 		fmt.Printf("control:        %+v\n", *c.Stats())
+		if tel != nil {
+			tel.Metrics.ObserveSnapshot("control."+c.Name(), c.Stats().Snapshot())
+		}
 	} else {
 		cfg := sim.DefaultConfig()
 		cfg.PartialRecovery = *partial
+		cfg.Telemetry = tel
 		res, err := sim.RunContext(ctx, cfg, programs, c, spec, init)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		exec, final = res.Exec, res.Final
 		lat := metrics.Summarize(res.Latencies)
@@ -327,6 +391,9 @@ func main() {
 			fmt.Printf("chaos:          %d stale waits, %d grace aborts, %d crash aborts, %d probe deadlocks, %d retransmits\n",
 				distCtl.StaleWaits, distCtl.GraceAborts, distCtl.CrashAborts,
 				distCtl.ProbeDeadlocks, distCtl.Retransmits)
+			if tel != nil {
+				distCtl.FillTelemetry(tel)
+			}
 		}
 	}
 	report(exec, final)
@@ -335,25 +402,26 @@ func main() {
 		chk, err := coherent.CheckExecution(exec, n, spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim: check:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("theorem 2:      atomic=%v correctable=%v\n", chk.Atomic, chk.Correctable)
 		if !chk.Correctable && c.Name() != "none" {
 			fmt.Fprintln(os.Stderr, "mlasim: control admitted a non-correctable execution")
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := trace.Encode(f, exec, n.Restrict(exec.Txns()), spec, init); err != nil {
 			fmt.Fprintln(os.Stderr, "mlasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("trace written:  %s\n", *traceOut)
 	}
+	return 0
 }

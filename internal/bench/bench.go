@@ -17,6 +17,7 @@ import (
 	"mla/internal/nest"
 	"mla/internal/sched"
 	"mla/internal/sim"
+	"mla/internal/telemetry"
 )
 
 // Options configures an experiment run.
@@ -31,6 +32,11 @@ type Options struct {
 	// a cancelled experiment returns the wrapped ctx error. cmd/mlabench
 	// wires the interrupt signal here so ^C stops a long sweep promptly.
 	Context context.Context
+	// Telemetry, when non-nil, is the shared sink experiments record into:
+	// spans from the runs that support tracing (engine, sim, net bus) and
+	// aggregated counters from every Snapshot(). cmd/mlabench exports it
+	// via -telemetry / -trace-out.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultOptions returns Scale 1, Seed 1.

@@ -78,6 +78,10 @@ func E18Chaos(o Options) (*metrics.Table, error) {
 				Delay:  5,
 				Faults: fault.New(plan),
 			})
+			if o.Telemetry != nil {
+				cfg.Telemetry = o.Telemetry
+				c.AttachTelemetry(o.Telemetry)
+			}
 			res, err := sim.RunContext(o.ctx(), cfg, wl.Programs, c, wl.Spec, wl.Init)
 			if err != nil {
 				return nil, fmt.Errorf("E18 %s seed=%d: %w", scn.name, s, err)
@@ -107,6 +111,9 @@ func E18Chaos(o Options) (*metrics.Table, error) {
 			probes += c.ProbeDeadlocks
 			retrans += c.Retransmits
 			dropped += c.NetStats().Dropped + c.NetStats().DroppedLink + c.NetStats().DroppedCrash
+			if o.Telemetry != nil {
+				c.FillTelemetry(o.Telemetry)
+			}
 		}
 		th /= float64(seeds)
 		t.Row(scn.name, th, p99, aborts/seeds, grace/seeds, crash/seeds,

@@ -31,9 +31,11 @@ import (
 	"time"
 
 	"mla/internal/engine"
+	"mla/internal/fault"
 	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/sched"
+	"mla/internal/telemetry"
 	"mla/internal/wal"
 )
 
@@ -143,6 +145,18 @@ type PerfMeasurement struct {
 	ElapsedUS       int64   `json:"elapsed_us"`        // wall clock of the run
 }
 
+// PerfRecovery summarizes the crash-recovery cell that runs alongside the
+// sweep when telemetry is enabled, so an exported trace always contains
+// recovery spans. It is a separate summary field — not a Measurements row —
+// to keep the BENCH_4.json row schema stable.
+type PerfRecovery struct {
+	Crashes   int   `json:"crashes"`
+	Rounds    int   `json:"rounds"`
+	TornTotal int   `json:"torn_total"`
+	Committed int   `json:"committed"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
 // PerfReport is the `mlabench -perf` output, serialized to BENCH_4.json.
 type PerfReport struct {
 	Schema          string            `json:"schema"` // "mla-perf/1"
@@ -152,6 +166,7 @@ type PerfReport struct {
 	FlushIntervalUS int64             `json:"flush_interval_us"`  // pipeline flush window
 	EquivalenceOK   bool              `json:"equivalence_ok"`     // every run reached the expected state
 	HotspotSpeedup  float64           `json:"hotspot_speedup_8p"` // optimized/baseline throughput, hotspot @ max procs
+	Recovery        *PerfRecovery     `json:"recovery,omitempty"` // telemetry-only crash-recovery cell
 	Measurements    []PerfMeasurement `json:"measurements"`
 }
 
@@ -160,6 +175,11 @@ type PerfOptions struct {
 	Seed  int64
 	Quick bool  // smaller workloads, GOMAXPROCS {1, max} only
 	Procs []int // sweep points; default {1,2,4,8} (quick: {1,8})
+	// Telemetry, when non-nil, attaches a per-cell engine.TelemetryObserver
+	// (spans for every lock wait, commit group, …), folds each cell's WAL
+	// counters into the registry, and appends a small crash-recovery cell
+	// so the exported trace also contains recovery spans.
+	Telemetry *telemetry.Telemetry
 }
 
 // PerfRun executes the full sweep. It mutates GOMAXPROCS during the run
@@ -205,7 +225,7 @@ func PerfRun(ctx context.Context, opts PerfOptions) (*PerfReport, error) {
 				if ctx.Err() != nil {
 					return nil, ctx.Err()
 				}
-				m, err := perfCase(ctx, wl, config, p, opts.Seed)
+				m, err := perfCase(ctx, wl, config, p, opts.Seed, opts.Telemetry)
 				if err != nil {
 					return nil, fmt.Errorf("bench: perf %s/%s@%d: %w", wl.name, config, p, err)
 				}
@@ -226,13 +246,73 @@ func PerfRun(ctx context.Context, opts PerfOptions) (*PerfReport, error) {
 	if hotBase > 0 {
 		rep.HotspotSpeedup = hotOpt / hotBase
 	}
+	if opts.Telemetry != nil {
+		rec, err := perfRecoveryCell(ctx, opts.Seed, opts.Telemetry)
+		if err != nil {
+			return nil, fmt.Errorf("bench: perf recovery cell: %w", err)
+		}
+		if rec.failed {
+			rep.EquivalenceOK = false
+		}
+		rep.Recovery = &rec.PerfRecovery
+	}
 	return rep, nil
+}
+
+// perfRecoveryResult carries the recovery cell's summary plus its pass/fail
+// verdict (a wrong final state flips the report's EquivalenceOK).
+type perfRecoveryResult struct {
+	PerfRecovery
+	failed bool
+}
+
+// perfRecoveryCell runs a small crash-recovery plan under the telemetry
+// observer: two injected crashes with a torn tail, so the exported trace
+// contains crash and recovery spans next to the sweep's lock-wait and
+// commit-group spans. The workload is the same commutative increment shape
+// as the sweep, so the final state is checkable.
+func perfRecoveryCell(ctx context.Context, seed int64, tel *telemetry.Telemetry) (*perfRecoveryResult, error) {
+	wl := genPerfWorkload("recovery", 12, 4, 6)
+	start := time.Now()
+	plan := engine.CrashPlan{
+		Cfg: engine.Config{
+			Seed:     seed,
+			Observer: engine.NewTelemetryObserver(tel, "perf/recovery"),
+		},
+		Init: wl.init,
+		Faults: fault.Plan{
+			Seed:         seed,
+			CrashAppends: []int64{10, 25},
+			TearTail:     1,
+		},
+		NewControl: func() sched.Control { return sched.NewShardedTwoPhase(16) },
+	}
+	out, err := engine.RunWithCrashes(ctx, plan, wl.progs)
+	if err != nil {
+		return nil, err
+	}
+	rec := &perfRecoveryResult{PerfRecovery: PerfRecovery{
+		Crashes:   out.Crashes,
+		Rounds:    out.Rounds,
+		TornTotal: out.TornTotal,
+		Committed: out.Committed,
+		ElapsedUS: time.Since(start).Microseconds(),
+	}}
+	for x, v := range wl.want {
+		if out.Final[x] != v {
+			rec.failed = true
+		}
+	}
+	if out.Committed != len(wl.progs) {
+		rec.failed = true
+	}
+	return rec, nil
 }
 
 // perfCase runs one cell: build the store for the configuration, run the
 // engine at the given GOMAXPROCS, verify the outcome against the
 // schedule-independent expectation, and fold the counters.
-func perfCase(ctx context.Context, wl perfWorkload, config string, procs int, seed int64) (PerfMeasurement, error) {
+func perfCase(ctx context.Context, wl perfWorkload, config string, procs int, seed int64, tel *telemetry.Telemetry) (PerfMeasurement, error) {
 	runtime.GOMAXPROCS(procs)
 	medium := wal.NewMedium()
 	medium.SyncDelay = perfSyncDelay
@@ -251,9 +331,13 @@ func perfCase(ctx context.Context, wl perfWorkload, config string, procs int, se
 		store = syncWALStore{db: db}
 		control = sched.NewShardedTwoPhase(1) // single stripe: the unoptimized lock path
 	}
+	cfg := engine.Config{Seed: seed}
+	if tel != nil {
+		cfg.Observer = engine.NewTelemetryObserver(tel, fmt.Sprintf("%s/%s@%d", wl.name, config, procs))
+	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	res, err := engine.RunOnStore(ctx, engine.Config{Seed: seed}, wl.progs, control, nil, store)
+	res, err := engine.RunOnStore(ctx, cfg, wl.progs, control, nil, store)
 	if pipe != nil {
 		pipe.Close()
 	}
@@ -261,6 +345,9 @@ func perfCase(ctx context.Context, wl perfWorkload, config string, procs int, se
 		return PerfMeasurement{}, err
 	}
 	runtime.ReadMemStats(&after)
+	if tel != nil {
+		tel.Metrics.ObserveSnapshot("wal."+config, db.Snapshot())
+	}
 	// The equivalence assertion: commutative workload, so the optimized and
 	// baseline paths must both land exactly on init + increment counts.
 	for x, v := range wl.want {
@@ -301,6 +388,11 @@ func (r *PerfReport) Table() *metrics.Table {
 			fmt.Sprintf("%.0f", m.AllocsPerTxn), m.Restarts)
 	}
 	tbl.Row("hotspot", "speedup@max", "", fmt.Sprintf("%.2fx", r.HotspotSpeedup), "", "", "", "", "")
+	if r.Recovery != nil {
+		tbl.Row("recovery", fmt.Sprintf("%d crashes", r.Recovery.Crashes), "",
+			fmt.Sprintf("%d rounds", r.Recovery.Rounds), "", "", "", "",
+			fmt.Sprintf("torn %d", r.Recovery.TornTotal))
+	}
 	return tbl
 }
 
@@ -316,7 +408,7 @@ func (r *PerfReport) WriteJSON(path string) error {
 // E19Perf wraps the perf harness as an experiment: a quick sweep whose
 // equivalence assertions must hold. Scale >= 2 runs the full sweep.
 func E19Perf(o Options) (*metrics.Table, error) {
-	rep, err := PerfRun(o.ctx(), PerfOptions{Seed: o.Seed, Quick: o.scale() <= 1})
+	rep, err := PerfRun(o.ctx(), PerfOptions{Seed: o.Seed, Quick: o.scale() <= 1, Telemetry: o.Telemetry})
 	if err != nil {
 		return nil, err
 	}

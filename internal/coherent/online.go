@@ -42,9 +42,9 @@ type Online struct {
 	// Replayable state below; reset by rebuild.
 	txns    []model.TxnID
 	txnIdx  map[model.TxnID]int
-	stepTxn []int             // global step -> txn index
-	stepSeq []int             // global step -> 1-based seq
-	stepEnt []model.EntityID  // global step -> entity
+	stepTxn []int            // global step -> txn index
+	stepSeq []int            // global step -> 1-based seq
+	stepEnt []model.EntityID // global step -> entity
 	perTxn  [][]int
 	coarse  [][]int // per txn: coarse[pos-1] = coarseness of cut after step pos (0 = none yet)
 

@@ -56,6 +56,7 @@ import (
 	"mla/internal/nest"
 	mnet "mla/internal/net"
 	"mla/internal/sched"
+	"mla/internal/telemetry"
 )
 
 // Params configures the distributed control. Zero timer fields get
@@ -243,6 +244,26 @@ func (p *Preventer) Name() string { return fmt.Sprintf("dist-prevent/d=%d", p.pa
 
 // NetStats returns the bus traffic counters.
 func (p *Preventer) NetStats() mnet.Stats { return p.bus.Stats() }
+
+// AttachTelemetry records one replica-rpc span per bus message into tel
+// (see net.Bus.AttachTelemetry). Call before the run. FillTelemetry is the
+// matching end-of-run registry fold.
+func (p *Preventer) AttachTelemetry(tel *telemetry.Telemetry) { p.bus.AttachTelemetry(tel) }
+
+// FillTelemetry folds the control's end-of-run counters — bus traffic,
+// scheduler decisions, and the chaos accounting (stale waits, grace and
+// crash aborts, probe deadlocks, retransmits) — into tel's registry under
+// the net.* and dist.* names. Repeated runs aggregate.
+func (p *Preventer) FillTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	tel.Metrics.ObserveSnapshot("net", p.bus.Snapshot())
+	tel.Metrics.ObserveSnapshot("dist", struct {
+		StaleWaits, GraceAborts, CrashAborts, ProbeDeadlocks, Retransmits int
+	}{p.StaleWaits, p.GraceAborts, p.CrashAborts, p.ProbeDeadlocks, p.Retransmits})
+	tel.Metrics.ObserveSnapshot("dist.control", p.Stats().Snapshot())
+}
 
 // Begin implements sched.Control. Each (re)start bumps the transaction's
 // epoch, fencing every message about the previous incarnation.

@@ -91,9 +91,9 @@ func TestNetFaultSoundness(t *testing.T) {
 			NetExtraDelay: 40,
 		})
 		c := NewNet(wl.Nest, wl.Spec, Params{
-			Procs: cfg.Processors,
-			Owner: sim.OwnerFunc(cfg.Processors),
-			Delay: 10,
+			Procs:  cfg.Processors,
+			Owner:  sim.OwnerFunc(cfg.Processors),
+			Delay:  10,
 			Faults: inj,
 		})
 		res, err := sim.Run(cfg, wl.Programs, c, wl.Spec, wl.Init)

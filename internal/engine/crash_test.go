@@ -102,7 +102,7 @@ type redoTracker struct {
 	redone    []model.TxnID
 }
 
-func (r *redoTracker) StepPerformed(t model.TxnID, _ int, _ model.EntityID, _ int) {
+func (r *redoTracker) StepPerformed(t model.TxnID, _ int, _ model.EntityID, _, _ int) {
 	if r.committed[t] {
 		r.redone = append(r.redone, t)
 	}

@@ -145,10 +145,10 @@ type etxn struct {
 	// durability order); the finalizer goroutine flips it to commit.
 	committing bool
 	gaveUp     bool // parked after exhausting the restart budget
-	prio     int64
-	deps     map[model.TxnID]bool
-	began    time.Time     // first Begin, for commit latency
-	waited   time.Duration // total time blocked on Wait decisions
+	prio       int64
+	deps       map[model.TxnID]bool
+	began      time.Time     // first Begin, for commit latency
+	waited     time.Duration // total time blocked on Wait decisions
 }
 
 type engine struct {
@@ -287,11 +287,19 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 	close(e.stop)
 	wg.Wait()
 	e.committers.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.obs != nil {
+		// One RunEnded per engine run, on every exit path — clean, crash,
+		// timeout, cancellation — fired under the mutex like the per-step
+		// hooks, after every worker joined (so it is provably the last
+		// per-run event an observer sees before the recovery loop's
+		// Crashed/Recovered, and a telemetry recorder can seal its spans).
+		e.obs.RunEnded(e.stats.Committed, e.stats.GaveUp, time.Since(e.start))
+	}
 	if runErr != nil && !errors.Is(runErr, fault.ErrCrash) {
 		return nil, runErr
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	res := e.stats
 	res.Exec = e.survivors()
 	res.Final = e.store.Values()
@@ -556,7 +564,7 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			}
 			e.control.Performed(id, t.seq, x, cut)
 			if e.obs != nil {
-				e.obs.StepPerformed(id, t.seq, x, attempt)
+				e.obs.StepPerformed(id, t.seq, x, attempt, cut)
 			}
 			cur = next
 			e.bump()

@@ -14,8 +14,10 @@ import (
 // overhead beyond a nil check.
 type Observer interface {
 	// StepPerformed fires after a granted step executed against the store.
-	// attempt is the transaction's current attempt number (0 = first).
-	StepPerformed(t model.TxnID, seq int, x model.EntityID, attempt int)
+	// attempt is the transaction's current attempt number (0 = first); cut
+	// is the coarseness of the breakpoint boundary after this step (0 = no
+	// boundary), i.e. cut > 0 means the step ends a breakpoint unit.
+	StepPerformed(t model.TxnID, seq int, x model.EntityID, attempt, cut int)
 	// WaitBegin fires when the control answers Wait and the transaction
 	// blocks until the next state change.
 	WaitBegin(t model.TxnID, x model.EntityID)
@@ -44,6 +46,10 @@ type Observer interface {
 	// (0-based); committed is the number of durably committed transactions
 	// that survived. Invoked by the recovery loop between rounds.
 	Recovered(round int, committed int)
+	// RunEnded fires exactly once per engine run (per recovery round under
+	// RunWithCrashes), after every worker has been joined — on clean
+	// completion, cancellation, timeout, and injected crash alike.
+	RunEnded(committed, gaveUp int, elapsed time.Duration)
 }
 
 // NopObserver implements Observer with no-ops; embed it to implement only
@@ -51,7 +57,7 @@ type Observer interface {
 type NopObserver struct{}
 
 // StepPerformed implements Observer.
-func (NopObserver) StepPerformed(model.TxnID, int, model.EntityID, int) {}
+func (NopObserver) StepPerformed(model.TxnID, int, model.EntityID, int, int) {}
 
 // WaitBegin implements Observer.
 func (NopObserver) WaitBegin(model.TxnID, model.EntityID) {}
@@ -77,12 +83,16 @@ func (NopObserver) Crashed(int, int) {}
 // Recovered implements Observer.
 func (NopObserver) Recovered(int, int) {}
 
+// RunEnded implements Observer.
+func (NopObserver) RunEnded(int, int, time.Duration) {}
+
 // EventCounts is a ready-made Observer that tallies every event; cmd/mlasim
 // prints it after an engine run. The engine serializes hook calls, so no
 // internal locking is needed — but the counts must only be read after Run
 // returns.
 type EventCounts struct {
 	Steps      int
+	Cuts       int // steps that ended a breakpoint unit
 	Waits      int
 	WaitTime   time.Duration
 	Aborts     int
@@ -92,10 +102,16 @@ type EventCounts struct {
 	GaveUps    int
 	Crashes    int
 	Recoveries int
+	Runs       int
 }
 
 // StepPerformed implements Observer.
-func (c *EventCounts) StepPerformed(model.TxnID, int, model.EntityID, int) { c.Steps++ }
+func (c *EventCounts) StepPerformed(_ model.TxnID, _ int, _ model.EntityID, _, cut int) {
+	c.Steps++
+	if cut > 0 {
+		c.Cuts++
+	}
+}
 
 // WaitBegin implements Observer.
 func (c *EventCounts) WaitBegin(model.TxnID, model.EntityID) { c.Waits++ }
@@ -127,3 +143,95 @@ func (c *EventCounts) Crashed(int, int) { c.Crashes++ }
 
 // Recovered implements Observer.
 func (c *EventCounts) Recovered(int, int) { c.Recoveries++ }
+
+// RunEnded implements Observer.
+func (c *EventCounts) RunEnded(int, int, time.Duration) { c.Runs++ }
+
+// Tee fans every event out to each non-nil observer in order. It lets a
+// caller combine a tallying EventCounts with a telemetry recorder on the
+// same run. Tee(nil...) and Tee() return nil, preserving the "nil observer
+// = disabled" fast path.
+func Tee(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		// A disabled TelemetryObserver arrives as a typed nil (the
+		// constructor returns *TelemetryObserver), which an interface
+		// comparison alone would not catch.
+		if to, ok := o.(*TelemetryObserver); ok && to == nil {
+			continue
+		}
+		live = append(live, o)
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}
+
+type tee []Observer
+
+func (t tee) StepPerformed(id model.TxnID, seq int, x model.EntityID, attempt, cut int) {
+	for _, o := range t {
+		o.StepPerformed(id, seq, x, attempt, cut)
+	}
+}
+
+func (t tee) WaitBegin(id model.TxnID, x model.EntityID) {
+	for _, o := range t {
+		o.WaitBegin(id, x)
+	}
+}
+
+func (t tee) WaitEnd(id model.TxnID, x model.EntityID, waited time.Duration) {
+	for _, o := range t {
+		o.WaitEnd(id, x, waited)
+	}
+}
+
+func (t tee) TxnAborted(id model.TxnID, cascade bool) {
+	for _, o := range t {
+		o.TxnAborted(id, cascade)
+	}
+}
+
+func (t tee) CommitGroup(ids []model.TxnID) {
+	for _, o := range t {
+		o.CommitGroup(ids)
+	}
+}
+
+func (t tee) FaultInjected(id model.TxnID, seq, try int) {
+	for _, o := range t {
+		o.FaultInjected(id, seq, try)
+	}
+}
+
+func (t tee) TxnGaveUp(id model.TxnID, restarts int) {
+	for _, o := range t {
+		o.TxnGaveUp(id, restarts)
+	}
+}
+
+func (t tee) Crashed(round, torn int) {
+	for _, o := range t {
+		o.Crashed(round, torn)
+	}
+}
+
+func (t tee) Recovered(round, committed int) {
+	for _, o := range t {
+		o.Recovered(round, committed)
+	}
+}
+
+func (t tee) RunEnded(committed, gaveUp int, elapsed time.Duration) {
+	for _, o := range t {
+		o.RunEnded(committed, gaveUp, elapsed)
+	}
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"mla/internal/model"
+	"mla/internal/telemetry"
+)
+
+// TelemetryObserver adapts a telemetry sink to the engine's Observer: every
+// lifecycle event becomes exactly one span (intervals for run, transaction
+// attempt, breakpoint unit, lock wait, and recovery; instants for abort,
+// commit group, fault, give-up, and crash) plus a registry counter under
+// the engine.* naming scheme. One observer serves a whole RunWithCrashes
+// plan: each recovery round opens a fresh run span and Crashed/Recovered
+// bracket the recovery spans between rounds.
+//
+// Concurrency: the engine serializes every hook (under its mutex during a
+// run; between rounds for Crashed/Recovered), so the observer appends to
+// one lock-free telemetry.Local and adds no locking of its own — enabled
+// telemetry costs the engine nothing beyond the work recorded here, and
+// disabled telemetry (nil Config.Observer) stays one nil check.
+type TelemetryObserver struct {
+	tel *telemetry.Telemetry
+	l   *telemetry.Local
+	pid int64
+
+	run      telemetry.SpanID
+	runOpen  bool
+	rounds   int
+	recovery telemetry.SpanID
+	recOpen  bool
+
+	lanes   map[model.TxnID]int64
+	attempt map[model.TxnID]int
+	txn     map[model.TxnID]telemetry.SpanID
+	unit    map[model.TxnID]telemetry.SpanID
+	wait    map[model.TxnID]telemetry.SpanID
+}
+
+// NewTelemetryObserver returns an observer recording into tel. label names
+// the process lane in the exported trace (e.g. "hotspot/optimized@8");
+// each observer gets its own lane, so several runs export side by side.
+// A nil tel returns nil, which Config.Observer treats as disabled.
+func NewTelemetryObserver(tel *telemetry.Telemetry, label string) *TelemetryObserver {
+	if tel == nil {
+		return nil
+	}
+	o := &TelemetryObserver{
+		tel:     tel,
+		l:       tel.Trace.Local(),
+		pid:     tel.Trace.NextPID(),
+		lanes:   make(map[model.TxnID]int64),
+		attempt: make(map[model.TxnID]int),
+		txn:     make(map[model.TxnID]telemetry.SpanID),
+		unit:    make(map[model.TxnID]telemetry.SpanID),
+		wait:    make(map[model.TxnID]telemetry.SpanID),
+	}
+	if label == "" {
+		label = "engine"
+	}
+	tel.Trace.NameProcess(o.pid, label)
+	tel.Trace.NameLane(o.pid, 0, "run")
+	return o
+}
+
+func (o *TelemetryObserver) c(name string) *telemetry.Counter {
+	return o.tel.Metrics.Counter(name)
+}
+
+func (o *TelemetryObserver) lane(t model.TxnID) int64 {
+	tid, ok := o.lanes[t]
+	if !ok {
+		tid = int64(len(o.lanes) + 1)
+		o.lanes[t] = tid
+		o.tel.Trace.NameLane(o.pid, tid, string(t))
+	}
+	return tid
+}
+
+func (o *TelemetryObserver) ensureRun() telemetry.SpanID {
+	if !o.runOpen {
+		o.rounds++
+		o.run = o.l.Begin("run", fmt.Sprintf("run %d", o.rounds), o.pid, 0, 0)
+		o.runOpen = true
+	}
+	return o.run
+}
+
+func (o *TelemetryObserver) ensureTxn(t model.TxnID) telemetry.SpanID {
+	id, ok := o.txn[t]
+	if !ok {
+		name := fmt.Sprintf("%s#%d", t, o.attempt[t])
+		id = o.l.Begin("txn", name, o.pid, o.lane(t), o.ensureRun())
+		o.txn[t] = id
+	}
+	return id
+}
+
+// closeTxn seals a transaction's open wait, unit, and attempt spans with
+// the given outcome arg.
+func (o *TelemetryObserver) closeTxn(t model.TxnID, outcome string) {
+	if id, ok := o.wait[t]; ok {
+		o.l.Arg(id, "outcome", outcome)
+		o.l.End(id)
+		delete(o.wait, t)
+	}
+	if id, ok := o.unit[t]; ok {
+		o.l.End(id)
+		delete(o.unit, t)
+	}
+	if id, ok := o.txn[t]; ok {
+		o.l.Arg(id, "outcome", outcome)
+		o.l.End(id)
+		delete(o.txn, t)
+	}
+}
+
+// StepPerformed implements Observer: steps accrete into breakpoint-unit
+// spans; a positive cut closes the current unit at this step.
+func (o *TelemetryObserver) StepPerformed(t model.TxnID, seq int, x model.EntityID, attempt, cut int) {
+	o.c("engine.steps").Inc()
+	o.attempt[t] = attempt
+	parent := o.ensureTxn(t)
+	id, ok := o.unit[t]
+	if !ok {
+		id = o.l.Begin("unit", "unit", o.pid, o.lane(t), parent, "first_step", fmt.Sprint(seq))
+		o.unit[t] = id
+	}
+	if cut > 0 {
+		o.c("engine.cuts").Inc()
+		o.l.Arg(id, "cut", fmt.Sprint(cut))
+		o.l.Arg(id, "last_step", fmt.Sprint(seq))
+		o.l.End(id)
+		delete(o.unit, t)
+	}
+	_ = x
+}
+
+// WaitBegin implements Observer.
+func (o *TelemetryObserver) WaitBegin(t model.TxnID, x model.EntityID) {
+	o.c("engine.waits").Inc()
+	parent := o.ensureTxn(t)
+	if u, ok := o.unit[t]; ok {
+		parent = u
+	}
+	o.wait[t] = o.l.Begin("lock-wait", "wait "+string(x), o.pid, o.lane(t), parent)
+}
+
+// WaitEnd implements Observer.
+func (o *TelemetryObserver) WaitEnd(t model.TxnID, x model.EntityID, waited time.Duration) {
+	o.tel.Metrics.Histogram("engine.wait_us").Observe(waited.Microseconds())
+	if id, ok := o.wait[t]; ok {
+		o.l.End(id)
+		delete(o.wait, t)
+	}
+	_ = x
+}
+
+// TxnAborted implements Observer.
+func (o *TelemetryObserver) TxnAborted(t model.TxnID, cascade bool) {
+	o.c("engine.aborts").Inc()
+	outcome := "abort"
+	if cascade {
+		o.c("engine.cascades").Inc()
+		outcome = "cascade"
+	}
+	o.closeTxn(t, outcome)
+	o.l.Event("abort", "abort "+string(t), o.pid, o.lane(t), o.ensureRun(),
+		"cascade", fmt.Sprint(cascade))
+}
+
+// CommitGroup implements Observer.
+func (o *TelemetryObserver) CommitGroup(txns []model.TxnID) {
+	o.c("engine.commit_groups").Inc()
+	o.c("engine.committed").Add(int64(len(txns)))
+	for _, t := range txns {
+		o.closeTxn(t, "commit")
+	}
+	o.l.Event("commit-group", fmt.Sprintf("commit group (%d)", len(txns)),
+		o.pid, 0, o.ensureRun(), "size", fmt.Sprint(len(txns)))
+}
+
+// FaultInjected implements Observer.
+func (o *TelemetryObserver) FaultInjected(t model.TxnID, seq int, try int) {
+	o.c("engine.faults").Inc()
+	o.l.Event("fault", "fault "+string(t), o.pid, o.lane(t), o.ensureTxn(t),
+		"seq", fmt.Sprint(seq), "try", fmt.Sprint(try))
+}
+
+// TxnGaveUp implements Observer.
+func (o *TelemetryObserver) TxnGaveUp(t model.TxnID, restarts int) {
+	o.c("engine.gaveups").Inc()
+	o.closeTxn(t, "gaveup")
+	o.l.Event("gaveup", "gaveup "+string(t), o.pid, o.lane(t), o.ensureRun(),
+		"restarts", fmt.Sprint(restarts))
+}
+
+// Crashed implements Observer: RunEnded has already sealed the round's
+// spans (the recovery loop calls Crashed after RunOnStore returns), so the
+// crash is an instant and the recovery pass opens as an interval that
+// Recovered will close.
+func (o *TelemetryObserver) Crashed(round int, torn int) {
+	o.c("engine.crashes").Inc()
+	o.l.Event("crash", fmt.Sprintf("crash round %d", round), o.pid, 0, 0,
+		"torn", fmt.Sprint(torn))
+	if o.recOpen {
+		o.l.End(o.recovery) // defensive: recovery interrupted by a crash
+	}
+	o.recovery = o.l.Begin("recovery", fmt.Sprintf("recovery %d", round+1), o.pid, 0, 0)
+	o.recOpen = true
+}
+
+// Recovered implements Observer.
+func (o *TelemetryObserver) Recovered(round int, committed int) {
+	o.c("engine.recoveries").Inc()
+	if o.recOpen {
+		o.l.Arg(o.recovery, "durable_commits", fmt.Sprint(committed))
+		o.l.End(o.recovery)
+		o.recOpen = false
+		return
+	}
+	// No matching Crashed (defensive): record the recovery as an instant.
+	o.l.Event("recovery", fmt.Sprintf("recovery %d", round), o.pid, 0, 0,
+		"durable_commits", fmt.Sprint(committed))
+}
+
+// RunEnded implements Observer: seal whatever the run left open — on a
+// clean run nothing, on a crash or timeout the in-flight transactions —
+// and close the round's run span.
+func (o *TelemetryObserver) RunEnded(committed, gaveUp int, elapsed time.Duration) {
+	o.c("engine.runs").Inc()
+	for t := range o.txn {
+		o.closeTxn(t, "interrupted")
+	}
+	if o.runOpen {
+		o.l.Arg(o.run, "committed", fmt.Sprint(committed))
+		o.l.Arg(o.run, "gaveup", fmt.Sprint(gaveUp))
+		o.l.Arg(o.run, "elapsed_us", fmt.Sprint(elapsed.Microseconds()))
+		o.l.End(o.run)
+		o.runOpen = false
+	}
+}

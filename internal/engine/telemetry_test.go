@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mla/internal/bank"
+	"mla/internal/fault"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/telemetry"
+)
+
+func spansByCat(spans []telemetry.Span) map[string][]telemetry.Span {
+	out := make(map[string][]telemetry.Span)
+	for _, s := range spans {
+		out[s.Cat] = append(out[s.Cat], s)
+	}
+	return out
+}
+
+// TestTelemetryObserverLifecycle runs a contended banking workload with the
+// telemetry observer teed behind the counting observer and checks the two
+// agree exactly: every engine event opened (and closed) the right number of
+// spans, nothing is left open, and child spans nest inside their parents.
+func TestTelemetryObserverLifecycle(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 12
+	params.BankAudits = 1
+	params.CreditorAudits = 1
+	wl := bank.Generate(params)
+
+	tel := telemetry.New()
+	var ev EventCounts
+	cfg := Config{
+		Seed:     7,
+		Observer: Tee(&ev, NewTelemetryObserver(tel, "lifecycle")),
+		Faults:   fault.New(fault.Plan{Seed: 7, StepErrorRate: 0.05}),
+	}
+	res, err := Run(context.Background(), cfg, wl.Programs, sched.NewPreventer(wl.Nest, wl.Spec), wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != len(wl.Programs) {
+		t.Fatalf("committed %d/%d", res.Committed, len(wl.Programs))
+	}
+
+	spans := spansByCat(tel.Trace.Spans())
+	for _, s := range spans["txn"] {
+		if s.Args["open"] == "true" {
+			t.Errorf("txn span %q left open after the run", s.Name)
+		}
+	}
+	// Exactly one span (or instant) per observed event, category by
+	// category: the observer and the counter watched the same stream.
+	checks := []struct {
+		cat  string
+		want int
+	}{
+		{"run", ev.Runs},
+		{"lock-wait", ev.Waits},
+		{"commit-group", ev.Groups},
+		{"abort", ev.Aborts},
+		{"fault", ev.Faults},
+		{"gaveup", ev.GaveUps},
+		{"crash", ev.Crashes},
+		{"recovery", ev.Recoveries},
+	}
+	for _, c := range checks {
+		if got := len(spans[c.cat]); got != c.want {
+			t.Errorf("%s spans = %d, observer counted %d", c.cat, got, c.want)
+		}
+	}
+	if ev.Runs != 1 {
+		t.Errorf("runs = %d, want 1", ev.Runs)
+	}
+	if ev.Cuts == 0 {
+		t.Error("no breakpoint cuts observed on a breakpoint-bearing workload")
+	}
+	if got := tel.Metrics.Counter("engine.steps").Value(); got != int64(ev.Steps) {
+		t.Errorf("engine.steps = %d, observer counted %d", got, ev.Steps)
+	}
+	if got := tel.Metrics.Counter("engine.committed").Value(); got != int64(res.Committed) {
+		t.Errorf("engine.committed = %d, result has %d", got, res.Committed)
+	}
+
+	// Nesting: every wait and unit span lies within its parent's bounds,
+	// and parents resolve transitively up to the run span.
+	byID := make(map[telemetry.SpanID]telemetry.Span)
+	all := tel.Trace.Spans()
+	for _, s := range all {
+		byID[s.ID] = s
+	}
+	for _, s := range all {
+		if s.Cat != "lock-wait" && s.Cat != "unit" {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("%s span %q has unknown parent %d", s.Cat, s.Name, s.Parent)
+		}
+		if s.Start < p.Start || s.End > p.End {
+			t.Errorf("%s [%d,%d] escapes parent %s [%d,%d]", s.Cat, s.Start, s.End, p.Cat, p.Start, p.End)
+		}
+		hops := 0
+		for cur := s; cur.Parent != 0; cur = byID[cur.Parent] {
+			if _, ok := byID[cur.Parent]; !ok {
+				t.Fatalf("broken parent chain from %s %q", s.Cat, s.Name)
+			}
+			if hops++; hops > 10 {
+				t.Fatal("parent cycle")
+			}
+		}
+	}
+}
+
+// TestTelemetryObserverCrashRecovery: one observer serves a whole crash
+// plan — run spans per round, a crash instant per injected crash, and a
+// recovery interval bracketing each recovery pass.
+func TestTelemetryObserverCrashRecovery(t *testing.T) {
+	params := bank.DefaultParams()
+	params.Transfers = 10
+	params.BankAudits = 0
+	params.CreditorAudits = 0
+	wl := bank.Generate(params)
+
+	tel := telemetry.New()
+	var ev EventCounts
+	plan := CrashPlan{
+		Cfg: Config{
+			Seed:      21,
+			StepDelay: 20 * time.Microsecond,
+			Observer:  Tee(&ev, NewTelemetryObserver(tel, "crash")),
+		},
+		Spec: wl.Spec,
+		Init: wl.Init,
+		Faults: fault.Plan{
+			Seed:         21,
+			CrashAppends: []int64{5, 14},
+			TearTail:     2,
+		},
+		NewControl: func() sched.Control { return sched.NewPreventer(wl.Nest, wl.Spec) },
+	}
+	out, err := RunWithCrashes(context.Background(), plan, wl.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", out.Crashes)
+	}
+	spans := spansByCat(tel.Trace.Spans())
+	if got := len(spans["run"]); got != out.Rounds {
+		t.Errorf("run spans = %d, rounds = %d", got, out.Rounds)
+	}
+	if got := len(spans["crash"]); got != out.Crashes {
+		t.Errorf("crash spans = %d, crashes = %d", got, out.Crashes)
+	}
+	if got := len(spans["recovery"]); got != out.Crashes {
+		t.Errorf("recovery spans = %d, want %d", got, out.Crashes)
+	}
+	for _, s := range spans["recovery"] {
+		if s.Args["open"] == "true" {
+			t.Error("recovery span left open")
+		}
+		if s.Args["durable_commits"] == "" {
+			t.Error("recovery span missing durable_commits")
+		}
+	}
+	// Interrupted transactions were sealed by RunEnded, not leaked.
+	for _, s := range spans["txn"] {
+		if s.Args["open"] == "true" {
+			t.Errorf("txn span %q leaked across rounds", s.Name)
+		}
+	}
+	if got := tel.Metrics.Counter("engine.crashes").Value(); got != int64(out.Crashes) {
+		t.Errorf("engine.crashes = %d, want %d", got, out.Crashes)
+	}
+	if got := tel.Metrics.Counter("engine.runs").Value(); got != int64(out.Rounds) {
+		t.Errorf("engine.runs = %d, want %d", got, out.Rounds)
+	}
+}
+
+// TestTeeFiltersDisabledTelemetry: a nil sink produces a typed-nil
+// *TelemetryObserver; Tee must drop it (and collapse to the sole live
+// observer) rather than hand the engine a nil receiver.
+func TestTeeFiltersDisabledTelemetry(t *testing.T) {
+	var ev EventCounts
+	obs := Tee(&ev, NewTelemetryObserver(nil, ""))
+	if obs != Observer(&ev) {
+		t.Fatalf("Tee did not collapse to the live observer: %T", obs)
+	}
+	if Tee(NewTelemetryObserver(nil, "")) != nil {
+		t.Fatal("Tee of only disabled observers should be nil")
+	}
+	progs := []model.Program{
+		&model.Scripted{Txn: "a", Ops: []model.Op{model.Add("x", 1)}},
+	}
+	res, err := Run(context.Background(), Config{Seed: 1, Observer: obs}, progs,
+		sched.NewTwoPhase(), nil, map[model.EntityID]model.Value{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 1 || ev.Runs != 1 {
+		t.Fatalf("committed %d, runs %d", res.Committed, ev.Runs)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"mla/internal/model"
+	"mla/internal/telemetry"
 )
 
 // Kind is the message type.
@@ -143,6 +144,15 @@ type Bus struct {
 	down     []bool
 	parts    map[string]map[int]int // partition name -> proc -> side
 	stats    Stats
+
+	// trace, when attached, records one replica-rpc span per message fate:
+	// an interval from send to delivery on the receiver's lane, or an
+	// instant drop event on the sender's. Simulated time maps one unit to
+	// one microsecond (telemetry.SimUnit). The bus is single-threaded (the
+	// simulator drives it), so one lock-free Local suffices; nil trace —
+	// the default — costs one nil check per message.
+	trace    *telemetry.Local
+	tracePID int64
 }
 
 // New creates a bus over procs processors with the given one-hop latency.
@@ -173,6 +183,43 @@ func (b *Bus) Stats() Stats { return b.stats }
 // struct is a value copy that never aliases live state: it stays valid
 // forever and mutating it has no effect on the bus.
 func (b *Bus) Snapshot() Stats { return b.stats }
+
+// AttachTelemetry starts recording replica-rpc spans into tel. Call before
+// the run; a nil tel detaches.
+func (b *Bus) AttachTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		b.trace = nil
+		return
+	}
+	b.trace = tel.Trace.Local()
+	b.tracePID = tel.Trace.NextPID()
+	tel.Trace.NameProcess(b.tracePID, "net bus")
+	for p := 0; p < b.procs; p++ {
+		tel.Trace.NameLane(b.tracePID, int64(p), fmt.Sprintf("proc %d", p))
+	}
+}
+
+// traceDelivery records a delivered message as a send→deliver interval on
+// the receiver's lane.
+func (b *Bus) traceDelivery(m Message) {
+	if b.trace == nil {
+		return
+	}
+	start := telemetry.SimUnit(m.SentAt)
+	b.trace.RecordAt(start, telemetry.SimUnit(b.now)-start, "replica-rpc", m.Kind.String(),
+		b.tracePID, int64(m.To), 0,
+		"from", fmt.Sprint(m.From), "to", fmt.Sprint(m.To), "txn", string(m.Txn))
+}
+
+// traceDrop records a lost message as an instant on the sender's lane.
+func (b *Bus) traceDrop(m Message, reason string) {
+	if b.trace == nil {
+		return
+	}
+	b.trace.RecordAt(telemetry.SimUnit(b.now), 0, "replica-rpc", "drop "+m.Kind.String(),
+		b.tracePID, int64(m.From), 0,
+		"reason", reason, "from", fmt.Sprint(m.From), "to", fmt.Sprint(m.To))
+}
 
 // Down reports whether processor p is crashed.
 func (b *Bus) Down(p int) bool { return b.down[p] }
@@ -218,6 +265,7 @@ func (b *Bus) Crash(p int) {
 	for _, pk := range b.inflight {
 		if pk.m.To == p {
 			b.stats.DroppedCrash++
+			b.traceDrop(pk.m, "crash")
 			continue
 		}
 		kept = append(kept, pk)
@@ -240,6 +288,7 @@ func (b *Bus) Send(m Message) {
 	b.stats.Sent++
 	if b.down[m.From] || b.down[m.To] || b.Partitioned(m.From, m.To) {
 		b.stats.DroppedLink++
+		b.traceDrop(m, "link")
 		return
 	}
 	var drop bool
@@ -249,11 +298,13 @@ func (b *Bus) Send(m Message) {
 	}
 	if drop {
 		b.stats.Dropped++
+		b.traceDrop(m, "fault")
 		return
 	}
 	at := b.now + b.latency + extra
 	if at <= b.now {
 		b.stats.Delivered++
+		b.traceDelivery(m)
 		b.deliver(m)
 		return
 	}
@@ -304,9 +355,11 @@ func (b *Bus) Tick(now int64) {
 		if b.down[pk.m.To] {
 			// Crashed after the message was sent but before it matured.
 			b.stats.DroppedCrash++
+			b.traceDrop(pk.m, "crash")
 			continue
 		}
 		b.stats.Delivered++
+		b.traceDelivery(pk.m)
 		b.deliver(pk.m)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"mla/internal/model"
 	"mla/internal/sched"
 	"mla/internal/storage"
+	"mla/internal/telemetry"
 )
 
 // Config sets the simulated system's shape and timing. All durations are in
@@ -45,6 +46,14 @@ type Config struct {
 	// a full abort, so deadlocks whose cause lies in the kept prefix are
 	// still resolved.
 	PartialRecovery bool
+
+	// Telemetry, when non-nil, records the run into the shared sink: one
+	// txn span per committed transaction (begun to commit, on its home
+	// processor's lane), instants for commit groups and aborts, and the
+	// sim.* / control.* counters folded in at the end. Simulated time maps
+	// one unit to one microsecond in the exported trace (telemetry.SimUnit).
+	// The simulator is single-threaded, so one lock-free Local suffices.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns a small, contended configuration used by the
@@ -212,6 +221,13 @@ type Runner struct {
 
 	stallCommits  int // commit count at the last stall break
 	stallEscalate int // stall breaks since the last commit
+
+	// Telemetry recording (nil when Config.Telemetry is unset — every hook
+	// is one nil check). The simulator is single-threaded, so one lock-free
+	// Local carries the whole run; the run span is closed in result().
+	tele    *telemetry.Local
+	telePID int64
+	runSpan telemetry.SpanID
 }
 
 // New prepares a run of the given programs under the control. spec provides
@@ -242,6 +258,17 @@ func New(cfg Config, programs []model.Program, control sched.Control, spec break
 		r.txns = append(r.txns, t)
 		r.byID[p.ID()] = i
 		r.push(int64(i)*cfg.InterArrival, evBegin, i, 0)
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		r.tele = tel.Trace.Local()
+		r.telePID = tel.Trace.NextPID()
+		tel.Trace.NameProcess(r.telePID, "sim "+control.Name())
+		tel.Trace.NameLane(r.telePID, 0, "run")
+		for p := 0; p < cfg.Processors; p++ {
+			tel.Trace.NameLane(r.telePID, int64(p)+1, fmt.Sprintf("proc %d", p))
+		}
+		r.runSpan = r.tele.BeginAt(0, "run", "sim run", r.telePID, 0, 0,
+			"control", control.Name(), "txns", fmt.Sprint(len(programs)))
 	}
 	return r
 }
@@ -562,6 +589,11 @@ func (r *Runner) tryCommit() {
 			r.store.Commit(id)
 		}
 	}
+	if r.tele != nil {
+		r.tele.RecordAt(telemetry.SimUnit(r.now), 0, "commit-group",
+			fmt.Sprintf("commit group (%d)", len(ids)), r.telePID, 0, r.runSpan,
+			"size", fmt.Sprint(len(ids)))
+	}
 	for _, id := range ids {
 		t := r.txns[r.byID[id]]
 		t.status = stCommitted
@@ -572,6 +604,12 @@ func (r *Runner) tryCommit() {
 		}
 		if r.caps.Retired != nil {
 			r.caps.Retired(id)
+		}
+		if r.tele != nil {
+			start := telemetry.SimUnit(t.begun)
+			r.tele.RecordAt(start, telemetry.SimUnit(r.now)-start, "txn", string(id),
+				r.telePID, int64(t.home)+1, r.runSpan,
+				"attempts", fmt.Sprint(t.attempt+1), "steps", fmt.Sprint(t.seq))
 		}
 	}
 	// Committed authors no longer create dependencies.
@@ -693,6 +731,15 @@ func (r *Runner) abort(victims []model.TxnID, stall bool) {
 		} else {
 			r.partialRollback(ti, k)
 			r.caps.AbortedTo(id, k)
+		}
+		if r.tele != nil {
+			kind := "full"
+			if k > 0 {
+				kind = "partial"
+			}
+			r.tele.RecordAt(telemetry.SimUnit(r.now), 0, "abort", "abort "+string(id),
+				r.telePID, int64(t.home)+1, r.runSpan,
+				"kind", kind, "kept", fmt.Sprint(k))
 		}
 	}
 	if len(fullIDs) > 0 {
@@ -883,6 +930,16 @@ func (r *Runner) breakStall() bool {
 }
 
 func (r *Runner) result() *Result {
+	if tel := r.cfg.Telemetry; tel != nil && r.tele != nil {
+		end := r.now
+		if r.lastCommit > end {
+			end = r.lastCommit
+		}
+		r.tele.Arg(r.runSpan, "committed", fmt.Sprint(r.stats.Committed))
+		r.tele.EndAt(r.runSpan, telemetry.SimUnit(end))
+		tel.Metrics.ObserveSnapshot("sim", r.stats)
+		tel.Metrics.ObserveSnapshot("control."+r.control.Name(), r.control.Stats().Snapshot())
+	}
 	exec := make(model.Execution, 0, len(r.trace))
 	for _, te := range r.trace {
 		t := r.txns[te.txn]

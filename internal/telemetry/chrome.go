@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the merged spans serialized in the JSON Object
+// Format that chrome://tracing and Perfetto (ui.perfetto.dev) load
+// directly. Every span becomes one complete event (ph "X") with
+// microsecond-resolution ts/dur (fractions carry the nanosecond digits);
+// process and thread lanes carry metadata name events so transactions show
+// up as labeled swimlanes.
+
+// chromeEvent is one trace event; field names are the Chrome schema.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int64             `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the tracer's merged spans as Chrome trace-event
+// JSON. Events are emitted in nondecreasing timestamp order. Call after
+// the traced runs have returned (see Spans).
+func (tr *Tracer) WriteChrome(w io.Writer) error {
+	spans := tr.Spans()
+	tr.mu.Lock()
+	procs := make(map[int64]string, len(tr.procs))
+	for pid, name := range tr.procs {
+		procs[pid] = name
+	}
+	lanes := make(map[[2]int64]string, len(tr.lanes))
+	for k, name := range tr.lanes {
+		lanes[k] = name
+	}
+	tr.mu.Unlock()
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	// Metadata first: lane names, emitted at ts 0 in stable order.
+	pids := make([]int64, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": procs[pid]},
+		})
+	}
+	keys := make([][2]int64, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]string{"name": lanes[k]},
+		})
+	}
+	for _, s := range spans {
+		args := s.Args
+		if s.Parent != 0 {
+			args = copyArgs(args)
+			args["parent"] = itoa(int64(s.Parent))
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			PID:  s.PID,
+			TID:  s.TID,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartPprof begins CPU profiling to prefix+".cpu.pprof" and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// prefix+".heap.pprof". Both cmds expose it behind the -pprof flag; the
+// profiles open with `go tool pprof`.
+func StartPprof(prefix string) (stop func() error, err error) {
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return err
+		}
+		runtime.GC() // fresh heap numbers, not a stale GC cycle's
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			heap.Close()
+			return fmt.Errorf("telemetry: write heap profile: %w", err)
+		}
+		return heap.Close()
+	}, nil
+}

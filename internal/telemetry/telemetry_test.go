@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryRaceSafety hammers one registry from many goroutines — same
+// names, mixed metric kinds — and checks the totals. Run with -race for the
+// full payoff.
+func TestRegistryRaceSafety(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("engine.steps").Inc()
+				r.Gauge("engine.live").Set(int64(i))
+				r.Histogram("engine.wait_us").Observe(int64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("engine.steps").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if s := r.Histogram("engine.wait_us").Summary(); s.N != workers*per {
+		t.Errorf("histogram samples = %d, want %d", s.N, workers*per)
+	}
+	// Same name always returns the same instance.
+	if r.Counter("engine.steps") != r.Counter("engine.steps") {
+		t.Error("Counter returned distinct instances for one name")
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Committed":   "committed",
+		"DroppedLink": "dropped_link",
+		"P99":         "p99",
+		"StaleWaits":  "stale_waits",
+		"Syncs":       "syncs",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestObserveSnapshotAggregates folds the same stats struct in twice: the
+// registry must ADD (aggregate across runs), not overwrite, must derive
+// lower_snake names, and must skip unexported and non-numeric fields.
+func TestObserveSnapshotAggregates(t *testing.T) {
+	type stats struct {
+		Committed   int
+		DroppedLink int64
+		Rate        float64
+		Name        string // non-numeric: skipped
+		hidden      int    // unexported: skipped
+	}
+	r := NewRegistry()
+	s := stats{Committed: 3, DroppedLink: 7, Rate: 2.9, Name: "x", hidden: 99}
+	r.ObserveSnapshot("net", s)
+	r.ObserveSnapshot("net", &s) // pointer form works too
+	if got := r.Counter("net.committed").Value(); got != 6 {
+		t.Errorf("net.committed = %d, want 6", got)
+	}
+	if got := r.Counter("net.dropped_link").Value(); got != 14 {
+		t.Errorf("net.dropped_link = %d, want 14", got)
+	}
+	if got := r.Counter("net.rate").Value(); got != 4 { // truncated per observation
+		t.Errorf("net.rate = %d, want 4", got)
+	}
+	flat := r.flat()
+	if _, ok := flat["net.name"]; ok {
+		t.Error("non-numeric field leaked into the registry")
+	}
+	if _, ok := flat["net.hidden"]; ok {
+		t.Error("unexported field leaked into the registry")
+	}
+}
+
+func TestRegistryExports(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(5)
+	r.Histogram("h").Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if m["a.b"] != float64(5) {
+		t.Errorf("a.b = %v, want 5", m["a.b"])
+	}
+	if m["h.count"] != float64(1) {
+		t.Errorf("h.count = %v, want 1", m["h.count"])
+	}
+	var tbl bytes.Buffer
+	r.Table().Render(&tbl)
+	if !strings.Contains(tbl.String(), "a.b") {
+		t.Error("Table output missing metric name")
+	}
+}
+
+// TestTracerNestingAndMerge exercises the span lifecycle across two Locals:
+// parent links, per-Local buffers merged sorted by start, and open spans
+// auto-closed at merge with the open=true marker.
+func TestTracerNestingAndMerge(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NextPID()
+	a, b := tr.Local(), tr.Local()
+
+	run := a.BeginAt(0, "run", "run 1", pid, 0, 0)
+	txn := a.BeginAt(10, "txn", "t1#0", pid, 1, run)
+	wait := a.BeginAt(20, "lock-wait", "wait x", pid, 1, txn)
+	a.Arg(wait, "entity", "x")
+	a.EndAt(wait, 50)
+	a.EndAt(txn, 60)
+	a.EndAt(run, 100)
+	b.RecordAt(5, 30, "replica-rpc", "boundary", pid, 2, 0)
+	leak := b.BeginAt(40, "recovery", "recovery 2", pid, 0, 0)
+
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("merged %d spans, want 5", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("spans not sorted by start: %d after %d", spans[i].Start, spans[i-1].Start)
+		}
+	}
+	byID := make(map[SpanID]Span)
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	if byID[txn].Parent != run || byID[wait].Parent != txn {
+		t.Error("parent links lost in merge")
+	}
+	w := byID[wait]
+	tx := byID[txn]
+	if w.Start < tx.Start || w.End > tx.End {
+		t.Errorf("wait span [%d,%d] not nested within txn [%d,%d]", w.Start, w.End, tx.Start, tx.End)
+	}
+	if w.Args["entity"] != "x" {
+		t.Error("Arg lost")
+	}
+	lk := byID[leak]
+	if lk.Args["open"] != "true" {
+		t.Error("span left open was not marked open=true at merge")
+	}
+	if lk.End < lk.Start {
+		t.Error("auto-closed span ends before it starts")
+	}
+	// Closing or annotating an unknown id is a no-op, not a panic.
+	a.End(wait)
+	a.Arg(wait, "k", "v")
+	if a.Open(wait) {
+		t.Error("closed span still reported open")
+	}
+}
+
+// TestChromeExportRoundTrips writes a small trace and re-reads it through
+// encoding/json: metadata events lead, every span is a complete event with
+// nonnegative microsecond timestamps in nondecreasing order, and parent
+// links survive as args.
+func TestChromeExportRoundTrips(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NextPID()
+	tr.NameProcess(pid, "engine")
+	tr.NameLane(pid, 1, "t1")
+	l := tr.Local()
+	run := l.BeginAt(0, "run", "run 1", pid, 0, 0)
+	l.RecordAt(1000, 500, "lock-wait", "wait x", pid, 1, run)
+	l.RecordAt(2500, 0, "commit-group", "commit group (2)", pid, 0, run, "size", "2")
+	l.EndAt(run, 3000)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int64             `json:"pid"`
+			TID  int64             `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var meta, complete int
+	lastTS := -1.0
+	sawParent := false
+	for i, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if complete > 0 {
+				t.Errorf("metadata event %d after a complete event", i)
+			}
+		case "X":
+			complete++
+			if e.TS < 0 || e.Dur < 0 {
+				t.Errorf("event %q has negative ts/dur", e.Name)
+			}
+			if e.TS < lastTS {
+				t.Errorf("timestamps not monotone: %f after %f", e.TS, lastTS)
+			}
+			lastTS = e.TS
+			if e.Args["parent"] != "" {
+				sawParent = true
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("metadata events = %d, want 2 (process_name + thread_name)", meta)
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	if !sawParent {
+		t.Error("no event carried a parent arg")
+	}
+	// The wait span's microsecond conversion: 1000ns start = 1µs.
+	for _, e := range out.TraceEvents {
+		if e.Cat == "lock-wait" {
+			if e.TS != 1.0 || e.Dur != 0.5 {
+				t.Errorf("lock-wait ts/dur = %v/%v, want 1/0.5", e.TS, e.Dur)
+			}
+		}
+	}
+}
+
+func TestSimUnit(t *testing.T) {
+	if SimUnit(7) != 7000 {
+		t.Errorf("SimUnit(7) = %d", SimUnit(7))
+	}
+}

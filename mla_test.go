@@ -1,6 +1,7 @@
 package mla_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -125,5 +126,50 @@ func TestFacadeCheckResult(t *testing.T) {
 	var cr *mla.CheckResult = res // the alias is usable externally
 	if !cr.Atomic || !cr.Correctable {
 		t.Error("trivial execution must be atomic")
+	}
+}
+
+// TestWithTelemetry: the façade attaches a telemetry sink to a run config
+// (teeing with any observer already present) and the run records spans and
+// counters; a nil sink leaves the config untouched.
+func TestWithTelemetry(t *testing.T) {
+	progs := []mla.Program{
+		&mla.Scripted{Txn: "a", Ops: []mla.Op{mla.Add("x", 1), mla.Add("y", 1)}},
+		&mla.Scripted{Txn: "b", Ops: []mla.Op{mla.Add("y", 1), mla.Add("x", 1)}},
+	}
+	ctl, err := mla.NewControl(mla.ControlTwoPhase, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := mla.NewTelemetry()
+	var ev mla.EventCounts
+	cfg := mla.WithTelemetry(mla.RunConfig{Seed: 3, Observer: &ev}, tel, "facade")
+	res, err := mla.Run(context.Background(), cfg, progs, ctl, nil,
+		map[mla.EntityID]mla.Value{"x": 0, "y": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != len(progs) {
+		t.Fatalf("committed %d/%d", res.Committed, len(progs))
+	}
+	if ev.Runs != 1 {
+		t.Errorf("teed observer missed the run (runs=%d)", ev.Runs)
+	}
+	if got := tel.Metrics.Counter("engine.committed").Value(); got != int64(res.Committed) {
+		t.Errorf("engine.committed = %d, want %d", got, res.Committed)
+	}
+	var sawRun bool
+	for _, s := range tel.Trace.Spans() {
+		if s.Cat == "run" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Error("no run span recorded")
+	}
+	// nil sink: config unchanged, observer untouched.
+	plain := mla.RunConfig{Seed: 3, Observer: &ev}
+	if got := mla.WithTelemetry(plain, nil, ""); got.Observer != plain.Observer {
+		t.Error("WithTelemetry(nil) altered the config")
 	}
 }

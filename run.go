@@ -6,6 +6,7 @@ import (
 	"mla/internal/engine"
 	"mla/internal/fault"
 	"mla/internal/sched"
+	"mla/internal/telemetry"
 )
 
 // This file is the façade's execution surface: run transaction programs
@@ -68,6 +69,33 @@ type NopObserver = engine.NopObserver
 // EventCounts is a ready-made Observer tallying every event; read it only
 // after the run returns.
 type EventCounts = engine.EventCounts
+
+// TeeObservers fans one run's events out to several observers (nil entries
+// are dropped; a nil result means "no observer").
+func TeeObservers(obs ...Observer) Observer { return engine.Tee(obs...) }
+
+// Telemetry is the shared observability sink: a registry of named counters,
+// gauges, and histograms plus a span tracer whose output loads in Perfetto
+// (ui.perfetto.dev) via WriteTrace. Create one with NewTelemetry, attach it
+// to a run with WithTelemetry, then export.
+type Telemetry = telemetry.Telemetry
+
+// NewTelemetry creates an empty telemetry sink.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WithTelemetry returns cfg with a span- and counter-recording observer
+// attached (teed with any observer already present). Every engine event
+// becomes a span: intervals for the run, each transaction attempt,
+// breakpoint unit, lock wait, and recovery pass; instants for commit
+// groups, aborts, faults, give-ups, and crashes. label names the trace
+// lane; a nil tel returns cfg unchanged.
+func WithTelemetry(cfg RunConfig, tel *Telemetry, label string) RunConfig {
+	if tel == nil {
+		return cfg
+	}
+	cfg.Observer = engine.Tee(cfg.Observer, engine.NewTelemetryObserver(tel, label))
+	return cfg
+}
 
 // RunConfig bounds a concurrent run: timeout, backoff, per-step delay,
 // seed, observer, restart budget, fault injection.

@@ -1,15 +1,21 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, vet, and the full test suite under the race detector
-# (which exercises the engine's leak-free shutdown guarantees), then a short
-# coverage-guided fuzz smoke over WAL recovery (every log prefix must be a
-# consistent recovery input; recovery must be idempotent).
+# Tier-1 gate: build, vet, lint, and the full test suite under the race
+# detector (which exercises the engine's leak-free shutdown guarantees),
+# then a short coverage-guided fuzz smoke over WAL recovery (every log
+# prefix must be a consistent recovery input; recovery must be idempotent).
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+# Pinned staticcheck + govulncheck; MLA_SKIP_LINT=1 skips, offline machines
+# warn-and-skip unless MLA_REQUIRE_LINT=1 (CI sets it).
+./scripts/lint.sh
 go test -race ./...
 go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
 # Perf-path smoke under the race detector: the striped-lock engine and the
 # group-commit pipeline at full concurrency, asserting the optimized paths
-# leave commit outcomes unchanged (the report lands in /tmp, not the repo).
-go run -race ./cmd/mlabench -perf -quick -out /tmp/mla_perf_smoke.json
+# leave commit outcomes unchanged, with telemetry recording on so the
+# observer path is race-checked too. The reports land in /tmp, not the
+# repo; CI uploads the trace as an artifact.
+go run -race ./cmd/mlabench -perf -quick -out /tmp/mla_perf_smoke.json \
+    -telemetry -trace-out /tmp/mla_perf_smoke_trace.json
