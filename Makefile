@@ -1,4 +1,4 @@
-.PHONY: check test bench lint fuzz perf
+.PHONY: check test bench lint fuzz perf history-check
 
 # Tier-1 gate: build + vet + lint + full suite under -race (includes the
 # engine goroutine-leak and cancellation tests), fuzz smoke, perf smoke.
@@ -19,6 +19,20 @@ lint:
 # The same fuzz smoke check.sh runs: coverage-guided WAL recovery fuzzing.
 fuzz:
 	go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
+
+# The history-oracle slice of check.sh: record a live engine run as an
+# event history, check it offline with the black-box checker, verify the
+# known-violating histories are rejected, and run the E20
+# checker-vs-scheduler cross-check.
+history-check:
+	go run ./cmd/mlasim -engine -history /tmp/mla_check_history.json > /dev/null
+	go run ./cmd/mlacheck -history /tmp/mla_check_history.json
+	@for v in internal/history/testdata/violation_*.json; do \
+		if go run ./cmd/mlacheck -history "$$v" > /dev/null 2>&1; then \
+			echo "$$v should have been rejected" >&2; exit 1; \
+		fi; \
+	done
+	go run ./cmd/mlabench -exp E20
 
 # The same perf smoke check.sh runs: quick E19 sweep under -race with
 # telemetry on; trace and report land in /tmp.

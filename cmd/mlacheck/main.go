@@ -5,21 +5,33 @@
 //
 // Usage:
 //
-//	mlacheck [-witness] [-stats] [-sample] [file]
+//	mlacheck [-witness] [-tree] [-timeline] [-stats] [file]
+//	mlacheck -history <file|->
+//	mlacheck -sample
 //
 // Reads the trace from file or stdin. -witness prints the reordered
 // witness execution. -stats prints a per-transaction breakdown table.
 // -sample instead writes an example trace (a correctable banking
 // execution) to stdout, for trying the tool out.
+//
+// -history runs the independent black-box checker (internal/history) over
+// an execution history instead: either the native mla-history/v1 format or
+// a Chrome trace-event export from -trace-out (every process lane that
+// recorded step events is checked). On a violation the minimal witness
+// cycle is printed and the exit status is 2; malformed input exits 1 with
+// a diagnostic.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"mla/internal/bank"
+	"mla/internal/history"
 	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/nested"
@@ -28,27 +40,55 @@ import (
 )
 
 func main() {
-	witness := flag.Bool("witness", false, "print the equivalent multilevel atomic execution")
-	tree := flag.Bool("tree", false, "print the witness's Section 7 nested action tree")
-	timeline := flag.Bool("timeline", false, "render the execution as per-transaction lanes")
-	stats := flag.Bool("stats", false, "print a per-transaction breakdown table")
-	sample := flag.Bool("sample", false, "emit a sample trace instead of checking")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests can drive every path; the
+// return value is the exit status. All file handles it opens are closed
+// before returning, on success and failure alike.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlacheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	witness := fs.Bool("witness", false, "print the equivalent multilevel atomic execution")
+	tree := fs.Bool("tree", false, "print the witness's Section 7 nested action tree")
+	timeline := fs.Bool("timeline", false, "render the execution as per-transaction lanes")
+	stats := fs.Bool("stats", false, "print a per-transaction breakdown table")
+	sample := fs.Bool("sample", false, "emit a sample trace instead of checking")
+	histFile := fs.String("history", "", "check an execution history (native or Chrome trace JSON; - for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *sample {
-		if err := emitSample(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "mlacheck:", err)
-			os.Exit(1)
+		if fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "mlacheck: -sample writes to stdout and takes no file argument")
+			return 2
 		}
-		return
+		if *histFile != "" {
+			fmt.Fprintln(stderr, "mlacheck: -sample and -history are mutually exclusive")
+			return 2
+		}
+		if err := emitSample(stdout); err != nil {
+			fmt.Fprintln(stderr, "mlacheck:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *histFile != "" {
+		if fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "mlacheck: -history takes its input as the flag value, not a positional argument")
+			return 2
+		}
+		return runHistory(*histFile, stdout, stderr)
 	}
 
 	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mlacheck:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mlacheck:", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
@@ -56,49 +96,125 @@ func main() {
 
 	res, dec, err := trace.Check(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlacheck:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mlacheck:", err)
+		return 1
 	}
-	fmt.Printf("steps:        %d\n", len(dec.Exec))
-	fmt.Printf("transactions: %d\n", len(dec.Exec.Txns()))
-	fmt.Printf("levels (k):   %d\n", dec.Nest.K())
-	fmt.Printf("atomic:       %v\n", res.Atomic)
-	fmt.Printf("correctable:  %v\n", res.Correctable)
+	fmt.Fprintf(stdout, "steps:        %d\n", len(dec.Exec))
+	fmt.Fprintf(stdout, "transactions: %d\n", len(dec.Exec.Txns()))
+	fmt.Fprintf(stdout, "levels (k):   %d\n", dec.Nest.K())
+	fmt.Fprintf(stdout, "atomic:       %v\n", res.Atomic)
+	fmt.Fprintf(stdout, "correctable:  %v\n", res.Correctable)
 	if *timeline {
-		fmt.Println("timeline:")
-		fmt.Print(viz.Timeline(dec.Exec, dec.Spec, viz.Options{Width: 48}))
+		fmt.Fprintln(stdout, "timeline:")
+		fmt.Fprint(stdout, viz.Timeline(dec.Exec, dec.Spec, viz.Options{Width: 48}))
 	}
 	if *stats {
-		txnStats(dec.Exec).Render(os.Stdout)
+		txnStats(dec.Exec).Render(stdout)
 	}
 	if !res.Correctable {
-		fmt.Println("verdict:      the coherent closure of ≤e contains a cycle (Theorem 2)")
-		os.Exit(2)
+		fmt.Fprintln(stdout, "verdict:      the coherent closure of ≤e contains a cycle (Theorem 2)")
+		return 2
 	}
 	if *witness || *tree {
 		w, ok := res.Witness()
 		if !ok {
-			fmt.Fprintln(os.Stderr, "mlacheck: witness construction failed")
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mlacheck: witness construction failed")
+			return 1
 		}
 		if *witness {
-			fmt.Println("witness (an equivalent multilevel atomic execution):")
+			fmt.Fprintln(stdout, "witness (an equivalent multilevel atomic execution):")
 			for i, s := range w {
-				fmt.Printf("  %3d  %s\n", i, s)
+				fmt.Fprintf(stdout, "  %3d  %s\n", i, s)
 			}
 		}
 		if *tree {
 			tr, err := nested.Build(w, dec.Nest, dec.Spec)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mlacheck: action tree:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "mlacheck: action tree:", err)
+				return 1
 			}
 			st := tr.Stats()
-			fmt.Printf("nested action tree: %d nodes, %d leaves, depth %d, max fanout %d\n",
+			fmt.Fprintf(stdout, "nested action tree: %d nodes, %d leaves, depth %d, max fanout %d\n",
 				st.Nodes, st.Leaves, st.MaxDepth, st.MaxFanout)
-			fmt.Print(tr.String())
+			fmt.Fprint(stdout, tr.String())
 		}
 	}
+	return 0
+}
+
+// runHistory checks one history input — native mla-history/v1 or a Chrome
+// trace export, sniffed from the content — and reports per-run verdicts.
+func runHistory(path string, stdout, stderr io.Writer) int {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "mlacheck:", err)
+		return 1
+	}
+
+	var probe struct {
+		Format      string          `json:"format"`
+		TraceEvents json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		fmt.Fprintln(stderr, "mlacheck: history input is not JSON:", err)
+		return 1
+	}
+
+	type namedHistory struct {
+		name string
+		h    *history.History
+	}
+	var inputs []namedHistory
+	switch {
+	case probe.Format == history.Format:
+		h, err := history.Decode(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "mlacheck:", err)
+			return 1
+		}
+		inputs = append(inputs, namedHistory{name: "history", h: h})
+	case probe.TraceEvents != nil:
+		runs, err := history.ImportChrome(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "mlacheck:", err)
+			return 1
+		}
+		if len(runs) == 0 {
+			fmt.Fprintln(stderr, "mlacheck: trace has no step-recording lanes (was it exported with telemetry on?)")
+			return 1
+		}
+		for _, r := range runs {
+			name := r.Name
+			if name == "" {
+				name = fmt.Sprintf("pid %d", r.PID)
+			}
+			inputs = append(inputs, namedHistory{name: name, h: r.History})
+		}
+	default:
+		fmt.Fprintf(stderr, "mlacheck: unrecognized history input (want format %q or a Chrome traceEvents export)\n", history.Format)
+		return 1
+	}
+
+	status := 0
+	for _, in := range inputs {
+		rep, err := history.Check(in.h)
+		if err != nil {
+			fmt.Fprintf(stderr, "mlacheck: %s: %v\n", in.name, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-24s %s\n", in.name+":", rep.Summary())
+		if rep.Witness != nil {
+			fmt.Fprint(stdout, rep.Witness)
+			status = 2
+		}
+	}
+	return status
 }
 
 // txnStats builds the -stats table: per transaction, its step count,

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI with captured output and returns (status, stdout, stderr).
+func execCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	status := run(args, &out, &errb)
+	return status, out.String(), errb.String()
+}
+
+// write drops content into a temp file and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sampleTrace round-trips -sample output through a file so the check paths
+// below exercise the same bytes the tool itself emits.
+func sampleTrace(t *testing.T) string {
+	t.Helper()
+	status, out, errs := execCLI(t, "-sample")
+	if status != 0 {
+		t.Fatalf("-sample exited %d: %s", status, errs)
+	}
+	return write(t, "sample.json", out)
+}
+
+func TestCheckSampleTrace(t *testing.T) {
+	status, out, errs := execCLI(t, sampleTrace(t))
+	if status != 0 {
+		t.Fatalf("checking the sample trace exited %d: %s", status, errs)
+	}
+	if !strings.Contains(out, "correctable:  true") {
+		t.Errorf("sample verdict missing:\n%s", out)
+	}
+}
+
+// Regression: malformed input must produce a diagnostic and exit 1, never a
+// panic or a silent 0.
+func TestMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"not json":          `{oops`,
+		"empty object":      `{}`,
+		"bad k":             `{"k": 1, "nest": {}, "cuts": {}, "steps": []}`,
+		"step missing txn":  `{"k": 2, "nest": {}, "cuts": {}, "steps": [{"txn": "ghost", "seq": 1, "entity": "x", "before": 0, "after": 1}]}`,
+		"step zero seq":     `{"k": 2, "nest": {"t1": []}, "cuts": {}, "steps": [{"txn": "t1", "seq": 0, "entity": "x", "before": 0, "after": 1}]}`,
+		"cut out of range":  `{"k": 2, "nest": {"t1": []}, "cuts": {"t1": [9]}, "steps": [{"txn": "t1", "seq": 1, "entity": "x", "before": 0, "after": 1}]}`,
+		"wrong label arity": `{"k": 3, "nest": {"t1": []}, "cuts": {}, "steps": [{"txn": "t1", "seq": 1, "entity": "x", "before": 0, "after": 1}]}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			status, _, errs := execCLI(t, write(t, "bad.json", content))
+			if status != 1 {
+				t.Errorf("exit = %d, want 1 (stderr: %s)", status, errs)
+			}
+			if !strings.Contains(errs, "mlacheck:") {
+				t.Errorf("no diagnostic on stderr: %q", errs)
+			}
+		})
+	}
+}
+
+func TestMissingFileExitsOne(t *testing.T) {
+	status, _, errs := execCLI(t, filepath.Join(t.TempDir(), "nope.json"))
+	if status != 1 {
+		t.Errorf("exit = %d, want 1", status)
+	}
+	if errs == "" {
+		t.Error("no diagnostic for a missing file")
+	}
+}
+
+// Regression: -sample used to accept (and ignore) a file argument; it must
+// be a usage error, as must combining it with -history.
+func TestUsageContradictions(t *testing.T) {
+	cases := [][]string{
+		{"-sample", "trace.json"},
+		{"-sample", "-history", "h.json"},
+		{"-history", "h.json", "extra.json"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			status, _, _ := execCLI(t, args...)
+			if status != 2 {
+				t.Errorf("exit = %d, want 2", status)
+			}
+		})
+	}
+}
+
+func TestHistoryViolationsExitTwo(t *testing.T) {
+	paths, err := filepath.Glob("../../internal/history/testdata/violation_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("want >= 3 violating testdata histories, found %d", len(paths))
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			status, out, errs := execCLI(t, "-history", p)
+			if status != 2 {
+				t.Errorf("exit = %d, want 2 (stderr: %s)", status, errs)
+			}
+			if !strings.Contains(out, "VIOLATION") || !strings.Contains(out, "witness cycle") {
+				t.Errorf("violation output missing verdict or witness:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestHistoryAcceptExitsZero(t *testing.T) {
+	status, out, errs := execCLI(t, "-history", "../../internal/history/testdata/accept_mixed.json")
+	if status != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", status, errs)
+	}
+	if !strings.Contains(out, "ATOMIC") && !strings.Contains(out, "CORRECTABLE") {
+		t.Errorf("no verdict printed:\n%s", out)
+	}
+}
+
+func TestHistoryMalformedExitsOne(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{oops`,
+		"wrong format":    `{"format": "mystery/v9", "k": 2, "levels": {}, "events": []}`,
+		"no step lanes":   `{"traceEvents": [{"name": "run", "cat": "run", "ph": "X", "ts": 0, "dur": 5, "pid": 1, "tid": 0}]}`,
+		"unrecognized":    `{"hello": "world"}`,
+		"invalid history": `{"format": "mla-history/v1", "k": 1, "levels": {}, "events": []}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			status, _, errs := execCLI(t, "-history", write(t, "h.json", content))
+			if status != 1 {
+				t.Errorf("exit = %d, want 1 (stderr: %s)", status, errs)
+			}
+			if !strings.Contains(errs, "mlacheck:") {
+				t.Errorf("no diagnostic on stderr: %q", errs)
+			}
+		})
+	}
+}
+
+func TestHistoryMissingFileExitsOne(t *testing.T) {
+	status, _, _ := execCLI(t, "-history", filepath.Join(t.TempDir(), "nope.json"))
+	if status != 1 {
+		t.Errorf("exit = %d, want 1", status)
+	}
+}
+
+func TestWitnessAndStatsFlags(t *testing.T) {
+	status, out, errs := execCLI(t, "-witness", "-stats", "-tree", sampleTrace(t))
+	if status != 0 {
+		t.Fatalf("exit = %d: %s", status, errs)
+	}
+	for _, want := range []string{"witness (", "per-transaction:", "nested action tree:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

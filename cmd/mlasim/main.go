@@ -7,6 +7,7 @@
 //	mlasim [-workload bank|sessions|cad|conv] [-config workload.json]
 //	       [-control prevent|detect|2pl|tso|serial|none|dist]
 //	       [-txns 24] [-seed 1] [-partial] [-engine] [-check] [-trace out.json]
+//	       [-history out.json]
 //	       [-crashes 0] [-tear 2] [-errrate 0]
 //	       [-delay 5] [-loss 0] [-reorder 0] [-partition 0] [-heal 0] [-procfail 0]
 //
@@ -18,6 +19,11 @@
 // (goroutine per transaction, wall-clock timing) instead of the
 // deterministic simulator; -check verifies the admitted execution against
 // Theorem 2 offline; -trace writes the execution in mlacheck's JSON format.
+//
+// -history writes the run as an mla-history event log (checkable offline
+// with mlacheck -history). On the engine it records live — every attempt,
+// abort, and injected crash appears as an event; on the simulator it
+// materializes the committed execution.
 //
 // -crashes and -errrate enable the deterministic fault-injection layer
 // (engine only): -crashes kills the system that many times at fixed
@@ -63,6 +69,7 @@ import (
 	"mla/internal/dist"
 	"mla/internal/engine"
 	"mla/internal/fault"
+	"mla/internal/history"
 	"mla/internal/metrics"
 	"mla/internal/model"
 	"mla/internal/nest"
@@ -88,6 +95,7 @@ func run() int {
 	useEngine := flag.Bool("engine", false, "run on the concurrent engine instead of the simulator")
 	check := flag.Bool("check", false, "verify the execution against Theorem 2")
 	traceOut := flag.String("trace", "", "write the execution trace to this file (JSON)")
+	historyOut := flag.String("history", "", "write the run's event history (mla-history JSON, checkable by mlacheck -history) to this file")
 	crashes := flag.Int("crashes", 0, "engine only: inject this many crashes on a WAL-backed store, recovering between rounds")
 	tear := flag.Int("tear", 2, "records torn off the durable tail at each injected crash")
 	errRate := flag.Float64("errrate", 0, "engine only: transient step-error rate in [0,1]")
@@ -287,6 +295,18 @@ func run() int {
 		distCtl.AttachTelemetry(tel)
 	}
 
+	// -history records live on the engine (every attempt, abort, and
+	// injected crash lands in the event log); the simulator path
+	// materializes the committed execution instead, since the simulator
+	// reports only surviving steps. recObs stays a nil interface when
+	// recording is off so engine.Tee drops it.
+	var rec *history.Recorder
+	var recObs engine.Observer
+	if *historyOut != "" && *useEngine {
+		rec = history.NewRecorder(n)
+		recObs = rec
+	}
+
 	// ^C cancels the run: both executors take the context and stop promptly.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -312,7 +332,7 @@ func run() int {
 		plan := engine.CrashPlan{
 			Cfg: engine.Config{
 				Seed:     *seed,
-				Observer: engine.Tee(&ev, engine.NewTelemetryObserver(tel, "mlasim engine")),
+				Observer: engine.Tee(&ev, engine.NewTelemetryObserver(tel, "mlasim engine"), recObs),
 			},
 			Spec: spec,
 			Init: init,
@@ -344,7 +364,7 @@ func run() int {
 		var ev engine.EventCounts
 		cfg := engine.Config{
 			Seed:     *seed,
-			Observer: engine.Tee(&ev, engine.NewTelemetryObserver(tel, "mlasim engine")),
+			Observer: engine.Tee(&ev, engine.NewTelemetryObserver(tel, "mlasim engine"), recObs),
 		}
 		res, err := engine.Run(ctx, cfg, programs, c, spec, init)
 		if err != nil {
@@ -409,6 +429,33 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mlasim: control admitted a non-correctable execution")
 			return 1
 		}
+	}
+	if *historyOut != "" {
+		var h *history.History
+		if rec != nil {
+			h = rec.History()
+		} else {
+			var err error
+			h, err = history.FromExecution(exec, n.Restrict(exec.Txns()), spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mlasim: history:", err)
+				return 1
+			}
+		}
+		f, err := os.Create(*historyOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim:", err)
+			return 1
+		}
+		err = h.Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlasim: history:", err)
+			return 1
+		}
+		fmt.Printf("history written: %s\n", *historyOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

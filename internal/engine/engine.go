@@ -164,10 +164,15 @@ type engine struct {
 	faults  *fault.Injector
 	obs     Observer
 
-	// committers tracks the finalizer goroutines of in-flight async commit
-	// groups; RunOnStore joins it after the workers so no goroutine
+	// committers tracks the commit-finalizer goroutine (one per run, fed
+	// through finCh); RunOnStore joins it after the workers so no goroutine
 	// outlives the run.
 	committers sync.WaitGroup
+	// finCh feeds submitted commit groups to the finalizer in submission
+	// order. Buffered to the program count: groups are disjoint and each
+	// transaction commits at most once per run, so a send under the engine
+	// mutex can never block.
+	finCh chan asyncFin
 
 	txns   map[model.TxnID]*etxn
 	order  []model.TxnID
@@ -185,6 +190,12 @@ type traceEntry struct {
 	id      model.TxnID
 	attempt int
 	step    model.Step
+}
+
+// asyncFin is one submitted commit group awaiting its durability ack.
+type asyncFin struct {
+	ack <-chan struct{}
+	ids []model.TxnID
 }
 
 // errStopped is the workers' internal signal that the run was abandoned
@@ -250,6 +261,16 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 	for _, p := range programs {
 		e.txns[p.ID()] = &etxn{prog: p, id: p.ID(), deps: make(map[model.TxnID]bool)}
 		e.order = append(e.order, p.ID())
+	}
+	if e.async != nil {
+		// One finalizer goroutine serves every commit group of the run —
+		// groups become durable in submission order (a flush drains the
+		// pipeline's whole batch), so waiting on acks sequentially adds no
+		// latency and spawning a goroutine per group added two allocations
+		// per group for nothing.
+		e.finCh = make(chan asyncFin, len(programs))
+		e.committers.Add(1)
+		go e.finalizer()
 	}
 
 	e.start = time.Now()
@@ -739,25 +760,37 @@ func (e *engine) tryCommitLocked() {
 			e.txns[id].committing = true
 		}
 		ack := e.async.SubmitGroup(ids)
-		e.committers.Add(1)
-		go func() {
-			defer e.committers.Done()
-			select {
-			case <-ack:
-			case <-e.stop:
-				return // run abandoned; the result is discarded
-			}
-			e.mu.Lock()
-			e.finalizeGroupLocked(ids)
-			e.bump()
-			e.mu.Unlock()
-		}()
+		e.finCh <- asyncFin{ack: ack, ids: ids} // buffered; never blocks
 		return
 	}
 	// One store call for the whole group: members may have observed each
 	// other's values, so a durable backend must commit them atomically.
 	e.store.CommitGroup(ids)
 	e.finalizeGroupLocked(ids)
+}
+
+// finalizer marks each submitted group committed once the store
+// acknowledges its durability, in submission order. It exits when the run
+// stops (abandoned acks are discarded with it).
+func (e *engine) finalizer() {
+	defer e.committers.Done()
+	for {
+		var f asyncFin
+		select {
+		case f = <-e.finCh:
+		case <-e.stop:
+			return
+		}
+		select {
+		case <-f.ack:
+		case <-e.stop:
+			return // run abandoned; the result is discarded
+		}
+		e.mu.Lock()
+		e.finalizeGroupLocked(f.ids)
+		e.bump()
+		e.mu.Unlock()
+	}
 }
 
 // finalizeGroupLocked records a now-durable commit group: stats, latency

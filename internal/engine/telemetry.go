@@ -135,7 +135,10 @@ func (o *TelemetryObserver) StepPerformed(t model.TxnID, seq int, x model.Entity
 		o.l.End(id)
 		delete(o.unit, t)
 	}
-	_ = x
+	// The step instant makes the trace a replayable history: the importer
+	// in internal/history rebuilds the execution from these.
+	o.l.Event("step", fmt.Sprintf("%s[%d]", t, seq), o.pid, o.lane(t), id,
+		"txn", string(t), "seq", fmt.Sprint(seq), "entity", string(x), "cut", fmt.Sprint(cut))
 }
 
 // WaitBegin implements Observer.
@@ -168,7 +171,7 @@ func (o *TelemetryObserver) TxnAborted(t model.TxnID, cascade bool) {
 	}
 	o.closeTxn(t, outcome)
 	o.l.Event("abort", "abort "+string(t), o.pid, o.lane(t), o.ensureRun(),
-		"cascade", fmt.Sprint(cascade))
+		"txn", string(t), "cascade", fmt.Sprint(cascade))
 }
 
 // CommitGroup implements Observer.
@@ -179,7 +182,20 @@ func (o *TelemetryObserver) CommitGroup(txns []model.TxnID) {
 		o.closeTxn(t, "commit")
 	}
 	o.l.Event("commit-group", fmt.Sprintf("commit group (%d)", len(txns)),
-		o.pid, 0, o.ensureRun(), "size", fmt.Sprint(len(txns)))
+		o.pid, 0, o.ensureRun(), "size", fmt.Sprint(len(txns)), "txns", joinTxns(txns))
+}
+
+// joinTxns renders a commit group's members as one comma-joined arg value,
+// the form the history importer parses back.
+func joinTxns(txns []model.TxnID) string {
+	var b []byte
+	for i, t := range txns {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, t...)
+	}
+	return string(b)
 }
 
 // FaultInjected implements Observer.

@@ -1,0 +1,403 @@
+package history
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/nest"
+)
+
+// Witness edge kinds.
+const (
+	EdgeProgram   = "program"
+	EdgeConflict  = "conflict"
+	EdgeCoherence = "coherence"
+)
+
+// WitnessEdge is one dependency edge of a witness cycle, with the reason it
+// exists: program order within a transaction, a conflict (two accesses to
+// the same entity, recorded in that order), or the coherence rule (the
+// Premise pair forced every remaining step of the premise source's
+// level-Level unit — the steps Unit[0]..Unit[1] of From's transaction —
+// ahead of To).
+type WitnessEdge struct {
+	From, To model.StepID
+	Kind     string
+	Entity   model.EntityID  // conflict edges: the shared entity
+	Level    int             // coherence edges: level(txn(From), txn(To))
+	Premise  [2]model.StepID // coherence edges: the pair whose insertion fired the rule
+	Unit     [2]int          // coherence edges: the B(Level) unit of From's txn (1-based seqs)
+}
+
+func (e WitnessEdge) String() string {
+	switch e.Kind {
+	case EdgeConflict:
+		return fmt.Sprintf("%s -> %s  [conflict on %s]", e.From, e.To, e.Entity)
+	case EdgeCoherence:
+		return fmt.Sprintf("%s -> %s  [coherence: %s -> %s at level %d forces unit %s[%d..%d]]",
+			e.From, e.To, e.Premise[0], e.Premise[1], e.Level, e.From.Txn, e.Unit[0], e.Unit[1])
+	default:
+		return fmt.Sprintf("%s -> %s  [program order]", e.From, e.To)
+	}
+}
+
+// Witness is a minimal cycle in the generator graph of the coherent
+// closure: the shortest sequence of dependency edges returning to its
+// start. By Theorem 2 its existence is exactly non-correctability.
+type Witness struct {
+	Edges []WitnessEdge // Edges[i].To == Edges[i+1].From; the last wraps to the first
+}
+
+func (w *Witness) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "witness cycle (%d edges):\n", len(w.Edges))
+	for _, e := range w.Edges {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Report is the checker's verdict on one history.
+type Report struct {
+	Steps int // committed steps checked
+	Txns  int // committed transactions
+	K     int
+
+	// Atomic: the recorded order itself is a coherent total order (every
+	// interruption of a transaction happened at a permitted breakpoint).
+	Atomic bool
+	// Correctable: the coherent closure of the dependency order is acyclic
+	// (Theorem 2) — some correct system execution explains the history.
+	Correctable bool
+	// Witness is a minimal offending cycle; non-nil exactly when
+	// !Correctable.
+	Witness *Witness
+}
+
+// edge is a provenance-carrying arc of the generator graph G. The checker
+// maintains the invariant R = TC(G): every pair of the coherent closure is
+// witnessed by a directed G-path, so R is cyclic exactly when G has a
+// directed cycle — which is what lets a *minimal* witness be recovered by
+// shortest-cycle search over G instead of from the closure's bitsets.
+type edge struct {
+	from, to int
+	kind     string
+	entity   model.EntityID
+	level    int
+	premise  [2]int
+}
+
+// checker is the working state of one Check call. It deliberately re-derives
+// everything from the history — nest levels, breakpoint units, the closure —
+// without calling into internal/coherent, so the two implementations can
+// disagree and expose each other's bugs.
+type checker struct {
+	exec    model.Execution
+	n       *nest.Nest
+	descs   map[model.TxnID]*breakpoint.Description
+	txns    []model.TxnID
+	txnIdx  map[model.TxnID]int
+	txnOf   []int   // global step -> txn index
+	seqOf   []int   // global step -> 1-based seq
+	stepsOf [][]int // txn index -> global steps in seq order
+	level   [][]int // txn pair -> level
+
+	edges   []edge
+	out     [][]int // adjacency: global step -> indices into edges
+	edgeSet map[[2]int]bool
+
+	reach, pred []bitset
+	cyclic      bool
+}
+
+// Check replays the history and decides multilevel atomicity of the
+// committed execution against the declared level matrix and the recorded
+// breakpoint descriptions. It is a black-box oracle: nothing about the
+// scheduler that produced the history is trusted or consulted.
+func Check(h *History) (*Report, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	exec, descs, err := h.Committed()
+	if err != nil {
+		return nil, err
+	}
+	n, err := h.Nest()
+	if err != nil {
+		return nil, err
+	}
+	c := &checker{exec: exec, n: n, descs: descs, txnIdx: make(map[model.TxnID]int), edgeSet: make(map[[2]int]bool)}
+	c.index()
+	c.baseEdges()
+	c.closure()
+	rep := &Report{Steps: len(exec), Txns: len(c.txns), K: h.K, Atomic: c.atomic(), Correctable: !c.cyclic}
+	if c.cyclic {
+		rep.Witness = c.witness()
+	}
+	return rep, nil
+}
+
+func (c *checker) index() {
+	for _, s := range c.exec {
+		if _, ok := c.txnIdx[s.Txn]; !ok {
+			c.txnIdx[s.Txn] = len(c.txns)
+			c.txns = append(c.txns, s.Txn)
+		}
+	}
+	c.stepsOf = make([][]int, len(c.txns))
+	c.txnOf = make([]int, len(c.exec))
+	c.seqOf = make([]int, len(c.exec))
+	for g, s := range c.exec {
+		ti := c.txnIdx[s.Txn]
+		c.txnOf[g] = ti
+		c.stepsOf[ti] = append(c.stepsOf[ti], g)
+		c.seqOf[g] = s.Seq
+	}
+	c.level = make([][]int, len(c.txns))
+	for i, t := range c.txns {
+		c.level[i] = make([]int, len(c.txns))
+		for j, u := range c.txns {
+			if i != j {
+				c.level[i][j] = c.n.Level(t, u)
+			}
+		}
+	}
+	c.out = make([][]int, len(c.exec))
+}
+
+// baseEdges seeds G with the generators of the dependency order ≤e:
+// program-order consecutive steps and consecutive accesses to the same
+// entity (cross-transaction; within a transaction the program chain already
+// implies them).
+func (c *checker) baseEdges() {
+	for _, idxs := range c.stepsOf {
+		for i := 1; i < len(idxs); i++ {
+			c.addEdge(edge{from: idxs[i-1], to: idxs[i], kind: EdgeProgram})
+		}
+	}
+	lastEnt := make(map[model.EntityID]int)
+	for g, s := range c.exec {
+		if j, ok := lastEnt[s.Entity]; ok && c.txnOf[j] != c.txnOf[g] {
+			c.addEdge(edge{from: j, to: g, kind: EdgeConflict, entity: s.Entity})
+		}
+		lastEnt[s.Entity] = g
+	}
+}
+
+func (c *checker) addEdge(e edge) bool {
+	key := [2]int{e.from, e.to}
+	if c.edgeSet[key] {
+		return false
+	}
+	c.edgeSet[key] = true
+	c.out[e.from] = append(c.out[e.from], len(c.edges))
+	c.edges = append(c.edges, e)
+	return true
+}
+
+// closure computes the coherent closure R of G, growing G with the direct
+// edges the coherence rule derives (each tagged with its premise pair) so
+// that R = TC(G) throughout. Pairs added for transitivity alone do not
+// enter G — their G-paths already exist.
+func (c *checker) closure() {
+	nSteps := len(c.exec)
+	c.reach = make([]bitset, nSteps)
+	c.pred = make([]bitset, nSteps)
+	for i := range c.reach {
+		c.reach[i] = newBitset(nSteps)
+		c.pred[i] = newBitset(nSteps)
+	}
+	queue := make([][2]int, 0, 4*nSteps)
+	for _, e := range c.edges {
+		queue = append(queue, [2]int{e.from, e.to})
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		a, b := p[0], p[1]
+		if a == b {
+			c.cyclic = true
+			continue
+		}
+		if c.reach[a].has(b) {
+			continue
+		}
+		if c.reach[b].has(a) {
+			c.cyclic = true
+		}
+		c.reach[a].set(b)
+		c.pred[b].set(a)
+
+		// Coherence rule (b): if level(t,t′)=i and α <t α′ within one Bt(i)
+		// unit, then (α,β) ∈ R forces (α′,β) ∈ R. Each forced pair becomes a
+		// direct G edge with provenance, keeping R = TC(G).
+		ta, tb := c.txnOf[a], c.txnOf[b]
+		if ta != tb {
+			lv := c.level[ta][tb]
+			end := c.descs[c.txns[ta]].SegmentEnd(c.seqOf[a], lv)
+			for s := c.seqOf[a] + 1; s <= end; s++ {
+				g := c.stepsOf[ta][s-1]
+				if c.addEdge(edge{from: g, to: b, kind: EdgeCoherence, level: lv, premise: [2]int{a, b}}) || !c.reach[g].has(b) {
+					queue = append(queue, [2]int{g, b})
+				}
+			}
+		}
+
+		// Transitivity: pairs only, no new G edges.
+		c.reach[b].andNot(c.reach[a]).forEach(func(x int) {
+			queue = append(queue, [2]int{a, x})
+		})
+		c.pred[a].andNot(c.pred[b]).forEach(func(x int) {
+			queue = append(queue, [2]int{x, b})
+		})
+	}
+}
+
+// atomic decides whether the recorded total order is itself coherent: every
+// interruption of a transaction t by a step of t′ must fall on a boundary
+// of Bt(level(t,t′)).
+func (c *checker) atomic() bool {
+	placed := make([]int, len(c.txns))
+	for g := range c.exec {
+		tb := c.txnOf[g]
+		for ti := range c.txns {
+			if ti == tb {
+				continue
+			}
+			p := placed[ti]
+			if p == 0 || p == len(c.stepsOf[ti]) {
+				continue
+			}
+			if c.descs[c.txns[ti]].SameSegment(p, p+1, c.level[ti][tb]) {
+				return false
+			}
+		}
+		placed[tb]++
+	}
+	return true
+}
+
+// witness finds a shortest directed cycle of G by running a BFS from every
+// node and keeping the best closing edge. G is small (steps + derived
+// edges), so the quadratic search is cheap and the minimality guarantee —
+// no shorter cycle of dependency edges exists — is worth it.
+func (c *checker) witness() *Witness {
+	n := len(c.exec)
+	bestLen := n + 1
+	var bestPath []int // edge indices, in order around the cycle
+	for start := 0; start < n; start++ {
+		// BFS over out-edges from start; stop when an edge returns to start.
+		parentEdge := make([]int, n)
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+		depth := make([]int, n)
+		q := []int{start}
+		visited := make([]bool, n)
+		visited[start] = true
+		closing := -1
+		for len(q) > 0 && closing < 0 {
+			v := q[0]
+			q = q[1:]
+			if depth[v]+1 >= bestLen {
+				continue
+			}
+			for _, ei := range c.out[v] {
+				w := c.edges[ei].to
+				if w == start {
+					closing = ei
+					break
+				}
+				if !visited[w] {
+					visited[w] = true
+					parentEdge[w] = ei
+					depth[w] = depth[v] + 1
+					q = append(q, w)
+				}
+			}
+		}
+		if closing < 0 {
+			continue
+		}
+		var path []int
+		for ei := closing; ei >= 0; ei = parentEdge[c.edges[ei].from] {
+			path = append(path, ei)
+			if c.edges[ei].from == start {
+				break
+			}
+		}
+		if len(path) < bestLen {
+			bestLen = len(path)
+			// Reverse into forward order around the cycle.
+			bestPath = make([]int, len(path))
+			for i, ei := range path {
+				bestPath[len(path)-1-i] = ei
+			}
+		}
+	}
+	if bestPath == nil {
+		return nil // unreachable when closure flagged a cycle; defensive
+	}
+	w := &Witness{}
+	for _, ei := range bestPath {
+		e := c.edges[ei]
+		we := WitnessEdge{
+			From: c.exec[e.from].ID(),
+			To:   c.exec[e.to].ID(),
+			Kind: e.kind,
+		}
+		switch e.kind {
+		case EdgeConflict:
+			we.Entity = e.entity
+		case EdgeCoherence:
+			we.Level = e.level
+			we.Premise = [2]model.StepID{c.exec[e.premise[0]].ID(), c.exec[e.premise[1]].ID()}
+			d := c.descs[c.exec[e.from].Txn]
+			seq := c.seqOf[e.premise[0]]
+			we.Unit = [2]int{d.SegmentStart(seq, e.level), d.SegmentEnd(seq, e.level)}
+		}
+		w.Edges = append(w.Edges, we)
+	}
+	return w
+}
+
+// bitset is a fixed-capacity set of small non-negative integers; a local
+// copy so the checker shares no code with internal/coherent's closure.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+func (b bitset) andNot(other bitset) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] &^ other[i]
+	}
+	return out
+}
+
+func (b bitset) forEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Summary renders a short human-readable verdict line.
+func (r *Report) Summary() string {
+	verdict := "CORRECTABLE"
+	if r.Atomic {
+		verdict = "ATOMIC"
+	} else if !r.Correctable {
+		verdict = "VIOLATION"
+	}
+	return fmt.Sprintf("%s: %d steps, %d txns, k=%d", verdict, r.Steps, r.Txns, r.K)
+}

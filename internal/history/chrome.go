@@ -1,0 +1,212 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mla/internal/model"
+)
+
+// ImportChrome reads the Chrome trace-event JSON that internal/telemetry
+// exports and reconstructs one history per process lane that recorded step
+// events (one lane per engine or simulator run; lanes without steps — a
+// bus, a bench harness — are skipped).
+//
+// A Chrome trace does not carry the nest, so the importer assumes the
+// *flat* level matrix: every pair of distinct transactions at level k-1,
+// the most permissive assignment. Coherence edges shrink monotonically as
+// the level rises (finer breakpoints, shorter units), so the flat closure
+// is a subset of the closure under any true nest: the resulting check is a
+// sound partial oracle — it never rejects a history a correct scheduler
+// produced, and still catches any interleaving inside an unbroken unit
+// (boundaries recorded with coarseness k, or not recorded at all, are never
+// interruptible below level k). k itself is recovered as the largest
+// recorded cut coarseness (minimum 2).
+type ChromeRun struct {
+	Name    string
+	PID     int64
+	History *History
+}
+
+// chromeEvent mirrors the exporter's schema (internal/telemetry/chrome.go);
+// only the fields the importer consumes are declared.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	PID  int64             `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ImportChrome parses a telemetry trace export. It returns an error for
+// malformed JSON or malformed event arguments; traces with no step-bearing
+// lanes return an empty slice (the caller decides whether that is an
+// error).
+func ImportChrome(r io.Reader) ([]ChromeRun, error) {
+	var tr chromeTrace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("chrome import: %w", err)
+	}
+	procNames := make(map[int64]string)
+	perPID := make(map[int64][]chromeEvent)
+	var pids []int64
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name == "process_name" && ev.Args != nil {
+				procNames[ev.PID] = ev.Args["name"]
+			}
+			continue
+		}
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		switch ev.Cat {
+		case "step", "abort", "commit-group":
+			if _, ok := perPID[ev.PID]; !ok {
+				pids = append(pids, ev.PID)
+			}
+			perPID[ev.PID] = append(perPID[ev.PID], ev)
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	var runs []ChromeRun
+	for _, pid := range pids {
+		evs := perPID[pid]
+		// The exporter emits spans sorted by (start, id): a stable sort by
+		// timestamp preserves that record order across equal timestamps
+		// (ns→µs division is monotone), so the array order is the run order.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		h, err := lanesToHistory(evs)
+		if err != nil {
+			return nil, fmt.Errorf("chrome import: lane %d (%s): %w", pid, procNames[pid], err)
+		}
+		if h == nil {
+			continue // no step events: not an execution lane
+		}
+		runs = append(runs, ChromeRun{Name: procNames[pid], PID: pid, History: h})
+	}
+	return runs, nil
+}
+
+func lanesToHistory(evs []chromeEvent) (*History, error) {
+	maxCut := 0
+	txns := make(map[model.TxnID]bool)
+	steps := 0
+	var events []Event
+	for _, ev := range evs {
+		ts := int64(ev.TS * 1e3) // back to ns; informational only
+		switch ev.Cat {
+		case "step":
+			t, err := argTxn(ev, "txn")
+			if err != nil {
+				return nil, err
+			}
+			seq, err := argInt(ev, "seq")
+			if err != nil {
+				return nil, err
+			}
+			cut, err := argIntDefault(ev, "cut", 0)
+			if err != nil {
+				return nil, err
+			}
+			if cut > maxCut {
+				maxCut = cut
+			}
+			txns[t] = true
+			steps++
+			events = append(events, Event{
+				TS: ts, Kind: KindStep, Txn: t, Seq: seq,
+				Entity: model.EntityID(ev.Args["entity"]), Cut: cut,
+			})
+		case "abort":
+			t, err := argTxn(ev, "txn")
+			if err != nil {
+				return nil, err
+			}
+			kept, err := argIntDefault(ev, "kept", 0)
+			if err != nil {
+				return nil, err
+			}
+			txns[t] = true
+			events = append(events, Event{TS: ts, Kind: KindAbort, Txn: t, Kept: kept})
+		case "commit-group":
+			raw, ok := ev.Args["txns"]
+			if !ok || raw == "" {
+				return nil, fmt.Errorf("commit-group event at ts %v missing txns arg", ev.TS)
+			}
+			var ids []model.TxnID
+			for _, s := range strings.Split(raw, ",") {
+				t := model.TxnID(strings.TrimSpace(s))
+				if t == "" {
+					return nil, fmt.Errorf("commit-group event at ts %v has empty member", ev.TS)
+				}
+				txns[t] = true
+				ids = append(ids, t)
+			}
+			events = append(events, Event{TS: ts, Kind: KindCommit, Txns: ids})
+		}
+	}
+	if steps == 0 {
+		return nil, nil
+	}
+	k := maxCut
+	if k < 2 {
+		k = 2
+	}
+	levels := make(map[model.TxnID][]string, len(txns))
+	flat := make([]string, k-2)
+	for i := range flat {
+		flat[i] = "shared"
+	}
+	for t := range txns {
+		levels[t] = flat
+	}
+	h := &History{Format: Format, K: k, Levels: levels, Events: events}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func argTxn(ev chromeEvent, key string) (model.TxnID, error) {
+	v, ok := ev.Args[key]
+	if !ok || v == "" {
+		return "", fmt.Errorf("%s event at ts %v missing %s arg", ev.Cat, ev.TS, key)
+	}
+	return model.TxnID(v), nil
+}
+
+func argInt(ev chromeEvent, key string) (int, error) {
+	v, ok := ev.Args[key]
+	if !ok {
+		return 0, fmt.Errorf("%s event at ts %v missing %s arg", ev.Cat, ev.TS, key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s event at ts %v: bad %s arg %q", ev.Cat, ev.TS, key, v)
+	}
+	return n, nil
+}
+
+func argIntDefault(ev chromeEvent, key string, def int) (int, error) {
+	v, ok := ev.Args[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s event at ts %v: bad %s arg %q", ev.Cat, ev.TS, key, v)
+	}
+	return n, nil
+}

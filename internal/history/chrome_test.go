@@ -1,0 +1,148 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/sched"
+	"mla/internal/sim"
+	"mla/internal/telemetry"
+)
+
+// TestImportChromeFromSim is the end-to-end importer path: run the
+// simulator with telemetry on, export the Chrome trace, import it back,
+// and check the reconstructed history. The preventer only admits
+// MLA-correct schedules, so the (sound, flat-nest) importer verdict must
+// be acceptance.
+func TestImportChromeFromSim(t *testing.T) {
+	p := bank.DefaultParams()
+	p.Families = 2
+	p.AccountsPerFamily = 3
+	p.Transfers = 8
+	p.BankAudits = 1
+	p.CreditorAudits = 1
+	p.Seed = 11
+	wl := bank.Generate(p)
+
+	cfg := sim.DefaultConfig()
+	cfg.Telemetry = telemetry.New()
+	res, err := sim.Run(cfg, wl.Programs, sched.NewPreventer(wl.Nest, wl.Spec), wl.Spec, wl.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Committed == 0 {
+		t.Fatal("sim committed nothing; trace would be empty")
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ImportChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	for _, run := range runs {
+		if run.History == nil {
+			continue
+		}
+		checked++
+		rep, err := Check(run.History)
+		if err != nil {
+			t.Fatalf("%s: %v", run.Name, err)
+		}
+		if !rep.Correctable {
+			t.Errorf("%s: preventer-produced trace rejected: %v", run.Name, rep.Witness)
+		}
+		if rep.Txns != res.Stats.Committed {
+			t.Errorf("%s: imported %d txns, sim committed %d", run.Name, rep.Txns, res.Stats.Committed)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no step-recording lane found in the exported trace")
+	}
+}
+
+// A hand-built Chrome trace whose step lane encodes the classic
+// non-serializable cross with no recorded cuts: the flat-nest importer
+// must reject it. (k defaults to 2 when no cut is recorded, so the two
+// transactions are mutually serializable — and aren't.)
+const violatingChrome = `{
+  "traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 7, "args": {"name": "engine run 1"}},
+    {"name": "t1[1]", "cat": "step", "ph": "i", "ts": 1, "pid": 7, "tid": 1,
+     "args": {"txn": "t1", "seq": "1", "entity": "x", "cut": "0"}},
+    {"name": "t2[1]", "cat": "step", "ph": "i", "ts": 2, "pid": 7, "tid": 2,
+     "args": {"txn": "t2", "seq": "1", "entity": "y", "cut": "0"}},
+    {"name": "t2[2]", "cat": "step", "ph": "i", "ts": 3, "pid": 7, "tid": 2,
+     "args": {"txn": "t2", "seq": "2", "entity": "x", "cut": "0"}},
+    {"name": "t1[2]", "cat": "step", "ph": "i", "ts": 4, "pid": 7, "tid": 1,
+     "args": {"txn": "t1", "seq": "2", "entity": "y", "cut": "0"}},
+    {"name": "commit group (2)", "cat": "commit-group", "ph": "i", "ts": 5, "pid": 7, "tid": 0,
+     "args": {"txns": "t1,t2"}}
+  ]
+}`
+
+func TestImportChromeRejectsViolation(t *testing.T) {
+	runs, err := ImportChrome(strings.NewReader(violatingChrome))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].History == nil {
+		t.Fatalf("want 1 run with a history, got %+v", runs)
+	}
+	rep, err := Check(runs[0].History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Correctable {
+		t.Fatal("violating chrome trace accepted")
+	}
+	if rep.Witness == nil {
+		t.Fatal("no witness for the chrome violation")
+	}
+}
+
+func TestImportChromeMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json": `{oops`,
+		"step missing txn": `{"traceEvents": [
+			{"name": "s", "cat": "step", "ph": "i", "ts": 1, "pid": 1, "tid": 1,
+			 "args": {"seq": "1", "entity": "x"}}]}`,
+		"step bad seq": `{"traceEvents": [
+			{"name": "s", "cat": "step", "ph": "i", "ts": 1, "pid": 1, "tid": 1,
+			 "args": {"txn": "t1", "seq": "zero", "entity": "x"}}]}`,
+		"commit group without txns": `{"traceEvents": [
+			{"name": "s", "cat": "step", "ph": "i", "ts": 1, "pid": 1, "tid": 1,
+			 "args": {"txn": "t1", "seq": "1", "entity": "x"}},
+			{"name": "cg", "cat": "commit-group", "ph": "i", "ts": 2, "pid": 1, "tid": 0,
+			 "args": {}}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ImportChrome(strings.NewReader(in)); err == nil {
+				t.Fatal("want an import error, got nil")
+			}
+		})
+	}
+}
+
+// A trace with spans but no step lane (e.g. a metrics-only export) yields
+// no history rather than an error.
+func TestImportChromeNoStepLanes(t *testing.T) {
+	in := `{"traceEvents": [
+		{"name": "process_name", "ph": "M", "pid": 3, "args": {"name": "idle"}},
+		{"name": "run 1", "cat": "run", "ph": "X", "ts": 0, "dur": 100, "pid": 3, "tid": 0, "args": {}}]}`
+	runs, err := ImportChrome(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.History != nil {
+			t.Fatalf("run %q produced a history from a step-free trace", r.Name)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/model"
+)
+
+// FuzzHistoryCheck is the checker-vs-scheduler oracle: for an arbitrary
+// seed, generate a banking workload, interleave it randomly, record the
+// execution as a black-box history, and demand that the history checker's
+// verdict matches the Theorem 2 analysis run directly on the execution.
+// Any divergence means one of the two implementations of multilevel
+// atomicity is wrong.
+func FuzzHistoryCheck(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := bank.DefaultParams()
+		p.Families = 2 + rng.Intn(2)
+		p.AccountsPerFamily = 2 + rng.Intn(3)
+		p.Transfers = 3 + rng.Intn(5)
+		p.BankAudits = rng.Intn(2)
+		p.CreditorAudits = rng.Intn(2)
+		p.Seed = seed
+		wl := bank.Generate(p)
+
+		vals := make(map[model.EntityID]model.Value, len(wl.Init))
+		for k, v := range wl.Init {
+			vals[k] = v
+		}
+		exec, err := model.RandomInterleave(wl.Programs, vals, rng)
+		if err != nil {
+			t.Fatalf("interleave: %v", err)
+		}
+		n := wl.Nest.Restrict(exec.Txns())
+
+		h, err := FromExecution(exec, n, wl.Spec)
+		if err != nil {
+			t.Fatalf("FromExecution: %v", err)
+		}
+		rep, err := Check(h)
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		res, err := coherent.CheckExecution(exec, n, wl.Spec)
+		if err != nil {
+			t.Fatalf("CheckExecution: %v", err)
+		}
+		if rep.Atomic != res.Atomic {
+			t.Errorf("seed %d: atomic: history=%v coherent=%v", seed, rep.Atomic, res.Atomic)
+		}
+		if rep.Correctable != res.Correctable {
+			t.Errorf("seed %d: correctable: history=%v coherent=%v", seed, rep.Correctable, res.Correctable)
+		}
+		if !rep.Correctable && (rep.Witness == nil || len(rep.Witness.Edges) == 0) {
+			t.Errorf("seed %d: violation without a witness cycle", seed)
+		}
+		// The history must survive its own encode/decode round trip too.
+		if err := h.Validate(); err != nil {
+			t.Errorf("seed %d: generated history invalid: %v", seed, err)
+		}
+	})
+}

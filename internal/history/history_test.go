@@ -1,0 +1,435 @@
+package history
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mla/internal/bank"
+	"mla/internal/coherent"
+	"mla/internal/model"
+)
+
+// mk builds a k=3 history of two 2-step transactions over entities x and y,
+// with the given shared/distinct level-2 classes, boundary coarsenesses,
+// and interleaving. t1 accesses x then y; t2 accesses y then x — the
+// conflict pattern whose interleaving t1.1 t2.1 t2.2 t1.2 is the canonical
+// non-serializable cross.
+func mk(sameClass bool, t1cut, t2cut int, order []string) *History {
+	lv := map[model.TxnID][]string{"t1": {"A"}, "t2": {"A"}}
+	if !sameClass {
+		lv["t2"] = []string{"B"}
+	}
+	h := &History{Format: Format, K: 3, Levels: lv}
+	seq := map[model.TxnID]int{}
+	ent := map[model.TxnID][]model.EntityID{"t1": {"x", "y"}, "t2": {"y", "x"}}
+	cut := map[model.TxnID]int{"t1": t1cut, "t2": t2cut}
+	for _, t := range order {
+		id := model.TxnID(t)
+		seq[id]++
+		c := 0
+		if seq[id] == 1 {
+			c = cut[id]
+		}
+		h.Events = append(h.Events, Event{
+			Kind: KindStep, Txn: id, Seq: seq[id],
+			Entity: ent[id][seq[id]-1], Cut: c,
+		})
+	}
+	h.Events = append(h.Events, Event{Kind: KindCommit, Txns: []model.TxnID{"t1", "t2"}})
+	return h
+}
+
+var cross = []string{"t1", "t2", "t2", "t1"}
+
+// TestLevelPairAcceptReject drives the same interleaving through every
+// level pair and boundary shape: what the declared levels permit must be
+// accepted, what they forbid must produce a witness cycle.
+func TestLevelPairAcceptReject(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       *History
+		correct bool
+		atomic  bool
+	}{
+		// Same class (level 2) with coarseness-2 boundaries after each
+		// first step: the cross interleaves exactly at permitted
+		// breakpoints.
+		{"level2-with-boundaries", mk(true, 2, 2, cross), true, true},
+		// Same class but unbroken units (no cut recorded → coarseness k):
+		// nobody may interrupt below level 3, and both transactions do.
+		{"level2-unbroken-units", mk(true, 0, 0, cross), false, false},
+		// Different classes (level 1): boundaries exist but B(1) never
+		// cuts — the pair requires mutual serializability it doesn't have.
+		{"level1-with-boundaries", mk(false, 2, 2, cross), false, false},
+		// Different classes, serial order: always fine.
+		{"level1-serial", mk(false, 0, 0, []string{"t1", "t1", "t2", "t2"}), true, true},
+		// Coarseness-3 boundaries are cut only in B(3); at level 2 they do
+		// not license the interruption.
+		{"level2-coarse3-boundaries", mk(true, 3, 3, cross), false, false},
+		// Mixed boundary coarseness: in the cross only t1 is interrupted,
+		// at its coarseness-2 cut, while t2 runs contiguously — t2's
+		// unbroken unit never matters, so this is atomic as recorded.
+		{"level2-mixed-boundaries", mk(true, 2, 3, cross), true, true},
+		// Same shape with t2's boundary unrecorded (defaults to k).
+		{"level2-one-sided", mk(true, 2, 0, cross), true, true},
+		// Correctable but not atomic: t1 interrupts UNBROKEN t2 mid-unit,
+		// so the recorded order violates — but coherence only forces
+		// t2.2 -> t1.2, and the order t1.1 t2.1 t2.2 t1.2 satisfies every
+		// constraint, so reordering can fix it (Theorem 2's <=e case).
+		{"level2-correctable-not-atomic", mk(true, 2, 0, []string{"t2", "t1", "t1", "t2"}), true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Check(tc.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Correctable != tc.correct {
+				t.Errorf("correctable = %v, want %v", rep.Correctable, tc.correct)
+			}
+			if rep.Atomic != tc.atomic {
+				t.Errorf("atomic = %v, want %v", rep.Atomic, tc.atomic)
+			}
+			if !tc.correct && rep.Witness == nil {
+				t.Error("violation reported without a witness cycle")
+			}
+			if tc.correct && rep.Witness != nil {
+				t.Error("correctable history carries a witness cycle")
+			}
+			// Cross-examine against the Theorem 2 machinery.
+			exec, _, err := tc.h.Committed()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := tc.h.Nest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := FromExecution(exec, n, specOf(t, tc.h))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := coherent.CheckExecution(exec, n, specOf(t, h2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Correctable != rep.Correctable || res.Atomic != rep.Atomic {
+				t.Errorf("checker disagrees with coherent: (%v,%v) vs (%v,%v)",
+					rep.Atomic, rep.Correctable, res.Atomic, res.Correctable)
+			}
+		})
+	}
+}
+
+// specOf materializes a history's recorded cuts as a breakpoint.Spec for
+// the coherent cross-check.
+func specOf(t *testing.T, h *History) replaySpec {
+	t.Helper()
+	cuts := make(map[model.TxnID][]int)
+	for _, ev := range h.Events {
+		if ev.Kind == KindStep {
+			cuts[ev.Txn] = append(cuts[ev.Txn], ev.Cut)
+		}
+	}
+	return replaySpec{k: h.K, cuts: cuts}
+}
+
+type replaySpec struct {
+	k    int
+	cuts map[model.TxnID][]int
+}
+
+func (s replaySpec) K() int { return s.k }
+
+func (s replaySpec) CutAfter(t model.TxnID, prefix []model.Step) int {
+	cs := s.cuts[t]
+	i := len(prefix) - 1
+	if i < 0 || i >= len(cs) || cs[i] == 0 {
+		return s.k
+	}
+	return cs[i]
+}
+
+func TestWitnessIsClosedCycle(t *testing.T) {
+	rep, err := Check(mk(true, 0, 0, cross))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Witness
+	if w == nil || len(w.Edges) < 2 {
+		t.Fatalf("want a cycle of >= 2 edges, got %+v", w)
+	}
+	for i, e := range w.Edges {
+		next := w.Edges[(i+1)%len(w.Edges)]
+		if e.To != next.From {
+			t.Errorf("edge %d ends at %s but edge %d starts at %s", i, e.To, i+1, next.From)
+		}
+		switch e.Kind {
+		case EdgeProgram, EdgeConflict, EdgeCoherence:
+		default:
+			t.Errorf("edge %d has unknown kind %q", i, e.Kind)
+		}
+	}
+	if s := w.String(); !strings.Contains(s, "witness cycle") {
+		t.Errorf("witness rendering: %q", s)
+	}
+}
+
+// TestReplaySemantics: aborted attempts vanish, partial rollbacks keep the
+// prefix, torn-commit redo demotes and recommits, implicit restarts reset.
+func TestReplaySemantics(t *testing.T) {
+	lv := map[model.TxnID][]string{"t1": nil, "t2": nil}
+	step := func(tx string, seq int, x string) Event {
+		return Event{Kind: KindStep, Txn: model.TxnID(tx), Seq: seq, Entity: model.EntityID(x)}
+	}
+	commit := func(txs ...string) Event {
+		ids := make([]model.TxnID, len(txs))
+		for i, s := range txs {
+			ids[i] = model.TxnID(s)
+		}
+		return Event{Kind: KindCommit, Txns: ids}
+	}
+
+	t.Run("aborted attempt dropped", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), step("t1", 2, "y"),
+			{Kind: KindAbort, Txn: "t1"},
+			step("t1", 1, "x"), step("t1", 2, "y"),
+			commit("t1"),
+		}}
+		exec, _, err := h.Committed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exec) != 2 || exec[0].Seq != 1 || exec[1].Seq != 2 {
+			t.Fatalf("committed = %v", exec)
+		}
+	})
+
+	t.Run("partial rollback keeps prefix", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), step("t1", 2, "y"), step("t1", 3, "z"),
+			{Kind: KindAbort, Txn: "t1", Kept: 1},
+			step("t1", 2, "y"), step("t1", 3, "z"),
+			commit("t1"),
+		}}
+		exec, _, err := h.Committed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exec) != 3 {
+			t.Fatalf("committed %d steps, want 3", len(exec))
+		}
+		if exec[0].Seq != 1 || exec[1].Seq != 2 || exec[2].Seq != 3 {
+			t.Fatalf("seqs = %v", exec)
+		}
+	})
+
+	t.Run("torn commit redo", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), commit("t1"),
+			// Crash tore the commit record; recovery re-runs t1.
+			step("t1", 1, "x"), commit("t1"),
+		}}
+		exec, _, err := h.Committed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exec) != 1 {
+			t.Fatalf("committed %d steps, want 1 (last commit wins)", len(exec))
+		}
+	})
+
+	t.Run("implicit restart", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), step("t1", 2, "y"),
+			step("t1", 1, "x"), step("t1", 2, "y"), // seq 1 again: restart
+			commit("t1"),
+		}}
+		exec, _, err := h.Committed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exec) != 2 {
+			t.Fatalf("committed %d steps, want 2", len(exec))
+		}
+	})
+
+	t.Run("seq gap rejected", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), step("t1", 3, "y"),
+		}}
+		if _, _, err := h.Committed(); err == nil {
+			t.Fatal("want error for seq gap")
+		}
+	})
+
+	t.Run("double commit rejected", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), commit("t1"), commit("t1"),
+		}}
+		if _, _, err := h.Committed(); err == nil {
+			t.Fatal("want error for double commit")
+		}
+	})
+
+	t.Run("abort keeping too much rejected", func(t *testing.T) {
+		h := &History{Format: Format, K: 2, Levels: lv, Events: []Event{
+			step("t1", 1, "x"), {Kind: KindAbort, Txn: "t1", Kept: 5},
+		}}
+		if _, _, err := h.Committed(); err == nil {
+			t.Fatal("want error for over-keeping abort")
+		}
+	})
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *History {
+		return &History{Format: Format, K: 3,
+			Levels: map[model.TxnID][]string{"t1": {"A"}},
+			Events: []Event{{Kind: KindStep, Txn: "t1", Seq: 1, Entity: "x"}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*History)
+	}{
+		{"bad format", func(h *History) { h.Format = "bogus" }},
+		{"bad k", func(h *History) { h.K = 1 }},
+		{"wrong label count", func(h *History) { h.Levels["t1"] = []string{"A", "B"} }},
+		{"unknown kind", func(h *History) { h.Events[0].Kind = "mystery" }},
+		{"cut out of range", func(h *History) { h.Events[0].Cut = 7 }},
+		{"unknown txn", func(h *History) { h.Events[0].Txn = "ghost" }},
+		{"zero seq", func(h *History) { h.Events[0].Seq = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := base()
+			tc.mut(h)
+			if err := h.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("baseline history invalid: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := mk(true, 2, 2, cross)
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != h.K || len(got.Events) != len(h.Events) || len(got.Levels) != len(h.Levels) {
+		t.Fatalf("round trip mangled the history: %+v", got)
+	}
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+}
+
+// TestFromExecutionMatchesCoherent: across many random interleavings of a
+// real banking workload, the black-box verdict must agree with the
+// Theorem 2 machinery fed the same execution directly.
+func TestFromExecutionMatchesCoherent(t *testing.T) {
+	p := bank.DefaultParams()
+	p.Families = 2
+	p.AccountsPerFamily = 3
+	p.Transfers = 5
+	p.BankAudits = 1
+	p.CreditorAudits = 1
+	wl := bank.Generate(p)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make(map[model.EntityID]model.Value, len(wl.Init))
+		for k, v := range wl.Init {
+			vals[k] = v
+		}
+		exec, err := model.RandomInterleave(wl.Programs, vals, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := wl.Nest.Restrict(exec.Txns())
+		h, err := FromExecution(exec, n, wl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coherent.CheckExecution(exec, n, wl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Atomic != res.Atomic || rep.Correctable != res.Correctable {
+			t.Errorf("seed %d: history says (%v,%v), coherent says (%v,%v)",
+				seed, rep.Atomic, rep.Correctable, res.Atomic, res.Correctable)
+		}
+		if !rep.Correctable && rep.Witness == nil {
+			t.Errorf("seed %d: violation without witness", seed)
+		}
+	}
+}
+
+// TestTestdataViolations: every hand-crafted violating history under
+// testdata must decode and be rejected with a witness; the accepting one
+// must pass.
+func TestTestdataViolations(t *testing.T) {
+	bad, err := filepath.Glob("testdata/violation_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) < 3 {
+		t.Fatalf("want >= 3 violating testdata histories, found %d", len(bad))
+	}
+	for _, path := range bad {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			h, err := Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Check(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Correctable {
+				t.Fatal("violating history accepted")
+			}
+			if rep.Witness == nil || len(rep.Witness.Edges) == 0 {
+				t.Fatal("no witness cycle emitted")
+			}
+		})
+	}
+	f, err := os.Open("testdata/accept_mixed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, err := Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correctable {
+		t.Fatalf("accepting history rejected: %v", rep.Witness)
+	}
+}

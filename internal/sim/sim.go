@@ -508,6 +508,14 @@ func (r *Runner) perform(ti int, x model.EntityID) {
 	if cut == 2 {
 		t.bound2 = t.seq
 	}
+	if r.tele != nil {
+		// Step instants make the exported trace a replayable history for the
+		// black-box checker (internal/history's Chrome importer).
+		r.tele.RecordAt(telemetry.SimUnit(r.now), 0, "step",
+			fmt.Sprintf("%s[%d]", t.id, t.seq), r.telePID, int64(t.home)+1, r.runSpan,
+			"txn", string(t.id), "seq", fmt.Sprint(t.seq),
+			"entity", string(x), "cut", fmt.Sprint(cut))
+	}
 	r.control.Performed(t.id, t.seq, x, cut)
 
 	t.status = stRunning
@@ -590,9 +598,16 @@ func (r *Runner) tryCommit() {
 		}
 	}
 	if r.tele != nil {
+		joined := make([]byte, 0, 16*len(ids))
+		for i, id := range ids {
+			if i > 0 {
+				joined = append(joined, ',')
+			}
+			joined = append(joined, id...)
+		}
 		r.tele.RecordAt(telemetry.SimUnit(r.now), 0, "commit-group",
 			fmt.Sprintf("commit group (%d)", len(ids)), r.telePID, 0, r.runSpan,
-			"size", fmt.Sprint(len(ids)))
+			"size", fmt.Sprint(len(ids)), "txns", string(joined))
 	}
 	for _, id := range ids {
 		t := r.txns[r.byID[id]]
@@ -739,7 +754,7 @@ func (r *Runner) abort(victims []model.TxnID, stall bool) {
 			}
 			r.tele.RecordAt(telemetry.SimUnit(r.now), 0, "abort", "abort "+string(id),
 				r.telePID, int64(t.home)+1, r.runSpan,
-				"kind", kind, "kept", fmt.Sprint(k))
+				"txn", string(id), "kind", kind, "kept", fmt.Sprint(k))
 		}
 	}
 	if len(fullIDs) > 0 {

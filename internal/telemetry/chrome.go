@@ -22,6 +22,7 @@ type chromeEvent struct {
 	Dur  float64           `json:"dur"`
 	PID  int64             `json:"pid"`
 	TID  int64             `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope; "t" = thread
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -81,7 +82,7 @@ func (tr *Tracer) WriteChrome(w io.Writer) error {
 			args = copyArgs(args)
 			args["parent"] = itoa(int64(s.Parent))
 		}
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		ev := chromeEvent{
 			Name: s.Name,
 			Cat:  s.Cat,
 			Ph:   "X",
@@ -90,7 +91,15 @@ func (tr *Tracer) WriteChrome(w io.Writer) error {
 			PID:  s.PID,
 			TID:  s.TID,
 			Args: args,
-		})
+		}
+		// Zero-duration spans are instants, not empty intervals: the Chrome
+		// schema renders ph "X" dur 0 as invisible slivers and some viewers
+		// drop them, while ph "i" draws a marker. Scope "t" pins it to its
+		// thread lane.
+		if s.End == s.Start {
+			ev.Ph, ev.S, ev.Dur = "i", "t", 0
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -93,11 +93,13 @@ func (tr *Tracer) Local() *Local {
 }
 
 // Spans merges every Local's buffer into one slice sorted by start time.
-// Spans still open at merge time are reported as closing now (their Args
-// gain open=true). Call it only after producers have quiesced — typically
+// Spans still open at merge time are reported as closing at their Local's
+// latest recorded timestamp (their Args gain open=true) — not at the
+// tracer's wall clock, which would hand simulated-time producers an end
+// far beyond anything they recorded and inflate the leaked span's duration
+// past every child. Call it only after producers have quiesced — typically
 // after the run returns.
 func (tr *Tracer) Spans() []Span {
-	now := tr.Now()
 	tr.mu.Lock()
 	locals := append([]*Local(nil), tr.locals...)
 	tr.mu.Unlock()
@@ -106,7 +108,7 @@ func (tr *Tracer) Spans() []Span {
 		out = append(out, l.done...)
 		for _, sp := range l.open {
 			s := *sp
-			s.End = now
+			s.End = l.maxTS
 			if s.End < s.Start {
 				s.End = s.Start
 			}
@@ -146,9 +148,16 @@ func kvArgs(kv []string) map[string]string {
 // Local is one producer's span buffer. No method takes a lock; the caller
 // guarantees single-goroutine (or externally serialized) access.
 type Local struct {
-	tr   *Tracer
-	done []Span
-	open map[SpanID]*Span
+	tr    *Tracer
+	done  []Span
+	open  map[SpanID]*Span
+	maxTS int64 // latest timestamp this Local recorded; closes leaked spans
+}
+
+func (l *Local) see(ts int64) {
+	if ts > l.maxTS {
+		l.maxTS = ts
+	}
 }
 
 // Begin opens a span starting now.
@@ -158,6 +167,7 @@ func (l *Local) Begin(cat, name string, pid, tid int64, parent SpanID, kv ...str
 
 // BeginAt opens a span with an explicit start timestamp (simulated clocks).
 func (l *Local) BeginAt(start int64, cat, name string, pid, tid int64, parent SpanID, kv ...string) SpanID {
+	l.see(start)
 	id := SpanID(l.tr.ids.Add(1))
 	l.open[id] = &Span{
 		ID: id, Parent: parent, Cat: cat, Name: name,
@@ -185,6 +195,7 @@ func (l *Local) End(id SpanID) { l.EndAt(id, l.tr.Now()) }
 
 // EndAt closes an open span at an explicit timestamp.
 func (l *Local) EndAt(id SpanID, end int64) {
+	l.see(end)
 	sp, ok := l.open[id]
 	if !ok {
 		return
@@ -212,6 +223,7 @@ func (l *Local) RecordAt(start, dur int64, cat, name string, pid, tid int64, par
 	if dur < 0 {
 		dur = 0
 	}
+	l.see(start + dur)
 	id := SpanID(l.tr.ids.Add(1))
 	l.done = append(l.done, Span{
 		ID: id, Parent: parent, Cat: cat, Name: name,

@@ -207,7 +207,7 @@ func TestChromeExportRoundTrips(t *testing.T) {
 	if out.DisplayTimeUnit != "ms" {
 		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
 	}
-	var meta, complete int
+	var meta, complete, instant int
 	lastTS := -1.0
 	sawParent := false
 	for i, e := range out.TraceEvents {
@@ -217,8 +217,15 @@ func TestChromeExportRoundTrips(t *testing.T) {
 			if complete > 0 {
 				t.Errorf("metadata event %d after a complete event", i)
 			}
-		case "X":
-			complete++
+		case "X", "i":
+			if e.Ph == "i" {
+				instant++
+				if e.Dur != 0 {
+					t.Errorf("instant %q has dur %v", e.Name, e.Dur)
+				}
+			} else {
+				complete++
+			}
 			if e.TS < 0 || e.Dur < 0 {
 				t.Errorf("event %q has negative ts/dur", e.Name)
 			}
@@ -236,8 +243,13 @@ func TestChromeExportRoundTrips(t *testing.T) {
 	if meta != 2 {
 		t.Errorf("metadata events = %d, want 2 (process_name + thread_name)", meta)
 	}
-	if complete != 3 {
-		t.Errorf("complete events = %d, want 3", complete)
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2 (run + lock-wait)", complete)
+	}
+	// The zero-duration commit-group event exports as an instant marker,
+	// not an invisible zero-width interval.
+	if instant != 1 {
+		t.Errorf("instant events = %d, want 1 (the commit-group)", instant)
 	}
 	if !sawParent {
 		t.Error("no event carried a parent arg")
@@ -249,6 +261,38 @@ func TestChromeExportRoundTrips(t *testing.T) {
 				t.Errorf("lock-wait ts/dur = %v/%v, want 1/0.5", e.TS, e.Dur)
 			}
 		}
+	}
+}
+
+// TestOpenSpanClosesAtLastRecordedTimestamp: a span still open at export
+// time must close at its Local's latest recorded timestamp, not at the
+// tracer's wall clock — a simulated-time producer records timestamps in
+// SimUnits (a few thousand ns), and wall-clock now would hand a leaked run
+// span a duration millions of units past its deepest child.
+func TestOpenSpanClosesAtLastRecordedTimestamp(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NextPID()
+	l := tr.Local()
+	run := l.BeginAt(0, "run", "sim run", pid, 0, 0)
+	l.RecordAt(1000, 500, "txn", "t1", pid, 1, run)
+	l.RecordAt(2000, 0, "commit-group", "cg", pid, 0, run)
+	// run is left open deliberately (a producer that died before sealing).
+	spans := tr.Spans()
+	var found bool
+	for _, s := range spans {
+		if s.ID != run {
+			continue
+		}
+		found = true
+		if s.Args["open"] != "true" {
+			t.Error("leaked span not marked open=true")
+		}
+		if s.End != 2000 {
+			t.Errorf("leaked span closed at %d, want the local's last recorded timestamp 2000", s.End)
+		}
+	}
+	if !found {
+		t.Fatal("open span missing from merge")
 	}
 }
 

@@ -114,8 +114,24 @@ func Decode(r io.Reader) (*Decoded, error) {
 		return nil, fmt.Errorf("trace: k=%d out of range", f.K)
 	}
 	d := &Decoded{Init: f.Init}
-	for _, s := range f.Steps {
+	for i, s := range f.Steps {
+		// A step naming a transaction absent from the nest, or an
+		// out-of-range seq, would panic deep inside the checker; reject the
+		// file with a diagnostic instead.
+		if _, ok := f.Nest[s.Txn]; !ok {
+			return nil, fmt.Errorf("trace: step %d: transaction %s missing from nest", i, s.Txn)
+		}
+		if s.Seq < 1 {
+			return nil, fmt.Errorf("trace: step %d: seq %d out of range", i, s.Seq)
+		}
 		d.Exec = append(d.Exec, model.Step(s))
+	}
+	for t, cs := range f.Cuts {
+		for i, c := range cs {
+			if c < 2 || c > f.K {
+				return nil, fmt.Errorf("trace: %s cut %d has coarseness %d outside [2,%d]", t, i, c, f.K)
+			}
+		}
 	}
 	n := nest.New(f.K)
 	txns := make([]model.TxnID, 0, len(f.Nest))

@@ -28,20 +28,26 @@ import (
 type Pipeline struct {
 	interval time.Duration
 
-	mu      sync.Mutex // guards db, pending, stats
-	db      *DB
-	pending []pendingCommit
+	mu sync.Mutex // guards db, the current batch, stats
+	db *DB
+
+	// The current batch. Commit groups are disjoint (the engine commits
+	// each transaction exactly once per run, and the DB tolerates a stray
+	// duplicate idempotently), so member ids concatenate into one flat
+	// slice, and every group in a batch shares one ack channel — the whole
+	// batch becomes durable in the same record and sync. The slice's
+	// backing array is recycled across flushes: the commit record copies
+	// what it keeps, so steady-state submission allocates nothing per
+	// group beyond the amortized ack channel.
+	batchIDs    []model.TxnID
+	batchAck    chan struct{}
+	batchGroups int
 
 	stats PipelineStats
 
 	wake chan struct{}
 	quit chan struct{}
 	done chan struct{}
-}
-
-type pendingCommit struct {
-	ids []model.TxnID
-	ack chan struct{}
 }
 
 // PipelineStats is a point-in-time snapshot of the committer's counters,
@@ -77,15 +83,27 @@ func NewPipeline(db *DB, interval time.Duration) *Pipeline {
 
 func (p *Pipeline) flusher() {
 	defer close(p.done)
+	// One timer serves every batching window; it is always drained before
+	// Reset (either its fire was consumed or Stop found it already fired),
+	// so reuse is safe and the per-wake timer allocation is gone.
+	var timer *time.Timer
+	if p.interval > 0 {
+		timer = time.NewTimer(p.interval)
+		if !timer.Stop() {
+			<-timer.C
+		}
+	}
 	for {
 		select {
 		case <-p.wake:
-			if p.interval > 0 {
-				t := time.NewTimer(p.interval)
+			if timer != nil {
+				timer.Reset(p.interval)
 				select {
-				case <-t.C:
+				case <-timer.C:
 				case <-p.quit:
-					t.Stop()
+					if !timer.Stop() {
+						<-timer.C
+					}
 				}
 			}
 			p.flush()
@@ -96,54 +114,51 @@ func (p *Pipeline) flusher() {
 	}
 }
 
-// flush commits every pending group in one record, syncs the device, then
-// acks. The record append happens under mu (serialized with Perform/Abort);
-// the sync and the acks happen outside it.
+// flush commits the current batch in one record, syncs the device, then
+// acks. The record append happens under mu (serialized with Perform/Abort,
+// and with Submit — so the batch buffer can be recycled immediately: the
+// record has already copied the members); the sync and the ack happen
+// outside it.
 func (p *Pipeline) flush() {
 	p.mu.Lock()
-	batch := p.pending
-	p.pending = nil
-	if len(batch) > 0 {
-		var ids []model.TxnID
-		seen := make(map[model.TxnID]bool)
-		for _, g := range batch {
-			for _, t := range g.ids {
-				if !seen[t] {
-					seen[t] = true
-					ids = append(ids, t)
-				}
-			}
-		}
+	ids, ack, groups := p.batchIDs, p.batchAck, p.batchGroups
+	if len(ids) > 0 {
 		p.db.CommitGroup(ids)
 		p.stats.Flushes++
 		p.stats.Txns += int64(len(ids))
-		if len(batch) > p.stats.MaxBatch {
-			p.stats.MaxBatch = len(batch)
+		if groups > p.stats.MaxBatch {
+			p.stats.MaxBatch = groups
 		}
 	}
+	p.batchIDs = ids[:0]
+	p.batchAck = nil
+	p.batchGroups = 0
 	p.mu.Unlock()
-	if len(batch) > 0 {
+	if ack != nil {
 		p.db.Sync()
-		for _, g := range batch {
-			close(g.ack)
-		}
+		close(ack)
 	}
 }
 
 // Submit enqueues a dependency-closed commit group and returns a channel
 // that closes once the group is durable (record flushed and synced). The
-// slice is copied; the caller may reuse it.
+// slice is copied; the caller may reuse it. Groups must be disjoint — the
+// engine guarantees each transaction commits exactly once per run.
 func (p *Pipeline) Submit(ids []model.TxnID) <-chan struct{} {
-	pc := pendingCommit{ids: append([]model.TxnID(nil), ids...), ack: make(chan struct{})}
 	p.mu.Lock()
-	p.pending = append(p.pending, pc)
+	if p.batchAck == nil {
+		p.batchAck = make(chan struct{})
+	}
+	ack := p.batchAck
+	p.batchIDs = append(p.batchIDs, ids...)
+	p.batchGroups++
 	p.stats.Groups++
 	p.mu.Unlock()
 	select {
 	case p.wake <- struct{}{}:
 	default: // a wake is already queued; the flusher will see our group
 	}
-	return pc.ack
+	return ack
 }
 
 // Perform executes one step WAL-first under the pipeline's lock; see

@@ -12,6 +12,23 @@ go vet ./...
 ./scripts/lint.sh
 go test -race ./...
 go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
+# Checker-vs-scheduler fuzz smoke: the black-box history checker must agree
+# with the Theorem 2 analysis on random interleavings of the banking
+# workload.
+go test ./internal/history/ -run FuzzHistoryCheck -fuzz FuzzHistoryCheck -fuzztime 10s
+# History oracle, end to end: a live engine run recorded as an event
+# history must check clean offline, known-violating histories must be
+# rejected (exit 2), and E20 cross-checks both checkers over mixed-level
+# runs on every control — a disagreement fails the gate.
+go run ./cmd/mlasim -engine -history /tmp/mla_check_history.json > /dev/null
+go run ./cmd/mlacheck -history /tmp/mla_check_history.json
+for v in internal/history/testdata/violation_*.json; do
+    if go run ./cmd/mlacheck -history "$v" > /dev/null 2>&1; then
+        echo "check.sh: $v should have been rejected" >&2
+        exit 1
+    fi
+done
+go run ./cmd/mlabench -exp E20
 # Perf-path smoke under the race detector: the striped-lock engine and the
 # group-commit pipeline at full concurrency, asserting the optimized paths
 # leave commit outcomes unchanged, with telemetry recording on so the
