@@ -61,6 +61,9 @@ func BenchmarkE15Conversations(b *testing.B) { benchExperiment(b, "E15") }
 func BenchmarkE16HotSpot(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkE17EngineCrash(b *testing.B)   { benchExperiment(b, "E17") }
 func BenchmarkE18Chaos(b *testing.B)         { benchExperiment(b, "E18") }
+func BenchmarkE19Perf(b *testing.B)          { benchExperiment(b, "E19") }
+func BenchmarkE20MixedHistory(b *testing.B)  { benchExperiment(b, "E20") }
+func BenchmarkE21Serve(b *testing.B)         { benchExperiment(b, "E21") }
 
 // Micro-benchmarks for the hot paths.
 

@@ -6,7 +6,7 @@
 //	mlabench -perf [-out BENCH_4.json] [-quick]
 //	mlabench -perf -quick -telemetry -trace-out trace.json
 //
-// Without -exp it runs the full suite E1..E19. With -perf it runs the
+// Without -exp it runs the full suite E1..E21. With -perf it runs the
 // engine performance sweep (E19's harness) instead, prints the table, and
 // writes the JSON report; it exits nonzero if the optimized engine paths
 // changed any commit outcome relative to the unoptimized ones.
@@ -37,7 +37,7 @@ func main() {
 // run keeps the real logic defer-safe: os.Exit in main would skip the
 // telemetry export and pprof stop otherwise.
 func run() int {
-	exp := flag.String("exp", "", "run only this experiment (E1..E19)")
+	exp := flag.String("exp", "", "run only this experiment (E1..E21)")
 	scale := flag.Int("scale", 2, "workload scale multiplier (1 = quick)")
 	seed := flag.Int64("seed", 1, "random seed")
 	markdown := flag.Bool("md", false, "render tables as markdown")

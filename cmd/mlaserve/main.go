@@ -1,0 +1,258 @@
+// Command mlaserve runs the multilevel-atomicity engine as a long-lived
+// JSON-over-HTTP service: one resident engine, many concurrent client
+// sessions, per-transaction deadlines, bounded admission queues with load
+// shedding (429 + Retry-After), and a graceful drain on SIGTERM that lets
+// every in-flight transaction reach a breakpoint before the WAL pipeline
+// is flushed and the process exits.
+//
+// Usage:
+//
+//	mlaserve [-addr 127.0.0.1:7070] [-control 2pl-sharded] [-history h.json]
+//	mlaserve -selftest [-sessions 100] [-txns 10000] [-rate 150] [-overload]
+//
+// In serve mode the process runs until SIGTERM/SIGINT, then drains: new
+// work is refused with 503 while admitted transactions finish, the WAL
+// group-commit pipeline is flushed, and the recorded history / telemetry
+// are exported on every exit path. `mlacheck -history <file>` then audits
+// the run's multilevel atomicity black-box.
+//
+// In selftest mode the binary is its own client: it starts the server,
+// offers an open-loop Poisson load from many sessions (with injected
+// disconnects), raises a real SIGTERM against itself mid-run to exercise
+// the signal path, and exits nonzero unless every acknowledged transaction
+// is durable and committed in a history the checker accepts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mla/internal/history"
+	"mla/internal/serve"
+	"mla/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run keeps the real logic defer-safe: os.Exit in main would skip the
+// history and telemetry exports otherwise.
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	families := flag.Int("families", 0, "account families (0 = default)")
+	accounts := flag.Int("accounts", 0, "accounts per family (0 = default)")
+	control := flag.String("control", "", "concurrency control: 2pl-sharded, 2pl, tso, none")
+	shards := flag.Int("shards", 0, "lock shards for 2pl-sharded (0 = default)")
+	maxInflight := flag.Int("max-inflight", 0, "transactions admitted into the engine at once")
+	queueDepth := flag.Int("queue-depth", 0, "bounded admission queue depth per class")
+	admitWait := flag.Duration("admit-wait", 0, "how long admission may queue before shedding")
+	deadline := flag.Duration("deadline", 0, "default per-transaction deadline")
+	maxDeadline := flag.Duration("max-deadline", 0, "clamp for client-supplied deadlines")
+	seed := flag.Int64("seed", 1, "seed for synthesized workload choices")
+	historyOut := flag.String("history", "", "record the execution history and write it here on exit (mlacheck -history audits it)")
+	traceOut := flag.String("trace-out", "", "write telemetry spans as Chrome trace-event JSON on exit")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics snapshot as JSON on exit")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long the SIGTERM drain may take")
+
+	selftest := flag.Bool("selftest", false, "run the end-to-end selftest (server + open-loop load + mid-run SIGTERM) and exit")
+	sessions := flag.Int("sessions", 100, "selftest: concurrent client sessions")
+	txns := flag.Int("txns", 10000, "selftest: total transactions offered")
+	rate := flag.Float64("rate", 150, "selftest: Poisson arrivals/sec per session")
+	auditPct := flag.Int("audit-pct", 2, "selftest: percent of transactions that are audits")
+	creditPct := flag.Int("credit-pct", 8, "selftest: percent of transactions that are credits")
+	disconnectPct := flag.Int("disconnect-pct", 5, "selftest: percent of requests abandoned mid-flight")
+	drainAfter := flag.Duration("drain-after", 2*time.Second, "selftest: raise SIGTERM this long into the load (0 = drain after load)")
+	overload := flag.Bool("overload", false, "selftest: shrink admission capacity so shedding must engage")
+	p99SLO := flag.Duration("p99-slo", 5*time.Second, "selftest: acked p99 latency bound (0 = unchecked)")
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	if *families > 0 {
+		cfg.Families = *families
+	}
+	if *accounts > 0 {
+		cfg.AccountsPerFamily = *accounts
+	}
+	if *control != "" {
+		cfg.Control = *control
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
+	if *maxInflight > 0 {
+		cfg.MaxInflight = *maxInflight
+	}
+	if *queueDepth > 0 {
+		cfg.QueueDepth = *queueDepth
+	}
+	if *admitWait > 0 {
+		cfg.AdmitWait = *admitWait
+	}
+	if *deadline > 0 {
+		cfg.DefaultDeadline = *deadline
+	}
+	if *maxDeadline > 0 {
+		cfg.MaxDeadline = *maxDeadline
+	}
+	cfg.Seed = *seed
+	cfg.Record = *historyOut != ""
+
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
+	// Export telemetry on every path out, including failures: the trace of
+	// a failed run is the one worth looking at.
+	defer func() {
+		if tel == nil {
+			return
+		}
+		if *traceOut != "" {
+			if err := tel.WriteTrace(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "mlaserve: trace: %v\n", err)
+			} else {
+				fmt.Printf("wrote %s (load in ui.perfetto.dev)\n", *traceOut)
+			}
+		}
+		if *metricsOut != "" {
+			if err := tel.WriteMetrics(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "mlaserve: metrics: %v\n", err)
+			} else {
+				fmt.Printf("wrote %s\n", *metricsOut)
+			}
+		}
+	}()
+
+	if *selftest {
+		return runSelfTest(serve.SelfTestOptions{
+			Config:        cfg,
+			Sessions:      *sessions,
+			Txns:          *txns,
+			Rate:          *rate,
+			AuditPct:      *auditPct,
+			CreditPct:     *creditPct,
+			DisconnectPct: *disconnectPct,
+			DrainAfter:    *drainAfter,
+			Overload:      *overload,
+			P99SLO:        *p99SLO,
+			Out:           os.Stderr,
+		}, *historyOut)
+	}
+	return runServe(cfg, *addr, *historyOut, *drainTimeout)
+}
+
+// runServe is the long-lived mode: serve until SIGTERM/SIGINT, then drain
+// gracefully and export the recorded history.
+func runServe(cfg serve.Config, addr, historyOut string, drainTimeout time.Duration) int {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: %v\n", err)
+		return 1
+	}
+	// The history is written on every exit path — a run that died half-way
+	// is exactly the one whose audit trail matters. The snapshot must be
+	// taken inside the closure: a plain defer would evaluate History() now,
+	// exporting the empty pre-traffic state.
+	defer func() { exportHistory(srv.History(), historyOut) }()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("mlaserve: listening on %s (control=%s, inflight=%d, queue=%d)\n",
+		ln.Addr(), cfg.Control, cfg.MaxInflight, cfg.QueueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mlaserve: %v — draining (in-flight transactions run to a breakpoint)\n", s)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "mlaserve: serve: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: drain: %v\n", err)
+		code = 1
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mlaserve: http shutdown: %v\n", err)
+	}
+	<-serveErr
+	st := srv.Stats()
+	fmt.Printf("mlaserve: drained clean — %d committed, %d shed, %d deadline-aborted\n",
+		st.Acked, st.Shed, st.Deadline)
+	return code
+}
+
+// runSelfTest drives serve.SelfTest with the drain routed through a REAL
+// SIGTERM against our own process, so the signal path itself is under test
+// rather than simulated.
+func runSelfTest(o serve.SelfTestOptions, historyOut string) int {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	o.TriggerDrain = func(shutdown func()) {
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "mlaserve: selftest: SIGTERM received — draining")
+			shutdown()
+		}()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			// Signal delivery failed (exotic platform); drain directly so
+			// the run still finishes.
+			fmt.Fprintf(os.Stderr, "mlaserve: selftest: kill: %v — draining directly\n", err)
+			shutdown()
+		}
+	}
+
+	rep, err := serve.SelfTest(context.Background(), o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: selftest: %v\n", err)
+		return 1
+	}
+	exportHistory(rep.Recorded, historyOut)
+	rep.Summary().Render(os.Stdout)
+	if !rep.OK() {
+		for _, p := range rep.Problems {
+			fmt.Fprintf(os.Stderr, "mlaserve: selftest: FAIL: %s\n", p)
+		}
+		return 1
+	}
+	return 0
+}
+
+func exportHistory(h *history.History, path string) {
+	if h == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: history: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := h.Encode(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: history: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %s (audit with: mlacheck -history %s)\n", path, path)
+}

@@ -115,12 +115,12 @@ func TestWithdrawDoneDetection(t *testing.T) {
 	}
 	// Prefix with one withdrawal of 40: phase not done.
 	p1 := []model.Step{{Txn: "t", Seq: 1, Entity: "A", Label: "withdraw", Before: 40, After: 0}}
-	if tr.withdrawDone(p1) {
+	if tr.WithdrawDone(p1) {
 		t.Error("40 < 100 with sources remaining: not done")
 	}
 	// Collected 100: done.
 	p2 := append(p1, model.Step{Txn: "t", Seq: 2, Entity: "B", Label: "withdraw", Before: 80, After: 20})
-	if !tr.withdrawDone(p2) {
+	if !tr.WithdrawDone(p2) {
 		t.Error("collected 100: done")
 	}
 	// All three sources scanned with less than the goal: done.
@@ -129,7 +129,7 @@ func TestWithdrawDoneDetection(t *testing.T) {
 		{Txn: "t", Seq: 2, Entity: "B", Label: "withdraw", Before: 1, After: 0},
 		{Txn: "t", Seq: 3, Entity: "C", Label: "withdraw", Before: 1, After: 0},
 	}
-	if !tr.withdrawDone(p3) {
+	if !tr.WithdrawDone(p3) {
 		t.Error("all sources scanned: done")
 	}
 }

@@ -170,7 +170,7 @@ func Generate(p Params) *Workload {
 func (wl *Workload) cutAfter(t model.TxnID, prefix []model.Step) int {
 	if tr, ok := wl.transfers[t]; ok {
 		last := prefix[len(prefix)-1]
-		if last.Label == "withdraw" && tr.withdrawDone(prefix) {
+		if last.Label == "withdraw" && tr.WithdrawDone(prefix) {
 			return 2
 		}
 		return 3

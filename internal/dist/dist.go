@@ -510,6 +510,9 @@ func (p *Preventer) Aborted(victims []model.TxnID) {
 	p.oc.Rebuild(drop)
 }
 
+// DeadlineAborted implements the sched.DeadlineAborter capability.
+func (p *Preventer) DeadlineAborted(model.TxnID) { p.stats.Deadlines++ }
+
 // Stats implements sched.Control.
 func (p *Preventer) Stats() *sched.Stats { return &p.stats }
 

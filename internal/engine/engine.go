@@ -52,11 +52,19 @@ import (
 	"mla/internal/sched"
 )
 
+// DefaultTimeout is the whole-run deadline applied when Config.Timeout is
+// zero. It bounds a *batch* run (Run/RunOnStore/RunWithCrashes): long enough
+// that no experiment in internal/bench ever hits it on a healthy machine,
+// short enough that a livelocked or leaked run fails fast in CI instead of
+// hanging a job. Resident sessions (NewSession) have no whole-run deadline —
+// they are bounded per transaction by SubmitOpts.Deadline instead.
+const DefaultTimeout = 30 * time.Second
+
 // Config bounds a run.
 type Config struct {
 	// Timeout aborts the whole run if it has not completed; defaults to
-	// 30s. It composes with the caller's context: whichever expires first
-	// stops the run.
+	// DefaultTimeout. It composes with the caller's context: whichever
+	// expires first stops the run. Ignored by resident sessions.
 	Timeout time.Duration
 	// BackoffBase is the initial restart backoff; defaults to 100µs.
 	BackoffBase time.Duration
@@ -101,6 +109,13 @@ type Result struct {
 	// livelock. A run with GaveUp > 0 completes without error; the parked
 	// transactions simply contribute no steps.
 	GaveUp int
+	// DeadlineAborts counts rollbacks performed because a transaction's
+	// per-submission deadline expired or its client context was cancelled
+	// (resident sessions only; batch runs have no per-txn deadlines). Each
+	// is also counted in Aborts/Restarts like any rollback — this is the
+	// distinct cause sub-count, mirrored in sched.Stats.Deadlines for
+	// controls with the DeadlineAborter capability.
+	DeadlineAborts int
 	// FaultsInjected counts transient step errors the fault injector
 	// placed in this run (each was retried or escalated to a restart).
 	FaultsInjected int
@@ -149,7 +164,24 @@ type etxn struct {
 	deps       map[model.TxnID]bool
 	began      time.Time     // first Begin, for commit latency
 	waited     time.Duration // total time blocked on Wait decisions
+
+	// lastCut is the coarseness of the breakpoint after the most recently
+	// performed step of the current attempt (0 while mid-unit or before the
+	// first step). Deadline aborts fire only when it is non-zero or no step
+	// has been performed yet — i.e. at unit boundaries.
+	lastCut int
+	// killed records why the engine itself aborted the current attempt:
+	// killDeadline (the submission deadline expired) or killCanceled (the
+	// client's context was cancelled). The session run loop reads it to
+	// stop restarting and report the outcome.
+	killed int8
 }
+
+const (
+	killNone int8 = iota
+	killDeadline
+	killCanceled
+)
 
 type engine struct {
 	mu      sync.Mutex
@@ -171,8 +203,26 @@ type engine struct {
 	// finCh feeds submitted commit groups to the finalizer in submission
 	// order. Buffered to the program count: groups are disjoint and each
 	// transaction commits at most once per run, so a send under the engine
-	// mutex can never block.
+	// mutex can never block. Batch runs only — resident sessions have no
+	// program count to size the buffer by, so they queue through finPending
+	// instead (same single finalizer, same submission order).
 	finCh chan asyncFin
+
+	// resident marks an open-submission engine (NewSession): transactions
+	// arrive and retire over time, so everything sized or accumulated "per
+	// run" — finCh, order, the Result sample slices, the step trace — must
+	// be bounded differently (see finPending, compactTraceLocked).
+	resident bool
+	// finPending queues submitted commit groups for the resident finalizer,
+	// which drains it in append (= submission) order; finWake (1-buffered)
+	// wakes the finalizer when the queue goes non-empty. Guarded by mu.
+	finPending []asyncFin
+	finWake    chan struct{}
+	// traceCap is the resident trace-compaction threshold: when the step
+	// trace reaches it, entries of committed/retired attempts are dropped
+	// and the threshold is reset to twice the surviving length (amortized
+	// O(1) per step, like slice growth).
+	traceCap int
 
 	txns   map[model.TxnID]*etxn
 	order  []model.TxnID
@@ -226,7 +276,7 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 		ctx = context.Background()
 	}
 	if cfg.Timeout == 0 {
-		cfg.Timeout = 30 * time.Second
+		cfg.Timeout = DefaultTimeout
 	}
 	if cfg.BackoffBase == 0 {
 		cfg.BackoffBase = 100 * time.Microsecond
@@ -408,26 +458,11 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 			return
 		}
 		attempt := t.attempt
-		t.seq = 0
-		t.steps = nil
-		t.finished = false
-		t.deps = make(map[model.TxnID]bool)
-		if t.began.IsZero() {
-			t.began = time.Now()
-		}
-		if t.prio == 0 {
-			e.prioCounter++
-			t.prio = prio*1024 + e.prioCounter
-		} else if e.caps.NewPriority != nil {
-			// Timestamp ordering needs a fresh, larger timestamp on restart.
-			e.prioCounter++
-			t.prio = e.caps.NewPriority(id, t.prio, 1_000_000_000+e.prioCounter)
-		}
-		e.control.Begin(id, t.prio)
+		e.beginAttemptLocked(t, prio)
 		cur := p.Init()
 		e.mu.Unlock()
 
-		aborted, err := e.attempt(cfg, id, attempt, cur)
+		aborted, err := e.attempt(cfg, id, attempt, cur, time.Time{}, nil)
 		if err != nil {
 			if !errors.Is(err, errStopped) {
 				done <- err
@@ -464,11 +499,42 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 	}
 }
 
+// beginAttemptLocked resets t for a fresh attempt and registers it with the
+// control. prio is the caller's base priority band (the program index for
+// batch runs, 0 for session submissions, where admission order alone
+// decides age). Caller holds the mutex.
+func (e *engine) beginAttemptLocked(t *etxn, prio int64) {
+	t.seq = 0
+	t.steps = nil
+	t.finished = false
+	t.lastCut = 0
+	t.deps = make(map[model.TxnID]bool)
+	if t.began.IsZero() {
+		t.began = time.Now()
+	}
+	if t.prio == 0 {
+		e.prioCounter++
+		t.prio = prio*1024 + e.prioCounter
+	} else if e.caps.NewPriority != nil {
+		// Timestamp ordering needs a fresh, larger timestamp on restart.
+		e.prioCounter++
+		t.prio = e.caps.NewPriority(t.id, t.prio, 1_000_000_000+e.prioCounter)
+	}
+	e.control.Begin(t.id, t.prio)
+}
+
 // attempt runs one attempt of the transaction; it returns aborted=true when
-// the attempt was rolled back (by itself or a cascade), and errStopped when
-// the run was abandoned. Non-errStopped errors (an injected crash, a store
-// failure) abandon the whole run.
-func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.ProgState) (bool, error) {
+// the attempt was rolled back (by itself, a cascade, or its deadline), and
+// errStopped when the run was abandoned. Non-errStopped errors (an injected
+// crash, a store failure) abandon the whole run.
+//
+// deadline and quit carry a resident submission's bounds (zero/nil for
+// batch runs): when the deadline passes or quit (the client context's Done
+// channel) closes, the attempt is rolled back at the next unit boundary —
+// never mid-unit while runnable, so granted steps always run to the next
+// breakpoint — or immediately when blocked on a Wait decision, where the
+// whole attempt rolls back and nothing partial survives either way.
+func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.ProgState, deadline time.Time, quit <-chan struct{}) (bool, error) {
 	performed := 0 // this attempt's step count (local mirror of t.seq)
 	retries := 0   // in-place retries of the current step after transient faults
 	for {
@@ -476,6 +542,28 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			return false, errStopped
 		}
 		x, more := cur.Next()
+		// Deadline/cancel check, at step granularity but acted on only at a
+		// unit boundary (nothing performed yet, or the previous step was
+		// followed by a breakpoint): a runnable transaction is never cut
+		// down mid-unit — it finishes the unit it started, then aborts at
+		// the breakpoint, which is exactly where MLA lets the schedule
+		// change its mind about a transaction cheaply.
+		if more {
+			if reason := expired(deadline, quit); reason != killNone {
+				e.mu.Lock()
+				t := e.txns[id]
+				if t == nil || t.attempt != attempt {
+					e.mu.Unlock()
+					return true, nil // rolled back meanwhile
+				}
+				if performed == 0 || t.lastCut > 0 {
+					e.killLocked(t, reason)
+					e.mu.Unlock()
+					return true, nil
+				}
+				e.mu.Unlock()
+			}
+		}
 		// Transient fault injection: the step request fails before it
 		// reaches the control or the store (a lost message, a timed-out
 		// I/O). The engine retries in place with capped exponential
@@ -583,6 +671,7 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			if _, m := next.Next(); m && e.spec != nil {
 				cut = e.spec.CutAfter(id, t.steps)
 			}
+			t.lastCut = cut
 			e.control.Performed(id, t.seq, x, cut)
 			if e.obs != nil {
 				e.obs.StepPerformed(id, t.seq, x, attempt, cut)
@@ -607,16 +696,45 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			}
 			e.mu.Unlock()
 			t0 := time.Now()
+			// A resident submission's deadline (or client cancellation) must
+			// be able to interrupt the wait: a blocked transaction's current
+			// unit is incomplete either way, so the whole attempt rolls back
+			// and nothing partial is exposed — the one place a deadline may
+			// fire "mid-unit".
+			var tm *time.Timer
+			var timerC <-chan time.Time
+			if !deadline.IsZero() {
+				tm = time.NewTimer(time.Until(deadline))
+				timerC = tm.C
+			}
+			reason := killNone
 			select {
 			case <-ch:
 			case <-e.stop:
+				if tm != nil {
+					tm.Stop()
+				}
 				return false, errStopped
+			case <-timerC:
+				reason = killDeadline
+			case <-quit:
+				reason = killCanceled
+			}
+			if tm != nil {
+				tm.Stop()
 			}
 			waited := time.Since(t0)
 			e.mu.Lock()
 			t.waited += waited
 			if e.obs != nil {
 				e.obs.WaitEnd(id, x, waited)
+			}
+			if reason != killNone {
+				if t.attempt == attempt {
+					e.killLocked(t, reason)
+				}
+				e.mu.Unlock()
+				return true, nil
 			}
 			e.mu.Unlock()
 		case sched.Abort:
@@ -629,6 +747,40 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			}
 		}
 	}
+}
+
+// expired reports why a submission should stop: killCanceled when quit (the
+// client context's Done channel) is closed, killDeadline when the deadline
+// has passed, killNone otherwise. Batch runs pass zero values and take the
+// two cheap branches — no clock read.
+func expired(deadline time.Time, quit <-chan struct{}) int8 {
+	if quit != nil {
+		select {
+		case <-quit:
+			return killCanceled
+		default:
+		}
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return killDeadline
+	}
+	return killNone
+}
+
+// killLocked rolls back t's current attempt because its deadline expired or
+// its client walked away: the cause is recorded on the transaction (so the
+// session run loop stops restarting it), counted distinctly in the result
+// and — via the DeadlineAborter capability — in the control's stats, and
+// then the rollback flows through the normal dependency-closed abort path.
+// Caller holds the mutex and has verified the attempt is current.
+func (e *engine) killLocked(t *etxn, reason int8) {
+	t.killed = reason
+	e.stats.DeadlineAborts++
+	if e.caps.DeadlineAborted != nil {
+		e.caps.DeadlineAborted(t.id)
+	}
+	e.abortLocked([]model.TxnID{t.id})
+	e.bump()
 }
 
 // abortLocked rolls back the victims plus their value dependents. Caller
@@ -697,7 +849,10 @@ func (e *engine) rebuildAuthorsLocked() {
 	e.author = make(map[model.EntityID]model.TxnID)
 	for _, te := range e.trace {
 		t := e.txns[te.id]
-		if te.attempt != t.attempt || t.commit {
+		// A nil t is a retired resident transaction whose trace entries
+		// haven't been compacted away yet: committed or fully rolled back
+		// either way, so never a live author.
+		if t == nil || te.attempt != t.attempt || t.commit {
 			continue
 		}
 		if te.step.After != te.step.Before {
@@ -760,7 +915,17 @@ func (e *engine) tryCommitLocked() {
 			e.txns[id].committing = true
 		}
 		ack := e.async.SubmitGroup(ids)
-		e.finCh <- asyncFin{ack: ack, ids: ids} // buffered; never blocks
+		if e.finCh != nil {
+			e.finCh <- asyncFin{ack: ack, ids: ids} // buffered; never blocks
+		} else {
+			// Resident path: no program count to bound a channel by, so
+			// queue under the mutex and nudge the finalizer.
+			e.finPending = append(e.finPending, asyncFin{ack: ack, ids: ids})
+			select {
+			case e.finWake <- struct{}{}:
+			default: // already signalled; the finalizer re-checks the queue
+			}
+		}
 		return
 	}
 	// One store call for the whole group: members may have observed each
@@ -797,15 +962,30 @@ func (e *engine) finalizer() {
 // samples, retirement hooks, observer, and the author/deps cleanup that
 // releases the members' dependents. Caller holds the mutex.
 func (e *engine) finalizeGroupLocked(ids []model.TxnID) {
-	e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
+	if !e.resident {
+		// Per-commit sample slices grow with the run: fine for a batch, a
+		// leak for a resident session, where each submission carries its
+		// latency home in its Outcome instead.
+		e.stats.CommitGroups = append(e.stats.CommitGroups, len(ids))
+	}
 	now := time.Now()
 	for _, id := range ids {
 		t := e.txns[id]
+		if t == nil {
+			// Resident stop-path race: the submission was abandoned (Close
+			// without Drain) and retired its record while the ack was in
+			// flight. The commit is durable regardless; there is just no
+			// record left to flip.
+			e.stats.Committed++
+			continue
+		}
 		t.committing = false
 		t.commit = true
 		e.stats.Committed++
-		e.stats.Latencies = append(e.stats.Latencies, now.Sub(t.began))
-		e.stats.WaitTimes = append(e.stats.WaitTimes, t.waited)
+		if !e.resident {
+			e.stats.Latencies = append(e.stats.Latencies, now.Sub(t.began))
+			e.stats.WaitTimes = append(e.stats.WaitTimes, t.waited)
+		}
 		if e.caps.Retired != nil {
 			e.caps.Retired(id)
 		}
@@ -814,7 +994,7 @@ func (e *engine) finalizeGroupLocked(ids []model.TxnID) {
 		e.obs.CommitGroup(ids)
 	}
 	for x, a := range e.author {
-		if e.txns[a].commit {
+		if t := e.txns[a]; t == nil || t.commit {
 			delete(e.author, x)
 		}
 	}
@@ -833,9 +1013,67 @@ func (e *engine) survivors() model.Execution {
 	out := make(model.Execution, 0, len(e.trace))
 	for _, te := range e.trace {
 		t := e.txns[te.id]
-		if t.commit && te.attempt == t.attempt {
+		if t != nil && t.commit && te.attempt == t.attempt {
 			out = append(out, te.step)
 		}
 	}
 	return out
+}
+
+// compactTraceLocked drops trace entries that can no longer matter to
+// rebuildAuthorsLocked — entries of retired, committed, parked, or
+// superseded attempts — once the trace reaches the current threshold, then
+// doubles the threshold from the surviving length. Resident engines only;
+// a batch run keeps its whole trace because survivors() is its Result.Exec.
+// Caller holds the mutex.
+func (e *engine) compactTraceLocked() {
+	if !e.resident || len(e.trace) < e.traceCap {
+		return
+	}
+	kept := e.trace[:0]
+	for _, te := range e.trace {
+		t := e.txns[te.id]
+		if t != nil && !t.commit && !t.gaveUp && te.attempt == t.attempt {
+			kept = append(kept, te)
+		}
+	}
+	clear(e.trace[len(kept):]) // release retired steps for GC
+	e.trace = kept
+	e.traceCap = 2 * len(kept)
+	if e.traceCap < 1024 {
+		e.traceCap = 1024
+	}
+}
+
+// residentFinalizer is the resident engines' commit finalizer: it drains
+// finPending in submission order, waiting on each group's durability ack
+// before finalizing it, and parks on finWake when the queue is empty. It
+// exits when the session stops.
+func (e *engine) residentFinalizer() {
+	defer e.committers.Done()
+	for {
+		e.mu.Lock()
+		pending := e.finPending
+		e.finPending = nil
+		e.mu.Unlock()
+		for _, f := range pending {
+			select {
+			case <-f.ack:
+			case <-e.stop:
+				return // session abandoned; the ack is discarded
+			}
+			e.mu.Lock()
+			e.finalizeGroupLocked(f.ids)
+			e.bump()
+			e.mu.Unlock()
+		}
+		if len(pending) > 0 {
+			continue // more may have queued while we waited on acks
+		}
+		select {
+		case <-e.finWake:
+		case <-e.stop:
+			return
+		}
+	}
 }

@@ -1,0 +1,510 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mla/internal/breakpoint"
+	"mla/internal/model"
+	"mla/internal/sched"
+)
+
+// Session is the engine's open-submission mode: one resident engine whose
+// transactions arrive over time from many goroutines instead of as a fixed
+// batch. It is what a long-lived service front-end (internal/serve) runs on.
+//
+// Differences from Run/RunOnStore:
+//
+//   - Submit admits one transaction into the already-running scheduler and
+//     blocks the calling goroutine until the transaction durably commits,
+//     exhausts its restart budget, hits its deadline, or its client walks
+//     away. There is no whole-run timeout; bounds are per submission.
+//   - Per-submission deadlines abort at breakpoints: a runnable transaction
+//     finishes the unit it started before its rollback, a blocked one rolls
+//     back in place (nothing partial survives a full rollback either way).
+//     Deadline rollbacks are counted distinctly (Result.DeadlineAborts,
+//     sched.Stats.Deadlines) from the control's own conflict aborts.
+//   - Book-keeping that grows per transaction in a batch run — the step
+//     trace, commit-latency samples, the transaction table — is bounded:
+//     retired transactions are deleted, the trace is compacted amortized,
+//     and per-commit samples are returned in each Outcome instead of
+//     accumulated.
+//
+// Lifecycle: NewSession → Submit (any number, concurrently) → Drain (stop
+// admitting, wait for in-flight submissions to resolve) → Close (stop the
+// engine, join its goroutines, fire Observer.RunEnded). Close without Drain
+// abandons in-flight submissions: they return ErrSessionClosed promptly and
+// no goroutine leaks, but their transactions' outcomes are unreported (a
+// transaction whose commit group was already submitted may still be durable
+// — the engine never un-commits).
+//
+// A store failure or injected crash fails the whole session: the first
+// error is recorded, every blocked submission returns ErrSessionClosed
+// wrapping it, and new submissions are rejected. Commits acknowledged
+// before the failure remain durable.
+type Session struct {
+	cfg Config
+	e   *engine
+
+	stopOnce sync.Once
+	endOnce  sync.Once
+
+	mu         sync.Mutex
+	state      int
+	inflight   int
+	idle       chan struct{} // closed when draining/closed and inflight hits 0
+	idleClosed bool
+	cause      error // first fatal engine error; session fails closed
+}
+
+const (
+	sessAccepting = iota
+	sessDraining
+	sessClosed
+)
+
+// ErrDraining rejects a Submit that arrives after Drain began: the session
+// still resolves in-flight submissions but admits no new work.
+var ErrDraining = errors.New("engine: session draining")
+
+// ErrSessionClosed rejects Submits on (and unblocks submissions abandoned
+// by) a closed session. When the session closed because the engine failed,
+// the returned error wraps the cause.
+var ErrSessionClosed = errors.New("engine: session closed")
+
+// SubmitOpts bounds one submission.
+type SubmitOpts struct {
+	// Deadline, when non-zero, is the instant after which the transaction
+	// is rolled back at its next breakpoint and reported DeadlineExceeded.
+	// The Submit context's deadline, if earlier, takes precedence.
+	Deadline time.Time
+	// MaxRestarts overrides Config.MaxRestarts for this submission; 0 keeps
+	// the session default.
+	MaxRestarts int
+	// Prepare, when non-nil, runs under the engine mutex after admission
+	// checks and before the transaction first touches the control. It is
+	// where the caller registers per-transaction metadata that the
+	// breakpoint spec or an MLA control reads during the run (nest classes,
+	// cut tables) — those reads happen under the same mutex, so mutation
+	// here is race-free. It must not call back into the engine or block.
+	Prepare func()
+	// Cleanup, when non-nil, runs under the engine mutex when the
+	// submission's record is retired, symmetric with Prepare.
+	Cleanup func()
+}
+
+// Outcome reports how one submission resolved. Exactly one of Committed,
+// DeadlineExceeded, Canceled, or GaveUp is set when the error is nil.
+type Outcome struct {
+	// Committed means the transaction's commit group is durable on the
+	// session's store. It is the only outcome a server may acknowledge as
+	// success.
+	Committed bool
+	// DeadlineExceeded means the submission's deadline expired and the
+	// transaction was rolled back at a breakpoint (or refused a restart).
+	DeadlineExceeded bool
+	// Canceled means the submission's context was cancelled — the client
+	// walked away — and the transaction was rolled back. A transaction
+	// whose commit group was already submitted when the client left is
+	// seen through and reported Committed instead: durability is never
+	// abandoned mid-ack.
+	Canceled bool
+	// GaveUp means the restart budget was exhausted and the transaction
+	// was parked (fully rolled back, holding nothing).
+	GaveUp bool
+	// Restarts counts the rollbacks this submission survived before
+	// resolving.
+	Restarts int
+	// Latency is first-Begin-to-commit wall time (Committed outcomes).
+	Latency time.Duration
+	// Waited is total time blocked on Wait decisions across attempts.
+	Waited time.Duration
+}
+
+// SessionStats is a point-in-time snapshot of the session's counters, in
+// the codebase-wide Snapshot() sense: a value copy that never aliases live
+// state.
+type SessionStats struct {
+	Committed      int
+	Aborts         int
+	Cascades       int
+	Restarts       int
+	GaveUp         int
+	DeadlineAborts int
+	FaultsInjected int
+	Inflight       int
+	Uptime         time.Duration
+}
+
+// NewSession starts a resident engine over the given control, spec, and
+// store. Config.Timeout is ignored (bounds are per submission); the other
+// Config fields keep their Run semantics. The caller owns the store and the
+// control and must not share them with another run.
+func NewSession(cfg Config, control sched.Control, spec breakpoint.Spec, store Store) *Session {
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 100 * time.Microsecond
+	}
+	if cfg.MaxStepRetries == 0 {
+		cfg.MaxStepRetries = 6
+	}
+	e := &engine{
+		waitGen:  make(chan struct{}),
+		stop:     make(chan struct{}),
+		control:  control,
+		caps:     sched.CapabilitiesOf(control),
+		spec:     spec,
+		store:    store,
+		faults:   cfg.Faults,
+		obs:      cfg.Observer,
+		txns:     make(map[model.TxnID]*etxn),
+		author:   make(map[model.EntityID]model.TxnID),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		resident: true,
+		finWake:  make(chan struct{}, 1),
+		traceCap: 1024,
+	}
+	e.start = time.Now()
+	e.async, _ = store.(AsyncCommitter)
+	s := &Session{cfg: cfg, e: e, idle: make(chan struct{})}
+	if e.async != nil {
+		e.committers.Add(1)
+		go e.residentFinalizer()
+	}
+	return s
+}
+
+// Submit admits p into the running scheduler and blocks until it resolves;
+// see Outcome. Safe for concurrent use. Transaction IDs must be unique
+// among in-flight submissions (a duplicate is rejected), and should be
+// unique across the session's lifetime for controls that retain committed-
+// transaction state (sched.Preventer).
+//
+// The context bounds the submission two ways: its deadline merges with
+// opts.Deadline (earlier wins), and its cancellation withdraws the
+// transaction at the next breakpoint — unless the commit group was already
+// submitted for durability, in which case the commit is seen through and
+// reported, because the record may already be on the device.
+func (s *Session) Submit(ctx context.Context, p model.Program, opts SubmitOpts) (Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := s.e
+	id := p.ID()
+	deadline := opts.Deadline
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	quit := ctx.Done()
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = s.cfg.MaxRestarts
+	}
+
+	s.mu.Lock()
+	switch s.state {
+	case sessAccepting:
+	case sessDraining:
+		s.mu.Unlock()
+		return Outcome{}, ErrDraining
+	default:
+		err := s.causeLocked()
+		s.mu.Unlock()
+		return Outcome{}, err
+	}
+	s.inflight++
+	s.mu.Unlock()
+	defer s.endInflight()
+
+	e.mu.Lock()
+	if _, dup := e.txns[id]; dup {
+		e.mu.Unlock()
+		return Outcome{}, fmt.Errorf("engine: session: duplicate in-flight transaction %q", id)
+	}
+	if opts.Prepare != nil {
+		opts.Prepare()
+	}
+	t := &etxn{prog: p, id: id, deps: make(map[model.TxnID]bool)}
+	e.txns[id] = t
+	e.mu.Unlock()
+	defer s.retire(id, opts.Cleanup)
+
+	for {
+		if e.stopped() {
+			return Outcome{}, s.failure()
+		}
+		// Restart boundary: a spent deadline or a gone client means we
+		// refuse to begin another attempt. Nothing is live to abort — the
+		// previous attempt was fully rolled back — so this is a refusal,
+		// not a rollback, and is not counted in DeadlineAborts.
+		if reason := expired(deadline, quit); reason != killNone {
+			e.mu.Lock()
+			att := t.attempt
+			e.mu.Unlock()
+			return killedOutcome(reason, att), nil
+		}
+		e.mu.Lock()
+		if maxRestarts > 0 && t.attempt > maxRestarts {
+			// Park, exactly like the batch path (see runTxn): fully rolled
+			// back, holding nothing — including lock residue a concurrent
+			// control's racing Request may have granted the dead attempt.
+			t.gaveUp = true
+			if e.caps.ReleaseAll != nil {
+				e.caps.ReleaseAll(id)
+			}
+			e.stats.GaveUp++
+			if e.obs != nil {
+				e.obs.TxnGaveUp(id, t.attempt)
+			}
+			e.bump()
+			restarts := t.attempt
+			e.mu.Unlock()
+			return Outcome{GaveUp: true, Restarts: restarts}, nil
+		}
+		attempt := t.attempt
+		e.beginAttemptLocked(t, 0)
+		cur := p.Init()
+		e.mu.Unlock()
+
+		aborted, err := e.attempt(s.cfg, id, attempt, cur, deadline, quit)
+		if err != nil {
+			if errors.Is(err, errStopped) {
+				return Outcome{}, s.failure()
+			}
+			// A store failure or injected crash kills the engine, not just
+			// this submission: poison the session so every other submission
+			// unblocks with the cause.
+			s.fail(err)
+			return Outcome{}, fmt.Errorf("%w: %w", ErrSessionClosed, err)
+		}
+		if !aborted {
+			out, resolved, rerr := s.awaitCommit(t, attempt, deadline, quit)
+			if resolved || rerr != nil {
+				return out, rerr
+			}
+			// Cascaded abort after finishing: fall through to restart.
+		}
+		e.mu.Lock()
+		killed := t.killed
+		att := t.attempt
+		e.mu.Unlock()
+		if killed != killNone {
+			return killedOutcome(killed, attempt), nil
+		}
+		if !e.sleep(e.jitter(s.cfg.BackoffBase, att)) {
+			return Outcome{}, s.failure()
+		}
+	}
+}
+
+// awaitCommit blocks until t's commit group is durable (resolved, with the
+// committed Outcome), the attempt is rolled back by a cascade (not resolved
+// — the caller restarts), the deadline/client gives up on a group that has
+// not been submitted yet (resolved, killed), or the session stops.
+func (s *Session) awaitCommit(t *etxn, attempt int, deadline time.Time, quit <-chan struct{}) (Outcome, bool, error) {
+	e := s.e
+	for {
+		e.mu.Lock()
+		if t.commit {
+			out := Outcome{
+				Committed: true,
+				Restarts:  attempt,
+				Latency:   time.Since(t.began),
+				Waited:    t.waited,
+			}
+			e.mu.Unlock()
+			return out, true, nil
+		}
+		if t.attempt != attempt {
+			e.mu.Unlock()
+			return Outcome{}, false, nil
+		}
+		ch := e.waitGen
+		committing := t.committing
+		e.mu.Unlock()
+		if committing {
+			// Durable-bound: the group was submitted and its record may
+			// already be on the device, so the client's deadline no longer
+			// applies — see the ack through and report the truth.
+			deadline, quit = time.Time{}, nil
+		}
+		var tm *time.Timer
+		var timerC <-chan time.Time
+		if !deadline.IsZero() {
+			tm = time.NewTimer(time.Until(deadline))
+			timerC = tm.C
+		}
+		reason := killNone
+		select {
+		case <-ch:
+		case <-e.stop:
+			if tm != nil {
+				tm.Stop()
+			}
+			return Outcome{}, false, s.failure()
+		case <-timerC:
+			reason = killDeadline
+		case <-quit:
+			reason = killCanceled
+		}
+		if tm != nil {
+			tm.Stop()
+		}
+		if reason == killNone {
+			continue
+		}
+		e.mu.Lock()
+		if t.attempt == attempt && !t.commit && !t.committing {
+			// Finished but its group never formed (a dependency is still
+			// running) and the submission's bounds ran out: withdraw.
+			e.killLocked(t, reason)
+			e.mu.Unlock()
+			return killedOutcome(reason, attempt), true, nil
+		}
+		e.mu.Unlock()
+		// Committing, committed, or already rolled back meanwhile: stop
+		// watching the client and resolve on the engine's terms.
+		deadline, quit = time.Time{}, nil
+	}
+}
+
+func killedOutcome(reason int8, restarts int) Outcome {
+	return Outcome{
+		DeadlineExceeded: reason == killDeadline,
+		Canceled:         reason == killCanceled,
+		Restarts:         restarts,
+	}
+}
+
+// retire deletes the submission's transaction record (bounding the table)
+// and runs the caller's Cleanup hook under the engine mutex. It also
+// discards any lock residue unconditionally: on the clean outcomes the
+// control already released everything (Finished/Aborted), so this is a
+// no-op, but a submission abandoned mid-attempt by Close — or a racing
+// concurrent-control grant to the dead attempt — must not leave a lock
+// behind for a session that keeps running other tenants.
+func (s *Session) retire(id model.TxnID, cleanup func()) {
+	e := s.e
+	e.mu.Lock()
+	if e.caps.ReleaseAll != nil {
+		e.caps.ReleaseAll(id)
+	}
+	delete(e.txns, id)
+	if cleanup != nil {
+		cleanup()
+	}
+	e.compactTraceLocked()
+	e.mu.Unlock()
+}
+
+func (s *Session) endInflight() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.state != sessAccepting && !s.idleClosed {
+		close(s.idle)
+		s.idleClosed = true
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) causeLocked() error {
+	if s.cause != nil {
+		return fmt.Errorf("%w: %w", ErrSessionClosed, s.cause)
+	}
+	return ErrSessionClosed
+}
+
+// failure returns the error in-flight submissions resolve with once the
+// session stopped.
+func (s *Session) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.causeLocked()
+}
+
+// fail poisons the session with the first fatal engine error and stops it.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.cause == nil {
+		s.cause = err
+	}
+	s.state = sessClosed
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.e.stop) })
+}
+
+// Drain stops admitting (new Submits return ErrDraining) and waits for
+// in-flight submissions to resolve naturally — commit, give up, or hit
+// their own deadlines; drain imposes no new ones. It returns nil once the
+// session is idle, the context error if the caller's patience runs out
+// first (the session stays draining; Close still works), or the session's
+// failure cause if the engine died. Safe to call more than once.
+func (s *Session) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.state == sessAccepting {
+		s.state = sessDraining
+	}
+	if s.inflight == 0 && !s.idleClosed {
+		close(s.idle)
+		s.idleClosed = true
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-s.e.stop:
+		return s.failure()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the engine (abandoning any submissions still in flight —
+// Drain first for a clean shutdown), joins every goroutine the session
+// started, and fires Observer.RunEnded exactly once. It returns the
+// session's failure cause, if any. Safe to call more than once.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	s.state = sessClosed
+	cause := s.cause
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.e.stop) })
+	s.e.committers.Wait()
+	s.endOnce.Do(func() {
+		e := s.e
+		e.mu.Lock()
+		if e.obs != nil {
+			e.obs.RunEnded(e.stats.Committed, e.stats.GaveUp, time.Since(e.start))
+		}
+		e.mu.Unlock()
+	})
+	return cause
+}
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() SessionStats {
+	e := s.e
+	e.mu.Lock()
+	st := SessionStats{
+		Committed:      e.stats.Committed,
+		Aborts:         e.stats.Aborts,
+		Cascades:       e.stats.Cascades,
+		Restarts:       e.stats.Restarts,
+		GaveUp:         e.stats.GaveUp,
+		DeadlineAborts: e.stats.DeadlineAborts,
+		FaultsInjected: e.stats.FaultsInjected,
+		Uptime:         time.Since(e.start),
+	}
+	e.mu.Unlock()
+	s.mu.Lock()
+	st.Inflight = s.inflight
+	s.mu.Unlock()
+	return st
+}

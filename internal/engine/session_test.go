@@ -1,0 +1,477 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mla/internal/breakpoint"
+	"mla/internal/fault"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/wal"
+)
+
+// waitGoroutines retries until the goroutine count returns to the baseline
+// or the deadline passes — shared leak check for every session lifecycle
+// test (workers, finalizers, and timer goroutines must all be joined or
+// retired by Close).
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSessionConcurrentCommits is the open-submission smoke test: many
+// goroutines submit contended transactions into one resident engine, all of
+// them commit, the final state is exact, and the session winds down without
+// lock residue or goroutine leaks.
+func TestSessionConcurrentCommits(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ents := []model.EntityID{"a", "b", "c", "d"}
+	init := map[model.EntityID]model.Value{}
+	for _, x := range ents {
+		init[x] = 100
+	}
+	stp := sched.NewShardedTwoPhase(8)
+	s := NewSession(Config{Seed: 11}, stp, breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(init))
+
+	const subs = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each transaction moves 1 between two entities — contention on
+			// four entities from 48 goroutines forces real waits and wounds.
+			from, to := ents[i%len(ents)], ents[(i+1)%len(ents)]
+			p := &model.Scripted{
+				Txn: model.TxnID(fmt.Sprintf("t%02d", i)),
+				Ops: []model.Op{model.Add(from, -1), model.Add(to, 1)},
+			}
+			out, err := s.Submit(context.Background(), p, SubmitOpts{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !out.Committed {
+				errs <- fmt.Errorf("t%02d resolved without committing: %+v", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if st.Committed != subs {
+		t.Errorf("session committed %d/%d", st.Committed, subs)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight %d after all submissions returned", st.Inflight)
+	}
+	var sum model.Value
+	for _, v := range s.e.store.Values() {
+		sum += v
+	}
+	if want := model.Value(100 * len(ents)); sum != want {
+		t.Errorf("transfers did not conserve: sum %d, want %d", sum, want)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("drain of an idle session: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if locked := stp.LockSnapshot().Locked; locked != 0 {
+		t.Errorf("%d locks leaked after close", locked)
+	}
+	waitGoroutines(t, before)
+}
+
+// waitControl always answers Wait — the deterministic way to park a
+// submission so its deadline or cancellation must fire. It implements the
+// DeadlineAborter capability so the test can assert the engine routes
+// deadline kills into the control's distinct counter.
+type waitControl struct{ stats sched.Stats }
+
+func (*waitControl) Name() string             { return "wait" }
+func (*waitControl) Begin(model.TxnID, int64) {}
+func (w *waitControl) Request(model.TxnID, int, model.EntityID) sched.Decision {
+	w.stats.Requests++
+	w.stats.Waits++
+	return sched.Decision{Kind: sched.Wait}
+}
+func (*waitControl) Performed(model.TxnID, int, model.EntityID, int) {}
+func (*waitControl) Finished(model.TxnID)                            {}
+func (w *waitControl) Aborted(v []model.TxnID)                       { w.stats.Aborts += len(v) }
+func (w *waitControl) DeadlineAborted(model.TxnID)                   { w.stats.Deadlines++ }
+func (w *waitControl) Stats() *sched.Stats                           { return &w.stats }
+
+// TestSessionDeadline: a submission blocked forever by the control must be
+// withdrawn at its deadline, reported DeadlineExceeded, and counted
+// distinctly from conflict aborts in both the engine's and the control's
+// stats.
+func TestSessionDeadline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	wc := &waitControl{}
+	s := NewSession(Config{}, wc, breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil))
+	p := &model.Scripted{Txn: "d", Ops: []model.Op{model.Add("x", 1)}}
+	start := time.Now()
+	out, err := s.Submit(context.Background(), p, SubmitOpts{Deadline: time.Now().Add(40 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.DeadlineExceeded || out.Committed || out.Canceled || out.GaveUp {
+		t.Fatalf("want DeadlineExceeded, got %+v", out)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("deadline took %v to fire", e)
+	}
+	if st := s.Stats(); st.DeadlineAborts != 1 {
+		t.Errorf("engine DeadlineAborts = %d, want 1", st.DeadlineAborts)
+	}
+	if wc.stats.Deadlines != 1 {
+		t.Errorf("control Deadlines = %d, want 1 (DeadlineAborter not wired?)", wc.stats.Deadlines)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestSessionCancel: cancelling the Submit context withdraws a blocked
+// transaction promptly and reports Canceled, not an error — the client
+// walked away, the engine is fine.
+func TestSessionCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewSession(Config{}, &waitControl{}, breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	p := &model.Scripted{Txn: "c", Ops: []model.Op{model.Add("x", 1)}}
+	out, err := s.Submit(ctx, p, SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Canceled {
+		t.Fatalf("want Canceled, got %+v", out)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestSessionGiveUp: a submission that exhausts its restart budget is parked
+// and reported GaveUp, holding nothing.
+func TestSessionGiveUp(t *testing.T) {
+	// StepErrorRate 1.0 makes every step attempt fail, so each attempt
+	// burns its in-place retries and restarts until the budget runs out.
+	inj := fault.New(fault.Plan{Seed: 3, StepErrorRate: 1.0})
+	s := NewSession(
+		Config{Faults: inj, BackoffBase: time.Microsecond, MaxStepRetries: 1},
+		sched.NewNone(), breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil),
+	)
+	p := &model.Scripted{Txn: "g", Ops: []model.Op{model.Add("x", 1)}}
+	out, err := s.Submit(context.Background(), p, SubmitOpts{MaxRestarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.GaveUp {
+		t.Fatalf("want GaveUp, got %+v", out)
+	}
+	if out.Restarts < 3 {
+		t.Errorf("restarts = %d, want >= 3", out.Restarts)
+	}
+	if st := s.Stats(); st.GaveUp != 1 || st.FaultsInjected == 0 {
+		t.Errorf("stats %+v: want GaveUp 1 and faults injected", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestSessionDrainRejects: Drain flips the session to draining — new
+// submissions are refused with ErrDraining while in-flight ones resolve —
+// and returns once idle.
+func TestSessionDrainRejects(t *testing.T) {
+	s := NewSession(Config{}, sched.NewNone(), breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil))
+	p := &model.Scripted{Txn: "a", Ops: []model.Op{model.Add("x", 1)}}
+	if out, err := s.Submit(context.Background(), p, SubmitOpts{}); err != nil || !out.Committed {
+		t.Fatalf("pre-drain submit: %+v, %v", out, err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	q := &model.Scripted{Txn: "b", Ops: []model.Op{model.Add("x", 1)}}
+	if _, err := s.Submit(context.Background(), q, SubmitOpts{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit error = %v, want ErrDraining", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	// Submits on the closed session report closed, not draining.
+	if _, err := s.Submit(context.Background(), q, SubmitOpts{}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("post-close submit error = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionDuplicateID: two in-flight submissions may not share a
+// transaction ID, and the rejection must not disturb the first submission's
+// record (the rejected path owns nothing to retire).
+func TestSessionDuplicateID(t *testing.T) {
+	s := NewSession(Config{}, &waitControl{}, breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Outcome, 1)
+	go func() {
+		out, _ := s.Submit(ctx, &model.Scripted{Txn: "dup", Ops: []model.Op{model.Add("x", 1)}}, SubmitOpts{})
+		done <- out
+	}()
+	// Wait until the first submission's record exists.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.e.mu.Lock()
+		_, ok := s.e.txns["dup"]
+		s.e.mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first submission never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := s.Submit(context.Background(), &model.Scripted{Txn: "dup", Ops: []model.Op{model.Add("x", 1)}}, SubmitOpts{})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate submit error = %v", err)
+	}
+	cancel()
+	if out := <-done; !out.Canceled {
+		t.Fatalf("first submission should cancel cleanly, got %+v", out)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestSessionPrepareCleanup: the per-submission hooks run under the engine
+// mutex, Prepare before the transaction's first control interaction and
+// Cleanup exactly once at retirement — on success and on rollback paths
+// alike.
+func TestSessionPrepareCleanup(t *testing.T) {
+	s := NewSession(Config{}, sched.NewNone(), breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil))
+	var mu sync.Mutex
+	meta := make(map[model.TxnID]int)
+	submit := func(id model.TxnID, deadline time.Time) {
+		t.Helper()
+		_, err := s.Submit(context.Background(), &model.Scripted{Txn: id, Ops: []model.Op{model.Add("x", 1)}}, SubmitOpts{
+			Deadline: deadline,
+			Prepare:  func() { mu.Lock(); meta[id]++; mu.Unlock() },
+			Cleanup:  func() { mu.Lock(); meta[id] += 10; mu.Unlock() },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	submit("ok", time.Time{})
+	// An already-expired deadline resolves before the first attempt, but
+	// Prepare/Cleanup still bracket the admission.
+	submit("late", time.Now().Add(-time.Second))
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range meta {
+		if n != 11 {
+			t.Errorf("%s: prepare+cleanup count = %d, want 11 (one each)", id, n)
+		}
+	}
+}
+
+// TestSessionCrashRace is the robustness test the service front-end rests
+// on: N goroutines submit through the session while an injected crash kills
+// the store mid-run. Every submission must return (committed, or failed with
+// the session's cause — never hang), every outcome acknowledged Committed
+// must be durable on the recovered medium, and the wreck must leave no lock
+// residue and no goroutines behind.
+func TestSessionCrashRace(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ents := []model.EntityID{"a", "b", "c", "d", "e", "f"}
+	init := map[model.EntityID]model.Value{}
+	for _, x := range ents {
+		init[x] = 1000
+	}
+	db, err := wal.Open(wal.NewMedium(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash at the 150th durable append: mid-run with 96 transactions of
+	// ~4 appends each, so a healthy prefix commits and a healthy suffix
+	// slams into the dead store from many goroutines at once.
+	ws := NewWALStore(db, fault.New(fault.Plan{Seed: 9, CrashAppends: []int64{150}}))
+	stp := sched.NewShardedTwoPhase(8)
+	s := NewSession(Config{Seed: 5, MaxRestarts: 64}, stp, breakpoint.Uniform{Levels: 2, C: 2}, ws)
+
+	const workers, perWorker = 24, 4
+	var (
+		mu     sync.Mutex
+		acked  []model.TxnID
+		failed int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := model.TxnID(fmt.Sprintf("w%02d-%d", w, i))
+				from, to := ents[(w+i)%len(ents)], ents[(w+i+1)%len(ents)]
+				p := &model.Scripted{Txn: id, Ops: []model.Op{
+					model.Add(from, -1), model.Add(to, 1), model.Add(ents[w%len(ents)], 0),
+				}}
+				out, err := s.Submit(context.Background(), p, SubmitOpts{})
+				mu.Lock()
+				switch {
+				case err != nil:
+					if !errors.Is(err, ErrSessionClosed) {
+						t.Errorf("%s: unexpected error %v", id, err)
+					}
+					failed++
+				case out.Committed:
+					acked = append(acked, id)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The session must have failed closed with the injected crash as cause.
+	if err := s.Close(); !errors.Is(err, fault.ErrCrash) {
+		t.Errorf("session cause = %v, want fault.ErrCrash", err)
+	}
+	if _, err := s.Submit(context.Background(), &model.Scripted{Txn: "post"}, SubmitOpts{}); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("post-crash submit error = %v, want ErrSessionClosed", err)
+	}
+	if len(acked) == 0 {
+		t.Error("crash point fired before any commit was acknowledged — test lost its teeth")
+	}
+	if failed == 0 {
+		t.Error("no submission observed the crash — test lost its teeth")
+	}
+
+	// The durability contract: recovery of the crashed medium succeeds and
+	// every acknowledged commit survives it. (No torn tail in this plan:
+	// WALStore acknowledges only records that reached the medium.)
+	rdb, err := wal.Open(db.Crash(), init)
+	if err != nil {
+		t.Fatalf("recovery after crash: %v", err)
+	}
+	for _, id := range acked {
+		if !rdb.Committed(id) {
+			t.Errorf("acknowledged commit %s lost by the crash", id)
+		}
+	}
+	if locked := stp.LockSnapshot().Locked; locked != 0 {
+		t.Errorf("%d locks leaked through the crash", locked)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestSessionPipelinedDurability runs the session over the group-commit
+// pipeline — the resident finalizer path — and checks every acknowledged
+// commit is durable once the pipeline is flushed and closed.
+func TestSessionPipelinedDurability(t *testing.T) {
+	before := runtime.NumGoroutine()
+	init := map[model.EntityID]model.Value{"x": 0, "y": 0}
+	db, err := wal.Open(wal.NewMedium(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := wal.NewPipeline(db, 200*time.Microsecond)
+	stp := sched.NewShardedTwoPhase(4)
+	s := NewSession(Config{Seed: 2}, stp, breakpoint.Uniform{Levels: 2, C: 2}, NewPipelinedWALStore(pipe))
+
+	const subs = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := model.EntityID("x")
+			if i%2 == 1 {
+				x = "y"
+			}
+			p := &model.Scripted{Txn: model.TxnID(fmt.Sprintf("p%02d", i)), Ops: []model.Op{model.Add(x, 1)}}
+			out, err := s.Submit(context.Background(), p, SubmitOpts{})
+			if err != nil {
+				errs <- err
+			} else if !out.Committed {
+				errs <- fmt.Errorf("p%02d: %+v", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	pipe.Close()
+	for i := 0; i < subs; i++ {
+		id := model.TxnID(fmt.Sprintf("p%02d", i))
+		if !db.Committed(id) {
+			t.Errorf("%s acknowledged but not durable", id)
+		}
+	}
+	if vals := db.Values(); vals["x"]+vals["y"] != subs {
+		t.Errorf("recovered sum %d, want %d", vals["x"]+vals["y"], subs)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestSessionCloseAbandonsInflight: Close without Drain must unblock a
+// parked submission with ErrSessionClosed promptly — the abandoned client
+// never hangs — and still leak nothing.
+func TestSessionCloseAbandonsInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewSession(Config{}, &waitControl{}, breakpoint.Uniform{Levels: 2, C: 2}, NewVolatileStore(nil))
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), &model.Scripted{Txn: "z", Ops: []model.Op{model.Add("x", 1)}}, SubmitOpts{})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it park on the wait generation
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrSessionClosed) {
+			t.Errorf("abandoned submission error = %v, want ErrSessionClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned submission never returned")
+	}
+	waitGoroutines(t, before)
+}

@@ -77,11 +77,14 @@ type Report struct {
 	Witness *Witness
 }
 
-// edge is a provenance-carrying arc of the generator graph G. The checker
-// maintains the invariant R = TC(G): every pair of the coherent closure is
-// witnessed by a directed G-path, so R is cyclic exactly when G has a
-// directed cycle — which is what lets a *minimal* witness be recovered by
-// shortest-cycle search over G instead of from the closure's bitsets.
+// edge is a provenance-carrying arc of the generator graph G. Base edges
+// (program, conflict) are materialized; coherence-derived edges are NOT —
+// a live service run yields histories where the rule would materialize
+// O(txns·steps) edges (at level 1 a whole transaction is one unit, so
+// every cross-family reachable pair derives an edge), which is gigabytes
+// at a few thousand transactions. Derived edges are instead kept implicit
+// in the closure bitsets and re-enumerated lazily by forEachSucc when a
+// witness cycle must be produced.
 type edge struct {
 	from, to int
 	kind     string
@@ -100,17 +103,29 @@ type checker struct {
 	descs   map[model.TxnID]*breakpoint.Description
 	txns    []model.TxnID
 	txnIdx  map[model.TxnID]int
-	txnOf   []int   // global step -> txn index
-	seqOf   []int   // global step -> 1-based seq
-	stepsOf [][]int // txn index -> global steps in seq order
-	level   [][]int // txn pair -> level
+	txnOf   []int     // global step -> txn index
+	seqOf   []int     // global step -> 1-based seq
+	stepsOf [][]int   // txn index -> global steps in seq order
+	level   [][]uint8 // txn pair -> level (k is tiny; uint8 keeps T² bearable)
+	maxLv   int
 
 	edges   []edge
 	out     [][]int // adjacency: global step -> indices into edges
 	edgeSet map[[2]int]bool
 
-	reach, pred []bitset
-	cyclic      bool
+	// unitLast[lv][g] is the global index of the last step of g's B(lv)
+	// unit — the one step that carries all of the unit's derived edges.
+	unitLast [][]int32
+	// masks[ti][lv] is the lazily-built set of steps b of other
+	// transactions u with level(txns[ti], u) == lv.
+	masks  [][]bitset
+	reach  []bitset
+	cyclic bool
+
+	// Scratch state for ruleInto's per-transaction absorption dedup.
+	tmp      bitset
+	txnStamp []int
+	stampGen int
 }
 
 // Check replays the history and decides multilevel atomicity of the
@@ -156,12 +171,16 @@ func (c *checker) index() {
 		c.stepsOf[ti] = append(c.stepsOf[ti], g)
 		c.seqOf[g] = s.Seq
 	}
-	c.level = make([][]int, len(c.txns))
+	c.level = make([][]uint8, len(c.txns))
 	for i, t := range c.txns {
-		c.level[i] = make([]int, len(c.txns))
+		c.level[i] = make([]uint8, len(c.txns))
 		for j, u := range c.txns {
 			if i != j {
-				c.level[i][j] = c.n.Level(t, u)
+				lv := c.n.Level(t, u)
+				c.level[i][j] = uint8(lv)
+				if lv > c.maxLv {
+					c.maxLv = lv
+				}
 			}
 		}
 	}
@@ -198,62 +217,131 @@ func (c *checker) addEdge(e edge) bool {
 	return true
 }
 
-// closure computes the coherent closure R of G, growing G with the direct
-// edges the coherence rule derives (each tagged with its premise pair) so
-// that R = TC(G) throughout. Pairs added for transitivity alone do not
-// enter G — their G-paths already exist.
+// closure computes the coherent closure R as per-step reachability
+// bitsets, by chaotic iteration to the least fixpoint of
+//
+//	reach[v] ⊇ {w} ∪ reach[w]                    for base edges v→w
+//	reach[v] ⊇ (∪_{a ∈ U\{v}} reach[a]) ∩ M_lv   for v last in unit U
+//
+// where the second line is coherence rule (b): if level(t,t′)=i and
+// α <t α′ within one Bt(i) unit, then (α,β) ∈ R forces (α′,β) ∈ R, and
+// M_lv masks to the steps of transactions at level lv from t. Restricting
+// the rule to the unit's LAST step derives the same closure as firing it
+// for every later step s of the unit — (s,β) follows from the program
+// chain s ⇝ last plus (last,β) by transitivity — while keeping derived
+// work O(units·steps) instead of materializing O(txns·steps) edges.
+//
+// Base edges point forward in recorded order by construction, so the base
+// graph is a DAG and a descending-index sweep converges base flows in one
+// pass; derived flows (whose targets may precede the unit's last step)
+// converge over repeated sweeps. The fixpoint stops early the moment a
+// step reaches itself — the history is then uncorrectable and witness()
+// extracts a concrete cycle.
 func (c *checker) closure() {
 	nSteps := len(c.exec)
 	c.reach = make([]bitset, nSteps)
-	c.pred = make([]bitset, nSteps)
 	for i := range c.reach {
 		c.reach[i] = newBitset(nSteps)
-		c.pred[i] = newBitset(nSteps)
 	}
-	queue := make([][2]int, 0, 4*nSteps)
-	for _, e := range c.edges {
-		queue = append(queue, [2]int{e.from, e.to})
-	}
-	for len(queue) > 0 {
-		p := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		a, b := p[0], p[1]
-		if a == b {
-			c.cyclic = true
-			continue
-		}
-		if c.reach[a].has(b) {
-			continue
-		}
-		if c.reach[b].has(a) {
-			c.cyclic = true
-		}
-		c.reach[a].set(b)
-		c.pred[b].set(a)
-
-		// Coherence rule (b): if level(t,t′)=i and α <t α′ within one Bt(i)
-		// unit, then (α,β) ∈ R forces (α′,β) ∈ R. Each forced pair becomes a
-		// direct G edge with provenance, keeping R = TC(G).
-		ta, tb := c.txnOf[a], c.txnOf[b]
-		if ta != tb {
-			lv := c.level[ta][tb]
-			end := c.descs[c.txns[ta]].SegmentEnd(c.seqOf[a], lv)
-			for s := c.seqOf[a] + 1; s <= end; s++ {
-				g := c.stepsOf[ta][s-1]
-				if c.addEdge(edge{from: g, to: b, kind: EdgeCoherence, level: lv, premise: [2]int{a, b}}) || !c.reach[g].has(b) {
-					queue = append(queue, [2]int{g, b})
+	c.indexUnits()
+	c.masks = make([][]bitset, len(c.txns))
+	c.tmp = newBitset(nSteps)
+	c.txnStamp = make([]int, len(c.txns))
+	scratch := newBitset(nSteps)
+	for {
+		changed := false
+		for v := nSteps - 1; v >= 0; v-- {
+			copy(scratch, c.reach[v])
+			for _, ei := range c.out[v] {
+				w := c.edges[ei].to
+				scratch.set(w)
+				scratch.or(c.reach[w])
+			}
+			c.ruleInto(v, scratch)
+			for i, w := range scratch {
+				if w != c.reach[v][i] {
+					c.reach[v][i] = w
+					changed = true
 				}
 			}
+			if c.reach[v].has(v) {
+				c.cyclic = true
+				return
+			}
 		}
+		if !changed {
+			return
+		}
+	}
+}
 
-		// Transitivity: pairs only, no new G edges.
-		c.reach[b].andNot(c.reach[a]).forEach(func(x int) {
-			queue = append(queue, [2]int{a, x})
-		})
-		c.pred[a].andNot(c.pred[b]).forEach(func(x int) {
-			queue = append(queue, [2]int{x, b})
+// indexUnits precomputes, per level, the global index of the last step of
+// every step's unit at that level.
+func (c *checker) indexUnits() {
+	c.unitLast = make([][]int32, c.maxLv+1)
+	for lv := 0; lv <= c.maxLv; lv++ {
+		ul := make([]int32, len(c.exec))
+		for ti, idxs := range c.stepsOf {
+			d := c.descs[c.txns[ti]]
+			for _, g := range idxs {
+				ul[g] = int32(idxs[d.SegmentEnd(c.seqOf[g], lv)-1])
+			}
+		}
+		c.unitLast[lv] = ul
+	}
+}
+
+// ruleInto ORs the coherence-rule contribution for step v into acc: for
+// each level lv at which v closes a non-singleton unit, the derived
+// targets T = reach[first member] ∩ M_lv (the first member's reach
+// subsumes every later member's via the program chain), and — because R
+// is transitively closed — everything those targets reach in turn.
+// Absorbing reach[b] once per target TRANSACTION suffices: within one
+// transaction the earliest target's reach subsumes the later ones'.
+func (c *checker) ruleInto(v int, acc bitset) {
+	tv := c.txnOf[v]
+	d := c.descs[c.txns[tv]]
+	for lv := 0; lv <= c.maxLv; lv++ {
+		if c.unitLast[lv][v] != int32(v) {
+			continue
+		}
+		start := d.SegmentStart(c.seqOf[v], lv)
+		if start == c.seqOf[v] {
+			continue // singleton unit: nothing to derive
+		}
+		first := c.stepsOf[tv][start-1]
+		mask := c.levelMask(tv, lv)
+		for i := range c.tmp {
+			c.tmp[i] = c.reach[first][i] & mask[i]
+			acc[i] |= c.tmp[i]
+		}
+		c.stampGen++
+		c.tmp.forEach(func(b int) {
+			if tb := c.txnOf[b]; c.txnStamp[tb] != c.stampGen {
+				c.txnStamp[tb] = c.stampGen
+				acc.or(c.reach[b])
+			}
 		})
 	}
+}
+
+// levelMask returns (building lazily) the set of steps of transactions u
+// with level(txns[ti], u) == lv, excluding ti's own steps.
+func (c *checker) levelMask(ti, lv int) bitset {
+	if c.masks[ti] == nil {
+		c.masks[ti] = make([]bitset, c.maxLv+1)
+	}
+	if m := c.masks[ti][lv]; m != nil {
+		return m
+	}
+	m := newBitset(len(c.exec))
+	for g, tg := range c.txnOf {
+		if tg != ti && int(c.level[ti][tg]) == lv {
+			m.set(g)
+		}
+	}
+	c.masks[ti][lv] = m
+	return m
 }
 
 // atomic decides whether the recorded total order is itself coherent: every
@@ -271,7 +359,7 @@ func (c *checker) atomic() bool {
 			if p == 0 || p == len(c.stepsOf[ti]) {
 				continue
 			}
-			if c.descs[c.txns[ti]].SameSegment(p, p+1, c.level[ti][tb]) {
+			if c.descs[c.txns[ti]].SameSegment(p, p+1, int(c.level[ti][tb])) {
 				return false
 			}
 		}
@@ -280,61 +368,110 @@ func (c *checker) atomic() bool {
 	return true
 }
 
-// witness finds a shortest directed cycle of G by running a BFS from every
-// node and keeping the best closing edge. G is small (steps + derived
-// edges), so the quadratic search is cheap and the minimality guarantee —
-// no shorter cycle of dependency edges exists — is worth it.
+// forEachSucc enumerates every direct G-edge out of v: the materialized
+// base edges, then the coherence-derived edges reconstructed from the
+// closure — for each level at which v closes a non-singleton unit, an edge
+// to every level-lv step b some earlier unit member a reaches, with (a,b)
+// as the premise pair. Each derived edge produced here is a genuine edge
+// of the full generator graph: a < v in the unit and (a,b) ∈ R, so the
+// rule fires for v.
+func (c *checker) forEachSucc(v int, yield func(edge)) {
+	for _, ei := range c.out[v] {
+		yield(c.edges[ei])
+	}
+	tv := c.txnOf[v]
+	d := c.descs[c.txns[tv]]
+	seen := newBitset(len(c.exec))
+	diff := newBitset(len(c.exec))
+	for lv := 0; lv <= c.maxLv; lv++ {
+		if c.unitLast[lv][v] != int32(v) {
+			continue
+		}
+		start := d.SegmentStart(c.seqOf[v], lv)
+		if start == c.seqOf[v] {
+			continue
+		}
+		mask := c.levelMask(tv, lv)
+		for i := range seen {
+			seen[i] = 0
+		}
+		for s := start; s < c.seqOf[v]; s++ {
+			a := c.stepsOf[tv][s-1]
+			for i := range diff {
+				diff[i] = c.reach[a][i] & mask[i] &^ seen[i]
+				seen[i] |= diff[i]
+			}
+			diff.forEach(func(b int) {
+				yield(edge{from: v, to: b, kind: EdgeCoherence, level: lv, premise: [2]int{a, b}})
+			})
+		}
+	}
+}
+
+// witness extracts a concrete cycle of G edges: a shortest-cycle BFS from
+// every step the (possibly early-stopped) closure flagged as reaching
+// itself, over base edges plus the implicit coherence edges enumerated by
+// forEachSucc. Violating histories are small in practice, so the
+// quadratic search and the per-edge provenance are worth it.
 func (c *checker) witness() *Witness {
 	n := len(c.exec)
 	bestLen := n + 1
-	var bestPath []int // edge indices, in order around the cycle
+	var bestPath []edge // in order around the cycle
+	parentEdge := make([]edge, n)
+	parentOK := make([]bool, n)
+	depth := make([]int, n)
+	visited := make([]bool, n)
 	for start := 0; start < n; start++ {
-		// BFS over out-edges from start; stop when an edge returns to start.
-		parentEdge := make([]int, n)
-		for i := range parentEdge {
-			parentEdge[i] = -1
+		if !c.reach[start].has(start) {
+			continue
 		}
-		depth := make([]int, n)
+		// BFS from start; stop when an edge returns to start.
+		for i := range visited {
+			visited[i] = false
+			parentOK[i] = false
+			depth[i] = 0
+		}
 		q := []int{start}
-		visited := make([]bool, n)
 		visited[start] = true
-		closing := -1
-		for len(q) > 0 && closing < 0 {
+		var closing edge
+		closed := false
+		for len(q) > 0 && !closed {
 			v := q[0]
 			q = q[1:]
 			if depth[v]+1 >= bestLen {
 				continue
 			}
-			for _, ei := range c.out[v] {
-				w := c.edges[ei].to
-				if w == start {
-					closing = ei
-					break
+			c.forEachSucc(v, func(e edge) {
+				if closed {
+					return
 				}
-				if !visited[w] {
-					visited[w] = true
-					parentEdge[w] = ei
-					depth[w] = depth[v] + 1
-					q = append(q, w)
+				if e.to == start {
+					closing = e
+					closed = true
+					return
 				}
-			}
+				if !visited[e.to] {
+					visited[e.to] = true
+					parentEdge[e.to] = e
+					parentOK[e.to] = true
+					depth[e.to] = depth[v] + 1
+					q = append(q, e.to)
+				}
+			})
 		}
-		if closing < 0 {
+		if !closed {
 			continue
 		}
-		var path []int
-		for ei := closing; ei >= 0; ei = parentEdge[c.edges[ei].from] {
-			path = append(path, ei)
-			if c.edges[ei].from == start {
-				break
-			}
+		path := []edge{closing}
+		for v := closing.from; v != start && parentOK[v]; v = parentEdge[v].from {
+			path = append(path, parentEdge[v])
 		}
 		if len(path) < bestLen {
 			bestLen = len(path)
 			// Reverse into forward order around the cycle.
-			bestPath = make([]int, len(path))
-			for i, ei := range path {
-				bestPath[len(path)-1-i] = ei
+			bestPath = make([]edge, len(path))
+			for i, e := range path {
+				bestPath[len(path)-1-i] = e
 			}
 		}
 	}
@@ -342,8 +479,7 @@ func (c *checker) witness() *Witness {
 		return nil // unreachable when closure flagged a cycle; defensive
 	}
 	w := &Witness{}
-	for _, ei := range bestPath {
-		e := c.edges[ei]
+	for _, e := range bestPath {
 		we := WitnessEdge{
 			From: c.exec[e.from].ID(),
 			To:   c.exec[e.to].ID(),
@@ -374,12 +510,17 @@ func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
 
 func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
 
-func (b bitset) andNot(other bitset) bitset {
-	out := make(bitset, len(b))
+func (b bitset) or(other bitset) {
 	for i := range b {
-		out[i] = b[i] &^ other[i]
+		b[i] |= other[i]
 	}
-	return out
+}
+
+// orAnd ORs (x AND y) into b, word-wise.
+func (b bitset) orAnd(x, y bitset) {
+	for i := range b {
+		b[i] |= x[i] & y[i]
+	}
 }
 
 func (b bitset) forEach(f func(i int)) {

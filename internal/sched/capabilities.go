@@ -50,6 +50,17 @@ type Releaser interface {
 	ReleaseAll(t model.TxnID)
 }
 
+// DeadlineAborter is implemented by controls that attribute rollbacks to
+// their cause. The harness calls DeadlineAborted(t) immediately before the
+// Aborted call that rolls t back because its per-transaction deadline
+// expired (or its client walked away mid-run), so the control can count
+// deadline aborts distinctly from its own wound/deadlock victims in
+// Stats.Deadlines. The call carries no state change beyond the counter —
+// the rollback itself still flows through Aborted.
+type DeadlineAborter interface {
+	DeadlineAborted(t model.TxnID)
+}
+
 // Capabilities is the discovery result for a Control's optional hooks —
 // the Ticker/Waker/AsyncAborter interfaces plus the restart-priority,
 // partial-recovery, and retirement hooks that harnesses previously probed
@@ -78,6 +89,9 @@ type Capabilities struct {
 	// ReleaseAll discards resources held by a rolled-back or parked
 	// transaction without abort accounting (Releaser).
 	ReleaseAll func(t model.TxnID)
+	// DeadlineAborted attributes the upcoming Aborted call for t to a
+	// per-transaction deadline (DeadlineAborter).
+	DeadlineAborted func(t model.TxnID)
 	// Concurrent reports whether the control is safe for concurrent calls
 	// (the Concurrent marker).
 	Concurrent bool
@@ -108,6 +122,9 @@ func CapabilitiesOf(c Control) Capabilities {
 	}
 	if rel, ok := c.(Releaser); ok {
 		caps.ReleaseAll = rel.ReleaseAll
+	}
+	if da, ok := c.(DeadlineAborter); ok {
+		caps.DeadlineAborted = da.DeadlineAborted
 	}
 	_, caps.Concurrent = c.(Concurrent)
 	return caps

@@ -122,5 +122,8 @@ func (d *Detector) Aborted(victims []model.TxnID) {
 	d.oc.Rebuild(drop)
 }
 
+// DeadlineAborted implements the DeadlineAborter capability.
+func (d *Detector) DeadlineAborted(model.TxnID) { d.stats.Deadlines++ }
+
 // Stats implements Control.
 func (d *Detector) Stats() *Stats { return &d.stats }

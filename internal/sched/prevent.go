@@ -252,5 +252,8 @@ func (p *Preventer) AbortedTo(t model.TxnID, keep int) {
 	}
 }
 
+// DeadlineAborted implements the DeadlineAborter capability.
+func (p *Preventer) DeadlineAborted(model.TxnID) { p.stats.Deadlines++ }
+
 // Stats implements Control.
 func (p *Preventer) Stats() *Stats { return &p.stats }

@@ -129,17 +129,26 @@ type AsyncAborter interface {
 //   - Wounds counts Abort decisions naming a victim other than the
 //     requester, incremented in Request at decision time.
 //   - Cycles counts dependency cycles detected (Detector only).
+//   - Deadlines counts the subset of Aborts whose victim was chosen by the
+//     harness because a per-transaction deadline expired (or its client
+//     walked away), NOT by the control's own wound/deadlock decision. The
+//     harness reports each such victim through the DeadlineAborter
+//     capability immediately before the normal Aborted call, so a deadline
+//     abort is counted once in Aborts (like every rollback) and once in
+//     Deadlines (its distinct cause); Aborts - Deadlines is the control's
+//     own conflict-abort count.
 //
 // Under this contract a simulator run without partial recovery satisfies
 // Control.Stats().Aborts == sim full-rollback count for every control; the
 // cross-control consistency test in internal/dist pins it.
 type Stats struct {
-	Requests int
-	Grants   int
-	Waits    int
-	Aborts   int // victim rollbacks, counted per victim in Aborted/AbortedTo
-	Wounds   int // abort decisions naming a non-requester victim (in Request)
-	Cycles   int // dependency cycles detected (Detector only)
+	Requests  int
+	Grants    int
+	Waits     int
+	Aborts    int // victim rollbacks, counted per victim in Aborted/AbortedTo
+	Wounds    int // abort decisions naming a non-requester victim (in Request)
+	Cycles    int // dependency cycles detected (Detector only)
+	Deadlines int // subset of Aborts caused by per-txn deadlines (DeadlineAborter)
 }
 
 // Snapshot returns a value copy of the counters. The pointer returned by
@@ -179,6 +188,9 @@ func (*None) Finished(model.TxnID) {}
 // Aborted implements Control. None never demands aborts itself, but the
 // harness may still roll its transactions back (stall breaking, cascades).
 func (n *None) Aborted(victims []model.TxnID) { n.stats.Aborts += len(victims) }
+
+// DeadlineAborted implements the DeadlineAborter capability.
+func (n *None) DeadlineAborted(model.TxnID) { n.stats.Deadlines++ }
 
 // Stats implements Control.
 func (n *None) Stats() *Stats { return &n.stats }
@@ -231,6 +243,9 @@ func (s *Serial) Aborted(victims []model.TxnID) {
 		}
 	}
 }
+
+// DeadlineAborted implements the DeadlineAborter capability.
+func (s *Serial) DeadlineAborted(model.TxnID) { s.stats.Deadlines++ }
 
 // Stats implements Control.
 func (s *Serial) Stats() *Stats { return &s.stats }

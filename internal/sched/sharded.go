@@ -26,7 +26,7 @@ type ShardedTwoPhase struct {
 	prioMu sync.RWMutex
 	prio   map[model.TxnID]int64
 
-	requests, grants, waits, wounds, aborts atomic.Int64
+	requests, grants, waits, wounds, aborts, deadlines atomic.Int64
 
 	statsMu  sync.Mutex
 	statsOut Stats
@@ -106,6 +106,10 @@ func (stp *ShardedTwoPhase) Aborted(victims []model.TxnID) {
 // raced past a rollback of t, and when t is parked for good.
 func (stp *ShardedTwoPhase) ReleaseAll(t model.TxnID) { stp.locks.Release(t) }
 
+// DeadlineAborted implements the DeadlineAborter capability: an atomic, so
+// it is safe from the engine's mutex-holding path like every other method.
+func (stp *ShardedTwoPhase) DeadlineAborted(model.TxnID) { stp.deadlines.Add(1) }
+
 // Stats implements Control. The returned pointer refers to a fold of the
 // atomic counters taken at call time; unlike the serial controls it is a
 // snapshot, not live state.
@@ -113,11 +117,12 @@ func (stp *ShardedTwoPhase) Stats() *Stats {
 	stp.statsMu.Lock()
 	defer stp.statsMu.Unlock()
 	stp.statsOut = Stats{
-		Requests: int(stp.requests.Load()),
-		Grants:   int(stp.grants.Load()),
-		Waits:    int(stp.waits.Load()),
-		Aborts:   int(stp.aborts.Load()),
-		Wounds:   int(stp.wounds.Load()),
+		Requests:  int(stp.requests.Load()),
+		Grants:    int(stp.grants.Load()),
+		Waits:     int(stp.waits.Load()),
+		Aborts:    int(stp.aborts.Load()),
+		Wounds:    int(stp.wounds.Load()),
+		Deadlines: int(stp.deadlines.Load()),
 	}
 	return &stp.statsOut
 }

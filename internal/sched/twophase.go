@@ -75,6 +75,9 @@ func (tp *TwoPhase) Aborted(victims []model.TxnID) {
 	}
 }
 
+// DeadlineAborted implements the DeadlineAborter capability.
+func (tp *TwoPhase) DeadlineAborted(model.TxnID) { tp.stats.Deadlines++ }
+
 // Stats implements Control.
 func (tp *TwoPhase) Stats() *Stats { return &tp.stats }
 
@@ -128,6 +131,9 @@ func (ts *Timestamp) Aborted(victims []model.TxnID) { ts.stats.Aborts += len(vic
 // transaction aborts under TO precisely because its timestamp is too old,
 // so keeping it would livelock. Recognized by the simulator.
 func (ts *Timestamp) NewPriority(_ model.TxnID, _, fresh int64) int64 { return fresh }
+
+// DeadlineAborted implements the DeadlineAborter capability.
+func (ts *Timestamp) DeadlineAborted(model.TxnID) { ts.stats.Deadlines++ }
 
 // Stats implements Control.
 func (ts *Timestamp) Stats() *Stats { return &ts.stats }

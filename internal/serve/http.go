@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mla/internal/engine"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/sessions        {"family": n?}            -> {"id", "family"}
+//	DELETE /v1/sessions/{id}                             -> 204
+//	POST   /v1/txns            {"session","kind","deadline_ms"?}
+//	GET    /healthz            liveness (engine alive)
+//	GET    /readyz             readiness (accepting, not draining)
+//	GET    /statz              full Stats snapshot
+//
+// POST /v1/txns status codes carry the backpressure contract:
+//
+//	200 committed (durable before this response is written)
+//	408 the transaction's deadline expired at a breakpoint
+//	429 shed (admission timed out, retry budget spent) + Retry-After
+//	503 draining or engine failed + Retry-After where retry makes sense
+//
+// A request abandoned by its client (connection gone) is withdrawn at the
+// transaction's next breakpoint; no response is deliverable, so none is
+// recorded beyond the canceled counter.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/txns", s.handleTxn)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+type openSessionRequest struct {
+	Family *int `json:"family"`
+}
+
+type openSessionResponse struct {
+	ID     string `json:"id"`
+	Family int    `json:"family"`
+}
+
+type txnRequest struct {
+	Session    string `json:"session"`
+	Kind       string `json:"kind"`
+	DeadlineMS int64  `json:"deadline_ms"`
+}
+
+type txnResponse struct {
+	Txn       string `json:"txn"`
+	Committed bool   `json:"committed"`
+	Restarts  int    `json:"restarts"`
+	LatencyUS int64  `json:"latency_us"`
+	WaitedUS  int64  `json:"waited_us"`
+}
+
+type errorResponse struct {
+	Error        string `json:"error"`
+	Detail       string `json:"detail,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeRetryable writes an error with the Retry-After contract: the header
+// in whole seconds (rounded up, HTTP's resolution) and the precise hint in
+// the body for clients that parse it.
+func (s *Server) writeRetryable(w http.ResponseWriter, status int, code, detail string) {
+	ra := s.RetryAfter()
+	secs := int64((ra + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, errorResponse{Error: code, Detail: detail, RetryAfterMS: ra.Milliseconds()})
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req openSessionRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad_request", Detail: err.Error()})
+			return
+		}
+	}
+	family := -1
+	if req.Family != nil {
+		family = *req.Family
+	}
+	cs, err := s.OpenSession(family)
+	if err != nil {
+		s.writeRetryable(w, http.StatusServiceUnavailable, "draining", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, openSessionResponse{ID: cs.ID(), Family: cs.Family()})
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if !s.CloseSession(r.PathValue("id")) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown_session"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
+	var req txnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad_request", Detail: err.Error()})
+		return
+	}
+	res, err := s.Submit(r.Context(), TxnRequest{
+		Session:  req.Session,
+		Kind:     req.Kind,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverload):
+		s.writeRetryable(w, http.StatusTooManyRequests, "overload", err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		s.writeRetryable(w, http.StatusServiceUnavailable, "draining", err.Error())
+		return
+	case errors.Is(err, engine.ErrSessionClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "engine_failed", Detail: err.Error()})
+		return
+	case errors.Is(err, ErrUnknownSession):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown_session", Detail: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad_request", Detail: err.Error()})
+		return
+	}
+
+	out := res.Outcome
+	switch {
+	case out.Committed:
+		writeJSON(w, http.StatusOK, txnResponse{
+			Txn:       string(res.Txn),
+			Committed: true,
+			Restarts:  out.Restarts,
+			LatencyUS: out.Latency.Microseconds(),
+			WaitedUS:  out.Waited.Microseconds(),
+		})
+	case out.DeadlineExceeded:
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{
+			Error:  "deadline_exceeded",
+			Detail: fmt.Sprintf("%s rolled back at a breakpoint after %d restarts", res.Txn, out.Restarts),
+		})
+	case out.GaveUp:
+		s.writeRetryable(w, http.StatusTooManyRequests, "contention",
+			fmt.Sprintf("%s exhausted its restart budget (%d rollbacks)", res.Txn, out.Restarts))
+	case out.Canceled:
+		// The client is gone; this write lands on a dead connection and is
+		// best-effort only.
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: "canceled"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "engine_failed", Detail: err.Error()})
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Accepting() {
+		s.writeRetryable(w, http.StatusServiceUnavailable, "draining", "not accepting new transactions")
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

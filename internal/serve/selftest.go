@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"mla/internal/history"
+	"mla/internal/metrics"
+	"mla/internal/model"
+	"mla/internal/serve/loadgen"
+)
+
+// SelfTestOptions shapes one end-to-end exercise of the server (see
+// SelfTest). The zero value is filled with the CI-sized defaults.
+type SelfTestOptions struct {
+	// Server configuration; zero value takes DefaultConfig (with Record
+	// forced on — the selftest's verdict rests on the recorded history).
+	Config Config
+
+	// Load shape.
+	Sessions      int
+	Txns          int
+	Rate          float64 // arrivals/sec per session
+	AuditPct      int
+	CreditPct     int
+	DisconnectPct int
+	DeadlineMS    int64
+
+	// DrainAfter triggers the mid-run graceful drain this long into the
+	// load; 0 drains only after the load completes. Transactions offered
+	// after the drain must be refused with 503, never lost.
+	DrainAfter time.Duration
+
+	// Overload shrinks the admission capacity to force shedding: the run
+	// passes only if 429s were actually produced and every shed request
+	// was refused cleanly.
+	Overload bool
+
+	// P99SLO, when nonzero, bounds the acked commits' p99 latency.
+	P99SLO time.Duration
+
+	// TriggerDrain, when non-nil, is invoked (once, from its own
+	// goroutine) when the drain moment arrives, instead of calling
+	// shutdown directly — cmd/mlaserve routes this through a real SIGTERM
+	// so the signal path itself is under test. The callback must
+	// eventually cause shutdown() to run.
+	TriggerDrain func(shutdown func())
+
+	// Out, when non-nil, receives progress lines.
+	Out io.Writer
+}
+
+// SelfTestReport is the verdict: the load report, the server's final
+// stats, the history-checker result, and every assertion that failed.
+type SelfTestReport struct {
+	Load     *loadgen.Report
+	Stats    Stats
+	History  *history.Report
+	P99      time.Duration
+	Problems []string
+
+	// Recorded is the raw recorded history, for callers that export it
+	// (cmd/mlaserve writes it so `mlacheck -history` can audit the run
+	// independently).
+	Recorded *history.History
+}
+
+// OK reports whether every assertion held.
+func (r *SelfTestReport) OK() bool { return len(r.Problems) == 0 }
+
+// Summary renders the report as a table.
+func (r *SelfTestReport) Summary() *metrics.Table {
+	t := metrics.NewTable("mlaserve selftest", "metric", "value")
+	t.Row("offered", r.Load.Offered)
+	t.Row("acked (200)", r.Load.Acked)
+	t.Row("deadline (408)", r.Load.Deadline)
+	t.Row("shed (429)", r.Load.Shed)
+	t.Row("draining (503)", r.Load.Draining)
+	t.Row("disconnected", r.Load.Canceled)
+	t.Row("retries", r.Load.Retries)
+	t.Row("errors", r.Load.Errors)
+	t.Row("p99 latency", r.P99.String())
+	if r.History != nil {
+		t.Row("history", r.History.Summary())
+	}
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = fmt.Sprintf("FAIL (%d problems)", len(r.Problems))
+	}
+	t.Row("verdict", verdict)
+	return t
+}
+
+// SelfTest runs the full service loop against a real TCP listener: start
+// the server, offer an open-loop Poisson load from many concurrent client
+// sessions (with injected disconnects), drain gracefully mid-run, and then
+// audit the wreckage:
+//
+//   - every transaction acknowledged with 200 is durably committed on the
+//     WAL and committed in the recorded history — zero lost acks;
+//   - the recorded history passes the black-box MLA checker;
+//   - under forced overload, requests were genuinely shed with 429 and
+//     the engine stayed within its admission bounds;
+//   - the drain left no transaction half-done and the acked p99 is inside
+//     the SLO (the deadline bounds it structurally).
+//
+// It returns an error only for harness failures (listen, load transport);
+// assertion failures land in Report.Problems so callers can print all of
+// them.
+func SelfTest(ctx context.Context, o SelfTestOptions) (*SelfTestReport, error) {
+	if o.Sessions == 0 {
+		o.Sessions = 100
+	}
+	if o.Txns == 0 {
+		o.Txns = 2000
+	}
+	if o.Rate == 0 {
+		o.Rate = 150
+	}
+	if o.Config.Families == 0 {
+		o.Config = DefaultConfig()
+	}
+	o.Config.Record = true
+	if o.Overload {
+		// Capacity far below the offered load: shedding must engage.
+		o.Config.MaxInflight = 2
+		o.Config.QueueDepth = 2
+		o.Config.AdmitWait = time.Millisecond
+	}
+	logf := func(format string, args ...any) {
+		if o.Out != nil {
+			fmt.Fprintf(o.Out, format+"\n", args...)
+		}
+	}
+
+	srv, err := New(o.Config)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("selftest: listen: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	logf("selftest: serving on %s (%d sessions, %d txns, %.0f/s each)", base, o.Sessions, o.Txns, o.Rate)
+
+	// The drain trigger: directly, or through the caller's signal path.
+	drained := make(chan struct{})
+	shutdown := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logf("selftest: drain: %v", err)
+		}
+		close(drained)
+	}
+	if o.DrainAfter > 0 {
+		go func() {
+			select {
+			case <-time.After(o.DrainAfter):
+			case <-ctx.Done():
+				return
+			}
+			logf("selftest: triggering mid-run drain")
+			if o.TriggerDrain != nil {
+				o.TriggerDrain(shutdown)
+			} else {
+				shutdown()
+			}
+		}()
+	}
+
+	load, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:       base,
+		Sessions:      o.Sessions,
+		Txns:          o.Txns,
+		Rate:          o.Rate,
+		AuditPct:      o.AuditPct,
+		CreditPct:     o.CreditPct,
+		DeadlineMS:    o.DeadlineMS,
+		DisconnectPct: o.DisconnectPct,
+		MaxRetries:    3,
+		Seed:          o.Config.Seed + 17,
+	})
+	if err != nil {
+		hs.Close()
+		return nil, err
+	}
+	if o.DrainAfter > 0 {
+		<-drained
+	} else {
+		shutdown()
+	}
+	hs.Close()
+	<-serveErr
+
+	rep := &SelfTestReport{Load: load, Stats: srv.Stats()}
+	problem := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+
+	// Zero dropped acks: every 200 is durable on the WAL and committed in
+	// the recorded history. This is THE serving contract — an ack that a
+	// crash, drain, or disconnect can un-commit would make every client a
+	// liar downstream.
+	h := srv.History()
+	rep.Recorded = h
+	committed := make(map[model.TxnID]bool)
+	if h != nil {
+		exec, _, err := h.Committed()
+		if err != nil {
+			problem("recorded history does not replay: %v", err)
+		} else {
+			for _, st := range exec {
+				committed[st.Txn] = true
+			}
+		}
+	} else {
+		problem("no history recorded")
+	}
+	lostWAL, lostHist := 0, 0
+	for _, id := range load.AckedIDs {
+		if !srv.Durable(model.TxnID(id)) {
+			lostWAL++
+		}
+		if h != nil && !committed[model.TxnID(id)] {
+			lostHist++
+		}
+	}
+	if lostWAL > 0 {
+		problem("%d acked transactions not durable on the WAL", lostWAL)
+	}
+	if lostHist > 0 {
+		problem("%d acked transactions missing from the recorded history", lostHist)
+	}
+
+	// The black-box checker audits the multiplexed execution.
+	if h != nil {
+		hr, err := history.Check(h)
+		if err != nil {
+			problem("history checker rejected the input: %v", err)
+		} else {
+			rep.History = hr
+			if !hr.Correctable {
+				problem("recorded history is NOT multilevel atomic: %s", hr.Summary())
+			}
+		}
+	}
+
+	if load.Errors > 0 {
+		problem("%d transport errors (beyond injected disconnects); samples: %v", load.Errors, load.ErrorSamples)
+	}
+	if load.Acked == 0 {
+		problem("no transaction was acknowledged — the run never got going")
+	}
+	if o.Overload && load.Shed == 0 && rep.Stats.Shed == 0 {
+		problem("overload cell produced no 429s — admission control never engaged")
+	}
+	if o.DrainAfter > 0 && load.Draining == 0 {
+		problem("mid-run drain produced no 503s — drain raced past the load")
+	}
+	if sum := metrics.Summarize(load.Latencies); sum.N > 0 {
+		rep.P99 = time.Duration(sum.P99) * time.Microsecond
+		if o.P99SLO > 0 && rep.P99 > o.P99SLO {
+			problem("acked p99 %v exceeds SLO %v", rep.P99, o.P99SLO)
+		}
+	}
+	logf("selftest: %d offered, %d acked, %d shed, %d draining, p99 %v",
+		load.Offered, load.Acked, load.Shed, load.Draining, rep.P99)
+	return rep, nil
+}

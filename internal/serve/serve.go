@@ -1,0 +1,867 @@
+// Package serve is the long-lived service front-end over the resident
+// engine: one engine.Session kept warm for the life of the process, with
+// thousands of concurrent client sessions multiplexed onto the banking
+// nest structure over a JSON HTTP API (cmd/mlaserve).
+//
+// The package exists to close the loop the batch tools cannot: Run and
+// RunOnStore take a fixed transaction population and report afterwards,
+// but the paper's motivating systems — airline reservation, banking — are
+// *open* systems where transactions arrive forever and the interesting
+// engineering is at the admission boundary. Everything here is about that
+// boundary:
+//
+//   - Admission control: bounded queues per nest class plus a global
+//     in-flight cap. When the scheduler saturates (waits pile up, commit
+//     latency grows), requests are shed with 429 and a Retry-After derived
+//     from the observed commit-latency EWMA scaled by queue pressure —
+//     load shedding informed by sched.Stats rather than a blind counter.
+//   - Deadlines: every transaction carries one (client-supplied or the
+//     server default). The engine aborts it at its next breakpoint — a
+//     runnable transaction finishes the unit it started, so nothing
+//     partial is ever exposed, which is precisely the MLA notion of a
+//     cheap place to change the schedule's mind.
+//   - Backpressure to the client: deadline rollbacks are 408, shed
+//     admissions 429, exhausted retry budgets 429, drain 503 — each with
+//     enough structure (retry_after_ms) for a well-behaved client to back
+//     off instead of hammering.
+//   - Graceful drain: SIGTERM stops admission (readyz flips), in-flight
+//     transactions run to their natural ends, the WAL pipeline is flushed
+//     and closed, and the recorded history and telemetry are exported on
+//     every exit path. A commit acknowledged with 200 is durable on the
+//     WAL before the acknowledgment is written.
+//
+// The server optionally records the full execution history through
+// history.Recorder, so `mlacheck -history` can audit a live run after the
+// fact: the black-box checker either blesses the multiplexed execution as
+// multilevel atomic or produces a witness cycle.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mla/internal/bank"
+	"mla/internal/breakpoint"
+	"mla/internal/engine"
+	"mla/internal/history"
+	"mla/internal/lock"
+	"mla/internal/metrics"
+	"mla/internal/model"
+	"mla/internal/nest"
+	"mla/internal/sched"
+	"mla/internal/telemetry"
+	"mla/internal/wal"
+)
+
+// Config sizes the server. The zero value is unusable; call DefaultConfig
+// and override.
+type Config struct {
+	// Families and AccountsPerFamily shape the banking world the clients
+	// transact against; InitialBalance seeds every account.
+	Families          int
+	AccountsPerFamily int
+	InitialBalance    model.Value
+
+	// Amount and Reserve parameterize synthesized transfers exactly as
+	// bank.Params does; CrossFamilyPct is the chance a transfer deposits
+	// into another family.
+	Amount         model.Value
+	Reserve        model.Value
+	CrossFamilyPct int
+
+	// Control selects the concurrency control: "2pl-sharded" (default),
+	// "2pl", "tso", or "none" (unsound; for demonstration only). Shards
+	// sizes the sharded control's lock table.
+	Control string
+	Shards  int
+
+	// MaxInflight caps transactions inside the engine at once; QueueDepth
+	// bounds each admission class's queue on top of that. AdmitWait is how
+	// long a request may wait for admission before it is shed with 429.
+	MaxInflight int
+	QueueDepth  int
+	AdmitWait   time.Duration
+
+	// DefaultDeadline bounds a transaction that did not bring its own;
+	// MaxDeadline clamps client-supplied ones.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// MaxRestarts bounds rollbacks per transaction; SessionRetryBudget is
+	// the total restarts one client session may consume across all its
+	// transactions before further submissions are refused with 429 — the
+	// per-session retry budget that stops one pathological client from
+	// burning the whole engine on livelock.
+	SessionRetryBudget int
+	MaxRestarts        int
+
+	// FlushInterval is the WAL group-commit pipeline's flush window.
+	FlushInterval time.Duration
+
+	// Seed drives every synthesized workload choice deterministically.
+	Seed int64
+
+	// Record enables the history recorder (memory grows with the run;
+	// meant for audited runs and tests, not unbounded production).
+	Record bool
+
+	// Telemetry, when non-nil, receives request spans and engine spans.
+	Telemetry *telemetry.Telemetry
+}
+
+// DefaultConfig returns a small-but-real configuration: contended enough
+// to exercise waits and wounds, bounded enough for CI.
+func DefaultConfig() Config {
+	return Config{
+		Families:           8,
+		AccountsPerFamily:  4,
+		InitialBalance:     1000,
+		Amount:             100,
+		Reserve:            125,
+		CrossFamilyPct:     50,
+		Control:            "2pl-sharded",
+		Shards:             16,
+		MaxInflight:        64,
+		QueueDepth:         128,
+		AdmitWait:          20 * time.Millisecond,
+		DefaultDeadline:    2 * time.Second,
+		MaxDeadline:        30 * time.Second,
+		SessionRetryBudget: 256,
+		MaxRestarts:        32,
+		FlushInterval:      200 * time.Microsecond,
+		Seed:               1,
+	}
+}
+
+// Server is the resident front-end. Create with New, serve its Handler,
+// stop with Shutdown. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	world   bank.World
+	session *engine.Session
+	control sched.Control
+	db      *wal.DB
+	pipe    *wal.Pipeline
+	nest    *nest.Nest
+	rec     *history.Recorder
+	start   time.Time
+
+	// transfers carries each in-flight transfer's parameters for the
+	// breakpoint spec. Mutated only inside SubmitOpts.Prepare/Cleanup and
+	// read only from Spec.CutAfter — all under the engine mutex, so no
+	// lock of its own (the same discipline bank.Workload gets for free
+	// from its fixed population).
+	transfers map[model.TxnID]*bank.Transfer
+
+	gates  map[string]*gate // admission queue per nest class
+	global *gate            // engine-wide in-flight cap
+
+	mu       sync.Mutex
+	state    int32 // accepting / draining / closed
+	sessions map[string]*clientSession
+	nextSess int64
+	err      error // first fatal engine error
+
+	shutOnce sync.Once
+	shutErr  error
+
+	txnSeq atomic.Int64 // transaction ID allocator (unique per lifetime)
+
+	ewmaLatUs atomic.Int64 // commit latency EWMA, µs — drives Retry-After
+
+	latMu  sync.Mutex
+	lat    ring // commit latencies, µs
+	waited ring // lock-wait time per committed txn, µs
+
+	counters counters
+
+	spanMu sync.Mutex
+	spans  *telemetry.Local
+	pid    int64
+}
+
+const (
+	stAccepting int32 = iota
+	stDraining
+	stClosed
+)
+
+// counters are the server-level outcome tallies /statz exposes; all
+// atomics so the request path never takes the server mutex.
+type counters struct {
+	acked, deadline, canceled, gaveUp, shed, budget, rejected atomic.Int64
+}
+
+// clientSession is one client's handle: a stable identity, a pinned
+// family (its nest class for transfers), a deterministic parameter rng,
+// and the remaining retry budget.
+type clientSession struct {
+	id     string
+	family int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	budget int
+	txns   int
+}
+
+// ID returns the session's stable identity.
+func (cs *clientSession) ID() string { return cs.id }
+
+// Family returns the session's pinned family (its transfer nest class).
+func (cs *clientSession) Family() int { return cs.family }
+
+// New builds the world, opens the WAL, starts the group-commit pipeline
+// and the resident engine session. The server is accepting immediately.
+func New(cfg Config) (*Server, error) {
+	if cfg.Families <= 0 || cfg.AccountsPerFamily <= 0 {
+		return nil, fmt.Errorf("serve: need at least one family and account, got %d/%d", cfg.Families, cfg.AccountsPerFamily)
+	}
+	if cfg.MaxInflight <= 0 {
+		return nil, fmt.Errorf("serve: MaxInflight must be positive, got %d", cfg.MaxInflight)
+	}
+	w := bank.World{
+		Families:          cfg.Families,
+		AccountsPerFamily: cfg.AccountsPerFamily,
+		InitialBalance:    cfg.InitialBalance,
+	}
+	db, err := wal.Open(wal.NewMedium(), w.Init())
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening WAL: %w", err)
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Microsecond
+	}
+	pipe := wal.NewPipeline(db, cfg.FlushInterval)
+
+	s := &Server{
+		cfg:       cfg,
+		world:     w,
+		db:        db,
+		pipe:      pipe,
+		nest:      nest.New(4),
+		transfers: make(map[model.TxnID]*bank.Transfer),
+		sessions:  make(map[string]*clientSession),
+		start:     time.Now(),
+		lat:       newRing(4096),
+		waited:    newRing(4096),
+	}
+	s.control = controlByName(cfg.Control, cfg.Shards)
+	if s.control == nil {
+		pipe.Close()
+		return nil, fmt.Errorf("serve: unknown control %q", cfg.Control)
+	}
+
+	// Admission: one bounded queue per nest class — "cust" admits the
+	// level-2/3 interleavers (transfers and creditor audits), "audit" the
+	// level-1 bank audits — plus the global in-flight cap underneath.
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = cfg.MaxInflight
+	}
+	s.gates = map[string]*gate{
+		classCust:  newGate(classCust, depth),
+		classAudit: newGate(classAudit, depth),
+	}
+	s.global = newGate("inflight", cfg.MaxInflight)
+
+	var obs []engine.Observer
+	if cfg.Record {
+		s.rec = history.NewRecorder(s.nest)
+		obs = append(obs, s.rec)
+	}
+	if cfg.Telemetry != nil {
+		if o := engine.NewTelemetryObserver(cfg.Telemetry, "serve/"+s.control.Name()); o != nil {
+			obs = append(obs, o)
+		}
+		s.spans = cfg.Telemetry.Trace.Local()
+		s.pid = cfg.Telemetry.Trace.NextPID()
+		cfg.Telemetry.Trace.NameProcess(s.pid, "serve/http")
+		cfg.Telemetry.Trace.NameLane(s.pid, 0, "requests")
+	}
+	var observer engine.Observer
+	if len(obs) == 1 {
+		observer = obs[0]
+	} else if len(obs) > 1 {
+		observer = engine.Tee(obs...)
+	}
+
+	spec := breakpoint.Func{Levels: 4, Fn: s.cutAfter}
+	s.session = engine.NewSession(engine.Config{
+		Seed:        cfg.Seed,
+		Observer:    observer,
+		MaxRestarts: cfg.MaxRestarts,
+	}, s.control, spec, engine.NewPipelinedWALStore(pipe))
+	return s, nil
+}
+
+const (
+	classCust  = "cust"
+	classAudit = "audit"
+)
+
+func controlByName(name string, shards int) sched.Control {
+	switch name {
+	case "", "2pl-sharded":
+		return sched.NewShardedTwoPhase(shards)
+	case "2pl":
+		return sched.NewTwoPhase()
+	case "tso":
+		return sched.NewTimestamp()
+	case "none":
+		return sched.NewNone()
+	}
+	return nil
+}
+
+// cutAfter is the banking breakpoint description of Section 4.2 applied to
+// an open population: transfers get a level-2 boundary after the withdrawal
+// phase and level-3 boundaries elsewhere; audits get no interior boundary
+// below the singleton level. Runs under the engine mutex (see transfers).
+func (s *Server) cutAfter(t model.TxnID, prefix []model.Step) int {
+	if tr, ok := s.transfers[t]; ok {
+		last := prefix[len(prefix)-1]
+		if last.Label == "withdraw" && tr.WithdrawDone(prefix) {
+			return 2
+		}
+		return 3
+	}
+	return 4
+}
+
+// OpenSession registers a client session pinned to the given family (< 0
+// picks one deterministically). It fails once draining.
+func (s *Server) OpenSession(family int) (*clientSession, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stAccepting {
+		return nil, ErrDraining
+	}
+	s.nextSess++
+	id := fmt.Sprintf("s%06d", s.nextSess)
+	if family < 0 || family >= s.cfg.Families {
+		family = int(s.nextSess) % s.cfg.Families
+	}
+	cs := &clientSession{
+		id:     id,
+		family: family,
+		rng:    rand.New(rand.NewSource(s.cfg.Seed ^ s.nextSess<<17)),
+		budget: s.cfg.SessionRetryBudget,
+	}
+	s.sessions[id] = cs
+	return cs, nil
+}
+
+// CloseSession forgets a client session; its in-flight transactions finish.
+func (s *Server) CloseSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	return ok
+}
+
+func (s *Server) lookupSession(id string) *clientSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// ErrDraining rejects work arriving after Shutdown began.
+var ErrDraining = errors.New("serve: draining")
+
+// ErrOverload is the shed signal: admission timed out or the session's
+// retry budget is spent. Carries no state — pair it with RetryAfter.
+var ErrOverload = errors.New("serve: overloaded")
+
+// ErrUnknownSession rejects a transaction naming a session that was never
+// opened or was already closed.
+var ErrUnknownSession = errors.New("serve: unknown session")
+
+// TxnRequest describes one transaction submission.
+type TxnRequest struct {
+	Session  string
+	Kind     string // "transfer", "audit", "credit"
+	Deadline time.Duration
+}
+
+// TxnResult reports a resolved submission to the transport layer.
+type TxnResult struct {
+	Txn     model.TxnID
+	Outcome engine.Outcome
+}
+
+// Submit synthesizes the requested transaction, admits it through the
+// class and global gates, and runs it on the resident engine. The context
+// is the client connection: its cancellation withdraws the transaction at
+// the next breakpoint (unless the commit is already in flight — then it is
+// seen through, because the record may be durable).
+func (s *Server) Submit(ctx context.Context, req TxnRequest) (TxnResult, error) {
+	cs := s.lookupSession(req.Session)
+	if cs == nil {
+		return TxnResult{}, fmt.Errorf("%w: %q", ErrUnknownSession, req.Session)
+	}
+	if atomic.LoadInt32(&s.state) != stAccepting {
+		s.counters.rejected.Add(1)
+		return TxnResult{}, ErrDraining
+	}
+
+	// Per-session retry budget: a session that has burned its restart
+	// allowance is shed before it can queue — its backlog of conflicts is
+	// the strongest overload signal a single client can emit.
+	cs.mu.Lock()
+	budgetLeft := cs.budget
+	cs.mu.Unlock()
+	if budgetLeft <= 0 {
+		s.counters.budget.Add(1)
+		return TxnResult{}, fmt.Errorf("%w: session %s retry budget exhausted", ErrOverload, cs.id)
+	}
+
+	class := classCust
+	if req.Kind == "audit" {
+		class = classAudit
+	}
+	g := s.gates[class]
+	if !g.acquire(ctx, s.cfg.AdmitWait) {
+		s.counters.shed.Add(1)
+		return TxnResult{}, fmt.Errorf("%w: %s queue full", ErrOverload, class)
+	}
+	defer g.release()
+	if !s.global.acquire(ctx, s.cfg.AdmitWait) {
+		s.counters.shed.Add(1)
+		return TxnResult{}, fmt.Errorf("%w: engine at capacity", ErrOverload)
+	}
+	defer s.global.release()
+
+	p, path, tr, err := s.synthesize(cs, req.Kind)
+	if err != nil {
+		return TxnResult{}, err
+	}
+	id := p.ID()
+
+	d := req.Deadline
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+
+	maxRestarts := s.cfg.MaxRestarts
+	if maxRestarts <= 0 || maxRestarts > budgetLeft {
+		maxRestarts = budgetLeft
+	}
+
+	start := time.Now()
+	var spanID telemetry.SpanID
+	if s.spans != nil {
+		s.spanMu.Lock()
+		spanID = s.spans.Begin("serve", req.Kind, s.pid, 0, 0, "txn", string(id), "session", cs.id)
+		s.spanMu.Unlock()
+	}
+	out, err := s.session.Submit(ctx, p, engine.SubmitOpts{
+		Deadline:    start.Add(d),
+		MaxRestarts: maxRestarts,
+		Prepare: func() {
+			// Under the engine mutex: the spec and the recorder see the
+			// transaction's class before its first step.
+			if tr != nil {
+				s.transfers[id] = tr
+			}
+			if s.rec != nil {
+				s.nest.Add(id, path...)
+			}
+		},
+		Cleanup: func() {
+			delete(s.transfers, id)
+			// The nest entry stays: the recorded history still refers to
+			// this transaction, and the checker needs its class path.
+		},
+	})
+	if s.spans != nil {
+		s.spanMu.Lock()
+		s.spans.Arg(spanID, "outcome", outcomeLabel(out, err))
+		s.spans.End(spanID)
+		s.spanMu.Unlock()
+	}
+	if err != nil {
+		// Admission raced the drain: the engine refused what the state
+		// check upstairs had let through. Same 503 as the state check.
+		if errors.Is(err, engine.ErrDraining) {
+			s.counters.rejected.Add(1)
+			return TxnResult{}, ErrDraining
+		}
+		if errors.Is(err, engine.ErrSessionClosed) {
+			// A real engine death while accepting turns healthz red; the
+			// same error during a deliberate drain is just the shutdown
+			// abandoning stragglers.
+			if atomic.LoadInt32(&s.state) == stAccepting {
+				s.noteFailure(err)
+			}
+		}
+		return TxnResult{}, err
+	}
+
+	cs.mu.Lock()
+	cs.budget -= out.Restarts
+	cs.txns++
+	cs.mu.Unlock()
+
+	switch {
+	case out.Committed:
+		s.counters.acked.Add(1)
+		us := out.Latency.Microseconds()
+		s.observeLatency(us, out.Waited.Microseconds())
+	case out.DeadlineExceeded:
+		s.counters.deadline.Add(1)
+	case out.Canceled:
+		s.counters.canceled.Add(1)
+	case out.GaveUp:
+		s.counters.gaveUp.Add(1)
+	}
+	return TxnResult{Txn: id, Outcome: out}, nil
+}
+
+func outcomeLabel(out engine.Outcome, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case out.Committed:
+		return "committed"
+	case out.DeadlineExceeded:
+		return "deadline"
+	case out.Canceled:
+		return "canceled"
+	case out.GaveUp:
+		return "gave-up"
+	}
+	return "unknown"
+}
+
+func (s *Server) observeLatency(latUs, waitedUs int64) {
+	// EWMA with α = 1/8, the classic RTT estimator: smooth enough to damp
+	// one slow commit, fresh enough to track a saturating scheduler.
+	for {
+		old := s.ewmaLatUs.Load()
+		next := old - old/8 + latUs/8
+		if old == 0 {
+			next = latUs
+		}
+		if s.ewmaLatUs.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	s.latMu.Lock()
+	s.lat.add(latUs)
+	s.waited.add(waitedUs)
+	s.latMu.Unlock()
+	if s.cfg.Telemetry != nil {
+		s.cfg.Telemetry.Metrics.Histogram("serve.commit_latency_us").Observe(latUs)
+		s.cfg.Telemetry.Metrics.Histogram("serve.lock_wait_us").Observe(waitedUs)
+	}
+}
+
+// RetryAfter is the backoff hint attached to 429/503: the commit-latency
+// EWMA scaled by queue pressure — an idle server hints the floor, a
+// saturated one stretches toward the ceiling. Clamped to [50ms, 5s].
+func (s *Server) RetryAfter() time.Duration {
+	base := time.Duration(s.ewmaLatUs.Load()) * time.Microsecond
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	queued, depth := int64(0), int64(0)
+	for _, g := range s.gates {
+		queued += g.queued.Load()
+		depth += int64(g.depth)
+	}
+	queued += s.global.queued.Load()
+	depth += int64(s.global.depth)
+	d := base
+	if depth > 0 {
+		d = base * time.Duration(1+4*queued/depth)
+	}
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// synthesize builds the program for one request from the session's
+// deterministic rng, mirroring bank.Generate's shapes for an open
+// population. Returns the program, its nest class path, and (for
+// transfers) the parameters the breakpoint spec needs.
+func (s *Server) synthesize(cs *clientSession, kind string) (model.Program, []string, *bank.Transfer, error) {
+	n := s.txnSeq.Add(1)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	rng := cs.rng
+	switch kind {
+	case "", "transfer":
+		id := model.TxnID(fmt.Sprintf("xfer-%s-%07d", cs.id, n))
+		f := cs.family
+		nsrc := 3
+		if nsrc > s.cfg.AccountsPerFamily {
+			nsrc = s.cfg.AccountsPerFamily
+		}
+		var sources []model.EntityID
+		for _, ai := range rng.Perm(s.cfg.AccountsPerFamily)[:nsrc] {
+			sources = append(sources, s.world.Account(f, ai))
+		}
+		tf := f
+		if s.cfg.Families > 1 && rng.Intn(100) < s.cfg.CrossFamilyPct {
+			for tf == f {
+				tf = rng.Intn(s.cfg.Families)
+			}
+		}
+		var targets [2]model.EntityID
+		picked := 0
+		for _, ai := range rng.Perm(s.cfg.AccountsPerFamily) {
+			cand := s.world.Account(tf, ai)
+			dup := false
+			for _, src := range sources {
+				if src == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets[picked] = cand
+				picked++
+				if picked == 2 {
+					break
+				}
+			}
+		}
+		for picked < 2 {
+			targets[picked] = s.world.Account(tf, rng.Intn(s.cfg.AccountsPerFamily))
+			picked++
+		}
+		tr := &bank.Transfer{
+			Txn: id, Family: f, Sources: sources, Targets: targets,
+			Amount: s.cfg.Amount, Reserve: s.cfg.Reserve,
+		}
+		return tr, []string{"cust", fmt.Sprintf("fam-%02d", f)}, tr, nil
+	case "audit":
+		id := model.TxnID(fmt.Sprintf("audit-%s-%07d", cs.id, n))
+		a := &bank.Audit{Txn: id, Accounts: s.world.Accounts(), Result: model.EntityID("auditres/" + string(id))}
+		return a, []string{"audit/" + string(id), "audit/" + string(id)}, nil, nil
+	case "credit":
+		id := model.TxnID(fmt.Sprintf("cred-%s-%07d", cs.id, n))
+		a := &bank.Audit{Txn: id, Accounts: s.world.FamilyAccounts(cs.family), Result: model.EntityID("credres/" + string(id))}
+		return a, []string{"cust", "cred/" + string(id)}, nil, nil
+	}
+	return nil, nil, nil, fmt.Errorf("serve: unknown transaction kind %q", kind)
+}
+
+func (s *Server) noteFailure(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	atomic.CompareAndSwapInt32(&s.state, stAccepting, stClosed)
+}
+
+// Err reports the first fatal engine error, if any (healthz turns red).
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Accepting reports whether new work is admitted (readyz).
+func (s *Server) Accepting() bool { return atomic.LoadInt32(&s.state) == stAccepting }
+
+// Shutdown is the graceful drain: stop admitting, let in-flight
+// transactions reach their breakpoints and resolve, stop the engine, and
+// flush and close the WAL pipeline. Every committed acknowledgment issued
+// before Shutdown returns is durable on the WAL afterwards. Idempotent;
+// the context bounds only the waiting (a timed-out drain still closes).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		atomic.CompareAndSwapInt32(&s.state, stAccepting, stDraining)
+		derr := s.session.Drain(ctx)
+		cerr := s.session.Close()
+		s.pipe.Close()
+		atomic.StoreInt32(&s.state, stClosed)
+		if derr != nil {
+			s.shutErr = derr
+		} else {
+			s.shutErr = cerr
+		}
+	})
+	return s.shutErr
+}
+
+// History snapshots the recorded history, or nil when recording is off.
+// Meaningful after Shutdown (a mid-run snapshot is consistent but racy
+// with respect to in-flight commits).
+func (s *Server) History() *history.History {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.History()
+}
+
+// Durable reports whether the transaction's commit record reached the WAL
+// — the selftest's ground truth for acknowledged commits.
+func (s *Server) Durable(id model.TxnID) bool { return s.pipe.Committed(id) }
+
+// Stats is the /statz payload: engine, scheduler, lock table, admission,
+// and latency state in one JSON-serializable snapshot.
+type Stats struct {
+	Uptime       string               `json:"uptime"`
+	State        string               `json:"state"`
+	Sessions     int                  `json:"sessions"`
+	Engine       engine.SessionStats  `json:"engine"`
+	Sched        sched.Stats          `json:"sched"`
+	Locks        *lockStats           `json:"locks,omitempty"`
+	Gates        map[string]GateStats `json:"gates"`
+	Acked        int64                `json:"acked"`
+	Deadline     int64                `json:"deadline_exceeded"`
+	Canceled     int64                `json:"canceled"`
+	GaveUp       int64                `json:"gave_up"`
+	Shed         int64                `json:"shed"`
+	BudgetDenied int64                `json:"budget_denied"`
+	Rejected     int64                `json:"rejected_draining"`
+	Latency      metrics.Summary      `json:"latency_us"`
+	LockWait     metrics.Summary      `json:"lock_wait_us"`
+	RetryAfterMS int64                `json:"retry_after_ms"`
+}
+
+type lockStats struct {
+	Locked  int `json:"locked"`
+	Holders int `json:"holders"`
+	Shards  int `json:"shards"`
+}
+
+// GateStats snapshots one admission gate.
+type GateStats struct {
+	Depth    int   `json:"depth"`
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	nSess := len(s.sessions)
+	s.mu.Unlock()
+	st := Stats{
+		Uptime:       time.Since(s.start).Round(time.Millisecond).String(),
+		State:        [...]string{"accepting", "draining", "closed"}[atomic.LoadInt32(&s.state)],
+		Sessions:     nSess,
+		Engine:       s.session.Stats(),
+		Sched:        *s.control.Stats(),
+		Gates:        make(map[string]GateStats, len(s.gates)+1),
+		Acked:        s.counters.acked.Load(),
+		Deadline:     s.counters.deadline.Load(),
+		Canceled:     s.counters.canceled.Load(),
+		GaveUp:       s.counters.gaveUp.Load(),
+		Shed:         s.counters.shed.Load(),
+		BudgetDenied: s.counters.budget.Load(),
+		Rejected:     s.counters.rejected.Load(),
+		RetryAfterMS: s.RetryAfter().Milliseconds(),
+	}
+	if lp, ok := s.control.(interface{ LockSnapshot() lock.Stats }); ok {
+		ls := lp.LockSnapshot()
+		st.Locks = &lockStats{Locked: ls.Locked, Holders: ls.Holders, Shards: ls.Shards}
+	}
+	for name, g := range s.gates {
+		st.Gates[name] = g.snapshot()
+	}
+	st.Gates["inflight"] = s.global.snapshot()
+	s.latMu.Lock()
+	st.Latency = metrics.Summarize(s.lat.samples())
+	st.LockWait = metrics.Summarize(s.waited.samples())
+	s.latMu.Unlock()
+	return st
+}
+
+// gate is one bounded admission stage: a counting semaphore whose waiters
+// give up after the configured admission wait — that bounded wait IS the
+// queue (depth beyond the semaphore is the set of parked requesters, which
+// HTTP already caps by its connection limits).
+type gate struct {
+	name  string
+	depth int
+	slots chan struct{}
+
+	queued   atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+func newGate(name string, depth int) *gate {
+	return &gate{name: name, depth: depth, slots: make(chan struct{}, depth)}
+}
+
+// acquire takes a slot, waiting at most wait; false means shed.
+func (g *gate) acquire(ctx context.Context, wait time.Duration) bool {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+	}
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	tm := time.NewTimer(wait)
+	defer tm.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	case <-tm.C:
+	case <-ctx.Done():
+	}
+	g.shed.Add(1)
+	return false
+}
+
+func (g *gate) release() { <-g.slots }
+
+func (g *gate) snapshot() GateStats {
+	return GateStats{
+		Depth:    g.depth,
+		Inflight: int64(len(g.slots)),
+		Queued:   g.queued.Load(),
+		Admitted: g.admitted.Load(),
+		Shed:     g.shed.Load(),
+	}
+}
+
+// ring is a bounded sample buffer: the last cap samples win.
+type ring struct {
+	buf  []int64
+	next int
+	full bool
+}
+
+func newRing(n int) ring { return ring{buf: make([]int64, n)} }
+
+func (r *ring) add(v int64) {
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *ring) samples() []int64 {
+	if r.full {
+		return append([]int64(nil), r.buf...)
+	}
+	return append([]int64(nil), r.buf[:r.next]...)
+}

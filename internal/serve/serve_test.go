@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mla/internal/history"
+	"mla/internal/model"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Families = 4
+	cfg.AccountsPerFamily = 3
+	cfg.MaxInflight = 16
+	cfg.QueueDepth = 16
+	return cfg
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func openTestSession(t *testing.T, base string) string {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/sessions", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open session: status %d: %s", resp.StatusCode, body)
+	}
+	var sr openSessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr.ID
+}
+
+// TestServeCommit: the basic contract — a transfer through the HTTP API
+// commits, the response reports it, and the commit is durable on the WAL.
+func TestServeCommit(t *testing.T) {
+	srv, ts := startServer(t, testConfig())
+	sess := openTestSession(t, ts.URL)
+	for _, kind := range []string{"transfer", "audit", "credit"} {
+		resp, body := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: kind})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", kind, resp.StatusCode, body)
+		}
+		var tr txnResponse
+		if err := json.Unmarshal(body, &tr); err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Committed || tr.Txn == "" {
+			t.Fatalf("%s: not committed: %+v", kind, tr)
+		}
+		if !srv.Durable(model.TxnID(tr.Txn)) {
+			t.Fatalf("%s: %s acked but not durable", kind, tr.Txn)
+		}
+	}
+	st := srv.Stats()
+	if st.Acked != 3 || st.Engine.Committed != 3 {
+		t.Errorf("stats: acked %d, engine committed %d, want 3/3", st.Acked, st.Engine.Committed)
+	}
+}
+
+// TestServeUnknownSessionAndKind: 404 for a session never opened, 400 for
+// a kind the server does not synthesize.
+func TestServeUnknownSessionAndKind(t *testing.T) {
+	_, ts := startServer(t, testConfig())
+	resp, _ := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: "nope", Kind: "transfer"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+	sess := openTestSession(t, ts.URL)
+	resp, _ = postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "heist"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeOverload: with the engine's one admission slot held hostage,
+// the next request must be shed with 429 and a Retry-After hint, and the
+// shed must show up in the stats.
+func TestServeOverload(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflight = 1
+	cfg.AdmitWait = 5 * time.Millisecond
+	srv, ts := startServer(t, cfg)
+	sess := openTestSession(t, ts.URL)
+
+	// Occupy the single global slot directly; the HTTP path then cannot
+	// admit anything until it is released.
+	if !srv.global.acquire(context.Background(), time.Second) {
+		t.Fatal("could not take the global slot")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+	srv.global.release()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.RetryAfterMS <= 0 {
+		t.Errorf("429 body lacks retry_after_ms: %s", body)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Errorf("stats shed = %d, want 1", st.Shed)
+	}
+
+	// Released: the same request now commits.
+	resp, body = postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServeDeadline: a server whose default deadline is immediately spent
+// answers 408 — the transaction is refused or rolled back at a breakpoint,
+// never half-done.
+func TestServeDeadline(t *testing.T) {
+	cfg := testConfig()
+	cfg.DefaultDeadline = time.Nanosecond
+	cfg.MaxDeadline = time.Nanosecond
+	srv, ts := startServer(t, cfg)
+	sess := openTestSession(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408: %s", resp.StatusCode, body)
+	}
+	if st := srv.Stats(); st.Deadline != 1 {
+		t.Errorf("stats deadline = %d, want 1", st.Deadline)
+	}
+}
+
+// TestServeRetryBudget: a session whose retry budget is spent is shed with
+// 429 before it can queue again.
+func TestServeRetryBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.SessionRetryBudget = 1
+	srv, ts := startServer(t, cfg)
+	sess := openTestSession(t, ts.URL)
+	cs := srv.lookupSession(sess)
+	cs.mu.Lock()
+	cs.budget = 0
+	cs.mu.Unlock()
+	resp, body := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if st := srv.Stats(); st.BudgetDenied != 1 {
+		t.Errorf("stats budget_denied = %d, want 1", st.BudgetDenied)
+	}
+}
+
+// TestServeDrain: Shutdown stops admission (readyz flips, txns 503), lets
+// in-flight work resolve, and leaves every prior ack durable.
+func TestServeDrain(t *testing.T) {
+	srv, ts := startServer(t, testConfig())
+	sess := openTestSession(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain txn: status %d: %s", resp.StatusCode, body)
+	}
+	var tr txnResponse
+	json.Unmarshal(body, &tr)
+
+	if r, err := http.Get(ts.URL + "/readyz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %v %v", r.StatusCode, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: status %d, want 503", r.StatusCode)
+	}
+	if r, _ := http.Get(ts.URL + "/healthz"); r.StatusCode != http.StatusOK {
+		t.Errorf("healthz after clean drain: status %d, want 200 (drain is not a failure)", r.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain txn: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/sessions", map[string]any{})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain session open: status %d, want 503", resp.StatusCode)
+	}
+	if !srv.Durable(model.TxnID(tr.Txn)) {
+		t.Errorf("%s acked before drain but not durable after", tr.Txn)
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestServeHistoryAudit: a recorded run's history replays, passes the
+// black-box MLA checker, and contains every acknowledged commit — the same
+// audit `mlacheck -history` performs on the exported file.
+func TestServeHistoryAudit(t *testing.T) {
+	cfg := testConfig()
+	cfg.Record = true
+	srv, ts := startServer(t, cfg)
+
+	var mu sync.Mutex
+	var acked []model.TxnID
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := openTestSession(t, ts.URL)
+			for i := 0; i < 6; i++ {
+				kind := "transfer"
+				if i == 3 {
+					kind = "credit"
+				}
+				if w == 0 && i == 5 {
+					kind = "audit"
+				}
+				resp, body := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: kind})
+				if resp.StatusCode == http.StatusOK {
+					var tr txnResponse
+					if json.Unmarshal(body, &tr) == nil && tr.Committed {
+						mu.Lock()
+						acked = append(acked, model.TxnID(tr.Txn))
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	h := srv.History()
+	if h == nil {
+		t.Fatal("recording enabled but no history")
+	}
+	rep, err := history.Check(h)
+	if err != nil {
+		t.Fatalf("history check: %v", err)
+	}
+	if !rep.Correctable {
+		t.Fatalf("history not multilevel atomic: %s", rep.Summary())
+	}
+	exec, _, err := h.Committed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := make(map[model.TxnID]bool)
+	for _, st := range exec {
+		committed[st.Txn] = true
+	}
+	if len(acked) == 0 {
+		t.Fatal("no acks collected")
+	}
+	for _, id := range acked {
+		if !committed[id] {
+			t.Errorf("acked %s missing from recorded history", id)
+		}
+		if !srv.Durable(id) {
+			t.Errorf("acked %s not durable", id)
+		}
+	}
+	// The history round-trips through its wire format (what mlaserve
+	// writes and mlacheck reads).
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	h2, err := history.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep2, err := history.Check(h2); err != nil || !rep2.Correctable {
+		t.Fatalf("decoded history fails the checker: %v", err)
+	}
+}
+
+// TestServeConcurrentLoadNoLeaks: a burst of concurrent HTTP clients, then
+// drain — conservation must hold on the WAL values and nothing may leak.
+func TestServeConcurrentLoadNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := testConfig()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := openTestSession(t, ts.URL)
+			for i := 0; i < 5; i++ {
+				resp, _ := postJSON(t, ts.URL+"/v1/txns", txnRequest{Session: sess, Kind: "transfer"})
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests &&
+					resp.StatusCode != http.StatusRequestTimeout {
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+
+	// Conservation: transfers move money, audits only read; result
+	// entities live outside the account space.
+	var sum model.Value
+	for x, v := range srv.db.Values() {
+		if w := srv.world; len(x) >= 4 && x[:4] != "audi" && x[:4] != "cred" {
+			_ = w
+			sum += v
+		}
+	}
+	want := srv.world.Total()
+	if sum != want {
+		t.Errorf("accounts sum to %d, want %d", sum, want)
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines mirrors the engine tests' leak check.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSelfTestSmoke runs the full selftest loop at CI scale: open-loop
+// load with disconnects and a mid-run drain, all assertions on.
+func TestSelfTestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest loop in -short mode")
+	}
+	// Load duration ≈ (Txns/Sessions)/Rate = 20/40 = 500ms, so the 250ms
+	// drain lands mid-load: the first half commits, the second half must
+	// see clean 503s.
+	rep, err := SelfTest(context.Background(), SelfTestOptions{
+		Sessions:      20,
+		Txns:          400,
+		Rate:          40,
+		AuditPct:      2,
+		CreditPct:     8,
+		DisconnectPct: 5,
+		DrainAfter:    250 * time.Millisecond,
+		P99SLO:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Problems {
+		t.Error(p)
+	}
+	if rep.Load.Acked == 0 {
+		t.Error("no acks")
+	}
+}
+
+// TestSelfTestOverload: the overload cell must actually shed.
+func TestSelfTestOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest loop in -short mode")
+	}
+	rep, err := SelfTest(context.Background(), SelfTestOptions{
+		Sessions: 16,
+		Txns:     240,
+		Rate:     400,
+		Overload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Problems {
+		t.Error(p)
+	}
+	if rep.Load.Shed == 0 && rep.Stats.Shed == 0 {
+		t.Error("overload run shed nothing")
+	}
+}
+
+func ExampleServer_Handler() {
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/healthz")
+	fmt.Println(resp.StatusCode)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	// Output: 200
+}

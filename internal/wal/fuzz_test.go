@@ -67,6 +67,9 @@ func FuzzWALRecovery(f *testing.F) {
 	f.Add([]byte{0, 0, 3, 1, 1, 4, 5, 0, 0, 2, 2, 5, 7, 1, 0, 6, 2, 1})
 	f.Add([]byte{0, 1, 2, 0, 2, 6, 7, 1, 3, 0, 1, 1, 5, 1, 9, 0, 3, 2, 6, 0, 4})
 	f.Add([]byte{2, 3, 1, 2, 3, 5, 2, 3, 2, 7, 3, 9, 0, 3, 0, 5, 3, 1})
+	// Regression seed for checksum verification: the trailing selector byte
+	// picks a mid-log commit record to corrupt in check 3 below.
+	f.Add([]byte{0, 0, 3, 0, 1, 4, 5, 0, 0, 0, 2, 5, 5, 0, 0, 8, 0, 0, 7})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		init := fuzzInit()
 		db, err := Open(NewMedium(), init)
@@ -258,6 +261,21 @@ func FuzzWALRecovery(f *testing.F) {
 			}
 			if got := pdb2.Values(); !sameValues(got, want) {
 				t.Fatalf("prefix %d: re-recovery changed values to %v", lsn, got)
+			}
+		}
+
+		// 3. Corruption detection: a torn tail is recoverable (checked
+		// above), a corrupted record is not. Flip the payload of one
+		// durable record — leaving its checksum stale — and recovery must
+		// refuse the whole log instead of replaying garbage.
+		if len(recs) > 0 && len(data) > 0 {
+			cm := m.Prefix(int64(len(recs)))
+			lsn := recs[int(data[len(data)-1])%len(recs)].LSN
+			if !cm.Corrupt(lsn) {
+				t.Fatalf("corrupt: lsn %d not found in log of %d records", lsn, len(recs))
+			}
+			if _, err := Open(cm, fuzzInit()); err == nil {
+				t.Fatalf("recovery accepted a corrupted record at lsn %d", lsn)
 			}
 		}
 	})

@@ -83,6 +83,70 @@ type Record struct {
 	Group []model.TxnID
 	// Snapshot is set on Checkpoint records.
 	Snapshot map[model.EntityID]model.Value
+
+	// Sum is the record's integrity checksum, computed by the medium on
+	// append over every payload field (including the LSN, so a record
+	// cannot be relocated undetected). Recovery verifies it before
+	// replaying anything: a torn tail is a missing suffix and every prefix
+	// is a consistent input, but a CORRUPTED record — bit rot, a misdirected
+	// write — is not recoverable-around and must fail Open loudly instead
+	// of replaying garbage into the redo pass.
+	Sum uint64
+}
+
+// FNV-1a, the codebase's standard seedless hash (see internal/fault).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mixInt(h uint64, v int64) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (u & 0xff)) * fnvPrime
+		u >>= 8
+	}
+	return h
+}
+
+func mixStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	// Length terminator: distinguishes ("ab","c") from ("a","bc").
+	return mixInt(h, int64(len(s)))
+}
+
+// checksum folds every field that gives the record meaning. Allocation-free
+// for the hot kinds (Update/Compensation/Commit); Checkpoint sorts its
+// snapshot keys for a canonical order, which is fine at checkpoint
+// frequency.
+func (r *Record) checksum() uint64 {
+	h := fnvOffset
+	h = mixInt(h, r.LSN)
+	h = mixInt(h, int64(r.Kind))
+	h = mixStr(h, string(r.Txn))
+	h = mixInt(h, int64(r.Seq))
+	h = mixStr(h, string(r.Entity))
+	h = mixInt(h, int64(r.Before))
+	h = mixInt(h, int64(r.After))
+	h = mixInt(h, int64(r.Keep))
+	h = mixInt(h, int64(len(r.Group)))
+	for _, g := range r.Group {
+		h = mixStr(h, string(g))
+	}
+	if r.Snapshot != nil {
+		keys := make([]model.EntityID, 0, len(r.Snapshot))
+		for k := range r.Snapshot {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			h = mixStr(h, string(k))
+			h = mixInt(h, int64(r.Snapshot[k]))
+		}
+	}
+	return h
 }
 
 // Medium is the simulated durable device: an append-only record sequence
@@ -112,8 +176,23 @@ func NewMedium() *Medium { return &Medium{nextLSN: 1} }
 func (m *Medium) append(r Record) Record {
 	r.LSN = m.nextLSN
 	m.nextLSN++
+	r.Sum = r.checksum()
 	m.records = append(m.records, r)
 	return r
+}
+
+// Corrupt flips the payload of the record with the given LSN without
+// recomputing its checksum — simulated bit rot for recovery tests. It
+// reports whether a record with that LSN existed.
+func (m *Medium) Corrupt(lsn int64) bool {
+	for i := range m.records {
+		if m.records[i].LSN == lsn {
+			m.records[i].After++
+			m.records[i].Before--
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the number of durable records.
@@ -195,6 +274,17 @@ func copyVals(in map[model.EntityID]model.Value) map[model.EntityID]model.Value 
 // undo as fresh compensations plus Abort markers.
 func (db *DB) recover() error {
 	records := db.medium.records
+	// Integrity pass over the WHOLE durable log, before anything is
+	// replayed: a checksum mismatch means the medium holds a corrupted
+	// record (not a torn tail — truncation just shortens the sequence), and
+	// no replay decision downstream of it can be trusted. Detection, not
+	// repair: the operator (or test) gets an error naming the LSN.
+	for i := range records {
+		if got, want := records[i].Sum, records[i].checksum(); got != want {
+			return fmt.Errorf("wal: corrupted record at lsn %d (%s): checksum %#x, expected %#x",
+				records[i].LSN, records[i].Kind, got, want)
+		}
+	}
 	start := 0
 	for i := len(records) - 1; i >= 0; i-- {
 		if records[i].Kind == Checkpoint {

@@ -398,3 +398,41 @@ func TestPrefixBeyondEndIsFullCopy(t *testing.T) {
 		t.Errorf("prefix len %d, want %d", p.Len(), m.Len())
 	}
 }
+
+func TestCorruptedRecordFailsRecovery(t *testing.T) {
+	m := NewMedium()
+	db, err := Open(m, map[model.EntityID]model.Value{"x": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPerform(t, db, "t1", 1, "x", 5)
+	db.Commit("t1")
+	mustPerform(t, db, "t2", 1, "x", 3)
+	db.Commit("t2")
+	med := db.Crash()
+
+	// Every single-record corruption must be detected, wherever it lands:
+	// an interior update, a commit, the tail record.
+	for _, r := range med.Records() {
+		cm := med.Prefix(int64(med.Len()))
+		if !cm.Corrupt(r.LSN) {
+			t.Fatalf("lsn %d not found", r.LSN)
+		}
+		if _, err := Open(cm, map[model.EntityID]model.Value{"x": 10}); err == nil {
+			t.Errorf("recovery accepted corrupted %s record at lsn %d", r.Kind, r.LSN)
+		}
+	}
+	// The uncorrupted log still recovers (the copies above never touched it).
+	if db2, err := Open(med, map[model.EntityID]model.Value{"x": 10}); err != nil {
+		t.Fatalf("clean log failed recovery: %v", err)
+	} else if got := db2.Get("x"); got != 18 {
+		t.Errorf("x = %d, want 18", got)
+	}
+}
+
+func TestCorruptMissingLSN(t *testing.T) {
+	m := NewMedium()
+	if m.Corrupt(7) {
+		t.Error("Corrupt reported success on an empty medium")
+	}
+}

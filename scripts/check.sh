@@ -29,6 +29,14 @@ for v in internal/history/testdata/violation_*.json; do
     fi
 done
 go run ./cmd/mlabench -exp E20
+# Service front-end smoke: mlaserve serves a real listener, its own load
+# client offers an open-loop Poisson load with injected disconnects, a real
+# SIGTERM lands mid-run, and the drain is audited — every 200-acked
+# transaction durable and committed in the recorded history, which must
+# then pass the black-box checker standalone.
+go run ./cmd/mlaserve -selftest -sessions 20 -txns 400 -rate 40 \
+    -disconnect-pct 5 -drain-after 250ms -history /tmp/mla_serve_history.json > /dev/null
+go run ./cmd/mlacheck -history /tmp/mla_serve_history.json
 # Perf-path smoke under the race detector: the striped-lock engine and the
 # group-commit pipeline at full concurrency, asserting the optimized paths
 # leave commit outcomes unchanged, with telemetry recording on so the
