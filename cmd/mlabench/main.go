@@ -37,7 +37,7 @@ func main() {
 // run keeps the real logic defer-safe: os.Exit in main would skip the
 // telemetry export and pprof stop otherwise.
 func run() int {
-	exp := flag.String("exp", "", "run only this experiment (E1..E21)")
+	exp := flag.String("exp", "", "run only this experiment (E1..E22)")
 	scale := flag.Int("scale", 2, "workload scale multiplier (1 = quick)")
 	seed := flag.Int64("seed", 1, "random seed")
 	markdown := flag.Bool("md", false, "render tables as markdown")

@@ -157,6 +157,28 @@ func runHistory(path string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// A spool (JSONL, possibly many boots concatenated by crash-restarts)
+	// is sniffed from its header line BEFORE the single-document probe —
+	// a multi-line stream is not one JSON value.
+	if history.SniffSpool(data) {
+		h, err := history.ReadSpool(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "mlacheck:", err)
+			return 1
+		}
+		rep, err := history.Check(h)
+		if err != nil {
+			fmt.Fprintln(stderr, "mlacheck: spool:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-24s %s\n", "spool:", rep.Summary())
+		if rep.Witness != nil {
+			fmt.Fprint(stdout, rep.Witness)
+			return 2
+		}
+		return 0
+	}
+
 	var probe struct {
 		Format      string          `json:"format"`
 		TraceEvents json.RawMessage `json:"traceEvents"`

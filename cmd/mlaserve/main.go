@@ -8,7 +8,9 @@
 // Usage:
 //
 //	mlaserve [-addr 127.0.0.1:7070] [-control 2pl-sharded] [-history h.json]
+//	mlaserve -data-dir /var/lib/mla [-spool h.spool] [-checkpoint-every 512]
 //	mlaserve -selftest [-sessions 100] [-txns 10000] [-rate 150] [-overload]
+//	mlaserve -soak [-soak-rounds 5] [-soak-dir DIR]
 //
 // In serve mode the process runs until SIGTERM/SIGINT, then drains: new
 // work is refused with 503 while admitted transactions finish, the WAL
@@ -16,11 +18,25 @@
 // are exported on every exit path. `mlacheck -history <file>` then audits
 // the run's multilevel atomicity black-box.
 //
+// With -data-dir the WAL is a real segmented on-disk log: commits are
+// fsynced before their 200 is written, a restart over the same directory
+// replays from the latest checkpoint (the listener answers immediately but
+// /readyz stays 503 until recovery completes), and the graceful drain
+// seals the log with a checkpoint so the next boot replays almost nothing.
+// -spool appends a crash-safe history stream (JSONL, one line per event)
+// that `mlacheck -history` can audit even when the process died by kill -9.
+//
 // In selftest mode the binary is its own client: it starts the server,
 // offers an open-loop Poisson load from many sessions (with injected
 // disconnects), raises a real SIGTERM against itself mid-run to exercise
 // the signal path, and exits nonzero unless every acknowledged transaction
 // is durable and committed in a history the checker accepts.
+//
+// In soak mode the binary spawns ITSELF as a child server over a shared
+// data directory and runs the crash-restart durability soak: SIGKILL the
+// child mid-load, restart, re-verify every previously acknowledged
+// transaction, repeat; exit nonzero on any lost ack, unbounded recovery
+// replay, or a merged history the checker rejects.
 package main
 
 import (
@@ -35,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"mla/internal/fault"
 	"mla/internal/history"
 	"mla/internal/serve"
 	"mla/internal/telemetry"
@@ -63,6 +80,16 @@ func run() int {
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics snapshot as JSON on exit")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long the SIGTERM drain may take")
 
+	dataDir := flag.String("data-dir", "", "persist the WAL as a segmented on-disk log here; restarts recover from it")
+	spoolPath := flag.String("spool", "", "append a crash-safe history spool here (mlacheck -history audits it across restarts)")
+	checkpointEvery := flag.Int("checkpoint-every", 512, "compact the on-disk log after this many records (0 = never)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "on-disk WAL segment rotation size (0 = default)")
+	diskWriteErr := flag.Float64("disk-write-err", 0, "inject: probability a WAL write fails transiently")
+	diskShortWrite := flag.Float64("disk-short-write", 0, "inject: probability a WAL write lands torn (then retried)")
+	diskSyncErr := flag.Float64("disk-sync-err", 0, "inject: probability an fsync fails transiently")
+	diskFullAfter := flag.Int64("disk-full-after", 0, "inject: device byte budget; writes past it fail with ENOSPC (0 = unlimited)")
+	diskFaultSeed := flag.Int64("disk-fault-seed", 1, "inject: seed for the disk fault coins")
+
 	selftest := flag.Bool("selftest", false, "run the end-to-end selftest (server + open-loop load + mid-run SIGTERM) and exit")
 	sessions := flag.Int("sessions", 100, "selftest: concurrent client sessions")
 	txns := flag.Int("txns", 10000, "selftest: total transactions offered")
@@ -73,6 +100,12 @@ func run() int {
 	drainAfter := flag.Duration("drain-after", 2*time.Second, "selftest: raise SIGTERM this long into the load (0 = drain after load)")
 	overload := flag.Bool("overload", false, "selftest: shrink admission capacity so shedding must engage")
 	p99SLO := flag.Duration("p99-slo", 5*time.Second, "selftest: acked p99 latency bound (0 = unchecked)")
+
+	soak := flag.Bool("soak", false, "run the crash-restart durability soak (spawns this binary as a child server) and exit")
+	soakDir := flag.String("soak-dir", "", "soak: data directory shared across restarts (default: a temp dir)")
+	soakRounds := flag.Int("soak-rounds", 5, "soak: number of SIGKILL rounds")
+	soakTxns := flag.Int("soak-txns", 300, "soak: transactions offered per round")
+	soakKillAfter := flag.Duration("soak-kill-after", 0, "soak: how long into each round's load the SIGKILL lands (0 = half the expected load duration)")
 	flag.Parse()
 
 	cfg := serve.DefaultConfig()
@@ -105,6 +138,19 @@ func run() int {
 	}
 	cfg.Seed = *seed
 	cfg.Record = *historyOut != ""
+	cfg.DataDir = *dataDir
+	cfg.SpoolPath = *spoolPath
+	cfg.SegmentBytes = *segmentBytes
+	if *dataDir != "" {
+		cfg.CheckpointEvery = *checkpointEvery
+	}
+	cfg.DiskFaults = fault.Plan{
+		Seed:               *diskFaultSeed,
+		DiskWriteErrRate:   *diskWriteErr,
+		DiskShortWriteRate: *diskShortWrite,
+		DiskSyncErrRate:    *diskSyncErr,
+		DiskFullAfter:      *diskFullAfter,
+	}
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *metricsOut != "" {
@@ -133,6 +179,10 @@ func run() int {
 		}
 	}()
 
+	if *soak {
+		return runSoak(*soakDir, *soakRounds, *soakTxns, *soakKillAfter, *checkpointEvery, *seed,
+			*diskWriteErr, *diskShortWrite, *diskSyncErr)
+	}
 	if *selftest {
 		return runSelfTest(serve.SelfTestOptions{
 			Config:        cfg,
@@ -153,28 +203,42 @@ func run() int {
 
 // runServe is the long-lived mode: serve until SIGTERM/SIGINT, then drain
 // gracefully and export the recorded history.
+//
+// The listener binds and announces BEFORE serve.New runs — WAL recovery
+// happens inside New and its duration grows with the unreplayed log, so the
+// recovery window must be observable from outside (probes get 503
+// "recovering" through the gate) rather than a connection-refused blackout.
 func runServe(cfg serve.Config, addr, historyOut string, drainTimeout time.Duration) int {
-	srv, err := serve.New(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mlaserve: %v\n", err)
-		return 1
-	}
-	// The history is written on every exit path — a run that died half-way
-	// is exactly the one whose audit trail matters. The snapshot must be
-	// taken inside the closure: a plain defer would evaluate History() now,
-	// exporting the empty pre-traffic state.
-	defer func() { exportHistory(srv.History(), historyOut) }()
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlaserve: %v\n", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	gate := &serve.Gate{}
+	hs := &http.Server{Handler: gate}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Printf("mlaserve: listening on %s (control=%s, inflight=%d, queue=%d)\n",
 		ln.Addr(), cfg.Control, cfg.MaxInflight, cfg.QueueDepth)
+
+	start := time.Now()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: %v\n", err)
+		hs.Close()
+		return 1
+	}
+	if info := srv.RecoveryInfo(); info.Epoch > 0 {
+		fmt.Printf("mlaserve: recovered %s in %v — epoch %d, %d records (%d past checkpoint, %d torn bytes, %d segments)\n",
+			cfg.DataDir, time.Since(start).Round(time.Millisecond), info.Epoch,
+			info.Records, info.SinceCheckpoint, info.TornBytes, info.Segments)
+	}
+	gate.Set(srv.Handler())
+	// The history is written on every exit path — a run that died half-way
+	// is exactly the one whose audit trail matters. The snapshot must be
+	// taken inside the closure: a plain defer would evaluate History() now,
+	// exporting the empty pre-traffic state.
+	defer func() { exportHistory(srv.History(), historyOut) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
@@ -197,10 +261,60 @@ func runServe(cfg serve.Config, addr, historyOut string, drainTimeout time.Durat
 		fmt.Fprintf(os.Stderr, "mlaserve: http shutdown: %v\n", err)
 	}
 	<-serveErr
+	if err := srv.SpoolErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: history spool: %v\n", err)
+		code = 1
+	}
 	st := srv.Stats()
 	fmt.Printf("mlaserve: drained clean — %d committed, %d shed, %d deadline-aborted\n",
 		st.Acked, st.Shed, st.Deadline)
 	return code
+}
+
+// runSoak spawns this very binary as the child server: the soak's verdict
+// is only meaningful against a process whose SIGKILL this one cannot
+// intercept.
+func runSoak(dir string, rounds, txns int, killAfter time.Duration, checkpointEvery int, seed int64,
+	writeErr, shortWrite, syncErr float64) int {
+	bin, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: soak: %v\n", err)
+		return 1
+	}
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "mlaserve-soak-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlaserve: soak: %v\n", err)
+			return 1
+		}
+		fmt.Printf("mlaserve: soak dir %s\n", dir)
+	}
+	rep, err := serve.Soak(context.Background(), serve.SoakOptions{
+		Bin:                bin,
+		Dir:                dir,
+		Rounds:             rounds,
+		TxnsPerRound:       txns,
+		KillAfter:          killAfter,
+		CheckpointEvery:    checkpointEvery,
+		DiskWriteErrRate:   writeErr,
+		DiskShortWriteRate: shortWrite,
+		DiskSyncErrRate:    syncErr,
+		Seed:               seed,
+		Out:                os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlaserve: soak: %v\n", err)
+		return 1
+	}
+	rep.Summary().Render(os.Stdout)
+	fmt.Printf("soak spool: %s (audit with: mlacheck -history %s)\n", rep.SpoolPath, rep.SpoolPath)
+	if !rep.OK() {
+		for _, p := range rep.Problems {
+			fmt.Fprintf(os.Stderr, "mlaserve: soak: FAIL: %s\n", p)
+		}
+		return 1
+	}
+	return 0
 }
 
 // runSelfTest drives serve.SelfTest with the drain routed through a REAL

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one runner per experiment in
-// EXPERIMENTS.md (E1–E21), each regenerating the corresponding table. The
+// EXPERIMENTS.md (E1–E22), each regenerating the corresponding table. The
 // paper (PODS 1982) is theory-only, so the experiments reproduce its formal
 // claims and worked examples, and run the evaluation its Section 6 and
 // Section 7 call for. cmd/mlabench prints the tables; the root-level
@@ -89,6 +89,7 @@ func All() []Experiment {
 		{"E19", "striped locks + group commit scale the engine's hot path (-perf)", E19Perf},
 		{"E20", "black-box history checker agrees with the scheduler on mixed-level runs", E20MixedHistory},
 		{"E21", "resident front-end keeps the serving contract under drain and overload", E21Serve},
+		{"E22", "acked commits survive SIGKILL crash-restarts with disk faults (real process)", E22CrashSoak},
 	}
 }
 

@@ -193,8 +193,15 @@ type engine struct {
 	spec    breakpoint.Spec
 	store   Store
 	async   AsyncCommitter // non-nil when the store pipelines group commits
+	cerr    CommitErrer    // non-nil when the store reports durable failures
 	faults  *fault.Injector
 	obs     Observer
+
+	// asyncErr latches the first durable-medium failure reported through
+	// cerr after an async-commit ack. Guarded by mu. Once set, no further
+	// groups are submitted, waiters are woken (bump), and every commit
+	// wait path surfaces the error instead of an ack.
+	asyncErr error
 
 	// committers tracks the commit-finalizer goroutine (one per run, fed
 	// through finCh); RunOnStore joins it after the workers so no goroutine
@@ -308,6 +315,7 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
 	e.async, _ = store.(AsyncCommitter)
+	e.cerr, _ = store.(CommitErrer)
 	for _, p := range programs {
 		e.txns[p.ID()] = &etxn{prog: p, id: p.ID(), deps: make(map[model.TxnID]bool)}
 		e.order = append(e.order, p.ID())
@@ -473,6 +481,11 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 			// Wait until our commit group forms.
 			e.mu.Lock()
 			for !e.txns[id].commit && e.txns[id].attempt == attempt {
+				if err := e.asyncErr; err != nil {
+					e.mu.Unlock()
+					done <- fmt.Errorf("engine: commit durability lost: %w", err)
+					return
+				}
 				ch := e.waitGen
 				e.mu.Unlock()
 				select {
@@ -874,6 +887,11 @@ func (e *engine) tryCommitLocked() {
 	if cs, ok := e.store.(crashedStore); ok && cs.Crashed() {
 		return
 	}
+	// Same logic for a degraded durable medium: submitting more groups
+	// into a pipeline that can no longer flush would only queue lies.
+	if e.asyncErr != nil {
+		return
+	}
 	inS := make(map[model.TxnID]bool)
 	for id, t := range e.txns {
 		if t.finished && !t.commit && !t.committing {
@@ -936,7 +954,9 @@ func (e *engine) tryCommitLocked() {
 
 // finalizer marks each submitted group committed once the store
 // acknowledges its durability, in submission order. It exits when the run
-// stops (abandoned acks are discarded with it).
+// stops (abandoned acks are discarded with it) or when the store reports
+// the durable medium failed — the ack of a degraded flush is a wake-up,
+// not a durability promise.
 func (e *engine) finalizer() {
 	defer e.committers.Done()
 	for {
@@ -951,11 +971,35 @@ func (e *engine) finalizer() {
 		case <-e.stop:
 			return // run abandoned; the result is discarded
 		}
+		if !e.ackHealthy() {
+			return
+		}
 		e.mu.Lock()
 		e.finalizeGroupLocked(f.ids)
 		e.bump()
 		e.mu.Unlock()
 	}
+}
+
+// ackHealthy checks the store's durable-failure latch after an ack. On
+// failure it latches asyncErr, wakes every waiter, and reports false — the
+// finalizer must stop finalizing: once one flush failed, no later ack can
+// be trusted either.
+func (e *engine) ackHealthy() bool {
+	if e.cerr == nil {
+		return true
+	}
+	err := e.cerr.CommitErr()
+	if err == nil {
+		return true
+	}
+	e.mu.Lock()
+	if e.asyncErr == nil {
+		e.asyncErr = err
+	}
+	e.bump()
+	e.mu.Unlock()
+	return false
 }
 
 // finalizeGroupLocked records a now-durable commit group: stats, latency
@@ -1061,6 +1105,9 @@ func (e *engine) residentFinalizer() {
 			case <-f.ack:
 			case <-e.stop:
 				return // session abandoned; the ack is discarded
+			}
+			if !e.ackHealthy() {
+				return
 			}
 			e.mu.Lock()
 			e.finalizeGroupLocked(f.ids)

@@ -169,6 +169,7 @@ func NewSession(cfg Config, control sched.Control, spec breakpoint.Spec, store S
 	}
 	e.start = time.Now()
 	e.async, _ = store.(AsyncCommitter)
+	e.cerr, _ = store.(CommitErrer)
 	s := &Session{cfg: cfg, e: e, idle: make(chan struct{})}
 	if e.async != nil {
 		e.committers.Add(1)
@@ -308,6 +309,16 @@ func (s *Session) awaitCommit(t *etxn, attempt int, deadline time.Time, quit <-c
 	e := s.e
 	for {
 		e.mu.Lock()
+		if err := e.asyncErr; err != nil && !t.commit {
+			// The durable medium failed while this group's ack was (or would
+			// be) in flight: its durability is indeterminate, and the session
+			// must not acknowledge it. Poison the session so every submission
+			// resolves with the cause.
+			e.mu.Unlock()
+			werr := fmt.Errorf("engine: commit durability lost: %w", err)
+			s.fail(werr)
+			return Outcome{}, true, fmt.Errorf("%w: %w", ErrSessionClosed, werr)
+		}
 		if t.commit {
 			out := Outcome{
 				Committed: true,

@@ -41,6 +41,16 @@ type AsyncCommitter interface {
 	SubmitGroup(ids []model.TxnID) <-chan struct{}
 }
 
+// CommitErrer is the optional store capability for durable-medium failure
+// detection: CommitErr returns the store's latched persistent write/fsync
+// failure (wrapping wal.ErrDegraded), nil while healthy. The engine
+// consults it after every async-commit ack — an ack that closed after the
+// error latched means the group's durability is indeterminate, and the
+// engine fails the run instead of acknowledging the commit.
+type CommitErrer interface {
+	CommitErr() error
+}
+
 // volatileStore adapts the undo-log store; Perform cannot fail.
 type volatileStore struct{ s *storage.Store }
 
@@ -165,5 +175,9 @@ func (s *PipelinedWALStore) CommitGroup(ids []model.TxnID) { <-s.p.Submit(ids) }
 // single atomic record, so durability follows submission order exactly as
 // the contract demands.
 func (s *PipelinedWALStore) SubmitGroup(ids []model.TxnID) <-chan struct{} { return s.p.Submit(ids) }
+
+// CommitErr implements CommitErrer: the pipeline's latched durable-medium
+// failure, if any.
+func (s *PipelinedWALStore) CommitErr() error { return s.p.Err() }
 
 func (s *PipelinedWALStore) Values() map[model.EntityID]model.Value { return s.p.Values() }

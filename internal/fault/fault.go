@@ -44,6 +44,24 @@ func (e *TransientError) Error() string {
 	return fmt.Sprintf("fault: transient error at %s seq %d (try %d)", e.Txn, e.Seq, e.Try)
 }
 
+// ErrDiskFull is the persistent out-of-space error: unlike a DiskError it
+// does not clear on retry, so the durable medium must give up immediately
+// and the service above it must degrade rather than spin.
+var ErrDiskFull = errors.New("fault: injected disk full")
+
+// DiskError is an injected, transient disk I/O failure (a failed or short
+// write, or a failed fsync). The durable medium retries the operation with
+// capped backoff; every retry re-flips an independent coin, so at rates
+// below 1 the operation eventually lands.
+type DiskError struct {
+	Op string // "write", "short-write", "fsync"
+	N  int64  // per-op sequence number of the faulted call
+}
+
+func (e *DiskError) Error() string {
+	return fmt.Sprintf("fault: injected disk %s error (op %d)", e.Op, e.N)
+}
+
 // Plan describes the faults to inject. The zero value injects nothing.
 type Plan struct {
 	// Seed drives every probabilistic decision. Two injectors built from
@@ -111,6 +129,35 @@ type Plan struct {
 	// transactions resident on it); at Rejoin it comes back empty and
 	// rebuilds its views by anti-entropy resync from its peers.
 	ProcCrashes []ProcCrash
+
+	// DiskWriteErrRate is the probability that a durable-medium write call
+	// fails outright with a transient DiskError (no bytes reach the file).
+	DiskWriteErrRate float64
+
+	// DiskShortWriteRate is the probability that a write lands only
+	// partially: the medium is told to persist a strict prefix of the
+	// buffer and sees a DiskError, so it must re-write the whole frame at
+	// the same offset — and a crash between the two leaves a torn frame
+	// the loader has to truncate away.
+	DiskShortWriteRate float64
+
+	// DiskSyncErrRate is the probability that an fsync fails transiently.
+	// Until a retried fsync succeeds, nothing since the previous sync is
+	// durable — group-commit acks must not be released.
+	DiskSyncErrRate float64
+
+	// DiskFullAfter, when positive, is the total byte budget of the device:
+	// once cumulative persisted bytes reach it, every further write fails
+	// with ErrDiskFull (persistent — retries do not help).
+	DiskFullAfter int64
+
+	// DiskStallRate is the probability that a disk call (write or fsync)
+	// stalls for DiskStall before proceeding — a latency spike, not an
+	// error.
+	DiskStallRate float64
+
+	// DiskStall is the extra latency applied to stalled disk calls.
+	DiskStall time.Duration
 }
 
 // Partition describes one named partition window. While active, processors
@@ -134,7 +181,13 @@ func (p Plan) Enabled() bool {
 	return len(p.CrashAppends) > 0 || p.CrashAfter > 0 || p.StepErrorRate > 0 ||
 		p.AnnounceDropRate > 0 || p.AnnounceDelayRate > 0 ||
 		p.NetDropRate > 0 || p.NetDelayRate > 0 ||
-		len(p.Partitions) > 0 || len(p.ProcCrashes) > 0
+		len(p.Partitions) > 0 || len(p.ProcCrashes) > 0 || p.DiskEnabled()
+}
+
+// DiskEnabled reports whether the plan injects any disk faults.
+func (p Plan) DiskEnabled() bool {
+	return p.DiskWriteErrRate > 0 || p.DiskShortWriteRate > 0 ||
+		p.DiskSyncErrRate > 0 || p.DiskFullAfter > 0 || p.DiskStallRate > 0
 }
 
 // Crashes returns the total number of crashes the plan can inject — the
@@ -152,12 +205,15 @@ func (p Plan) Crashes() int {
 type Injector struct {
 	plan Plan
 
-	mu        sync.Mutex
-	appends   int64
-	crashIdx  int  // next unfired entry of plan.CrashAppends
-	wallArmed bool // CrashAfter not yet handed out
-	announceN int64
-	netN      map[string]int64 // per-kind bus message counters
+	mu         sync.Mutex
+	appends    int64
+	crashIdx   int  // next unfired entry of plan.CrashAppends
+	wallArmed  bool // CrashAfter not yet handed out
+	announceN  int64
+	netN       map[string]int64 // per-kind bus message counters
+	diskWrites int64            // write calls seen (coin identity)
+	diskSyncs  int64            // fsync calls seen (coin identity)
+	diskBytes  int64            // bytes persisted (ErrDiskFull budget)
 }
 
 // New builds an injector for the plan.
@@ -278,6 +334,65 @@ func (i *Injector) Announce() (drop bool, extra int64) {
 		return false, i.plan.AnnounceExtraDelay
 	}
 	return false, 0
+}
+
+// DiskWrite decides the fate of one durable-medium write of n bytes. It
+// returns how many bytes the medium may hand to the OS and, when fewer
+// than n (or zero), the error the medium must surface after persisting
+// that prefix. Decisions are deterministic in (seed, per-call counter);
+// each retry is a new call with a new counter, so transient faults clear.
+// ErrDiskFull is persistent: once the byte budget is exhausted every call
+// fails without consuming coin flips.
+func (i *Injector) DiskWrite(n int) (int, error) {
+	if i == nil || !i.plan.DiskEnabled() {
+		return n, nil
+	}
+	i.mu.Lock()
+	seq := i.diskWrites
+	i.diskWrites++
+	full := i.plan.DiskFullAfter > 0 && i.diskBytes >= i.plan.DiskFullAfter
+	i.mu.Unlock()
+	if full {
+		return 0, ErrDiskFull
+	}
+	key := fmt.Sprintf("disk/write/%d", seq)
+	if i.coin(i.plan.DiskStallRate, "stall/"+key) && i.plan.DiskStall > 0 {
+		time.Sleep(i.plan.DiskStall)
+	}
+	if i.coin(i.plan.DiskWriteErrRate, "err/"+key) {
+		return 0, &DiskError{Op: "write", N: seq}
+	}
+	allowed := n
+	var err error
+	if n > 1 && i.coin(i.plan.DiskShortWriteRate, "short/"+key) {
+		// A strict prefix, at least one byte, position derived from the
+		// same hash so the tear point replays.
+		allowed = 1 + int(hash64(fmt.Sprintf("%d/cut/%s", i.plan.Seed, key))%uint64(n-1))
+		err = &DiskError{Op: "short-write", N: seq}
+	}
+	i.mu.Lock()
+	i.diskBytes += int64(allowed)
+	i.mu.Unlock()
+	return allowed, err
+}
+
+// DiskSync decides the fate of one fsync of the durable medium.
+func (i *Injector) DiskSync() error {
+	if i == nil || !i.plan.DiskEnabled() {
+		return nil
+	}
+	i.mu.Lock()
+	seq := i.diskSyncs
+	i.diskSyncs++
+	i.mu.Unlock()
+	key := fmt.Sprintf("disk/sync/%d", seq)
+	if i.coin(i.plan.DiskStallRate, "stall/"+key) && i.plan.DiskStall > 0 {
+		time.Sleep(i.plan.DiskStall)
+	}
+	if i.coin(i.plan.DiskSyncErrRate, "err/"+key) {
+		return &DiskError{Op: "fsync", N: seq}
+	}
+	return nil
 }
 
 // coin flips a deterministic biased coin: true with probability rate.

@@ -1,0 +1,303 @@
+package history
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"mla/internal/model"
+)
+
+// SpoolFormat identifies the append-only history spool: a JSONL stream a
+// resident server writes as events happen, built so that the history of a
+// process killed with SIGKILL at any instant is still checkable.
+//
+// The native History format (one indented JSON document) cannot be written
+// incrementally — a crash mid-marshal loses everything. The spool writes
+// one self-contained line per fact, each with a single write(2) call, so
+// the kernel's page cache holds every acknowledged line the moment the
+// call returns: process death (the soak's kill -9) loses at most a torn
+// final line, which both the writer (on reopen) and the reader truncate
+// away. Machine power loss is out of scope for the spool — the WAL, not
+// the history, is the durability authority; the spool is the black-box
+// witness used to CHECK the WAL's story.
+//
+// Line shapes, distinguished by their keys:
+//
+//	{"spool":"mla-history-spool/v1","k":4}        header (one per boot)
+//	{"decl":"e3-s000017","levels":["L2-C0",...]}  level-matrix row
+//	{"kind":"step","txn":...}                     an Event, verbatim
+//
+// A restarted server appends to the same file: repeated headers (with a
+// matching k) mark boot boundaries, and ReadSpool merges the whole stream
+// into one concatenated History.
+const SpoolFormat = "mla-history-spool/v1"
+
+// spoolLine is the umbrella shape every line parses into; writers use the
+// dedicated shapes below so each line carries only its own keys.
+type spoolLine struct {
+	// Header fields.
+	Spool string `json:"spool,omitempty"`
+	K     int    `json:"k,omitempty"`
+	// Declaration fields.
+	Decl   model.TxnID `json:"decl,omitempty"`
+	Levels []string    `json:"levels"`
+	// Event fields (inlined so an Event line unmarshals unchanged).
+	Event
+}
+
+type spoolHeader struct {
+	Spool string `json:"spool"`
+	K     int    `json:"k"`
+}
+
+type spoolDecl struct {
+	Decl   model.TxnID `json:"decl"`
+	Levels []string    `json:"levels"`
+}
+
+// Spool is the writer. It implements the engine Observer shape (pass it to
+// engine.Tee next to a Recorder); Declare must be called once per
+// transaction before its first step reaches the log, mirroring the level
+// matrix a Recorder derives from its nest.
+//
+// Errors are sticky: the first failed write latches, every later call is a
+// cheap no-op, and Err reports it — a history spool must never be able to
+// wedge the server it observes.
+type Spool struct {
+	mu   sync.Mutex
+	f    *os.File
+	err  error
+	buf  []byte
+	next int64 // TS counter for this boot
+}
+
+// OpenSpoolFile opens (creating if needed) the spool at path in append
+// mode, self-heals a torn final line left by a previous kill, and writes
+// this boot's header. k is the level count of every history in the file;
+// reopening with a different k fails.
+func OpenSpoolFile(path string, k int) (*Spool, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("history: spool k=%d out of range", k)
+	}
+	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+		if cut := int64(bytes.LastIndexByte(raw, '\n') + 1); cut < int64(len(raw)) {
+			if err := os.Truncate(path, cut); err != nil {
+				return nil, fmt.Errorf("history: healing torn spool tail: %w", err)
+			}
+		}
+		// The existing stream must agree on k.
+		if first := bytes.IndexByte(raw, '\n'); first > 0 {
+			var hdr spoolLine
+			if err := json.Unmarshal(raw[:first], &hdr); err == nil && hdr.Spool == SpoolFormat && hdr.K != k {
+				return nil, fmt.Errorf("history: spool %s has k=%d, reopened with k=%d", path, hdr.K, k)
+			}
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	s := &Spool{f: f}
+	s.mu.Lock()
+	s.writeLocked(spoolHeader{Spool: SpoolFormat, K: k})
+	err = s.err
+	s.mu.Unlock()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// writeLocked marshals one line and hands it to the kernel in a single
+// write. Called with s.mu held.
+func (s *Spool) writeLocked(l any) {
+	if s.err != nil {
+		return
+	}
+	payload, err := json.Marshal(l)
+	if err != nil {
+		s.err = fmt.Errorf("history: spool encode: %w", err)
+		return
+	}
+	s.buf = append(s.buf[:0], payload...)
+	s.buf = append(s.buf, '\n')
+	if _, err := s.f.Write(s.buf); err != nil {
+		s.err = fmt.Errorf("history: spool write: %w", err)
+	}
+}
+
+// Declare records one transaction's intermediate level labels (len k-2).
+// Must precede the transaction's first step line; redeclaring is harmless
+// (the reader keeps the latest).
+func (s *Spool) Declare(t model.TxnID, levels []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if levels == nil {
+		levels = []string{}
+	}
+	s.writeLocked(spoolDecl{Decl: t, Levels: levels})
+}
+
+// event appends one Event line with this boot's monotonic TS.
+func (s *Spool) event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev.TS = s.next
+	s.next++
+	s.writeLocked(ev)
+}
+
+// StepPerformed implements the engine Observer shape.
+func (s *Spool) StepPerformed(t model.TxnID, seq int, x model.EntityID, attempt, cut int) {
+	s.event(Event{Kind: KindStep, Txn: t, Seq: seq, Entity: x, Cut: cut})
+}
+
+// TxnAborted implements the engine Observer shape (full rollback: Kept 0).
+func (s *Spool) TxnAborted(t model.TxnID, cascade bool) {
+	s.event(Event{Kind: KindAbort, Txn: t})
+}
+
+// CommitGroup implements the engine Observer shape. The engine fires it
+// when the group forms — BEFORE the server acknowledges any member — so an
+// acked transaction always has its commit line in the spool: the soak's
+// lost-ack audit rests on that ordering.
+func (s *Spool) CommitGroup(txns []model.TxnID) {
+	s.event(Event{Kind: KindCommit, Txns: append([]model.TxnID(nil), txns...)})
+}
+
+// Crashed implements the engine Observer shape. A process kill writes
+// nothing (that is the point of the format); an in-process injected crash
+// leaves its victims' attempts pending, which replay discards unless they
+// recommit.
+func (s *Spool) Crashed(round, torn int) {}
+
+// WaitBegin implements the engine Observer shape (not part of a history).
+func (s *Spool) WaitBegin(model.TxnID, model.EntityID) {}
+
+// WaitEnd implements the engine Observer shape (not part of a history).
+func (s *Spool) WaitEnd(model.TxnID, model.EntityID, time.Duration) {}
+
+// FaultInjected implements the engine Observer shape (no history event).
+func (s *Spool) FaultInjected(model.TxnID, int, int) {}
+
+// TxnGaveUp implements the engine Observer shape (no history event).
+func (s *Spool) TxnGaveUp(model.TxnID, int) {}
+
+// Recovered implements the engine Observer shape (not part of a history).
+func (s *Spool) Recovered(int, int) {}
+
+// RunEnded implements the engine Observer shape (not part of a history).
+func (s *Spool) RunEnded(int, int, time.Duration) {}
+
+// Err returns the latched write failure, nil while healthy.
+func (s *Spool) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close closes the file. The spool must not be used afterwards.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return s.err
+	}
+	err := s.f.Close()
+	s.f = nil
+	if s.err == nil && err != nil {
+		s.err = fmt.Errorf("history: spool close: %w", err)
+	}
+	return s.err
+}
+
+// SniffSpool reports whether data starts with a spool header line — how
+// mlacheck distinguishes a spool from a native single-document history.
+func SniffSpool(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	var hdr spoolLine
+	return json.Unmarshal(bytes.TrimSpace(line), &hdr) == nil && hdr.Spool == SpoolFormat
+}
+
+// ReadSpool merges a spool stream — any number of boots appended to one
+// file — into a single validated History. A torn final line (the process
+// died mid-write) is tolerated and dropped; every complete line before it
+// must parse. Repeated headers must agree on k.
+func ReadSpool(r io.Reader) (*History, error) {
+	h := &History{Format: Format, Levels: make(map[model.TxnID][]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	var torn string // last line, if it failed to parse (candidate torn tail)
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if torn != "" {
+			// An unparseable line followed by more data is corruption, not a
+			// torn tail.
+			return nil, fmt.Errorf("history: spool line %d: %s", lineNo-1, torn)
+		}
+		var l spoolLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			torn = err.Error()
+			continue
+		}
+		switch {
+		case l.Spool != "":
+			if l.Spool != SpoolFormat {
+				return nil, fmt.Errorf("history: spool line %d: format %q, want %q", lineNo, l.Spool, SpoolFormat)
+			}
+			if h.K != 0 && l.K != h.K {
+				return nil, fmt.Errorf("history: spool line %d: k=%d after k=%d", lineNo, l.K, h.K)
+			}
+			h.K = l.K
+		case l.Decl != "":
+			if l.Levels == nil {
+				l.Levels = []string{}
+			}
+			h.Levels[l.Decl] = l.Levels
+		case l.Kind != "":
+			if h.K == 0 {
+				return nil, fmt.Errorf("history: spool line %d: event before any header", lineNo)
+			}
+			h.Events = append(h.Events, l.Event)
+		default:
+			return nil, fmt.Errorf("history: spool line %d: unrecognized shape %s", lineNo, raw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("history: spool: %w", err)
+	}
+	if h.K == 0 {
+		return nil, fmt.Errorf("history: spool is empty")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ReadSpoolFile reads and merges the spool at path; see ReadSpool.
+func ReadSpoolFile(path string) (*History, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	defer f.Close()
+	return ReadSpool(f)
+}

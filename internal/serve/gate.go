@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is the recovery-readiness front door: an http.Handler that answers
+// for the server while it is still replaying its WAL. Until Set is called,
+// /healthz reports 200 (the process is alive and making progress) but every
+// other path — /readyz included — returns 503 "recovering", so a load
+// balancer keeps traffic away until recovery completes. Set installs the
+// real handler atomically; requests racing the swap see one side or the
+// other, never a partial server.
+//
+// cmd/mlaserve binds its listener and serves a Gate BEFORE calling New, so
+// the recovery window (which grows with log length) is observable from
+// outside rather than a connection-refused blackout.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// Set installs the real handler. Call once, after recovery completes.
+func (g *Gate) Set(h http.Handler) {
+	g.h.Store(&h)
+}
+
+// ServeHTTP dispatches to the installed handler, or answers the recovery
+// stub while none is installed.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		w.Write([]byte("ok\n"))
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:        "recovering",
+		Detail:       "replaying write-ahead log; not ready",
+		RetryAfterMS: 1000,
+	})
+}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"mla/internal/engine"
+	"mla/internal/model"
+	"mla/internal/wal"
 )
 
 // Handler returns the server's HTTP API:
@@ -16,7 +18,8 @@ import (
 //	POST   /v1/sessions        {"family": n?}            -> {"id", "family"}
 //	DELETE /v1/sessions/{id}                             -> 204
 //	POST   /v1/txns            {"session","kind","deadline_ms"?}
-//	GET    /healthz            liveness (engine alive)
+//	GET    /v1/txns/{id}       durability lookup          -> {"txn","durable"}
+//	GET    /healthz            liveness (engine alive, disk healthy)
 //	GET    /readyz             readiness (accepting, not draining)
 //	GET    /statz              full Stats snapshot
 //
@@ -25,7 +28,13 @@ import (
 //	200 committed (durable before this response is written)
 //	408 the transaction's deadline expired at a breakpoint
 //	429 shed (admission timed out, retry budget spent) + Retry-After
-//	503 draining or engine failed + Retry-After where retry makes sense
+//	503 draining, degraded (disk failed; read-only), or engine failed,
+//	    + Retry-After where retry makes sense
+//
+// GET /v1/txns/{id} answers from the recovered WAL state: 200 when the
+// commit record is durable (across any number of restarts), 404 when it is
+// not — the crash-restart soak re-verifies every previously acked
+// transaction through it.
 //
 // A request abandoned by its client (connection gone) is withdrawn at the
 // transaction's next breakpoint; no response is deliverable, so none is
@@ -35,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/txns", s.handleTxn)
+	mux.HandleFunc("GET /v1/txns/{id}", s.handleTxnLookup)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
@@ -103,7 +113,11 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	}
 	cs, err := s.OpenSession(family)
 	if err != nil {
-		s.writeRetryable(w, http.StatusServiceUnavailable, "draining", err.Error())
+		code := "draining"
+		if errors.Is(err, wal.ErrDegraded) {
+			code = "degraded"
+		}
+		s.writeRetryable(w, http.StatusServiceUnavailable, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, openSessionResponse{ID: cs.ID(), Family: cs.Family()})
@@ -135,6 +149,13 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrDraining):
 		s.writeRetryable(w, http.StatusServiceUnavailable, "draining", err.Error())
+		return
+	case errors.Is(err, wal.ErrDegraded):
+		// Checked before ErrSessionClosed: an engine that died OF the disk
+		// reports the disk, so clients and probes see "degraded", not a
+		// generic engine failure. Retry-After because an operator replacing
+		// the volume brings a restarted server back.
+		s.writeRetryable(w, http.StatusServiceUnavailable, "degraded", err.Error())
 		return
 	case errors.Is(err, engine.ErrSessionClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "engine_failed", Detail: err.Error()})
@@ -172,9 +193,22 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleTxnLookup(w http.ResponseWriter, r *http.Request) {
+	id := model.TxnID(r.PathValue("id"))
+	if s.Durable(id) {
+		writeJSON(w, http.StatusOK, map[string]any{"txn": string(id), "durable": true})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, map[string]any{"txn": string(id), "durable": false})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if err := s.Err(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "engine_failed", Detail: err.Error()})
+		code := "engine_failed"
+		if errors.Is(err, wal.ErrDegraded) {
+			code = "degraded"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: code, Detail: err.Error()})
 		return
 	}
 	w.Write([]byte("ok\n"))
@@ -182,7 +216,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.Accepting() {
-		s.writeRetryable(w, http.StatusServiceUnavailable, "draining", "not accepting new transactions")
+		code, detail := "draining", "not accepting new transactions"
+		if s.Degraded() {
+			code, detail = "degraded", "durable medium failed; read-only"
+		}
+		s.writeRetryable(w, http.StatusServiceUnavailable, code, detail)
 		return
 	}
 	w.Write([]byte("ready\n"))

@@ -65,7 +65,8 @@ type Report struct {
 	Shed      int     // 429 that exhausted retries (or retrying disabled)
 	Draining  int     // 503 during drain
 	Canceled  int     // client-side disconnects injected
-	Errors    int     // transport errors, unexpected statuses
+	Down      int     // transport-level failures: the server was unreachable
+	Errors    int     // unexpected statuses, protocol violations
 	Retries   int     // 429s that were retried
 	Latencies []int64 // µs, acked transactions only
 
@@ -171,6 +172,13 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 						rep.Draining++
 					case statusCanceled:
 						rep.Canceled++
+					case statusDown:
+						// Connection refused/reset: the server process was
+						// gone. A crash-restart soak EXPECTS these (the kill
+						// lands mid-load); anything acked before the kill is
+						// still audited via Reverify.
+						rep.Down++
+						noteError(res.errDetail)
 					default:
 						rep.Errors++
 						noteError(res.errDetail)
@@ -197,6 +205,7 @@ const (
 	statusShed
 	statusDraining
 	statusCanceled
+	statusDown
 	statusError
 )
 
@@ -227,7 +236,7 @@ func oneTxn(ctx context.Context, client *http.Client, o Options, sess, kind stri
 		if cancel != nil {
 			cancel()
 		}
-		if disconnect && (st == statusError || st == statusCanceled) {
+		if disconnect && (st == statusError || st == statusDown || st == statusCanceled) {
 			// The injected disconnect surfaced as a transport error or an
 			// explicit cancel — either way, that was the point.
 			out.status = statusCanceled
@@ -269,7 +278,7 @@ func doTxn(ctx context.Context, client *http.Client, o Options, sess, kind strin
 			return statusCanceled
 		}
 		out.errDetail = err.Error()
-		return statusError
+		return statusDown
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -305,6 +314,38 @@ func doTxn(ctx context.Context, client *http.Client, o Options, sess, kind strin
 		out.errDetail = fmt.Sprintf("status %d: %s", resp.StatusCode, buf.String())
 		return statusError
 	}
+}
+
+// Reverify asks the server whether each previously acked transaction is
+// still durable (GET /v1/txns/{id}) and returns the ones it denies — the
+// lost-ack audit a crash-restart soak runs after every recovery. A 404
+// here is the exact failure durability exists to prevent: the server said
+// 200 and then forgot.
+func Reverify(ctx context.Context, client *http.Client, baseURL string, ids []string) ([]string, error) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	var lost []string
+	for _, id := range ids {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/txns/"+id, nil)
+		if err != nil {
+			return lost, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return lost, fmt.Errorf("loadgen: reverify %s: %w", id, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			lost = append(lost, id)
+		default:
+			return lost, fmt.Errorf("loadgen: reverify %s: status %d", id, resp.StatusCode)
+		}
+	}
+	return lost, nil
 }
 
 func openSession(ctx context.Context, client *http.Client, base string) (string, error) {

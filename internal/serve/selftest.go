@@ -82,6 +82,7 @@ func (r *SelfTestReport) Summary() *metrics.Table {
 	t.Row("draining (503)", r.Load.Draining)
 	t.Row("disconnected", r.Load.Canceled)
 	t.Row("retries", r.Load.Retries)
+	t.Row("down", r.Load.Down)
 	t.Row("errors", r.Load.Errors)
 	t.Row("p99 latency", r.P99.String())
 	if r.History != nil {
@@ -255,7 +256,12 @@ func SelfTest(ctx context.Context, o SelfTestOptions) (*SelfTestReport, error) {
 	}
 
 	if load.Errors > 0 {
-		problem("%d transport errors (beyond injected disconnects); samples: %v", load.Errors, load.ErrorSamples)
+		problem("%d protocol errors (beyond injected disconnects); samples: %v", load.Errors, load.ErrorSamples)
+	}
+	if load.Down > 0 {
+		// The selftest never kills the server, so an unreachable server is
+		// a real failure here (unlike in the crash-restart soak).
+		problem("%d transport failures — the server was unreachable; samples: %v", load.Down, load.ErrorSamples)
 	}
 	if load.Acked == 0 {
 		problem("no transaction was acknowledged — the run never got going")

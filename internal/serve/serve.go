@@ -48,6 +48,7 @@ import (
 	"mla/internal/bank"
 	"mla/internal/breakpoint"
 	"mla/internal/engine"
+	"mla/internal/fault"
 	"mla/internal/history"
 	"mla/internal/lock"
 	"mla/internal/metrics"
@@ -103,6 +104,35 @@ type Config struct {
 	// FlushInterval is the WAL group-commit pipeline's flush window.
 	FlushInterval time.Duration
 
+	// DataDir, when non-empty, makes the WAL real: a segmented on-disk log
+	// under this directory (created if needed) replaces the in-memory
+	// medium. The server recovers from it on start — committed work from
+	// previous boots is replayed, losers are rolled back — and session and
+	// transaction identifiers bake in the boot epoch so they never collide
+	// across restarts.
+	DataDir string
+
+	// SegmentBytes is the on-disk WAL's segment rotation size (0 = the
+	// wal package default). Only meaningful with DataDir.
+	SegmentBytes int64
+
+	// CheckpointEvery enables compacting checkpoints: once the log grows
+	// this many records past the last checkpoint, the pipeline compacts at
+	// the next quiescent flush boundary, bounding both recovery replay and
+	// disk usage. 0 disables.
+	CheckpointEvery int
+
+	// DiskFaults injects deterministic disk faults (transient write/fsync
+	// errors, short writes, ENOSPC, latency spikes) between the WAL and the
+	// OS. Zero value injects nothing. Only meaningful with DataDir.
+	DiskFaults fault.Plan
+
+	// SpoolPath, when non-empty, appends every history event to a durable
+	// JSONL spool (history.SpoolFormat) as it happens — the black-box
+	// witness a kill -9 soak checks with mlacheck. Unlike Record, memory
+	// use is O(1); unlike the recorder, the spool survives the process.
+	SpoolPath string
+
 	// Seed drives every synthesized workload choice deterministically.
 	Seed int64
 
@@ -145,10 +175,13 @@ type Server struct {
 	world   bank.World
 	session *engine.Session
 	control sched.Control
+	medium  *wal.Medium
 	db      *wal.DB
 	pipe    *wal.Pipeline
 	nest    *nest.Nest
 	rec     *history.Recorder
+	spool   *history.Spool
+	epoch   int64 // boot count of DataDir; 0 when in-memory
 	start   time.Time
 
 	// transfers carries each in-flight transfer's parameters for the
@@ -189,6 +222,10 @@ const (
 	stAccepting int32 = iota
 	stDraining
 	stClosed
+	// stDegraded is the read-only shedding mode a persistent durable-medium
+	// failure puts the server in: writes are refused with 503 + Retry-After,
+	// durability lookups and stats still answer, healthz reports the cause.
+	stDegraded
 )
 
 // counters are the server-level outcome tallies /statz exposes; all
@@ -230,20 +267,41 @@ func New(cfg Config) (*Server, error) {
 		AccountsPerFamily: cfg.AccountsPerFamily,
 		InitialBalance:    cfg.InitialBalance,
 	}
-	db, err := wal.Open(wal.NewMedium(), w.Init())
+	// The durable medium: a real on-disk segment log when DataDir is set
+	// (recovery replays it before the first request is admitted), the
+	// in-memory simulation otherwise.
+	medium := wal.NewMedium()
+	if cfg.DataDir != "" {
+		var inj *fault.Injector
+		if cfg.DiskFaults.DiskEnabled() {
+			inj = fault.New(cfg.DiskFaults)
+		}
+		m, err := wal.OpenFile(cfg.DataDir, wal.FileOptions{SegmentBytes: cfg.SegmentBytes, Faults: inj})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		medium = m
+	}
+	db, err := wal.Open(medium, w.Init())
 	if err != nil {
+		medium.Close()
 		return nil, fmt.Errorf("serve: opening WAL: %w", err)
 	}
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 200 * time.Microsecond
 	}
 	pipe := wal.NewPipeline(db, cfg.FlushInterval)
+	if cfg.CheckpointEvery > 0 {
+		pipe.AutoCheckpoint(cfg.CheckpointEvery)
+	}
 
 	s := &Server{
 		cfg:       cfg,
 		world:     w,
+		medium:    medium,
 		db:        db,
 		pipe:      pipe,
+		epoch:     medium.Recovery().Epoch,
 		nest:      nest.New(4),
 		transfers: make(map[model.TxnID]*bank.Transfer),
 		sessions:  make(map[string]*clientSession),
@@ -274,6 +332,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Record {
 		s.rec = history.NewRecorder(s.nest)
 		obs = append(obs, s.rec)
+	}
+	if cfg.SpoolPath != "" {
+		sp, err := history.OpenSpoolFile(cfg.SpoolPath, 4)
+		if err != nil {
+			pipe.Close()
+			medium.Close()
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.spool = sp
+		obs = append(obs, sp)
 	}
 	if cfg.Telemetry != nil {
 		if o := engine.NewTelemetryObserver(cfg.Telemetry, "serve/"+s.control.Name()); o != nil {
@@ -339,11 +407,21 @@ func (s *Server) cutAfter(t model.TxnID, prefix []model.Step) int {
 func (s *Server) OpenSession(family int) (*clientSession, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.state != stAccepting {
+	switch s.state {
+	case stAccepting:
+	case stDegraded:
+		return nil, fmt.Errorf("serve: read-only: %w", wal.ErrDegraded)
+	default:
 		return nil, ErrDraining
 	}
 	s.nextSess++
+	// The boot epoch prefixes every session (and hence transaction) ID so
+	// identifiers never collide across restarts of the same data directory
+	// — the concatenated history spool depends on that uniqueness.
 	id := fmt.Sprintf("s%06d", s.nextSess)
+	if s.epoch > 0 {
+		id = fmt.Sprintf("e%d-s%06d", s.epoch, s.nextSess)
+	}
 	if family < 0 || family >= s.cfg.Families {
 		family = int(s.nextSess) % s.cfg.Families
 	}
@@ -406,7 +484,14 @@ func (s *Server) Submit(ctx context.Context, req TxnRequest) (TxnResult, error) 
 	if cs == nil {
 		return TxnResult{}, fmt.Errorf("%w: %q", ErrUnknownSession, req.Session)
 	}
-	if atomic.LoadInt32(&s.state) != stAccepting {
+	switch atomic.LoadInt32(&s.state) {
+	case stAccepting:
+	case stDegraded:
+		// Read-only shedding mode: the durable medium is gone, so no new
+		// write can ever be acknowledged honestly. Lookups still work.
+		s.counters.rejected.Add(1)
+		return TxnResult{}, fmt.Errorf("serve: read-only: %w", wal.ErrDegraded)
+	default:
 		s.counters.rejected.Add(1)
 		return TxnResult{}, ErrDraining
 	}
@@ -475,6 +560,9 @@ func (s *Server) Submit(ctx context.Context, req TxnRequest) (TxnResult, error) 
 			}
 			if s.rec != nil {
 				s.nest.Add(id, path...)
+			}
+			if s.spool != nil {
+				s.spool.Declare(id, path)
 			}
 		},
 		Cleanup: func() {
@@ -667,8 +755,18 @@ func (s *Server) noteFailure(err error) {
 		s.err = err
 	}
 	s.mu.Unlock()
+	if errors.Is(err, wal.ErrDegraded) {
+		// The engine died because the DISK died. The in-memory state and
+		// the committed prefix are intact, so shed writes and keep serving
+		// reads instead of going dark.
+		atomic.CompareAndSwapInt32(&s.state, stAccepting, stDegraded)
+		return
+	}
 	atomic.CompareAndSwapInt32(&s.state, stAccepting, stClosed)
 }
+
+// Degraded reports whether the server is in read-only shedding mode.
+func (s *Server) Degraded() bool { return atomic.LoadInt32(&s.state) == stDegraded }
 
 // Err reports the first fatal engine error, if any (healthz turns red).
 func (s *Server) Err() error {
@@ -681,9 +779,12 @@ func (s *Server) Err() error {
 func (s *Server) Accepting() bool { return atomic.LoadInt32(&s.state) == stAccepting }
 
 // Shutdown is the graceful drain: stop admitting, let in-flight
-// transactions reach their breakpoints and resolve, stop the engine, and
-// flush and close the WAL pipeline. Every committed acknowledgment issued
-// before Shutdown returns is durable on the WAL afterwards. Idempotent;
+// transactions reach their breakpoints and resolve, stop the engine, flush
+// and close the WAL pipeline, compact the log at the final quiescent
+// instant, and release the durable medium and the history spool. Every
+// committed acknowledgment issued before Shutdown returns is durable on
+// the WAL afterwards, and a clean shutdown leaves the log one checkpoint
+// long — the next boot's recovery replays (almost) nothing. Idempotent;
 // the context bounds only the waiting (a timed-out drain still closes).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutOnce.Do(func() {
@@ -691,10 +792,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		derr := s.session.Drain(ctx)
 		cerr := s.session.Close()
 		s.pipe.Close()
+		// The engine is stopped and the pipeline's flusher joined: the DB
+		// is single-threaded again. Seal the log with a compacting
+		// checkpoint when the drain actually quiesced (a failed engine or
+		// an abandoned straggler leaves live records — then the WAL keeps
+		// its full tail and recovery does the rolling back).
+		if s.pipe.Err() == nil && s.db.Live() == 0 {
+			if err := s.db.CheckpointCompact(); err != nil && s.shutErr == nil {
+				s.shutErr = err
+			}
+		}
+		if err := s.medium.Close(); err != nil && s.shutErr == nil {
+			s.shutErr = err
+		}
+		if s.spool != nil {
+			s.spool.Close()
+		}
 		atomic.StoreInt32(&s.state, stClosed)
 		if derr != nil {
 			s.shutErr = derr
-		} else {
+		} else if cerr != nil {
 			s.shutErr = cerr
 		}
 	})
@@ -712,8 +829,26 @@ func (s *Server) History() *history.History {
 }
 
 // Durable reports whether the transaction's commit record reached the WAL
-// — the selftest's ground truth for acknowledged commits.
+// — the selftest's ground truth for acknowledged commits, and (through
+// GET /v1/txns/{id}) the soak's restart re-verification oracle: after a
+// kill -9 the committed set is rebuilt from the on-disk log, checkpoint
+// Done-lists included, so every commit acked by ANY previous boot answers
+// true here.
 func (s *Server) Durable(id model.TxnID) bool { return s.pipe.Committed(id) }
+
+// RecoveryInfo reports what this boot's WAL load found (zero value for an
+// in-memory server): the epoch, the records replayed, the replay distance
+// from the last checkpoint, and any torn bytes truncated.
+func (s *Server) RecoveryInfo() wal.RecoveryInfo { return s.medium.Recovery() }
+
+// SpoolErr reports the history spool's latched write failure, nil while
+// healthy (or when no spool is configured).
+func (s *Server) SpoolErr() error {
+	if s.spool == nil {
+		return nil
+	}
+	return s.spool.Err()
+}
 
 // Stats is the /statz payload: engine, scheduler, lock table, admission,
 // and latency state in one JSON-serializable snapshot.
@@ -735,6 +870,16 @@ type Stats struct {
 	Latency      metrics.Summary      `json:"latency_us"`
 	LockWait     metrics.Summary      `json:"lock_wait_us"`
 	RetryAfterMS int64                `json:"retry_after_ms"`
+
+	// WAL is the group-commit pipeline's counters (flushes, batch sizes,
+	// compacting checkpoints, degraded flag).
+	WAL wal.PipelineStats `json:"wal"`
+	// SinceCheckpoint is the current recovery replay bound: records a
+	// restart right now would redo.
+	SinceCheckpoint int `json:"wal_since_checkpoint"`
+	// Recovery reports what this boot's WAL load found; nil for in-memory
+	// servers.
+	Recovery *wal.RecoveryInfo `json:"recovery,omitempty"`
 }
 
 type lockStats struct {
@@ -759,7 +904,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 	st := Stats{
 		Uptime:       time.Since(s.start).Round(time.Millisecond).String(),
-		State:        [...]string{"accepting", "draining", "closed"}[atomic.LoadInt32(&s.state)],
+		State:        [...]string{"accepting", "draining", "closed", "degraded"}[atomic.LoadInt32(&s.state)],
 		Sessions:     nSess,
 		Engine:       s.session.Stats(),
 		Sched:        *s.control.Stats(),
@@ -785,6 +930,11 @@ func (s *Server) Stats() Stats {
 	st.Latency = metrics.Summarize(s.lat.samples())
 	st.LockWait = metrics.Summarize(s.waited.samples())
 	s.latMu.Unlock()
+	st.WAL = s.pipe.Snapshot()
+	st.SinceCheckpoint = s.pipe.RecordsSinceCheckpoint()
+	if info := s.medium.Recovery(); info.Epoch > 0 {
+		st.Recovery = &info
+	}
 	return st
 }
 

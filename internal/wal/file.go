@@ -1,0 +1,487 @@
+package wal
+
+// The file-backed durable medium: a directory of length-prefixed record
+// segments plus a boot-epoch counter. The format is deliberately dumb —
+// every frame is [u32 big-endian payload length][JSON payload], and the
+// payload carries the same per-record FNV checksum the in-memory medium
+// computes, so torn tails and bit rot are detected by the record's own
+// integrity machinery rather than a second framing CRC.
+//
+// Torn-tail policy (the etcd WAL discipline): an undecodable frame in the
+// LAST segment marks the write the process died inside — everything from
+// there on is truncated away and the log is a (consistent, by the WAL
+// rule) prefix. An undecodable frame in any EARLIER segment means bytes
+// the log already moved past went bad — that is corruption, and Open
+// fails loudly instead of replaying around it.
+//
+// Every write and fsync passes through an optional fault.Injector, which
+// can fail it transiently, shorten it, stall it, or declare the disk
+// full. Transient faults are retried with capped backoff; a persistent
+// failure (disk full, retries exhausted) latches the backing into a
+// degraded state where every further write fails fast wrapping
+// ErrDegraded.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mla/internal/fault"
+)
+
+// FileOptions configures OpenFile.
+type FileOptions struct {
+	// SegmentBytes rotates to a new segment once the active one reaches
+	// this size (default 1 MiB). A frame never spans segments.
+	SegmentBytes int64
+	// Faults, when non-nil, sits between the medium and the OS: every
+	// write and fsync consults it first. Nil injects nothing.
+	Faults *fault.Injector
+}
+
+// RecoveryInfo reports what loading a file-backed medium found.
+type RecoveryInfo struct {
+	// Epoch is the boot count of this data directory, starting at 1. It
+	// is bumped (durably) on every OpenFile, so identifiers derived from
+	// it never collide across restarts.
+	Epoch int64 `json:"epoch"`
+	// Records is how many durable records survived the load.
+	Records int `json:"records"`
+	// SinceCheckpoint is how many of those followed the latest checkpoint
+	// — the replay work recovery actually had to redo.
+	SinceCheckpoint int `json:"since_checkpoint"`
+	// TornBytes is how many trailing bytes of the last segment were
+	// truncated as a torn write.
+	TornBytes int64 `json:"torn_bytes"`
+	// Segments is the number of on-disk segments after the load.
+	Segments int `json:"segments"`
+}
+
+const (
+	defaultSegmentBytes = 1 << 20
+	maxFrameBytes       = 64 << 20 // sanity bound on a length prefix
+	segPrefix           = "seg-"
+	segSuffix           = ".wal"
+	epochFile           = "epoch"
+
+	diskRetries    = 8
+	diskBackoffMin = 200 * time.Microsecond
+	diskBackoffMax = 10 * time.Millisecond
+)
+
+// OpenFile mounts (creating if needed) the segmented log in dir and
+// returns a Medium whose appends persist there before anything volatile
+// changes. The load verifies every record's checksum, truncates a torn
+// tail of the last segment in place, and refuses mid-log corruption. The
+// caller passes the result to Open for WAL recovery as usual.
+func OpenFile(dir string, o FileOptions) (*Medium, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	epoch, err := bumpEpoch(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &fileBacking{dir: dir, segBytes: o.SegmentBytes, inj: o.Faults}
+	m := NewMedium()
+	if err := b.load(m); err != nil {
+		return nil, err
+	}
+	m.backing = b
+	m.info.Epoch = epoch
+	m.info.Records = len(m.records)
+	m.info.SinceCheckpoint = m.sinceCkpt
+	m.info.Segments = len(b.segs)
+	m.info.TornBytes = b.tornBytes
+	return m, nil
+}
+
+// bumpEpoch durably increments the data directory's boot counter.
+func bumpEpoch(dir string) (int64, error) {
+	path := filepath.Join(dir, epochFile)
+	var epoch int64
+	if raw, err := os.ReadFile(path); err == nil {
+		n, perr := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+		if perr != nil {
+			return 0, fmt.Errorf("wal: %s: unparseable epoch %q", path, raw)
+		}
+		epoch = n
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	epoch++
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", epoch); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: epoch: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: epoch: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: epoch: %w", err)
+	}
+	return epoch, nil
+}
+
+// fileBacking is the on-disk side of a Medium. Its mutex is a leaf (it
+// never calls back into the Medium or DB), taken by append/sync/compact
+// so the pipeline's "sync outside the batch lock" concurrency stays safe
+// against segment rotation.
+type fileBacking struct {
+	dir      string
+	segBytes int64
+	inj      *fault.Injector
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	segIndex  int64    // its index
+	off       int64    // good (fully framed) offset within it
+	segs      []int64  // all segment indices, ascending
+	failed    error    // latched persistent failure
+	tornBytes int64    // truncated at load
+	buf       []byte   // frame scratch
+}
+
+func segName(idx int64) string { return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix) }
+
+// load reads every segment into m.records, truncating a torn tail of the
+// last segment and leaving the backing positioned to append after it.
+func (b *fileBacking) load(m *Medium) error {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, perr := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if perr != nil {
+			return fmt.Errorf("wal: unrecognized segment name %q", name)
+		}
+		b.segs = append(b.segs, idx)
+	}
+	sort.Slice(b.segs, func(i, j int) bool { return b.segs[i] < b.segs[j] })
+
+	var prevLSN int64
+	for si, idx := range b.segs {
+		path := filepath.Join(b.dir, segName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		last := si == len(b.segs)-1
+		good, recs, derr := decodeFrames(data, prevLSN)
+		if derr != nil && !last {
+			return fmt.Errorf("wal: segment %s: %w (mid-log, not a torn tail)", segName(idx), derr)
+		}
+		if derr != nil {
+			// Torn tail of the final segment: truncate it away in place so
+			// the next append lands on a clean frame boundary and a second
+			// load sees an identical log (idempotent repair).
+			b.tornBytes = int64(len(data)) - good
+			if err := os.Truncate(path, good); err != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", segName(idx), err)
+			}
+		}
+		for _, r := range recs {
+			m.records = append(m.records, r)
+			m.nextLSN = r.LSN + 1
+			if r.Kind == Checkpoint {
+				m.sinceCkpt = 0
+			} else {
+				m.sinceCkpt++
+			}
+			prevLSN = r.LSN
+		}
+		if last {
+			b.segIndex = idx
+			b.off = good
+		}
+	}
+	if len(b.segs) == 0 {
+		b.segIndex = 1
+		b.segs = []int64{1}
+		if err := b.create(b.segIndex); err != nil {
+			return err
+		}
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(b.dir, segName(b.segIndex)), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	b.f = f
+	return nil
+}
+
+// decodeFrames walks one segment's bytes. It returns the offset after the
+// last fully decoded frame, the records, and a non-nil error describing
+// the first undecodable frame (torn or rotted — the caller decides which
+// by segment position). LSNs must strictly increase from prev.
+func decodeFrames(data []byte, prev int64) (int64, []Record, error) {
+	var recs []Record
+	off := int64(0)
+	for int64(len(data))-off >= 4 {
+		n := int64(binary.BigEndian.Uint32(data[off:]))
+		if n == 0 || n > maxFrameBytes {
+			return off, recs, fmt.Errorf("frame at %d: implausible length %d", off, n)
+		}
+		if off+4+n > int64(len(data)) {
+			return off, recs, fmt.Errorf("frame at %d: %d bytes long but only %d remain", off, n, int64(len(data))-off-4)
+		}
+		var r Record
+		if err := json.Unmarshal(data[off+4:off+4+n], &r); err != nil {
+			return off, recs, fmt.Errorf("frame at %d: %v", off, err)
+		}
+		if got, want := r.Sum, r.checksum(); got != want {
+			return off, recs, fmt.Errorf("frame at %d (lsn %d): checksum %#x, expected %#x", off, r.LSN, got, want)
+		}
+		if r.LSN <= prev {
+			return off, recs, fmt.Errorf("frame at %d: lsn %d not after %d", off, r.LSN, prev)
+		}
+		prev = r.LSN
+		recs = append(recs, r)
+		off += 4 + n
+	}
+	if off != int64(len(data)) {
+		return off, recs, fmt.Errorf("trailing %d bytes at %d are shorter than a length prefix", int64(len(data))-off, off)
+	}
+	return off, recs, nil
+}
+
+// encode builds the frame for r into b.buf.
+func (b *fileBacking) encode(r Record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("wal: encode lsn %d: %w", r.LSN, err)
+	}
+	b.buf = b.buf[:0]
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	b.buf = append(b.buf, hdr[:]...)
+	b.buf = append(b.buf, payload...)
+	return nil
+}
+
+// append persists one record: rotate if the active segment is full, then
+// write the frame at the good offset with fault-aware retries.
+func (b *fileBacking) append(r Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed != nil {
+		return b.failed
+	}
+	if err := b.encode(r); err != nil {
+		return err
+	}
+	if b.off > 0 && b.off+int64(len(b.buf)) > b.segBytes {
+		if err := b.rotate(); err != nil {
+			return err
+		}
+	}
+	return b.writeFrame()
+}
+
+// writeFrame lands b.buf at b.off, retrying transient injected faults and
+// real short writes with capped backoff. Retries always rewrite the WHOLE
+// frame at the same offset, overwriting any partial bytes of the failed
+// try — so the only torn state a crash can leave is a partial frame at
+// the tail, exactly what the loader truncates.
+func (b *fileBacking) writeFrame() error {
+	backoff := diskBackoffMin
+	for try := 0; ; try++ {
+		err := b.writeOnce()
+		if err == nil {
+			b.off += int64(len(b.buf))
+			return nil
+		}
+		if errors.Is(err, fault.ErrDiskFull) || try >= diskRetries {
+			b.failed = fmt.Errorf("%w: segment %d offset %d: %w", ErrDegraded, b.segIndex, b.off, err)
+			return b.failed
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > diskBackoffMax {
+			backoff = diskBackoffMax
+		}
+	}
+}
+
+func (b *fileBacking) writeOnce() error {
+	allowed, ierr := b.inj.DiskWrite(len(b.buf))
+	if allowed > 0 {
+		if n, werr := b.f.WriteAt(b.buf[:allowed], b.off); werr != nil {
+			return werr
+		} else if n < allowed {
+			return io.ErrShortWrite
+		}
+	}
+	if ierr != nil {
+		return ierr
+	}
+	if allowed < len(b.buf) {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// syncActive fsyncs the active segment with fault-aware retries.
+func (b *fileBacking) syncActive() error {
+	backoff := diskBackoffMin
+	for try := 0; ; try++ {
+		err := b.inj.DiskSync()
+		if err == nil {
+			err = b.f.Sync()
+		}
+		if err == nil {
+			return nil
+		}
+		if try >= diskRetries {
+			// An fsync that keeps failing leaves the kernel's dirty state
+			// unknowable (the pages may have been dropped); latch degraded
+			// rather than pretend a later success covers this data.
+			b.failed = fmt.Errorf("%w: fsync segment %d: %w", ErrDegraded, b.segIndex, err)
+			return b.failed
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > diskBackoffMax {
+			backoff = diskBackoffMax
+		}
+	}
+}
+
+func (b *fileBacking) sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed != nil {
+		return b.failed
+	}
+	return b.syncActive()
+}
+
+// rotate seals the active segment (fsync, close) and opens the next one.
+// Called with b.mu held.
+func (b *fileBacking) rotate() error {
+	if err := b.syncActive(); err != nil {
+		return err
+	}
+	if err := b.f.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment %d: %w", b.segIndex, err)
+	}
+	next := b.segIndex + 1
+	if err := b.create(next); err != nil {
+		return err
+	}
+	b.segIndex = next
+	b.segs = append(b.segs, next)
+	return nil
+}
+
+// create opens a fresh segment file and fsyncs the directory so the name
+// itself is durable. Sets b.f, resets b.off.
+func (b *fileBacking) create(idx int64) error {
+	f, err := os.OpenFile(filepath.Join(b.dir, segName(idx)), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(b.dir); err != nil {
+		f.Close()
+		return err
+	}
+	b.f = f
+	b.off = 0
+	return nil
+}
+
+// compact writes ckpt as the first frame of a brand-new segment, makes it
+// durable, then deletes every older segment. Called via
+// Medium.checkpointCompact with the checkpoint already checksummed.
+func (b *fileBacking) compact(ckpt Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed != nil {
+		return b.failed
+	}
+	// Seal whatever is in flight first: the checkpoint claims everything
+	// before it is durable, so it must not outrun an unsynced tail.
+	if err := b.syncActive(); err != nil {
+		return err
+	}
+	if err := b.f.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment %d: %w", b.segIndex, err)
+	}
+	old := append([]int64(nil), b.segs...)
+	next := b.segIndex + 1
+	if err := b.create(next); err != nil {
+		return err
+	}
+	b.segIndex = next
+	b.segs = append(b.segs, next)
+	if err := b.encode(ckpt); err != nil {
+		return err
+	}
+	if err := b.writeFrame(); err != nil {
+		return err
+	}
+	if err := b.syncActive(); err != nil {
+		return err
+	}
+	// Only now is the prefix redundant. Deletion is best-effort: a
+	// leftover old segment is entirely behind the checkpoint the loader
+	// will pick, so it costs read work, never correctness.
+	for _, idx := range old {
+		os.Remove(filepath.Join(b.dir, segName(idx)))
+	}
+	if err := syncDir(b.dir); err != nil {
+		return err
+	}
+	b.segs = []int64{next}
+	return nil
+}
+
+func (b *fileBacking) close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return nil
+	}
+	var err error
+	if b.failed == nil {
+		err = b.syncActive()
+	}
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	b.f = nil
+	return err
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}

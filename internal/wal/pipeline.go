@@ -43,6 +43,18 @@ type Pipeline struct {
 	batchAck    chan struct{}
 	batchGroups int
 
+	// err latches the first durable-medium failure (wrapping
+	// wal.ErrDegraded). Once set, every flush closes its ack without
+	// committing and every Perform/Submit fails fast: a medium that lost
+	// a write cannot be trusted with the next one.
+	err error
+
+	// ckptEvery, when positive, opportunistically compacts the log after
+	// a flush once RecordsSinceCheckpoint reaches it — only at quiescent
+	// instants (no live transactions), so the checkpoint discipline stays
+	// sound under load.
+	ckptEvery int
+
 	stats PipelineStats
 
 	wake chan struct{}
@@ -62,6 +74,11 @@ type PipelineStats struct {
 	Flushes int64
 	// MaxBatch is the largest number of groups merged into one flush.
 	MaxBatch int
+	// Checkpoints is the number of opportunistic compacting checkpoints
+	// taken (see Pipeline.AutoCheckpoint).
+	Checkpoints int64
+	// Degraded is 1 once the durable medium has persistently failed.
+	Degraded int
 }
 
 // NewPipeline starts a committer over db. interval is the batching window:
@@ -118,16 +135,26 @@ func (p *Pipeline) flusher() {
 // acks. The record append happens under mu (serialized with Perform/Abort,
 // and with Submit — so the batch buffer can be recycled immediately: the
 // record has already copied the members); the sync and the ack happen
-// outside it.
+// outside it (the file backing has its own leaf mutex, so a concurrent
+// Perform cannot race the fsync against a segment rotation).
+//
+// A failed commit or sync latches p.err; the ack channel still closes —
+// waiters unblock and learn the verdict from Err(). Durability is
+// indeterminate for the failed batch (the record may or may not have
+// reached the platter), so the only sound answer is "not acked".
 func (p *Pipeline) flush() {
 	p.mu.Lock()
 	ids, ack, groups := p.batchIDs, p.batchAck, p.batchGroups
-	if len(ids) > 0 {
-		p.db.CommitGroup(ids)
-		p.stats.Flushes++
-		p.stats.Txns += int64(len(ids))
-		if groups > p.stats.MaxBatch {
-			p.stats.MaxBatch = groups
+	var cerr error
+	if p.err != nil {
+		cerr = p.err
+	} else if len(ids) > 0 {
+		if cerr = p.db.CommitGroup(ids); cerr == nil {
+			p.stats.Flushes++
+			p.stats.Txns += int64(len(ids))
+			if groups > p.stats.MaxBatch {
+				p.stats.MaxBatch = groups
+			}
 		}
 	}
 	p.batchIDs = ids[:0]
@@ -135,9 +162,62 @@ func (p *Pipeline) flush() {
 	p.batchGroups = 0
 	p.mu.Unlock()
 	if ack != nil {
-		p.db.Sync()
+		if cerr == nil {
+			cerr = p.db.Sync()
+		}
+		if cerr != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = cerr
+				p.stats.Degraded = 1
+			}
+			p.mu.Unlock()
+		}
 		close(ack)
 	}
+	if cerr == nil {
+		p.maybeCheckpoint()
+	}
+}
+
+// maybeCheckpoint compacts the log at a quiescent instant once enough
+// records have accumulated since the last checkpoint. Holding mu through
+// the compaction (fsyncs included) stalls concurrent Performs briefly;
+// at checkpoint frequency that is the sound, simple trade.
+func (p *Pipeline) maybeCheckpoint() {
+	if p.ckptEvery <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil || p.db.Live() > 0 || p.db.RecordsSinceCheckpoint() < p.ckptEvery {
+		return
+	}
+	if err := p.db.CheckpointCompact(); err != nil {
+		p.err = err
+		p.stats.Degraded = 1
+		return
+	}
+	p.stats.Checkpoints++
+}
+
+// AutoCheckpoint enables opportunistic compacting checkpoints after
+// flushes: whenever the log has grown by at least every records past the
+// last checkpoint AND no transaction is live, the flusher compacts. Call
+// before submitting work.
+func (p *Pipeline) AutoCheckpoint(every int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ckptEvery = every
+}
+
+// Err returns the latched durable-medium failure, nil while healthy. Once
+// non-nil it never clears: an acked Submit whose ack closed after Err
+// became non-nil must be treated as not durable.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
 }
 
 // Submit enqueues a dependency-closed commit group and returns a channel
@@ -166,6 +246,9 @@ func (p *Pipeline) Submit(ids []model.TxnID) <-chan struct{} {
 func (p *Pipeline) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Value) (model.Value, string)) (model.Step, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.err != nil {
+		return model.Step{}, p.err
+	}
 	return p.db.Perform(t, seq, x, f)
 }
 
@@ -198,6 +281,14 @@ func (p *Pipeline) LogLen() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.db.LogLen()
+}
+
+// RecordsSinceCheckpoint returns the current recovery replay bound; see
+// DB.RecordsSinceCheckpoint.
+func (p *Pipeline) RecordsSinceCheckpoint() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db.RecordsSinceCheckpoint()
 }
 
 // Snapshot returns a value-copy of the committer's counters; see

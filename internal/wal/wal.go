@@ -21,6 +21,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -28,6 +29,14 @@ import (
 
 	"mla/internal/model"
 )
+
+// ErrDegraded marks a durable medium that has persistently failed: a
+// write or fsync kept failing after capped-backoff retries (or hit an
+// injected disk-full). Every error the medium returns after giving up
+// wraps this sentinel, so the layers above (pipeline, engine session,
+// serve) can distinguish "the disk is gone — shed writes and degrade"
+// from a logic error.
+var ErrDegraded = errors.New("wal: durable medium degraded")
 
 // Kind tags a log record.
 type Kind int
@@ -64,25 +73,33 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Record is one durable log entry.
+// Record is one durable log entry. The json tags are the on-disk frame
+// payload of the file-backed medium (see file.go); the in-memory medium
+// never serializes.
 type Record struct {
-	LSN    int64
-	Kind   Kind
-	Txn    model.TxnID
-	Seq    int
-	Entity model.EntityID
-	Before model.Value
-	After  model.Value
+	LSN    int64          `json:"l"`
+	Kind   Kind           `json:"k"`
+	Txn    model.TxnID    `json:"t,omitempty"`
+	Seq    int            `json:"q,omitempty"`
+	Entity model.EntityID `json:"e,omitempty"`
+	Before model.Value    `json:"b,omitempty"`
+	After  model.Value    `json:"a,omitempty"`
 	// Keep is set on Abort records: the kept prefix length (0 = full).
-	Keep int
+	Keep int `json:"p,omitempty"`
 	// Group is set on Commit records written by CommitGroup: the
 	// additional members committed atomically with Txn. A commit group
 	// whose members observed each other's values must be one record — a
 	// torn tail then keeps the whole group or none of it, never a winner
 	// depending on a loser.
-	Group []model.TxnID
+	Group []model.TxnID `json:"g,omitempty"`
 	// Snapshot is set on Checkpoint records.
-	Snapshot map[model.EntityID]model.Value
+	Snapshot map[model.EntityID]model.Value `json:"s,omitempty"`
+	// Done is set on Checkpoint records: every transaction durably
+	// committed at checkpoint time. Compaction deletes the Commit records
+	// behind the checkpoint, so the committed set must travel with it —
+	// restart re-verification (Durable/Committed lookups) depends on the
+	// full set surviving any number of checkpoints.
+	Done []model.TxnID `json:"d,omitempty"`
 
 	// Sum is the record's integrity checksum, computed by the medium on
 	// append over every payload field (including the LSN, so a record
@@ -91,7 +108,7 @@ type Record struct {
 	// is a consistent input, but a CORRUPTED record — bit rot, a misdirected
 	// write — is not recoverable-around and must fail Open loudly instead
 	// of replaying garbage into the redo pass.
-	Sum uint64
+	Sum uint64 `json:"x"`
 }
 
 // FNV-1a, the codebase's standard seedless hash (see internal/fault).
@@ -135,6 +152,10 @@ func (r *Record) checksum() uint64 {
 	for _, g := range r.Group {
 		h = mixStr(h, string(g))
 	}
+	h = mixInt(h, int64(len(r.Done)))
+	for _, d := range r.Done {
+		h = mixStr(h, string(d))
+	}
 	if r.Snapshot != nil {
 		keys := make([]model.EntityID, 0, len(r.Snapshot))
 		for k := range r.Snapshot {
@@ -163,6 +184,17 @@ type Medium struct {
 	records []Record
 	nextLSN int64
 
+	// sinceCkpt counts records appended since the latest Checkpoint (or
+	// since the start of the log) — the recovery replay bound.
+	sinceCkpt int
+
+	// backing, when non-nil, is the real on-disk segment log behind this
+	// medium (see file.go). Appends persist to it BEFORE entering the
+	// in-memory cache (the write-ahead rule applied to the medium itself),
+	// and Sync becomes a real fsync.
+	backing *fileBacking
+	info    RecoveryInfo
+
 	// SyncDelay is the simulated per-fsync device latency. Zero means
 	// syncs are free (counted but instantaneous). Set before use; not
 	// safe to change concurrently with Sync.
@@ -170,15 +202,58 @@ type Medium struct {
 	syncs     atomic.Int64
 }
 
-// NewMedium returns an empty durable medium.
+// NewMedium returns an empty in-memory durable medium.
 func NewMedium() *Medium { return &Medium{nextLSN: 1} }
 
-func (m *Medium) append(r Record) Record {
+func (m *Medium) append(r Record) (Record, error) {
 	r.LSN = m.nextLSN
-	m.nextLSN++
 	r.Sum = r.checksum()
+	if m.backing != nil {
+		if err := m.backing.append(r); err != nil {
+			return Record{}, err
+		}
+	}
+	m.nextLSN++
 	m.records = append(m.records, r)
-	return r
+	if r.Kind == Checkpoint {
+		m.sinceCkpt = 0
+	} else {
+		m.sinceCkpt++
+	}
+	return r, nil
+}
+
+// checkpointCompact appends a Checkpoint record as the FIRST record of a
+// fresh segment and drops everything before it — in memory and on disk.
+// The snapshot plus committed set subsume the deleted prefix, so recovery
+// replay (and the record cache) is bounded by the checkpoint.
+func (m *Medium) checkpointCompact(snap map[model.EntityID]model.Value, done []model.TxnID) error {
+	r := Record{LSN: m.nextLSN, Kind: Checkpoint, Snapshot: snap, Done: done}
+	r.Sum = r.checksum()
+	if m.backing != nil {
+		if err := m.backing.compact(r); err != nil {
+			return err
+		}
+	}
+	m.nextLSN++
+	m.records = append(m.records[:0:0], r)
+	m.sinceCkpt = 0
+	return nil
+}
+
+// Recovery reports what the last OpenFile load found: the boot epoch, how
+// many records survived, the replay distance from the latest checkpoint,
+// and how many torn tail bytes were truncated away. Zero value for
+// in-memory media.
+func (m *Medium) Recovery() RecoveryInfo { return m.info }
+
+// Close releases the on-disk backing (final fsync included). In-memory
+// media close trivially.
+func (m *Medium) Close() error {
+	if m.backing == nil {
+		return nil
+	}
+	return m.backing.close()
 }
 
 // Corrupt flips the payload of the record with the given LSN without
@@ -198,15 +273,20 @@ func (m *Medium) Corrupt(lsn int64) bool {
 // Len returns the number of durable records.
 func (m *Medium) Len() int { return len(m.records) }
 
-// Sync flushes the device: sleeps SyncDelay and increments the sync
-// counter. Safe to call concurrently (the counter is atomic); callers
-// deliberately invoke it outside any log lock so a slow flush does not
-// stall appends.
-func (m *Medium) Sync() {
+// Sync flushes the device: sleeps SyncDelay, increments the sync counter,
+// and — on a file-backed medium — fsyncs the active segment (with
+// capped-backoff retries under injected faults). Safe to call concurrently
+// with appends; callers deliberately invoke it outside any log lock so a
+// slow flush does not stall appends (the backing has its own leaf mutex).
+func (m *Medium) Sync() error {
 	if m.SyncDelay > 0 {
 		time.Sleep(m.SyncDelay)
 	}
 	m.syncs.Add(1)
+	if m.backing != nil {
+		return m.backing.sync()
+	}
+	return nil
 }
 
 // Syncs returns the number of device flushes performed.
@@ -226,6 +306,11 @@ func (m *Medium) Prefix(lsn int64) *Medium {
 		if r.LSN <= lsn {
 			out.records = append(out.records, r)
 			out.nextLSN = r.LSN + 1
+			if r.Kind == Checkpoint {
+				out.sinceCkpt = 0
+			} else {
+				out.sinceCkpt++
+			}
 		}
 	}
 	return out
@@ -338,6 +423,13 @@ func (db *DB) recover() error {
 			// Only the latest checkpoint is used.
 		}
 	}
+	// The replay-start checkpoint carries the committed set of the deleted
+	// prefix (compaction dropped those Commit records).
+	if start > 0 {
+		for _, t := range records[start-1].Done {
+			db.committed[t] = true
+		}
+	}
 	// Undo losers: all remaining live updates, newest first globally.
 	var loserRecs []Record
 	for t, stack := range db.live {
@@ -355,13 +447,17 @@ func (db *DB) recover() error {
 			}
 			db.vals[u.Entity] = u.Before
 		}
-		db.medium.append(Record{Kind: Compensation, Txn: u.Txn, Seq: u.Seq, Entity: u.Entity, Before: u.After, After: u.Before})
+		if _, err := db.medium.append(Record{Kind: Compensation, Txn: u.Txn, Seq: u.Seq, Entity: u.Entity, Before: u.After, After: u.Before}); err != nil {
+			return fmt.Errorf("wal: recovery undo: %w", err)
+		}
 	}
 	seen := make(map[model.TxnID]bool)
 	for _, u := range loserRecs {
 		if !seen[u.Txn] {
 			seen[u.Txn] = true
-			db.medium.append(Record{Kind: Abort, Txn: u.Txn})
+			if _, err := db.medium.append(Record{Kind: Abort, Txn: u.Txn}); err != nil {
+				return fmt.Errorf("wal: recovery abort marker: %w", err)
+			}
 			delete(db.live, u.Txn)
 		}
 	}
@@ -389,17 +485,26 @@ func (db *DB) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Val
 	}
 	before := db.vals[x]
 	after, label := f(before)
-	rec := db.medium.append(Record{Kind: Update, Txn: t, Seq: seq, Entity: x, Before: before, After: after})
+	rec, err := db.medium.append(Record{Kind: Update, Txn: t, Seq: seq, Entity: x, Before: before, After: after})
+	if err != nil {
+		// WAL-first means a failed append changes nothing volatile: the
+		// step simply did not happen.
+		return model.Step{}, err
+	}
 	db.vals[x] = after
 	db.live[t] = append(db.live[t], rec)
 	return model.Step{Txn: t, Seq: seq, Entity: x, Label: label, Before: before, After: after}, nil
 }
 
-// Commit makes t durable.
-func (db *DB) Commit(t model.TxnID) {
-	db.medium.append(Record{Kind: Commit, Txn: t})
+// Commit makes t durable. On a file-backed medium the append can fail; the
+// transaction is then NOT committed.
+func (db *DB) Commit(t model.TxnID) error {
+	if _, err := db.medium.append(Record{Kind: Commit, Txn: t}); err != nil {
+		return err
+	}
 	db.committed[t] = true
 	delete(db.live, t)
+	return nil
 }
 
 // CommitGroup makes all of ids durable with ONE log record. Commit groups
@@ -409,15 +514,18 @@ func (db *DB) Commit(t model.TxnID) {
 // a torn tail that kept some members' commits but not others' would leave
 // a committed winner depending on an uncommitted loser, which recovery
 // rejects. One record keeps the group indivisible under any prefix.
-func (db *DB) CommitGroup(ids []model.TxnID) {
+func (db *DB) CommitGroup(ids []model.TxnID) error {
 	if len(ids) == 0 {
-		return
+		return nil
 	}
-	db.medium.append(Record{Kind: Commit, Txn: ids[0], Group: append([]model.TxnID(nil), ids[1:]...)})
+	if _, err := db.medium.append(Record{Kind: Commit, Txn: ids[0], Group: append([]model.TxnID(nil), ids[1:]...)}); err != nil {
+		return err
+	}
 	for _, t := range ids {
 		db.committed[t] = true
 		delete(db.live, t)
 	}
+	return nil
 }
 
 // Abort fully rolls back the transactions in set; the set must be closed
@@ -452,7 +560,13 @@ func (db *DB) AbortSuffix(keep map[model.TxnID]int) error {
 			}
 			db.vals[u.Entity] = u.Before
 		}
-		db.medium.append(Record{Kind: Compensation, Txn: u.Txn, Seq: u.Seq, Entity: u.Entity, Before: u.After, After: u.Before})
+		if _, err := db.medium.append(Record{Kind: Compensation, Txn: u.Txn, Seq: u.Seq, Entity: u.Entity, Before: u.After, After: u.Before}); err != nil {
+			// The volatile undo already happened; the CLR is lost. The
+			// medium is degraded — a crash now re-undoes from the original
+			// updates, which is idempotent for recovery, so surfacing the
+			// error (and stopping all further writes) is the right move.
+			return err
+		}
 	}
 	for t, k := range keep {
 		var kept []Record
@@ -461,7 +575,9 @@ func (db *DB) AbortSuffix(keep map[model.TxnID]int) error {
 				kept = append(kept, r)
 			}
 		}
-		db.medium.append(Record{Kind: Abort, Txn: t, Keep: k})
+		if _, err := db.medium.append(Record{Kind: Abort, Txn: t, Keep: k}); err != nil {
+			return err
+		}
 		if len(kept) == 0 {
 			delete(db.live, t)
 		} else {
@@ -478,9 +594,39 @@ func (db *DB) Checkpoint() error {
 	if len(db.live) > 0 {
 		return fmt.Errorf("wal: checkpoint requires quiescence (%d active transactions)", len(db.live))
 	}
-	db.medium.append(Record{Kind: Checkpoint, Snapshot: copyVals(db.vals)})
-	return nil
+	_, err := db.medium.append(Record{Kind: Checkpoint, Snapshot: copyVals(db.vals), Done: db.doneIDs()})
+	return err
 }
+
+// CheckpointCompact writes a quiescent checkpoint AND truncates the log
+// behind it: on a file-backed medium the checkpoint opens a fresh segment
+// and every older segment is deleted; in memory the record cache drops its
+// prefix. Recovery replay — and the resident record cache — is bounded by
+// the distance to this checkpoint from then on.
+func (db *DB) CheckpointCompact() error {
+	if len(db.live) > 0 {
+		return fmt.Errorf("wal: checkpoint requires quiescence (%d active transactions)", len(db.live))
+	}
+	return db.medium.checkpointCompact(copyVals(db.vals), db.doneIDs())
+}
+
+func (db *DB) doneIDs() []model.TxnID {
+	ids := make([]model.TxnID, 0, len(db.committed))
+	for t := range db.committed {
+		ids = append(ids, t)
+	}
+	model.SortTxnIDs(ids)
+	return ids
+}
+
+// Live returns the number of transactions with un-undone live updates —
+// zero means the log is quiescent and a checkpoint may run.
+func (db *DB) Live() int { return len(db.live) }
+
+// RecordsSinceCheckpoint is the recovery replay bound: how many records a
+// restart would redo before reaching the latest checkpoint (the whole log
+// if none exists).
+func (db *DB) RecordsSinceCheckpoint() int { return db.medium.sinceCkpt }
 
 // Crash simulates losing all volatile state: it returns the durable medium,
 // from which Open recovers a fresh DB. The old DB must not be used again.
@@ -493,7 +639,7 @@ func (db *DB) LogLen() int { return db.medium.Len() }
 // Sync flushes the underlying medium; see Medium.Sync. Unbatched commit
 // paths call this once per commit record, the group-commit Pipeline once
 // per flushed batch.
-func (db *DB) Sync() { db.medium.Sync() }
+func (db *DB) Sync() error { return db.medium.Sync() }
 
 // Stats is a point-in-time snapshot of the log, returned by DB.Snapshot.
 // Like every Snapshot() in this codebase (lock, sched, net), the returned

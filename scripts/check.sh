@@ -12,6 +12,10 @@ go vet ./...
 ./scripts/lint.sh
 go test -race ./...
 go test ./internal/wal/ -run FuzzWALRecovery -fuzz FuzzWALRecovery -fuzztime 10s
+# Same recovery law over the real medium: a file-backed log whose tail is
+# truncated or bit-flipped at an arbitrary point must mount to a consistent
+# prefix, idempotently, with the in-memory medium as the oracle.
+go test ./internal/wal/ -run FuzzFileWALRecovery -fuzz FuzzFileWALRecovery -fuzztime 10s
 # Checker-vs-scheduler fuzz smoke: the black-box history checker must agree
 # with the Theorem 2 analysis on random interleavings of the banking
 # workload.
@@ -37,6 +41,15 @@ go run ./cmd/mlabench -exp E20
 go run ./cmd/mlaserve -selftest -sessions 20 -txns 400 -rate 40 \
     -disconnect-pct 5 -drain-after 250ms -history /tmp/mla_serve_history.json > /dev/null
 go run ./cmd/mlacheck -history /tmp/mla_serve_history.json
+# Crash-restart durability smoke: a real mlaserve process over an on-disk
+# WAL, SIGKILLed mid-load twice with injected disk faults; every 200-acked
+# transaction must be re-verifiable after each restart and the multi-boot
+# history spool must pass the black-box checker (the nightly runs the full
+# five-round soak).
+rm -rf /tmp/mla_soak_smoke
+go run ./cmd/mlaserve -soak -soak-rounds 2 -soak-txns 200 -soak-dir /tmp/mla_soak_smoke \
+    -checkpoint-every 64 -disk-write-err 0.02 -disk-short-write 0.02 -disk-sync-err 0.01 > /dev/null
+go run ./cmd/mlacheck -history /tmp/mla_soak_smoke/history.spool
 # Perf-path smoke under the race detector: the striped-lock engine and the
 # group-commit pipeline at full concurrency, asserting the optimized paths
 # leave commit outcomes unchanged, with telemetry recording on so the
