@@ -5,11 +5,23 @@
 //	mlabench [-exp E5] [-scale 2] [-seed 1]
 //	mlabench -perf [-out BENCH_4.json] [-quick]
 //	mlabench -perf -quick -telemetry -trace-out trace.json
+//	mlabench -rate 120000 -duration 1s -slo-p99 20ms
+//	mlabench -rate 5000 -base http://127.0.0.1:7070
+//	mlabench -rate 60000 -history BENCH_HISTORY.json -commit $(git rev-parse --short HEAD) -gate
 //
 // Without -exp it runs the full suite E1..E21. With -perf it runs the
 // engine performance sweep (E19's harness) instead, prints the table, and
 // writes the JSON report; it exits nonzero if the optimized engine paths
 // changed any commit outcome relative to the unoptimized ones.
+//
+// With -rate (or -load) it runs the open-loop load cell: Poisson arrivals
+// at the given rate against the in-process engine — or, with -base, a
+// running mlaserve over real HTTP — reporting coordinated-omission-safe
+// p50/p99/p99.9 and throughput at the -slo-p99 objective. -closed switches
+// to the classic closed loop for comparison. -history appends the report
+// to BENCH_HISTORY.json keyed by -commit; -gate additionally compares
+// against the previous recorded run of the same kind and exits nonzero on
+// a >10% throughput or p99 regression.
 //
 // -telemetry records spans and counters from the runs that support tracing
 // (the engine, the simulator, the dist bus); -trace-out exports the spans
@@ -42,8 +54,20 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	markdown := flag.Bool("md", false, "render tables as markdown")
 	perf := flag.Bool("perf", false, "run the engine performance sweep and write the JSON report")
-	out := flag.String("out", "BENCH_4.json", "output path for the -perf JSON report")
-	quick := flag.Bool("quick", false, "-perf: smaller workloads, GOMAXPROCS {1,8} only")
+	out := flag.String("out", "", "output path for the JSON report (default BENCH_4.json for -perf, none for -rate)")
+	quick := flag.Bool("quick", false, "-perf/-rate: smaller workloads, GOMAXPROCS {1,8} only")
+	load := flag.Bool("load", false, "run the open-loop load cell (implied by -rate)")
+	rate := flag.Float64("rate", 0, "open-loop offered rate, txns/second (runs the load cell)")
+	duration := flag.Duration("duration", 0, "load cell length (rate×duration txns; default 1s, quick 250ms)")
+	txns := flag.Int("txns", 0, "load cell: explicit transaction count (overrides -duration)")
+	workload := flag.String("workload", "lowcontention", "load cell shape: lowcontention | hotspot")
+	workers := flag.Int("workers", 0, "load cell: worker pool bound (default 32)")
+	closed := flag.Bool("closed", false, "load cell: closed loop (CO-unsafe; comparison only)")
+	sloP99 := flag.Duration("slo-p99", 0, "load cell: p99 latency objective; a miss exits nonzero")
+	base := flag.String("base", "", "load cell: drive a running mlaserve at this base URL instead of the in-process engine")
+	historyPath := flag.String("history", "", "append the report to this BENCH_HISTORY.json")
+	commit := flag.String("commit", "unknown", "commit key for the -history entry")
+	gate := flag.Bool("gate", false, "with -history: fail on >10% throughput/p99 regression vs the last recorded run")
 	useTel := flag.Bool("telemetry", false, "record spans and counters; print the metrics table at exit")
 	traceOut := flag.String("trace-out", "", "write the recorded spans as Chrome trace-event JSON (implies -telemetry)")
 	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
@@ -85,8 +109,51 @@ func run() int {
 		tel.Table().Render(os.Stdout)
 	}()
 
+	// record appends rep to the history file and runs the regression gate;
+	// it returns a nonzero exit code on gate failure.
+	record := func(rep *bench.Report) int {
+		if *historyPath == "" {
+			if *gate {
+				fmt.Fprintln(os.Stderr, "mlabench: -gate needs -history")
+				return 1
+			}
+			return 0
+		}
+		hist, err := bench.LoadHistory(*historyPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: history: %v\n", err)
+			return 1
+		}
+		prev := hist.Last(rep.Kind)
+		if err := hist.Append(*historyPath, *commit, rep, time.Now()); err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: history: %v\n", err)
+			return 1
+		}
+		fmt.Printf("recorded %s entry %s in %s\n", rep.Kind, *commit, *historyPath)
+		if !*gate {
+			return 0
+		}
+		if prev == nil {
+			fmt.Println("bench gate: no previous entry, pass by default")
+			return 0
+		}
+		if bad := bench.Gate(prev.Report, rep); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "mlabench: bench gate FAILED vs %s:\n", prev.Commit)
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", b)
+			}
+			return 1
+		}
+		fmt.Printf("bench gate: pass vs %s\n", prev.Commit)
+		return 0
+	}
+
 	if *perf {
-		rep, err := bench.PerfRun(ctx, bench.PerfOptions{Seed: *seed, Quick: *quick, Telemetry: tel})
+		if *out == "" {
+			*out = "BENCH_4.json"
+		}
+		rep, err := bench.PerfRun(ctx, bench.NewConfig(
+			bench.WithSeed(*seed), bench.WithQuick(*quick), bench.WithTelemetry(tel)))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mlabench: perf: %v\n", err)
 			return 1
@@ -101,7 +168,50 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mlabench: perf: EQUIVALENCE FAILED — optimized paths changed commit outcomes")
 			return 1
 		}
-		return 0
+		return record(rep)
+	}
+
+	if *load || *rate > 0 {
+		opts := []bench.Option{
+			bench.WithSeed(*seed), bench.WithQuick(*quick), bench.WithContext(ctx),
+			bench.WithRate(*rate), bench.WithDuration(*duration), bench.WithTxns(*txns),
+			bench.WithWorkload(*workload), bench.WithWorkers(*workers), bench.WithSLO(*sloP99),
+		}
+		if *closed {
+			opts = append(opts, bench.WithClosedLoop())
+		}
+		cfg := bench.NewConfig(opts...)
+		var rep *bench.Report
+		var err error
+		if *base != "" {
+			rep, err = bench.LoadRunHTTP(ctx, *base, cfg)
+		} else {
+			rep, err = bench.LoadRun(ctx, cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: load: %v\n", err)
+			return 1
+		}
+		rep.Table().Render(os.Stdout)
+		if *out != "" {
+			if err := rep.WriteJSON(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "mlabench: load: write %s: %v\n", *out, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if !rep.EquivalenceOK {
+			fmt.Fprintln(os.Stderr, "mlabench: load: EQUIVALENCE FAILED — final state diverged from acked increments")
+			return 1
+		}
+		for _, c := range rep.Load {
+			if !c.SLOMet {
+				fmt.Fprintf(os.Stderr, "mlabench: load: SLO MISS — %s/%s p99 %dµs > objective %dµs\n",
+					c.Workload, c.Mode, c.P99US, c.SLOP99US)
+				return 1
+			}
+		}
+		return record(rep)
 	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed, Context: ctx, Telemetry: tel}

@@ -9,7 +9,6 @@ package bench
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"mla/internal/breakpoint"
 	"mla/internal/metrics"
@@ -17,46 +16,7 @@ import (
 	"mla/internal/nest"
 	"mla/internal/sched"
 	"mla/internal/sim"
-	"mla/internal/telemetry"
 )
-
-// Options configures an experiment run.
-type Options struct {
-	// Scale multiplies trial counts and workload sizes. 1 is the quick
-	// configuration used from benchmarks and tests; cmd/mlabench defaults
-	// to 2.
-	Scale int
-	// Seed drives all randomness.
-	Seed int64
-	// Context, when non-nil, cancels in-flight simulations between events;
-	// a cancelled experiment returns the wrapped ctx error. cmd/mlabench
-	// wires the interrupt signal here so ^C stops a long sweep promptly.
-	Context context.Context
-	// Telemetry, when non-nil, is the shared sink experiments record into:
-	// spans from the runs that support tracing (engine, sim, net bus) and
-	// aggregated counters from every Snapshot(). cmd/mlabench exports it
-	// via -telemetry / -trace-out.
-	Telemetry *telemetry.Telemetry
-}
-
-// DefaultOptions returns Scale 1, Seed 1.
-func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
-
-func (o Options) scale() int {
-	if o.Scale < 1 {
-		return 1
-	}
-	return o.Scale
-}
-
-func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
-
-func (o Options) ctx() context.Context {
-	if o.Context == nil {
-		return context.Background()
-	}
-	return o.Context
-}
 
 // Experiment couples an identifier with its runner.
 type Experiment struct {

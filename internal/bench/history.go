@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// HistoryEntry is one BENCH_HISTORY.json record: a full mla-bench/v1
+// report keyed by the commit it measured.
+type HistoryEntry struct {
+	Commit string  `json:"commit"`
+	Time   string  `json:"time"` // RFC3339
+	Report *Report `json:"report"`
+}
+
+// History is the BENCH_HISTORY.json artifact: an append-only log of bench
+// reports, one entry per recorded run, most recent last. The bench gate
+// compares a fresh report against the last recorded entry of the same
+// kind, so perf-sweep and load-cell histories interleave in one file.
+type History struct {
+	Schema  string         `json:"schema"` // Schema ("mla-bench/v1")
+	Entries []HistoryEntry `json:"entries"`
+}
+
+// historyKeep bounds the file: old entries roll off the front.
+const historyKeep = 200
+
+// LoadHistory reads the history file; a missing file is an empty history.
+func LoadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &History{Schema: Schema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := &History{}
+	if err := json.Unmarshal(data, h); err != nil {
+		return nil, fmt.Errorf("bench: history %s: %w", path, err)
+	}
+	return h, nil
+}
+
+// Last returns the most recent entry whose report has the given kind, or
+// nil.
+func (h *History) Last(kind string) *HistoryEntry {
+	for i := len(h.Entries) - 1; i >= 0; i-- {
+		if r := h.Entries[i].Report; r != nil && r.Kind == kind {
+			return &h.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Append records rep under commit and writes the file back.
+func (h *History) Append(path, commit string, rep *Report, now time.Time) error {
+	h.Schema = Schema
+	h.Entries = append(h.Entries, HistoryEntry{
+		Commit: commit,
+		Time:   now.UTC().Format(time.RFC3339),
+		Report: rep,
+	})
+	if len(h.Entries) > historyKeep {
+		h.Entries = h.Entries[len(h.Entries)-historyKeep:]
+	}
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Gate tolerances: a regression must exceed the relative tolerance AND the
+// absolute slack to fail the gate — CI cells are small, and small cells are
+// noisy; the absolute floors keep microsecond jitter from failing pushes
+// while still catching real cliffs.
+const (
+	gateTolerance   = 0.10    // 10% relative
+	gateSlackTPS    = 5_000   // absolute throughput slack, txns/s
+	gateSlackP99US  = 300     // absolute p99 slack, µs
+	gateSlackAllocs = 2.0     // absolute allocs/txn slack
+)
+
+// Gate compares cur against prev (an earlier report of the same kind) and
+// returns a description of every regression that exceeds both the relative
+// tolerance and the absolute slack: throughput down, p99 up, or allocs/txn
+// up. An empty slice means the gate passes. Cells are matched by identity
+// (workload+mode for load, workload+config+procs for perf); cells present
+// in only one report are ignored.
+func Gate(prev, cur *Report) []string {
+	var bad []string
+	worseTPS := func(name string, old, new float64) {
+		if old > 0 && new < old*(1-gateTolerance) && old-new > gateSlackTPS {
+			bad = append(bad, fmt.Sprintf("%s: throughput %.0f → %.0f txn/s (-%.0f%%)", name, old, new, 100*(old-new)/old))
+		}
+	}
+	worseP99 := func(name string, old, new int64) {
+		if old > 0 && float64(new) > float64(old)*(1+gateTolerance) && new-old > gateSlackP99US {
+			bad = append(bad, fmt.Sprintf("%s: p99 %dµs → %dµs (+%.0f%%)", name, old, new, 100*float64(new-old)/float64(old)))
+		}
+	}
+	worseAllocs := func(name string, old, new float64) {
+		if old > 0 && new > old*(1+gateTolerance) && new-old > gateSlackAllocs {
+			bad = append(bad, fmt.Sprintf("%s: allocs/txn %.1f → %.1f", name, old, new))
+		}
+	}
+	switch cur.Kind {
+	case "load":
+		for _, c := range cur.Load {
+			for _, p := range prev.Load {
+				if p.Workload == c.Workload && p.Mode == c.Mode {
+					name := fmt.Sprintf("load %s/%s", c.Workload, c.Mode)
+					worseTPS(name, p.ThroughputTPS, c.ThroughputTPS)
+					worseP99(name, p.P99US, c.P99US)
+					worseAllocs(name, p.AllocsPerTxn, c.AllocsPerTxn)
+					break
+				}
+			}
+		}
+	case "perf":
+		for _, c := range cur.Measurements {
+			for _, p := range prev.Measurements {
+				if p.Workload == c.Workload && p.Config == c.Config && p.Procs == c.Procs {
+					name := fmt.Sprintf("perf %s/%s@%d", c.Workload, c.Config, c.Procs)
+					worseTPS(name, p.ThroughputTPS, c.ThroughputTPS)
+					worseP99(name, p.P99LatencyUS, c.P99LatencyUS)
+					worseAllocs(name, p.AllocsPerTxn, c.AllocsPerTxn)
+					break
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func loadRep(tps float64, p99 int64, allocs float64) *Report {
+	return &Report{Schema: Schema, Kind: "load", Load: []LoadCell{{
+		Workload: "lowcontention", Mode: "open",
+		ThroughputTPS: tps, P99US: p99, AllocsPerTxn: allocs,
+	}}}
+}
+
+func TestHistoryAppendAndLast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	h, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("LoadHistory(missing): %v", err)
+	}
+	if h.Last("load") != nil {
+		t.Fatal("empty history has a last entry")
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	if err := h.Append(path, "aaa111", loadRep(60000, 2000, 5), now); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	perf := &Report{Schema: Schema, Kind: "perf"}
+	if err := h.Append(path, "bbb222", perf, now.Add(time.Hour)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	h2, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if h2.Schema != Schema || len(h2.Entries) != 2 {
+		t.Fatalf("reloaded schema=%q entries=%d", h2.Schema, len(h2.Entries))
+	}
+	// Last is kind-aware: the perf entry appended later must not shadow the
+	// load entry — the two histories interleave in one file.
+	if e := h2.Last("load"); e == nil || e.Commit != "aaa111" {
+		t.Errorf("Last(load) = %+v, want commit aaa111", e)
+	}
+	if e := h2.Last("perf"); e == nil || e.Commit != "bbb222" {
+		t.Errorf("Last(perf) = %+v, want commit bbb222", e)
+	}
+}
+
+func TestHistoryKeepBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	h := &History{}
+	now := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < historyKeep+10; i++ {
+		if err := h.Append(path, "c", loadRep(1, 1, 1), now); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if len(h.Entries) != historyKeep {
+		t.Errorf("history holds %d entries, want the %d-entry bound", len(h.Entries), historyKeep)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := loadRep(60000, 2000, 5)
+	cases := []struct {
+		name string
+		cur  *Report
+		bad  bool
+	}{
+		{"identical", loadRep(60000, 2000, 5), false},
+		// Within relative tolerance: fine.
+		{"small dip", loadRep(57000, 2100, 5.5), false},
+		// p99/allocs beyond 10% but under the absolute slack floors: still
+		// fine — small CI cells jitter by microseconds and fractions of an
+		// alloc.
+		{"big relative, small absolute", loadRep(60000, 2290, 6.9), false},
+		// Beyond both: regression.
+		{"throughput cliff", loadRep(40000, 2000, 5), true},
+		{"p99 cliff", loadRep(60000, 9000, 5), true},
+		{"alloc cliff", loadRep(60000, 2000, 12), true},
+		// Improvements never trip the gate.
+		{"improvement", loadRep(90000, 900, 3), false},
+	}
+	for _, tc := range cases {
+		got := Gate(base, tc.cur)
+		if (len(got) > 0) != tc.bad {
+			t.Errorf("%s: Gate → %v, want bad=%v", tc.name, got, tc.bad)
+		}
+	}
+	// On a small cell, a >10% throughput dip under the 5k tps absolute slack
+	// is jitter, not a regression.
+	if got := Gate(loadRep(30000, 2000, 5), loadRep(26000, 2000, 5)); len(got) != 0 {
+		t.Errorf("small-cell throughput jitter flagged: %v", got)
+	}
+
+	// Cells present on only one side are ignored, not regressions.
+	cur := loadRep(1, 1, 1)
+	cur.Load[0].Workload = "hotspot"
+	if got := Gate(base, cur); len(got) != 0 {
+		t.Errorf("unmatched cell flagged: %v", got)
+	}
+}

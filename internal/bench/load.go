@@ -1,0 +1,324 @@
+// Open-loop load cells: the harness behind `mlabench -rate` and the Kind
+// "load" section of the mla-bench/v1 report. Unlike the perf sweep (a
+// closed batch of programs handed to RunOnStore), the load cell offers
+// transactions to a RESIDENT engine session on a Poisson schedule whose
+// rate does not bend to the server: arrivals that find every worker busy
+// queue up, and their latency is measured from the scheduled arrival — the
+// coordinated-omission-safe discipline that makes a stall show up in p99
+// instead of silently deflating the sample count.
+//
+// The same loadgen.Pool drives two targets through one Client interface:
+// the in-process engine (engineClient below, LoadRun) and a live mlaserve
+// over HTTP (loadgen.HTTPClient, LoadRunHTTP). In-process cells also carry
+// the allocation budget (allocs per committed txn) and the same
+// commutative-increment equivalence gate the perf sweep uses.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mla/internal/engine"
+	"mla/internal/model"
+	"mla/internal/sched"
+	"mla/internal/serve/loadgen"
+)
+
+// Load cell defaults: a 1-second cell at 120k/s demonstrates the ≥100k
+// txn/s target; Quick shrinks it to a CI-friendly smoke. The nightly job
+// passes an explicit -duration for the multi-million-txn cell.
+const (
+	loadDefaultRate     = 120_000
+	loadDefaultDuration = time.Second
+	loadQuickRate       = 60_000
+	loadQuickDuration   = 250 * time.Millisecond
+	loadStepsPerTxn     = 2
+)
+
+// loadProg is the load cell's pooled program: the same in-place increment
+// state machine as perfProg, but with its entity slice aliasing a
+// precomputed workload table so building a program costs one small
+// transaction-ID allocation and nothing else.
+type loadProg struct {
+	id   model.TxnID
+	ents []model.EntityID
+	buf  []byte // recycled backing for the ID bytes
+	st   perfState
+}
+
+func (p *loadProg) ID() model.TxnID { return p.id }
+
+func (p *loadProg) Init() model.ProgState {
+	p.st = perfState{ents: p.ents}
+	return &p.st
+}
+
+// engineClient adapts a resident engine.Session to loadgen.Client, so the
+// pool that drives mlaserve over HTTP drives the bare engine identically.
+type engineClient struct {
+	sess  *engine.Session
+	table [][]model.EntityID // per-slot entity sets, precomputed
+	next  atomic.Int64       // txn counter: unique IDs + workload slot
+
+	progs sync.Pool // *loadProg
+
+	restarts atomic.Int64
+	// committedInc counts, per entity index, increments from acked
+	// transactions only — the schedule-independent expected final state.
+	committedInc []atomic.Int64
+	entIndex     map[model.EntityID]int
+}
+
+func (c *engineClient) OpenSession(context.Context) (string, error) { return "inproc", nil }
+func (c *engineClient) CloseSession(string)                         {}
+
+func (c *engineClient) Do(ctx context.Context, _ loadgen.Request) loadgen.Result {
+	i := c.next.Add(1)
+	p, _ := c.progs.Get().(*loadProg)
+	if p == nil {
+		p = &loadProg{}
+	}
+	// The previous ID string escaped into the session's retired record, but
+	// retirement finished before the last Submit returned, so its backing
+	// buffer is free to reuse; the string conversion below copies.
+	p.buf = strconv.AppendInt(append(p.buf[:0], 'l'), i, 36)
+	p.id = model.TxnID(p.buf)
+	p.ents = c.table[int(i)%len(c.table)]
+	out, err := c.sess.Submit(ctx, p, engine.SubmitOpts{})
+	res := loadgen.Result{}
+	switch {
+	case err != nil:
+		res.Status = loadgen.StatusError
+		res.ErrDetail = err.Error()
+	case out.Committed:
+		res.Status = loadgen.StatusAcked
+		res.Txn = string(p.id)
+		res.LatencyUS = out.Latency.Microseconds()
+		for _, x := range p.ents {
+			c.committedInc[c.entIndex[x]].Add(1)
+		}
+	case out.DeadlineExceeded:
+		res.Status = loadgen.StatusDeadline
+	case out.Canceled:
+		res.Status = loadgen.StatusCanceled
+	default: // GaveUp: restart budget exhausted, fully rolled back
+		res.Status = loadgen.StatusShed
+	}
+	c.restarts.Add(int64(out.Restarts))
+	c.progs.Put(p)
+	return res
+}
+
+// loadWorkload builds the per-slot entity table. "hotspot" funnels every
+// transaction through 4 entities; "lowcontention" (default) strides
+// loadStepsPerTxn-entity windows over a wide table so only neighbouring
+// slots collide.
+func loadWorkload(name string) (string, [][]model.EntityID, []model.EntityID) {
+	entities := 4096
+	if name == "hotspot" {
+		entities = 4
+	} else {
+		name = "lowcontention"
+	}
+	ents := make([]model.EntityID, entities)
+	for e := range ents {
+		ents[e] = model.EntityID(fmt.Sprintf("x%04d", e))
+	}
+	slots := entities
+	if slots > 1024 {
+		slots = 1024
+	}
+	table := make([][]model.EntityID, slots)
+	for i := range table {
+		set := make([]model.EntityID, loadStepsPerTxn)
+		for j := range set {
+			set[j] = ents[(i*loadStepsPerTxn+j)%entities]
+		}
+		table[i] = set
+	}
+	return name, table, ents
+}
+
+// loadShape resolves the cell's rate, transaction count, and worker bound
+// from the Config defaults.
+func loadShape(cfg Config) (rate float64, txns, workers int) {
+	rate = cfg.Rate
+	dur := cfg.Duration
+	if rate <= 0 {
+		if cfg.Quick {
+			rate = loadQuickRate
+		} else {
+			rate = loadDefaultRate
+		}
+	}
+	if dur <= 0 {
+		if cfg.Quick {
+			dur = loadQuickDuration
+		} else {
+			dur = loadDefaultDuration
+		}
+	}
+	txns = cfg.Txns
+	if txns <= 0 {
+		txns = int(rate * dur.Seconds())
+		if txns < 1 {
+			txns = 1
+		}
+	}
+	workers = cfg.Workers
+	if workers <= 0 {
+		workers = 32
+	}
+	return rate, txns, workers
+}
+
+// runLoadCell drives one cell through the pool and folds the pool report
+// into a LoadCell. measureAllocs wraps the run in ReadMemStats (in-process
+// cells only — over HTTP the allocations worth counting are the server's).
+func runLoadCell(ctx context.Context, cfg Config, client loadgen.Client, workload, sid string, rate float64, txns, workers int, measureAllocs bool) (*LoadCell, error) {
+	mode := "open"
+	if cfg.Closed {
+		mode = "closed"
+	}
+	mk := func(i int) loadgen.Request {
+		return loadgen.Request{Session: sid, Kind: "transfer"}
+	}
+	pool := &loadgen.Pool{Client: client, Workers: workers}
+	var before, after runtime.MemStats
+	if measureAllocs {
+		runtime.ReadMemStats(&before)
+	}
+	start := time.Now()
+	var arrivals <-chan loadgen.Arrival
+	if cfg.Closed {
+		arrivals = loadgen.ClosedLoop(ctx, txns, mk)
+	} else {
+		arrivals = loadgen.OpenLoop(ctx, loadgen.Wall, txns, rate, rand.New(rand.NewSource(cfg.Seed)), mk)
+	}
+	pr := pool.Run(ctx, arrivals)
+	elapsed := time.Since(start)
+	if measureAllocs {
+		runtime.ReadMemStats(&after)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bench: load: %w", err)
+	}
+	if pr.Errors > 0 {
+		return nil, fmt.Errorf("bench: load: %d errors (samples: %v)", pr.Errors, pr.ErrorSamples)
+	}
+	cell := &LoadCell{
+		Workload:  workload,
+		Mode:      mode,
+		RateTPS:   rate,
+		Workers:   workers,
+		Txns:      txns,
+		Committed: pr.Acked,
+		P50US:     pr.Latency.Percentile(50) / 1000,
+		P99US:     pr.Latency.Percentile(99) / 1000,
+		P999US:    pr.Latency.Percentile(99.9) / 1000,
+		MaxUS:     pr.Latency.Max() / 1000,
+		SLOP99US:  cfg.SLOP99.Microseconds(),
+		ElapsedUS: elapsed.Microseconds(),
+	}
+	if cfg.Closed {
+		cell.RateTPS = 0 // closed loop has no offered rate
+	}
+	if elapsed > 0 {
+		cell.ThroughputTPS = float64(pr.Acked) / elapsed.Seconds()
+	}
+	cell.SLOMet = cell.SLOP99US == 0 || cell.P99US <= cell.SLOP99US
+	if measureAllocs && pr.Acked > 0 {
+		cell.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(pr.Acked)
+	}
+	return cell, nil
+}
+
+// LoadRun executes one open-loop (or, with cfg.Closed, closed-loop) load
+// cell against an in-process engine session over a volatile store and the
+// sharded 2PL control — the fast path the allocation budget is pinned on.
+func LoadRun(ctx context.Context, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = cfg.ctx()
+	}
+	rate, txns, workers := loadShape(cfg)
+	name, table, ents := loadWorkload(cfg.Workload)
+
+	init := make(map[model.EntityID]model.Value, len(ents))
+	entIndex := make(map[model.EntityID]int, len(ents))
+	for i, x := range ents {
+		init[x] = 0
+		entIndex[x] = i
+	}
+	store := engine.NewVolatileStore(init)
+	sess := engine.NewSession(engine.Config{Seed: cfg.Seed}, sched.NewShardedTwoPhase(16), nil, store)
+	defer sess.Close()
+
+	client := &engineClient{
+		sess:         sess,
+		table:        table,
+		committedInc: make([]atomic.Int64, len(ents)),
+		entIndex:     entIndex,
+	}
+	cell, err := runLoadCell(ctx, cfg, client, name, "inproc", rate, txns, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	cell.Restarts = int(client.restarts.Load())
+
+	// Equivalence gate: increments commute, so the store must hold exactly
+	// the acked increment counts — any schedule the engine chose included.
+	equiv := true
+	if err := sess.Drain(ctx); err != nil {
+		equiv = false
+	} else {
+		final := store.Values()
+		for i, x := range ents {
+			if final[x] != model.Value(client.committedInc[i].Load()) {
+				equiv = false
+			}
+		}
+	}
+	return &Report{
+		Schema:        Schema,
+		Kind:          "load",
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		EquivalenceOK: equiv,
+		Load:          []LoadCell{*cell},
+	}, nil
+}
+
+// LoadRunHTTP executes the same cell against a running mlaserve at
+// baseURL, over real HTTP through the pooled-transport client. Allocation
+// and equivalence accounting are server-side concerns there, so the cell
+// reports throughput and CO-safe latency only.
+func LoadRunHTTP(ctx context.Context, baseURL string, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = cfg.ctx()
+	}
+	rate, txns, workers := loadShape(cfg)
+	hc := loadgen.NewHTTPClient(baseURL, nil)
+	sid, err := hc.OpenSession(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench: load: open session on %s: %w", baseURL, err)
+	}
+	defer hc.CloseSession(sid)
+	cell, err := runLoadCell(ctx, cfg, hc, "serve", sid, rate, txns, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Schema:        Schema,
+		Kind:          "load",
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		EquivalenceOK: true,
+		Load:          []LoadCell{*cell},
+	}, nil
+}

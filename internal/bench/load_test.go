@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLoadRunOpenLoopQuick is the open-loop smoke plus the allocation
+// regression pin: a small in-process cell must commit every offered
+// transaction, pass the commutative-increment equivalence gate, and stay
+// under the hot-path allocation budget. The ceiling (25 allocs per committed
+// transaction) is the PR's contract — the measured steady state is ~5, so a
+// trip here means pooling or interning regressed, not noise. The rate is kept
+// modest so the cell also fits under -race on one core.
+func TestLoadRunOpenLoopQuick(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := NewConfig(
+		WithSeed(3),
+		WithRate(5000),
+		WithDuration(400*time.Millisecond),
+		WithWorkers(8),
+	)
+	rep, err := LoadRun(ctx, cfg)
+	if err != nil {
+		t.Fatalf("LoadRun: %v", err)
+	}
+	if rep.Schema != Schema || rep.Kind != "load" || len(rep.Load) != 1 {
+		t.Fatalf("malformed report: schema=%q kind=%q cells=%d", rep.Schema, rep.Kind, len(rep.Load))
+	}
+	c := rep.Load[0]
+	if c.Committed != c.Txns {
+		t.Errorf("committed %d of %d offered", c.Committed, c.Txns)
+	}
+	if !rep.EquivalenceOK {
+		t.Error("equivalence gate failed: final state diverged from acked increments")
+	}
+	if c.P50US <= 0 || c.P99US < c.P50US || c.P999US < c.P99US {
+		t.Errorf("non-monotone percentiles: p50=%d p99=%d p99.9=%d µs", c.P50US, c.P99US, c.P999US)
+	}
+	const allocCeiling = 25
+	if c.AllocsPerTxn <= 0 || c.AllocsPerTxn > allocCeiling {
+		t.Errorf("allocs/txn %.1f outside (0, %d] — hot-path allocation budget regressed", c.AllocsPerTxn, allocCeiling)
+	}
+	t.Logf("cell: %d txns, %.0f txn/s, p50=%dµs p99=%dµs, %.1f allocs/txn, %d restarts",
+		c.Committed, c.ThroughputTPS, c.P50US, c.P99US, c.AllocsPerTxn, c.Restarts)
+}
+
+// TestLoadRunClosedLoop exercises the comparison mode: no offered rate, every
+// transaction still committed and equivalent.
+func TestLoadRunClosedLoop(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := NewConfig(WithSeed(4), WithTxns(500), WithWorkers(4), WithClosedLoop(), WithWorkload("hotspot"))
+	rep, err := LoadRun(ctx, cfg)
+	if err != nil {
+		t.Fatalf("LoadRun: %v", err)
+	}
+	c := rep.Load[0]
+	if c.Mode != "closed" || c.RateTPS != 0 {
+		t.Errorf("closed cell reported mode=%q rate=%.0f", c.Mode, c.RateTPS)
+	}
+	if c.Committed != 500 || !rep.EquivalenceOK {
+		t.Errorf("committed %d of 500, equivalence %v", c.Committed, rep.EquivalenceOK)
+	}
+}

@@ -24,9 +24,7 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -54,25 +52,38 @@ const (
 type perfProg struct {
 	id   model.TxnID
 	ents []model.EntityID
+	st   perfState
 }
 
-func (p *perfProg) ID() model.TxnID       { return p.id }
-func (p *perfProg) Init() model.ProgState { return perfState{p: p} }
+func (p *perfProg) ID() model.TxnID { return p.id }
 
+// Init recycles the program-owned state: a transaction's attempts are
+// sequential (the engine rolls an attempt fully back before restarting), so
+// one state per program suffices and stepping allocates nothing — a tuned
+// client program is part of the workload the allocation budget measures.
+func (p *perfProg) Init() model.ProgState {
+	p.st = perfState{ents: p.ents}
+	return &p.st
+}
+
+// perfState is a pointer state mutated in place: Apply returns the same
+// ProgState value, so stepping a transaction re-boxes nothing. It is shared
+// by the perf sweep's perfProg and the load cell's loadProg.
 type perfState struct {
-	p   *perfProg
-	idx int
+	ents []model.EntityID
+	idx  int
 }
 
-func (s perfState) Next() (model.EntityID, bool) {
-	if s.idx < len(s.p.ents) {
-		return s.p.ents[s.idx], true
+func (s *perfState) Next() (model.EntityID, bool) {
+	if s.idx < len(s.ents) {
+		return s.ents[s.idx], true
 	}
 	return "", false
 }
 
-func (s perfState) Apply(v model.Value) (model.Value, string, model.ProgState) {
-	return v + 1, "inc", perfState{p: s.p, idx: s.idx + 1}
+func (s *perfState) Apply(v model.Value) (model.Value, string, model.ProgState) {
+	s.idx++
+	return v + 1, "inc", s
 }
 
 // perfWorkload is one generated workload plus its schedule-independent
@@ -127,64 +138,14 @@ func (s syncWALStore) CommitGroup(ids []model.TxnID) {
 }
 func (s syncWALStore) Values() map[model.EntityID]model.Value { return s.db.Values() }
 
-// PerfMeasurement is one (workload, configuration, GOMAXPROCS) cell of the
-// report; field names are the BENCH_4.json schema.
-type PerfMeasurement struct {
-	Workload        string  `json:"workload"`          // "hotspot" | "lowcontention"
-	Config          string  `json:"config"`            // "baseline" | "optimized"
-	Procs           int     `json:"gomaxprocs"`        // runtime.GOMAXPROCS during the run
-	Txns            int     `json:"txns"`              // transactions offered
-	Committed       int     `json:"committed"`         // transactions committed (must equal txns)
-	Restarts        int     `json:"restarts"`          // rollback-and-retry count
-	ThroughputTPS   float64 `json:"throughput_tps"`    // committed / elapsed
-	P50LatencyUS    int64   `json:"latency_p50_us"`    // per-txn begin→durable-commit, median
-	P99LatencyUS    int64   `json:"latency_p99_us"`    // …99th percentile
-	Fsyncs          int64   `json:"fsyncs"`            // device syncs over the whole run
-	FsyncsPerCommit float64 `json:"fsyncs_per_commit"` // the group-commit amortization
-	AllocsPerTxn    float64 `json:"allocs_per_txn"`    // heap allocations per committed txn
-	ElapsedUS       int64   `json:"elapsed_us"`        // wall clock of the run
-}
-
-// PerfRecovery summarizes the crash-recovery cell that runs alongside the
-// sweep when telemetry is enabled, so an exported trace always contains
-// recovery spans. It is a separate summary field — not a Measurements row —
-// to keep the BENCH_4.json row schema stable.
-type PerfRecovery struct {
-	Crashes   int   `json:"crashes"`
-	Rounds    int   `json:"rounds"`
-	TornTotal int   `json:"torn_total"`
-	Committed int   `json:"committed"`
-	ElapsedUS int64 `json:"elapsed_us"`
-}
-
-// PerfReport is the `mlabench -perf` output, serialized to BENCH_4.json.
-type PerfReport struct {
-	Schema          string            `json:"schema"` // "mla-perf/1"
-	Seed            int64             `json:"seed"`
-	Quick           bool              `json:"quick"`
-	SyncDelayUS     int64             `json:"sync_delay_us"`      // simulated device sync latency
-	FlushIntervalUS int64             `json:"flush_interval_us"`  // pipeline flush window
-	EquivalenceOK   bool              `json:"equivalence_ok"`     // every run reached the expected state
-	HotspotSpeedup  float64           `json:"hotspot_speedup_8p"` // optimized/baseline throughput, hotspot @ max procs
-	Recovery        *PerfRecovery     `json:"recovery,omitempty"` // telemetry-only crash-recovery cell
-	Measurements    []PerfMeasurement `json:"measurements"`
-}
-
-// PerfOptions configures PerfRun.
-type PerfOptions struct {
-	Seed  int64
-	Quick bool  // smaller workloads, GOMAXPROCS {1, max} only
-	Procs []int // sweep points; default {1,2,4,8} (quick: {1,8})
-	// Telemetry, when non-nil, attaches a per-cell engine.TelemetryObserver
-	// (spans for every lock wait, commit group, …), folds each cell's WAL
-	// counters into the registry, and appends a small crash-recovery cell
-	// so the exported trace also contains recovery spans.
-	Telemetry *telemetry.Telemetry
-}
-
-// PerfRun executes the full sweep. It mutates GOMAXPROCS during the run
-// and restores it before returning.
-func PerfRun(ctx context.Context, opts PerfOptions) (*PerfReport, error) {
+// PerfRun executes the full sweep (the Kind "perf" report behind
+// `mlabench -perf` and BENCH_4.json). Telemetry, when configured, attaches
+// a per-cell engine.TelemetryObserver (spans for every lock wait, commit
+// group, …), folds each cell's WAL counters into the registry, and appends
+// a small crash-recovery cell so the exported trace also contains recovery
+// spans. PerfRun mutates GOMAXPROCS during the run and restores it before
+// returning.
+func PerfRun(ctx context.Context, opts Config) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -206,8 +167,9 @@ func PerfRun(ctx context.Context, opts PerfOptions) (*PerfReport, error) {
 		// Low contention: only neighbouring transactions overlap.
 		genPerfWorkload("lowcontention", txns, steps, txns*3),
 	}
-	rep := &PerfReport{
-		Schema:          "mla-perf/1",
+	rep := &Report{
+		Schema:          Schema,
+		Kind:            "perf",
 		Seed:            opts.Seed,
 		Quick:           opts.Quick,
 		SyncDelayUS:     perfSyncDelay.Microseconds(),
@@ -378,37 +340,10 @@ func perfCase(ctx context.Context, wl perfWorkload, config string, procs int, se
 	return m, nil
 }
 
-// Table renders the report for terminal output.
-func (r *PerfReport) Table() *metrics.Table {
-	tbl := metrics.NewTable("E19 engine perf: striped locks + group commit (sync delay 300µs)",
-		"workload", "config", "procs", "txns/s", "p50 µs", "p99 µs", "fsync/commit", "allocs/txn", "restarts")
-	for _, m := range r.Measurements {
-		tbl.Row(m.Workload, m.Config, m.Procs, fmt.Sprintf("%.0f", m.ThroughputTPS),
-			m.P50LatencyUS, m.P99LatencyUS, fmt.Sprintf("%.3f", m.FsyncsPerCommit),
-			fmt.Sprintf("%.0f", m.AllocsPerTxn), m.Restarts)
-	}
-	tbl.Row("hotspot", "speedup@max", "", fmt.Sprintf("%.2fx", r.HotspotSpeedup), "", "", "", "", "")
-	if r.Recovery != nil {
-		tbl.Row("recovery", fmt.Sprintf("%d crashes", r.Recovery.Crashes), "",
-			fmt.Sprintf("%d rounds", r.Recovery.Rounds), "", "", "", "",
-			fmt.Sprintf("torn %d", r.Recovery.TornTotal))
-	}
-	return tbl
-}
-
-// WriteJSON serializes the report (the BENCH_4.json artifact).
-func (r *PerfReport) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
 // E19Perf wraps the perf harness as an experiment: a quick sweep whose
 // equivalence assertions must hold. Scale >= 2 runs the full sweep.
-func E19Perf(o Options) (*metrics.Table, error) {
-	rep, err := PerfRun(o.ctx(), PerfOptions{Seed: o.Seed, Quick: o.scale() <= 1, Telemetry: o.Telemetry})
+func E19Perf(o Config) (*metrics.Table, error) {
+	rep, err := PerfRun(o.ctx(), NewConfig(WithSeed(o.Seed), WithQuick(o.scale() <= 1), WithTelemetry(o.Telemetry)))
 	if err != nil {
 		return nil, err
 	}

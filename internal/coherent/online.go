@@ -64,6 +64,19 @@ type Online struct {
 	forceReplay bool
 	retractions int // total successful incremental retractions
 
+	// Preview scratch, reused across ForEachPredOfNewStep calls. Online is
+	// driven under its owner's serialization (the engine mutex or the
+	// simulator loop), so struct-owned scratch needs no locking. pvMax holds,
+	// per transaction index, the max seq seen during the current preview; its
+	// entries are zero between calls (touched entries are re-zeroed on exit),
+	// so growing it lazily never needs a wipe. pvPushFn is pvPush bound once
+	// so passing it to forEach does not allocate a method value per step.
+	pvVisited obitset
+	pvStack   []int
+	pvMax     []int
+	pvTouched []int
+	pvPushFn  func(int)
+
 	cyclic         bool
 	cycleA, cycleB int
 }
@@ -140,6 +153,7 @@ func (b obitset) intersects(other obitset) bool {
 
 func NewOnline(k int, level func(a, b model.TxnID) int) *Online {
 	oc := &Online{k: k, level: level}
+	oc.pvPushFn = oc.pvPush
 	oc.reset()
 	return oc
 }
@@ -544,46 +558,70 @@ func (oc *Online) Extent(t model.TxnID) int {
 // if added (successor pins do not affect it).
 func (oc *Online) PredForNewStep(t model.TxnID, x model.EntityID) map[model.TxnID]int {
 	out := make(map[model.TxnID]int)
-	n := len(oc.stepTxn)
-	if n == 0 {
-		return out
+	oc.ForEachPredOfNewStep(t, x, func(u model.TxnID, s int) { out[u] = s })
+	return out
+}
+
+// pvPush pushes step g onto the preview DFS stack if unvisited. Bound once
+// as pvPushFn so forEach calls do not allocate.
+func (oc *Online) pvPush(g int) {
+	if g >= 0 && !oc.pvVisited.has(g) {
+		oc.pvVisited.set(g)
+		oc.pvStack = append(oc.pvStack, g)
 	}
-	var visited obitset
-	var stack []int
-	push := func(g int) {
-		if g >= 0 && !visited.has(g) {
-			visited.set(g)
-			stack = append(stack, g)
-		}
+}
+
+// ForEachPredOfNewStep is the allocation-free form of PredForNewStep: it
+// calls f once per predecessor transaction with that transaction's latest
+// preceding seq, in no particular order. All traversal state lives in
+// scratch on oc, so steady-state calls allocate nothing; the callback must
+// not re-enter oc.
+func (oc *Online) ForEachPredOfNewStep(t model.TxnID, x model.EntityID, f func(u model.TxnID, maxSeq int)) {
+	if len(oc.stepTxn) == 0 {
+		return
+	}
+	for i := range oc.pvVisited {
+		oc.pvVisited[i] = 0
+	}
+	oc.pvStack = oc.pvStack[:0]
+	oc.pvTouched = oc.pvTouched[:0]
+	if len(oc.pvMax) < len(oc.txns) {
+		oc.pvMax = append(oc.pvMax, make([]int, len(oc.txns)-len(oc.pvMax))...)
 	}
 	if ti, ok := oc.txnIdx[t]; ok && len(oc.perTxn[ti]) > 0 {
-		push(oc.perTxn[ti][len(oc.perTxn[ti])-1])
+		oc.pvPush(oc.perTxn[ti][len(oc.perTxn[ti])-1])
 	}
 	if le, ok := oc.lastEntity[x]; ok {
-		push(le)
+		oc.pvPush(le)
 	}
-	for len(stack) > 0 {
-		g := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		gt := oc.txns[oc.stepTxn[g]]
+	for len(oc.pvStack) > 0 {
+		g := oc.pvStack[len(oc.pvStack)-1]
+		oc.pvStack = oc.pvStack[:len(oc.pvStack)-1]
+		gti := oc.stepTxn[g]
+		gt := oc.txns[gti]
 		if gt != t {
-			if s := oc.stepSeq[g]; s > out[gt] {
-				out[gt] = s
+			// seq is 1-based, so pvMax[gti] == 0 means "not yet seen".
+			if s := oc.stepSeq[g]; s > oc.pvMax[gti] {
+				if oc.pvMax[gti] == 0 {
+					oc.pvTouched = append(oc.pvTouched, gti)
+				}
+				oc.pvMax[gti] = s
 			}
-		}
-		oc.pred[g].forEach(push)
-		// Rule (b): performed segment-mates after g, within g's still-open
-		// level(gt, t) segment, would also precede the new step.
-		if gt != t {
-			ti := oc.stepTxn[g]
+			// Rule (b): performed segment-mates after g, within g's
+			// still-open level(gt, t) segment, would also precede the new
+			// step.
 			lv := oc.level(gt, t)
-			for s := oc.stepSeq[g] + 1; s <= len(oc.perTxn[ti]); s++ {
-				if c := oc.coarse[ti][s-2]; c != 0 && c <= lv {
+			for s := oc.stepSeq[g] + 1; s <= len(oc.perTxn[gti]); s++ {
+				if c := oc.coarse[gti][s-2]; c != 0 && c <= lv {
 					break
 				}
-				push(oc.perTxn[ti][s-1])
+				oc.pvPush(oc.perTxn[gti][s-1])
 			}
 		}
+		oc.pred[g].forEach(oc.pvPushFn)
 	}
-	return out
+	for _, ti := range oc.pvTouched {
+		f(oc.txns[ti], oc.pvMax[ti])
+		oc.pvMax[ti] = 0
+	}
 }

@@ -335,9 +335,9 @@ func (p *Preventer) Request(t model.TxnID, seq int, x model.EntityID) sched.Deci
 	delete(p.stranded, t)
 	blockers := make(map[model.TxnID]bool)
 	stale := true
-	for u, s := range p.oc.PredForNewStep(t, x) {
+	p.oc.ForEachPredOfNewStep(t, x, func(u model.TxnID, s int) {
 		if u == t {
-			continue
+			return
 		}
 		lv := p.nest.Level(u, t)
 		if !p.closedAt(rep, u, s, lv) {
@@ -346,7 +346,7 @@ func (p *Preventer) Request(t model.TxnID, seq int, x model.EntityID) sched.Deci
 				stale = false // a fresh view would block too
 			}
 		}
-	}
+	})
 	if len(blockers) == 0 {
 		p.clearWait(t)
 		p.stats.Grants++

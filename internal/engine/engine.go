@@ -184,8 +184,19 @@ const (
 )
 
 type engine struct {
-	mu      sync.Mutex
-	waitGen chan struct{} // closed and replaced on every state change
+	mu sync.Mutex
+	// waitGen is the wait generation channel: a goroutine that must sleep
+	// until engine state changes registers (waiters++) and captures waitGen
+	// under the mutex, then sleeps on it. bump() closes and replaces the
+	// channel ONLY when waiters > 0 — one close wakes every registered
+	// sleeper at once (one wakeup per state change, not per waiter) and an
+	// idle engine allocates no channels at all. genSeq increments on every
+	// bump regardless, so the concurrent request path can detect that state
+	// changed while its decision was being made outside the mutex (see
+	// attempt) without anyone paying for a channel.
+	waitGen chan struct{}
+	waiters int
+	genSeq  uint64
 	stop    chan struct{} // closed exactly once when the run is abandoned or done
 
 	control sched.Control
@@ -236,6 +247,26 @@ type engine struct {
 	trace  []traceEntry
 	author map[model.EntityID]model.TxnID
 
+	// commitScratch is tryCommitLocked's candidate set, reused across calls
+	// (always under mu, cleared on entry) so the commit probe that runs after
+	// every finish allocates nothing when no group forms.
+	commitScratch map[model.TxnID]bool
+	// abortSet/abortCasc/abortFrontier are abortLocked's closure scratch,
+	// reused the same way.
+	abortSet      map[model.TxnID]bool
+	abortCasc     map[model.TxnID]bool
+	abortFrontier []model.TxnID
+	abortNext     []model.TxnID
+	// appliers recycles the per-attempt applier (program-state stepper +
+	// its bound store callback) across attempts and transactions.
+	appliers sync.Pool
+	// txnPool recycles resident submissions' etxn records (with their deps
+	// maps and steps slices) across the session's lifetime. Safe because a
+	// retired record is unreachable: the transaction table maps by id, trace
+	// entries carry ids, and the submission goroutine retires its record
+	// only after its outcome resolved.
+	txnPool sync.Pool
+
 	stats       Result
 	start       time.Time
 	prioCounter int64
@@ -253,6 +284,58 @@ type traceEntry struct {
 type asyncFin struct {
 	ack <-chan struct{}
 	ids []model.TxnID
+}
+
+// applier carries one attempt's program state across store callbacks. The
+// store's Perform takes a func(Value) (Value, string); building that func as
+// a closure per step made every step pay two heap allocations (the closure
+// and the escaping next-state variable). The applier is allocated once per
+// attempt (from a pool, so in steady state not at all) and its bound method
+// value fn is reused for every step of the attempt.
+type applier struct {
+	cur, next model.ProgState
+	fn        func(model.Value) (model.Value, string)
+}
+
+func (a *applier) apply(v model.Value) (model.Value, string) {
+	w, label, ns := a.cur.Apply(v)
+	a.next = ns
+	return w, label
+}
+
+func (e *engine) getApplier(cur model.ProgState) *applier {
+	a, _ := e.appliers.Get().(*applier)
+	if a == nil {
+		a = &applier{}
+		a.fn = a.apply
+	}
+	a.cur = cur
+	return a
+}
+
+func (e *engine) putApplier(a *applier) {
+	a.cur, a.next = nil, nil // don't retain program state across attempts
+	e.appliers.Put(a)
+}
+
+// getTxn returns a fresh transaction record for a resident submission,
+// recycling a retired one's deps map and steps slice when available.
+func (e *engine) getTxn(p model.Program, id model.TxnID) *etxn {
+	t, _ := e.txnPool.Get().(*etxn)
+	if t == nil {
+		return &etxn{prog: p, id: id, deps: make(map[model.TxnID]bool)}
+	}
+	steps, deps := t.steps[:0], t.deps
+	clear(deps)
+	*t = etxn{prog: p, id: id, steps: steps, deps: deps}
+	return t
+}
+
+// putTxn recycles a retired record. Caller must have removed it from the
+// transaction table first.
+func (e *engine) putTxn(t *etxn) {
+	t.prog = nil // don't retain the program across tenants
+	e.txnPool.Put(t)
 }
 
 // errStopped is the workers' internal signal that the run was abandoned
@@ -320,6 +403,11 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 		e.txns[p.ID()] = &etxn{prog: p, id: p.ID(), deps: make(map[model.TxnID]bool)}
 		e.order = append(e.order, p.ID())
 	}
+	// One sample per committed transaction, at most one group per txn: size
+	// once instead of re-growing under the mutex all run long.
+	e.stats.Latencies = make([]time.Duration, 0, len(programs))
+	e.stats.WaitTimes = make([]time.Duration, 0, len(programs))
+	e.stats.CommitGroups = make([]int, 0, len(programs))
 	if e.async != nil {
 		// One finalizer goroutine serves every commit group of the run —
 		// groups become durable in submission order (a flush drains the
@@ -393,10 +481,35 @@ func RunOnStore(ctx context.Context, cfg Config, programs []model.Program, contr
 	return &res, nil
 }
 
-// bump closes the current wait generation so blocked goroutines re-check.
+// bump advances the wait generation so blocked goroutines re-check. The
+// channel is closed (and replaced) only when someone is actually registered
+// on it: one close wakes every sleeper, and state changes on an engine with
+// no sleepers cost a counter increment, not a channel allocation. Callers
+// hold the mutex.
 func (e *engine) bump() {
-	close(e.waitGen)
-	e.waitGen = make(chan struct{})
+	e.genSeq++
+	if e.waiters > 0 {
+		close(e.waitGen)
+		e.waitGen = make(chan struct{})
+		e.waiters = 0
+	}
+}
+
+// waitReg registers the caller as a sleeper on the current wait generation
+// and returns the channel to sleep on. Caller holds the mutex and must call
+// waitDereg(ch) under the mutex after waking (on any path where the engine
+// keeps running) so a wake-by-timeout doesn't leave a phantom registration.
+func (e *engine) waitReg() chan struct{} {
+	e.waiters++
+	return e.waitGen
+}
+
+// waitDereg cancels a registration made by waitReg, unless a bump already
+// consumed it (the generation changed). Caller holds the mutex.
+func (e *engine) waitDereg(ch chan struct{}) {
+	if ch == e.waitGen {
+		e.waiters--
+	}
 }
 
 // stopped reports whether the run has been abandoned.
@@ -486,7 +599,7 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 					done <- fmt.Errorf("engine: commit durability lost: %w", err)
 					return
 				}
-				ch := e.waitGen
+				ch := e.waitReg()
 				e.mu.Unlock()
 				select {
 				case <-ch:
@@ -494,6 +607,7 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 					return
 				}
 				e.mu.Lock()
+				e.waitDereg(ch)
 			}
 			committed := e.txns[id].commit
 			e.mu.Unlock()
@@ -518,10 +632,14 @@ func (e *engine) runTxn(cfg Config, p model.Program, prio int64, done chan<- err
 // decides age). Caller holds the mutex.
 func (e *engine) beginAttemptLocked(t *etxn, prio int64) {
 	t.seq = 0
-	t.steps = nil
+	t.steps = t.steps[:0] // superseded steps live on in e.trace, never here
 	t.finished = false
 	t.lastCut = 0
-	t.deps = make(map[model.TxnID]bool)
+	if t.deps == nil {
+		t.deps = make(map[model.TxnID]bool)
+	} else {
+		clear(t.deps)
+	}
 	if t.began.IsZero() {
 		t.began = time.Now()
 	}
@@ -550,11 +668,13 @@ func (e *engine) beginAttemptLocked(t *etxn, prio int64) {
 func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.ProgState, deadline time.Time, quit <-chan struct{}) (bool, error) {
 	performed := 0 // this attempt's step count (local mirror of t.seq)
 	retries := 0   // in-place retries of the current step after transient faults
+	ap := e.getApplier(cur)
+	defer e.putApplier(ap)
 	for {
 		if e.stopped() {
 			return false, errStopped
 		}
-		x, more := cur.Next()
+		x, more := ap.cur.Next()
 		// Deadline/cancel check, at step granularity but acted on only at a
 		// unit boundary (nothing performed yet, or the previous step was
 		// followed by a breakpoint): a runnable transaction is never cut
@@ -624,7 +744,6 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			return false, nil
 		}
 		var d sched.Decision
-		var waitCh chan struct{}
 		if e.caps.Concurrent {
 			// The control's decision depends only on the requested entity's
 			// state (its lock shard) and the requester's fixed priority, so
@@ -634,13 +753,17 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			// can race with the request, in which case any lock the dead
 			// attempt just acquired is residue to discard.
 			//
-			// Capture the wait generation BEFORE requesting: a Wait decision
-			// made outside the mutex can be stale by the time we'd block —
-			// the holder may release (and bump) in the gap — so the waiter
-			// must sleep on a generation that any such release has already
-			// closed, or the wakeup is lost and the run hangs.
+			// Capture the wait generation SEQUENCE before requesting: a Wait
+			// decision made outside the mutex can be stale by the time we'd
+			// block — the holder may release (and bump) in the gap — and a
+			// sleeper who missed that bump would sleep on a wakeup that never
+			// comes. If genSeq moved while the decision was out, the decision
+			// is re-made instead of slept on (seqlock style); if it did not
+			// move, no release happened since the decision, so registering
+			// now (under the same mutex genSeq is read under) cannot miss
+			// one.
 			seq := t.seq + 1
-			waitCh = e.waitGen
+			gen0 := e.genSeq
 			e.mu.Unlock()
 			d = e.control.Request(id, seq, x)
 			e.mu.Lock()
@@ -651,17 +774,16 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 				e.mu.Unlock()
 				return true, nil
 			}
+			if d.Kind == sched.Wait && e.genSeq != gen0 {
+				e.mu.Unlock()
+				continue
+			}
 		} else {
 			d = e.control.Request(id, t.seq+1, x)
 		}
 		switch d.Kind {
 		case sched.Grant:
-			var next model.ProgState
-			step, perr := e.store.Perform(id, t.seq+1, x, func(v model.Value) (model.Value, string) {
-				w, label, ns := cur.Apply(v)
-				next = ns
-				return w, label
-			})
+			step, perr := e.store.Perform(id, t.seq+1, x, ap.fn)
 			if perr != nil {
 				// An injected crash (or a fatal store error): the volatile
 				// system is dead. Abandon the run; RunWithCrashes recovers
@@ -681,7 +803,7 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			t.steps = append(t.steps, step)
 			e.trace = append(e.trace, traceEntry{id: id, attempt: attempt, step: step})
 			cut := 0
-			if _, m := next.Next(); m && e.spec != nil {
+			if _, m := ap.next.Next(); m && e.spec != nil {
 				cut = e.spec.CutAfter(id, t.steps)
 			}
 			t.lastCut = cut
@@ -689,8 +811,15 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			if e.obs != nil {
 				e.obs.StepPerformed(id, t.seq, x, attempt, cut)
 			}
-			cur = next
-			e.bump()
+			ap.cur = ap.next
+			if cut > 0 || !e.caps.QuiescentSteps {
+				// A performed step can unblock someone only under a control
+				// whose decisions observe step progress (closure previews,
+				// unit-boundary releases). Under a strict control that only
+				// releases at Finished/Aborted (QuiescentSteps), waking every
+				// sleeper per step is pure thundering herd — skip it.
+				e.bump()
+			}
 			e.mu.Unlock()
 			if cfg.StepDelay > 0 {
 				if !e.sleep(cfg.StepDelay) {
@@ -701,12 +830,7 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			if e.obs != nil {
 				e.obs.WaitBegin(id, x)
 			}
-			ch := e.waitGen
-			if waitCh != nil {
-				// Concurrent path: sleep on the pre-request generation (see
-				// above) so a release that raced the decision wakes us.
-				ch = waitCh
-			}
+			ch := e.waitReg()
 			e.mu.Unlock()
 			t0 := time.Now()
 			// A resident submission's deadline (or client cancellation) must
@@ -738,6 +862,7 @@ func (e *engine) attempt(cfg Config, id model.TxnID, attempt int, cur model.Prog
 			}
 			waited := time.Since(t0)
 			e.mu.Lock()
+			e.waitDereg(ch)
 			t.waited += waited
 			if e.obs != nil {
 				e.obs.WaitEnd(id, x, waited)
@@ -797,11 +922,18 @@ func (e *engine) killLocked(t *etxn, reason int8) {
 }
 
 // abortLocked rolls back the victims plus their value dependents. Caller
-// holds the mutex.
+// holds the mutex. The closure scratch (set/cascaded/frontiers) is engine
+// state reused across calls; only the sorted victim id slice is allocated
+// fresh, because the control and observer receive it.
 func (e *engine) abortLocked(victims []model.TxnID) {
-	set := make(map[model.TxnID]bool)
-	cascaded := make(map[model.TxnID]bool)
-	var frontier []model.TxnID
+	if e.abortSet == nil {
+		e.abortSet = make(map[model.TxnID]bool)
+		e.abortCasc = make(map[model.TxnID]bool)
+	}
+	set, cascaded := e.abortSet, e.abortCasc
+	clear(set)
+	clear(cascaded)
+	frontier := e.abortFrontier[:0]
 	for _, v := range victims {
 		t := e.txns[v]
 		// Committing transactions are immune: their group is submitted and
@@ -814,8 +946,9 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 			frontier = append(frontier, v)
 		}
 	}
+	next := e.abortNext[:0]
 	for len(frontier) > 0 {
-		var next []model.TxnID
+		next = next[:0]
 		for id, t := range e.txns {
 			if set[id] || t.commit || t.committing || t.gaveUp {
 				continue
@@ -830,8 +963,9 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	e.abortFrontier, e.abortNext = frontier[:0], next[:0]
 	if len(set) == 0 {
 		return
 	}
@@ -847,7 +981,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 		t := e.txns[id]
 		t.attempt++
 		t.finished = false
-		t.deps = make(map[model.TxnID]bool)
+		clear(t.deps)
 		e.stats.Aborts++
 		e.stats.Restarts++
 		if e.obs != nil {
@@ -859,7 +993,7 @@ func (e *engine) abortLocked(victims []model.TxnID) {
 }
 
 func (e *engine) rebuildAuthorsLocked() {
-	e.author = make(map[model.EntityID]model.TxnID)
+	clear(e.author)
 	for _, te := range e.trace {
 		t := e.txns[te.id]
 		// A nil t is a retired resident transaction whose trace entries
@@ -892,7 +1026,17 @@ func (e *engine) tryCommitLocked() {
 	if e.asyncErr != nil {
 		return
 	}
-	inS := make(map[model.TxnID]bool)
+	// The candidate set is engine scratch: this probe runs after every
+	// finish and usually commits either nothing or a small group, so it must
+	// not allocate a map per call. Only the sorted ids slice is fresh — it
+	// escapes into the async pipeline.
+	inS := e.commitScratch
+	if inS == nil {
+		inS = make(map[model.TxnID]bool)
+		e.commitScratch = inS
+	} else {
+		clear(inS)
+	}
 	for id, t := range e.txns {
 		if t.finished && !t.commit && !t.committing {
 			inS[id] = true

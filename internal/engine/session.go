@@ -228,7 +228,7 @@ func (s *Session) Submit(ctx context.Context, p model.Program, opts SubmitOpts) 
 	if opts.Prepare != nil {
 		opts.Prepare()
 	}
-	t := &etxn{prog: p, id: id, deps: make(map[model.TxnID]bool)}
+	t := e.getTxn(p, id)
 	e.txns[id] = t
 	e.mu.Unlock()
 	defer s.retire(id, opts.Cleanup)
@@ -333,7 +333,7 @@ func (s *Session) awaitCommit(t *etxn, attempt int, deadline time.Time, quit <-c
 			e.mu.Unlock()
 			return Outcome{}, false, nil
 		}
-		ch := e.waitGen
+		ch := e.waitReg()
 		committing := t.committing
 		e.mu.Unlock()
 		if committing {
@@ -364,10 +364,12 @@ func (s *Session) awaitCommit(t *etxn, attempt int, deadline time.Time, quit <-c
 		if tm != nil {
 			tm.Stop()
 		}
+		e.mu.Lock()
+		e.waitDereg(ch)
 		if reason == killNone {
+			e.mu.Unlock()
 			continue
 		}
-		e.mu.Lock()
 		if t.attempt == attempt && !t.commit && !t.committing {
 			// Finished but its group never formed (a dependency is still
 			// running) and the submission's bounds ran out: withdraw.
@@ -403,11 +405,19 @@ func (s *Session) retire(id model.TxnID, cleanup func()) {
 	if e.caps.ReleaseAll != nil {
 		e.caps.ReleaseAll(id)
 	}
-	delete(e.txns, id)
+	if t, ok := e.txns[id]; ok {
+		delete(e.txns, id)
+		e.putTxn(t)
+	}
 	if cleanup != nil {
 		cleanup()
 	}
 	e.compactTraceLocked()
+	// ReleaseAll may have just freed residue locks a racing grant gave the
+	// dead attempt; anyone waiting on them must re-request now — with lazy
+	// (waiter-counted) wakeups there is no later bump to piggyback on in a
+	// quiet session.
+	e.bump()
 	e.mu.Unlock()
 }
 

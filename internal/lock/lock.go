@@ -53,7 +53,16 @@ type Manager struct {
 	// current lock epoch, appended once per first acquisition (re-acquiring
 	// a held lock appends nothing, so there are no duplicates).
 	held map[model.TxnID][]model.EntityID
+	// free recycles held-index slices released by retired transactions, so
+	// the steady-state lock path of a long run allocates no per-transaction
+	// slices (a fresh holder would otherwise pay one per first acquisition
+	// plus growth).
+	free [][]model.EntityID
 }
+
+// maxFreeHeld caps the recycled-slice pool; beyond it, slices are left to
+// the GC (the pool only needs to cover peak concurrent holders).
+const maxFreeHeld = 64
 
 // NewManager returns an empty lock table.
 func NewManager() *Manager {
@@ -90,7 +99,12 @@ func (m *Manager) TryAcquire(t model.TxnID, x model.EntityID) (bool, model.TxnID
 		return false, h
 	}
 	m.holder[x] = t
-	m.held[t] = append(m.held[t], x)
+	hs, have := m.held[t]
+	if !have && len(m.free) > 0 {
+		hs = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	}
+	m.held[t] = append(hs, x)
 	return true, ""
 }
 
@@ -104,12 +118,20 @@ func (m *Manager) Holds(t model.TxnID, x model.EntityID) bool {
 // released, independent of the table size (BenchmarkReleaseManyHolders
 // pins this).
 func (m *Manager) Release(t model.TxnID) {
-	for _, x := range m.held[t] {
+	hs, have := m.held[t]
+	if !have {
+		return
+	}
+	for _, x := range hs {
 		if m.holder[x] == t {
 			delete(m.holder, x)
 		}
 	}
 	delete(m.held, t)
+	if cap(hs) > 0 && len(m.free) < maxFreeHeld {
+		clear(hs) // drop entity-string references before pooling
+		m.free = append(m.free, hs[:0])
+	}
 }
 
 // Locked returns the number of currently locked entities.

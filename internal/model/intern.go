@@ -1,0 +1,89 @@
+package model
+
+import "sync"
+
+// Handle is a dense integer identity assigned by an Interner: small,
+// comparable, and usable as a slice index, which is what makes per-identity
+// state (priorities, histogram rows, shard assignments) storable in flat
+// arrays instead of string-keyed maps on hot paths.
+type Handle uint32
+
+// Interner assigns dense Handles to string-like identifiers (TxnID,
+// EntityID). Handles are recycled through Release, so a long-lived session
+// interning millions of transient transaction IDs keeps the handle space —
+// and any slice indexed by it — bounded by the peak number of live
+// identities, not by lifetime churn.
+//
+// Interner is safe for concurrent use; Lookup is a read-lock only.
+type Interner[K ~string] struct {
+	mu   sync.RWMutex
+	ids  map[K]Handle
+	free []Handle
+	next Handle
+}
+
+// NewInterner returns an empty interner.
+func NewInterner[K ~string]() *Interner[K] {
+	return &Interner[K]{ids: make(map[K]Handle)}
+}
+
+// Intern returns the handle for k, assigning the lowest recycled (else the
+// next fresh) handle on first sight. Interning an already-interned key
+// returns its existing handle.
+func (in *Interner[K]) Intern(k K) Handle {
+	in.mu.RLock()
+	h, ok := in.ids[k]
+	in.mu.RUnlock()
+	if ok {
+		return h
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if h, ok = in.ids[k]; ok {
+		return h
+	}
+	if n := len(in.free); n > 0 {
+		h = in.free[n-1]
+		in.free = in.free[:n-1]
+	} else {
+		h = in.next
+		in.next++
+	}
+	in.ids[k] = h
+	return h
+}
+
+// Lookup returns k's handle without assigning one.
+func (in *Interner[K]) Lookup(k K) (Handle, bool) {
+	in.mu.RLock()
+	h, ok := in.ids[k]
+	in.mu.RUnlock()
+	return h, ok
+}
+
+// Release forgets k and recycles its handle for a future Intern. Releasing
+// an unknown key is a no-op. The caller owns the invariant that no
+// handle-indexed state still attributes meaning to the released handle.
+func (in *Interner[K]) Release(k K) {
+	in.mu.Lock()
+	if h, ok := in.ids[k]; ok {
+		delete(in.ids, k)
+		in.free = append(in.free, h)
+	}
+	in.mu.Unlock()
+}
+
+// Cap returns the size any slice indexed by this interner's handles must
+// have: one past the highest handle ever assigned.
+func (in *Interner[K]) Cap() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return int(in.next)
+}
+
+// Len returns the number of currently interned keys.
+func (in *Interner[K]) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.ids)
+}

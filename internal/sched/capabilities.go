@@ -38,6 +38,18 @@ type Concurrent interface {
 	ConcurrentSafe()
 }
 
+// StepQuiescent marks a control for which a performed step can never change
+// the outcome of another transaction's pending request: decisions move only
+// when locks are released at Finished/Aborted (strict two-phase locking),
+// never on step progress. The harness uses it to skip waking sleepers after
+// every granted step — under a strict control those wakeups are a thundering
+// herd that re-requests, loses, and sleeps again. Controls whose decisions
+// observe step progress (closure previews, unit-boundary releases) must NOT
+// declare it.
+type StepQuiescent interface {
+	StepQuiescentSafe()
+}
+
 // Releaser is implemented by Concurrent controls whose Request acquires
 // resources (locks) that outlive the call. Because such a Request runs
 // outside the harness's global mutex, it can race past a rollback of the
@@ -95,6 +107,9 @@ type Capabilities struct {
 	// Concurrent reports whether the control is safe for concurrent calls
 	// (the Concurrent marker).
 	Concurrent bool
+	// QuiescentSteps reports whether a performed step can never unblock
+	// another transaction's pending request (the StepQuiescent marker).
+	QuiescentSteps bool
 }
 
 // CapabilitiesOf probes c once for every optional hook. The zero value of
@@ -127,6 +142,7 @@ func CapabilitiesOf(c Control) Capabilities {
 		caps.DeadlineAborted = da.DeadlineAborted
 	}
 	_, caps.Concurrent = c.(Concurrent)
+	_, caps.QuiescentSteps = c.(StepQuiescent)
 	return caps
 }
 

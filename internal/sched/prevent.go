@@ -120,11 +120,11 @@ func (p *Preventer) Request(t model.TxnID, _ int, x model.EntityID) Decision {
 	p.stats.Requests++
 	blockers := make(map[model.TxnID]bool)
 	if p.TrackTransitive {
-		for u, s := range p.oc.PredForNewStep(t, x) {
+		p.oc.ForEachPredOfNewStep(t, x, func(u model.TxnID, s int) {
 			if u != t && !p.closed(u, s, p.nest.Level(u, t)) {
 				blockers[u] = true
 			}
-		}
+		})
 	} else {
 		for u, s := range p.lastAccess[x] {
 			if u != t && !p.closed(u, s, p.nest.Level(u, t)) {

@@ -20,11 +20,23 @@ import (
 //
 // All methods are safe for concurrent use (the Concurrent marker); stats
 // are atomics folded into a Stats struct on demand.
+//
+// Transaction IDs are interned into dense handles at Begin (session
+// admission), so priorities live in a flat slice indexed by handle instead
+// of a string-keyed map: the wound-wait comparison on every contended
+// Request is an RLock plus two array reads, the handle space is recycled at
+// Finished, and a resident session's control state stays bounded by peak
+// concurrency rather than lifetime transaction count.
 type ShardedTwoPhase struct {
 	locks *lock.Striped
 
+	ids    *model.Interner[model.TxnID]
 	prioMu sync.RWMutex
-	prio   map[model.TxnID]int64
+	prio   []int64 // indexed by interned handle; 0 = unknown/retired
+
+	// prioFn is prioOf bound once at construction: Acquire takes a func
+	// value, and binding per Request allocated on every step.
+	prioFn func(model.TxnID) int64
 
 	requests, grants, waits, wounds, aborts, deadlines atomic.Int64
 
@@ -39,36 +51,54 @@ func NewShardedTwoPhase(shards int) *ShardedTwoPhase {
 	if shards <= 0 {
 		shards = 16
 	}
-	return &ShardedTwoPhase{
+	stp := &ShardedTwoPhase{
 		locks: lock.NewStriped(shards),
-		prio:  make(map[model.TxnID]int64),
+		ids:   model.NewInterner[model.TxnID](),
 	}
+	stp.prioFn = stp.prioOf
+	return stp
 }
 
 // ConcurrentSafe implements the Concurrent marker.
 func (*ShardedTwoPhase) ConcurrentSafe() {}
+
+// StepQuiescentSafe implements the StepQuiescent marker: strict 2PL grants
+// change only when locks are released at Finished/Aborted, never because
+// some other transaction performed a step.
+func (*ShardedTwoPhase) StepQuiescentSafe() {}
 
 // Name implements Control.
 func (*ShardedTwoPhase) Name() string { return "2pl-sharded" }
 
 // Begin implements Control.
 func (stp *ShardedTwoPhase) Begin(t model.TxnID, prio int64) {
+	h := stp.ids.Intern(t)
 	stp.prioMu.Lock()
-	stp.prio[t] = prio
+	for int(h) >= len(stp.prio) {
+		stp.prio = append(stp.prio, make([]int64, int(h)+16-len(stp.prio))...)
+	}
+	stp.prio[h] = prio
 	stp.prioMu.Unlock()
 }
 
 func (stp *ShardedTwoPhase) prioOf(t model.TxnID) int64 {
+	h, ok := stp.ids.Lookup(t)
+	if !ok {
+		return 0
+	}
 	stp.prioMu.RLock()
 	defer stp.prioMu.RUnlock()
-	return stp.prio[t]
+	if int(h) >= len(stp.prio) {
+		return 0
+	}
+	return stp.prio[h]
 }
 
 // Request implements Control: wound-wait on the entity's shard. Older
 // requester wounds the younger holder; younger requester waits.
 func (stp *ShardedTwoPhase) Request(t model.TxnID, _ int, x model.EntityID) Decision {
 	stp.requests.Add(1)
-	out, victim := stp.locks.Acquire(t, x, stp.prioOf)
+	out, victim := stp.locks.Acquire(t, x, stp.prioFn)
 	switch out {
 	case lock.Granted:
 		stp.grants.Add(1)
@@ -85,12 +115,19 @@ func (stp *ShardedTwoPhase) Request(t model.TxnID, _ int, x model.EntityID) Deci
 // Performed implements Control.
 func (*ShardedTwoPhase) Performed(model.TxnID, int, model.EntityID, int) {}
 
-// Finished implements Control: strict 2PL releases everything at end.
+// Finished implements Control: strict 2PL releases everything at end, and
+// the handle (with its priority slot) is recycled — an aborted transaction
+// re-interns at its restart's Begin.
 func (stp *ShardedTwoPhase) Finished(t model.TxnID) {
 	stp.locks.Release(t)
-	stp.prioMu.Lock()
-	delete(stp.prio, t)
-	stp.prioMu.Unlock()
+	if h, ok := stp.ids.Lookup(t); ok {
+		stp.prioMu.Lock()
+		if int(h) < len(stp.prio) {
+			stp.prio[h] = 0
+		}
+		stp.prioMu.Unlock()
+		stp.ids.Release(t)
+	}
 }
 
 // Aborted implements Control.

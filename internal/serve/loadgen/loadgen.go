@@ -1,21 +1,31 @@
-// Package loadgen is an open-loop HTTP client for mlaserve: arrivals
-// follow a Poisson process per client session, so offered load does NOT
-// slow down when the server does — exactly the regime where admission
-// control and load shedding earn their keep (a closed-loop client would
-// politely self-throttle and never produce a 429).
+// Package loadgen is an open-loop load driver for mlaserve: arrivals
+// follow a Poisson process, so offered load does NOT slow down when the
+// server does — exactly the regime where admission control and load
+// shedding earn their keep (a closed-loop client would politely
+// self-throttle and never produce a 429).
 //
-// The generator also injects client misbehavior on purpose: a fraction of
+// The package is structured as three layers:
+//
+//   - Client (client.go) executes individual transactions — over HTTP
+//     against a real server, or in-process against the bare engine (the
+//     bench package's client), so one driver measures both regimes.
+//   - Pool (pool.go) runs a bounded set of workers over a Client,
+//     consuming a scheduled Arrival stream and measuring latency from the
+//     scheduled arrival time (coordinated-omission-safe). There is no
+//     goroutine per request.
+//   - Run (this file) is the batteries-included entry point the selftest
+//     and soak harnesses use: Poisson arrivals, workload mix, injected
+//     mid-flight disconnects, 429 retry with capped backoff.
+//
+// The generator injects client misbehavior on purpose: a fraction of
 // requests disconnect mid-flight (the context is cancelled while the
 // transaction runs), which the server must answer by withdrawing the
 // transaction at its next breakpoint without losing anyone else's work.
 package loadgen
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -30,7 +40,9 @@ type Options struct {
 	Sessions int
 	// Txns is the total number of transactions to offer across sessions.
 	Txns int
-	// Rate is the Poisson arrival rate per session, in arrivals/second.
+	// Rate is the Poisson arrival rate per session, in arrivals/second
+	// (the pool offers Sessions×Rate in total; superposed Poisson
+	// processes are Poisson).
 	Rate float64
 	// AuditPct and CreditPct set the kind mix; the rest are transfers.
 	AuditPct  int
@@ -52,6 +64,9 @@ type Options struct {
 	Seed int64
 	// Client overrides the HTTP client (tests inject httptest transports).
 	Client *http.Client
+	// Workers bounds the concurrent in-flight requests (default
+	// 4×Sessions, clamped to [8, 128]).
+	Workers int
 }
 
 // Report tallies one load run. Counters sum over requests, not retries
@@ -68,7 +83,7 @@ type Report struct {
 	Down      int     // transport-level failures: the server was unreachable
 	Errors    int     // unexpected statuses, protocol violations
 	Retries   int     // 429s that were retried
-	Latencies []int64 // µs, acked transactions only
+	Latencies []int64 // µs, acked transactions only (server-reported)
 
 	// ErrorSamples holds the first few error details (transport error
 	// strings, unexpected status lines) so a failed run is diagnosable
@@ -76,8 +91,9 @@ type Report struct {
 	ErrorSamples []string
 }
 
-// Run drives the load and blocks until every offered transaction resolved
-// or ctx is cancelled. The returned report is complete either way.
+// Run drives the load through a worker Pool and blocks until every offered
+// transaction resolved or ctx is cancelled. The returned report is
+// complete either way.
 func Run(ctx context.Context, o Options) (*Report, error) {
 	if o.Sessions <= 0 || o.Txns <= 0 {
 		return nil, fmt.Errorf("loadgen: need sessions and txns, got %d/%d", o.Sessions, o.Txns)
@@ -88,296 +104,100 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	if o.BackoffBase <= 0 {
 		o.BackoffBase = 20 * time.Millisecond
 	}
-	client := o.Client
-	if client == nil {
-		client = &http.Client{}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 4 * o.Sessions
+		if workers < 8 {
+			workers = 8
+		}
+		if workers > 128 {
+			workers = 128
+		}
 	}
+	client := NewHTTPClient(o.BaseURL, o.Client)
 
 	rep := &Report{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup // session goroutines
-	var rq sync.WaitGroup // in-flight requests (open loop: not awaited per arrival)
-	var openIDs []string  // sessions to close once every request resolved
-
-	noteError := func(detail string) {
-		if len(rep.ErrorSamples) < 8 {
-			rep.ErrorSamples = append(rep.ErrorSamples, detail)
-		}
-	}
-
-	perSession := o.Txns / o.Sessions
-	extra := o.Txns % o.Sessions
+	var sessions []string
 	for si := 0; si < o.Sessions; si++ {
-		n := perSession
-		if si < extra {
-			n++
-		}
-		if n == 0 {
+		id, err := client.OpenSession(ctx)
+		if err != nil {
+			// This session's share of the load cannot be offered; charge it
+			// to Errors so the accounting stays visible, like the old
+			// per-session driver did.
+			share := o.Txns / o.Sessions
+			if si < o.Txns%o.Sessions {
+				share++
+			}
+			rep.Errors += share
+			if len(rep.ErrorSamples) < 8 {
+				rep.ErrorSamples = append(rep.ErrorSamples, "open session: "+err.Error())
+			}
 			continue
 		}
-		wg.Add(1)
-		go func(si, n int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(o.Seed + int64(si)*7919))
-			sess, err := openSession(ctx, client, o.BaseURL)
-			if err != nil {
-				mu.Lock()
-				rep.Errors += n
-				noteError("open session: " + err.Error())
-				mu.Unlock()
-				return
-			}
-			mu.Lock()
-			openIDs = append(openIDs, sess)
-			mu.Unlock()
-			for i := 0; i < n; i++ {
-				// Poisson arrivals: exponential inter-arrival times. The
-				// arrival fires whether or not earlier requests resolved —
-				// that is the open loop.
-				wait := time.Duration(rng.ExpFloat64() / o.Rate * float64(time.Second))
-				select {
-				case <-time.After(wait):
-				case <-ctx.Done():
-					mu.Lock()
-					rep.Errors += n - i
-					mu.Unlock()
-					return
-				}
-				kind := "transfer"
-				switch p := rng.Intn(100); {
-				case p < o.AuditPct:
-					kind = "audit"
-				case p < o.AuditPct+o.CreditPct:
-					kind = "credit"
-				}
-				disconnect := rng.Intn(100) < o.DisconnectPct
-				jitter := time.Duration(rng.Int63n(int64(o.BackoffBase) + 1))
-				rq.Add(1)
-				go func() {
-					defer rq.Done()
-					res := oneTxn(ctx, client, o, sess, kind, disconnect, jitter)
-					mu.Lock()
-					rep.Offered++
-					rep.Retries += res.retries
-					switch res.status {
-					case statusAcked:
-						rep.Acked++
-						rep.AckedIDs = append(rep.AckedIDs, res.txn)
-						rep.Latencies = append(rep.Latencies, res.latencyUS)
-					case statusDeadline:
-						rep.Deadline++
-					case statusShed:
-						rep.Shed++
-					case statusDraining:
-						rep.Draining++
-					case statusCanceled:
-						rep.Canceled++
-					case statusDown:
-						// Connection refused/reset: the server process was
-						// gone. A crash-restart soak EXPECTS these (the kill
-						// lands mid-load); anything acked before the kill is
-						// still audited via Reverify.
-						rep.Down++
-						noteError(res.errDetail)
-					default:
-						rep.Errors++
-						noteError(res.errDetail)
-					}
-					mu.Unlock()
-				}()
-			}
-		}(si, n)
+		sessions = append(sessions, id)
 	}
-	wg.Wait()
-	rq.Wait()
-	// Sessions are closed only now: the open loop means requests (and
-	// their backoff retries) outlive the arrival loop, and closing the
-	// session under them would turn live work into 404s.
-	for _, id := range openIDs {
-		closeSession(client, o.BaseURL, id)
+	if len(sessions) == 0 {
+		return rep, nil
+	}
+	txns := o.Txns - rep.Errors
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	mk := func(i int) Request {
+		kind := "transfer"
+		switch p := rng.Intn(100); {
+		case p < o.AuditPct:
+			kind = "audit"
+		case p < o.AuditPct+o.CreditPct:
+			kind = "credit"
+		}
+		return Request{
+			Session:    sessions[i%len(sessions)],
+			Kind:       kind,
+			DeadlineMS: o.DeadlineMS,
+			Disconnect: rng.Intn(100) < o.DisconnectPct,
+			Jitter:     time.Duration(rng.Int63n(int64(o.BackoffBase) + 1)),
+		}
+	}
+
+	var mu sync.Mutex
+	pool := &Pool{
+		Client:      client,
+		Workers:     workers,
+		MaxRetries:  o.MaxRetries,
+		BackoffBase: o.BackoffBase,
+		KeepIDs:     true, // the soak's Reverify audit consumes AckedIDs
+		Observe: func(res Result, _ int64) {
+			if res.Status == StatusAcked {
+				mu.Lock()
+				rep.Latencies = append(rep.Latencies, res.LatencyUS)
+				mu.Unlock()
+			}
+		},
+	}
+	rate := o.Rate * float64(len(sessions))
+	pr := pool.Run(ctx, OpenLoop(ctx, Wall, txns, rate, rng, mk))
+
+	// Sessions are closed only now: requests (and their backoff retries)
+	// outlive the arrival schedule, and closing the session under them
+	// would turn live work into 404s.
+	for _, id := range sessions {
+		client.CloseSession(id)
+	}
+
+	rep.Offered = pr.Offered
+	rep.Acked = pr.Acked
+	rep.AckedIDs = pr.AckedIDs
+	rep.Deadline = pr.Deadline
+	rep.Shed = pr.Shed
+	rep.Draining = pr.Draining
+	rep.Canceled = pr.Canceled
+	rep.Down = pr.Down
+	rep.Errors += pr.Errors
+	rep.Retries = pr.Retries
+	for _, s := range pr.ErrorSamples {
+		if len(rep.ErrorSamples) < 8 {
+			rep.ErrorSamples = append(rep.ErrorSamples, s)
+		}
 	}
 	return rep, nil
-}
-
-const (
-	statusAcked = iota
-	statusDeadline
-	statusShed
-	statusDraining
-	statusCanceled
-	statusDown
-	statusError
-)
-
-type txnOutcome struct {
-	status    int
-	txn       string
-	latencyUS int64
-	retries   int
-	errDetail string
-}
-
-// oneTxn submits one logical transaction, retrying 429s with capped
-// exponential backoff (the same discipline the engine applies to transient
-// step faults, moved to the client side of the contract).
-func oneTxn(ctx context.Context, client *http.Client, o Options, sess, kind string, disconnect bool, jitter time.Duration) txnOutcome {
-	out := txnOutcome{status: statusError}
-	backoff := o.BackoffBase + jitter
-	for try := 0; ; try++ {
-		rctx := ctx
-		var cancel context.CancelFunc
-		if disconnect {
-			// Abandon mid-flight: long enough to usually reach the engine,
-			// short enough to often beat the commit (local commits run in
-			// hundreds of microseconds).
-			rctx, cancel = context.WithTimeout(ctx, 300*time.Microsecond+jitter/16)
-		}
-		st := doTxn(rctx, client, o, sess, kind, &out)
-		if cancel != nil {
-			cancel()
-		}
-		if disconnect && (st == statusError || st == statusDown || st == statusCanceled) {
-			// The injected disconnect surfaced as a transport error or an
-			// explicit cancel — either way, that was the point.
-			out.status = statusCanceled
-			return out
-		}
-		if st != statusShed || try >= o.MaxRetries {
-			out.status = st
-			return out
-		}
-		out.retries++
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			out.status = statusShed
-			return out
-		}
-		backoff *= 2
-		if max := 64 * o.BackoffBase; backoff > max {
-			backoff = max
-		}
-	}
-}
-
-func doTxn(ctx context.Context, client *http.Client, o Options, sess, kind string, out *txnOutcome) int {
-	body, _ := json.Marshal(map[string]any{
-		"session":     sess,
-		"kind":        kind,
-		"deadline_ms": o.DeadlineMS,
-	})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, o.BaseURL+"/v1/txns", bytes.NewReader(body))
-	if err != nil {
-		out.errDetail = err.Error()
-		return statusError
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return statusCanceled
-		}
-		out.errDetail = err.Error()
-		return statusDown
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var tr struct {
-			Txn       string `json:"txn"`
-			Committed bool   `json:"committed"`
-			LatencyUS int64  `json:"latency_us"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&tr) != nil || !tr.Committed {
-			out.errDetail = "200 with unparseable or uncommitted body"
-			return statusError
-		}
-		out.txn = tr.Txn
-		out.latencyUS = tr.LatencyUS
-		return statusAcked
-	case http.StatusRequestTimeout:
-		var er struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error == "canceled" {
-			return statusCanceled
-		}
-		return statusDeadline
-	case http.StatusTooManyRequests:
-		return statusShed
-	case http.StatusServiceUnavailable:
-		return statusDraining
-	default:
-		var buf bytes.Buffer
-		io.Copy(&buf, io.LimitReader(resp.Body, 256))
-		io.Copy(io.Discard, resp.Body)
-		out.errDetail = fmt.Sprintf("status %d: %s", resp.StatusCode, buf.String())
-		return statusError
-	}
-}
-
-// Reverify asks the server whether each previously acked transaction is
-// still durable (GET /v1/txns/{id}) and returns the ones it denies — the
-// lost-ack audit a crash-restart soak runs after every recovery. A 404
-// here is the exact failure durability exists to prevent: the server said
-// 200 and then forgot.
-func Reverify(ctx context.Context, client *http.Client, baseURL string, ids []string) ([]string, error) {
-	if client == nil {
-		client = &http.Client{}
-	}
-	var lost []string
-	for _, id := range ids {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/txns/"+id, nil)
-		if err != nil {
-			return lost, err
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return lost, fmt.Errorf("loadgen: reverify %s: %w", id, err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
-		case http.StatusNotFound:
-			lost = append(lost, id)
-		default:
-			return lost, fmt.Errorf("loadgen: reverify %s: status %d", id, resp.StatusCode)
-		}
-	}
-	return lost, nil
-}
-
-func openSession(ctx context.Context, client *http.Client, base string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sessions", bytes.NewReader([]byte("{}")))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("loadgen: open session: status %d", resp.StatusCode)
-	}
-	var sr struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return "", err
-	}
-	return sr.ID, nil
-}
-
-func closeSession(client *http.Client, base, id string) {
-	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
-	if err != nil {
-		return
-	}
-	resp, err := client.Do(req)
-	if err == nil {
-		resp.Body.Close()
-	}
 }

@@ -326,6 +326,37 @@ type DB struct {
 	// live: per transaction, the stack of update records not yet cancelled
 	// by a compensation (oldest first).
 	live map[model.TxnID][]Record
+	// freeStacks recycles live-update stacks of retired transactions: a
+	// committed transaction's stack goes back in the pool instead of to the
+	// GC, so the steady-state Perform path of a long run stops allocating
+	// per-transaction slices.
+	freeStacks [][]Record
+}
+
+// maxFreeStacks caps the recycled stack pool (it only needs to cover peak
+// concurrent transactions).
+const maxFreeStacks = 64
+
+// liveStack returns t's live stack, reusing a pooled one for a transaction's
+// first update.
+func (db *DB) liveStack(t model.TxnID) []Record {
+	stack, ok := db.live[t]
+	if !ok && len(db.freeStacks) > 0 {
+		stack = db.freeStacks[len(db.freeStacks)-1]
+		db.freeStacks = db.freeStacks[:len(db.freeStacks)-1]
+	}
+	return stack
+}
+
+// retireLive deletes t's live stack and pools its backing array.
+func (db *DB) retireLive(t model.TxnID) {
+	if stack, ok := db.live[t]; ok {
+		delete(db.live, t)
+		if cap(stack) > 0 && len(db.freeStacks) < maxFreeStacks {
+			clear(stack) // drop record references (entity strings, group slices)
+			db.freeStacks = append(db.freeStacks, stack[:0])
+		}
+	}
 }
 
 // Open mounts a DB on the medium, running recovery if the log is nonempty.
@@ -492,7 +523,7 @@ func (db *DB) Perform(t model.TxnID, seq int, x model.EntityID, f func(model.Val
 		return model.Step{}, err
 	}
 	db.vals[x] = after
-	db.live[t] = append(db.live[t], rec)
+	db.live[t] = append(db.liveStack(t), rec)
 	return model.Step{Txn: t, Seq: seq, Entity: x, Label: label, Before: before, After: after}, nil
 }
 
@@ -503,7 +534,7 @@ func (db *DB) Commit(t model.TxnID) error {
 		return err
 	}
 	db.committed[t] = true
-	delete(db.live, t)
+	db.retireLive(t)
 	return nil
 }
 
@@ -523,7 +554,7 @@ func (db *DB) CommitGroup(ids []model.TxnID) error {
 	}
 	for _, t := range ids {
 		db.committed[t] = true
-		delete(db.live, t)
+		db.retireLive(t)
 	}
 	return nil
 }
@@ -579,7 +610,7 @@ func (db *DB) AbortSuffix(keep map[model.TxnID]int) error {
 			return err
 		}
 		if len(kept) == 0 {
-			delete(db.live, t)
+			db.retireLive(t)
 		} else {
 			db.live[t] = kept
 		}

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Bench regression gate: run one open-loop load cell, append the mla-bench/v1
+# report to BENCH_HISTORY.json keyed by the current commit, and fail when
+# throughput drops or p99 rises more than 10% (plus an absolute slack floor,
+# so a small CI cell's noise cannot flake a push) versus the last recorded
+# load entry. The first run on a fresh history passes by default and seeds it.
+#
+# Tunables (environment):
+#   BENCH_RATE      offered rate, txns/s           (default 60000)
+#   BENCH_DURATION  cell length                    (default 500ms)
+#   BENCH_SLO       p99 objective; a miss fails    (default 50ms)
+#   BENCH_HISTORY   history file                   (default BENCH_HISTORY.json)
+set -eu
+cd "$(dirname "$0")/.."
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+exec go run ./cmd/mlabench \
+    -rate "${BENCH_RATE:-60000}" \
+    -duration "${BENCH_DURATION:-500ms}" \
+    -slo-p99 "${BENCH_SLO:-50ms}" \
+    -history "${BENCH_HISTORY:-BENCH_HISTORY.json}" \
+    -commit "$commit" \
+    -gate

@@ -57,3 +57,9 @@ go run ./cmd/mlacheck -history /tmp/mla_soak_smoke/history.spool
 # repo; CI uploads the trace as an artifact.
 go run -race ./cmd/mlabench -perf -quick -out /tmp/mla_perf_smoke.json \
     -telemetry -trace-out /tmp/mla_perf_smoke_trace.json
+# Open-loop load smoke + bench regression gate: a Poisson cell against the
+# resident engine with coordinated-omission-safe latency accounting, gated
+# against the last entry recorded in BENCH_HISTORY.json — a >10% throughput
+# or p99 regression (past an absolute noise floor) fails the push. CI
+# uploads the appended history as a per-push artifact.
+./scripts/bench_gate.sh
