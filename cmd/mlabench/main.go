@@ -8,6 +8,8 @@
 //	mlabench -rate 120000 -duration 1s -slo-p99 20ms
 //	mlabench -rate 5000 -base http://127.0.0.1:7070
 //	mlabench -rate 60000 -history BENCH_HISTORY.json -commit $(git rev-parse --short HEAD) -gate
+//	mlabench -rate 60000 -shards 4 -history BENCH_HISTORY.json -gate
+//	mlabench -shardperf -shards 4 -scaling-min 1.5 -out BENCH_SHARD.json
 //
 // Without -exp it runs the full suite E1..E21. With -perf it runs the
 // engine performance sweep (E19's harness) instead, prints the table, and
@@ -18,10 +20,23 @@
 // at the given rate against the in-process engine — or, with -base, a
 // running mlaserve over real HTTP — reporting coordinated-omission-safe
 // p50/p99/p99.9 and throughput at the -slo-p99 objective. -closed switches
-// to the classic closed loop for comparison. -history appends the report
-// to BENCH_HISTORY.json keyed by -commit; -gate additionally compares
-// against the previous recorded run of the same kind and exits nonzero on
-// a >10% throughput or p99 regression.
+// to the classic closed loop for comparison. -shards N drives the cell
+// against the partitioned store (shard.Group) instead of the single
+// resident engine. -history appends the report to BENCH_HISTORY.json keyed
+// by -commit; -gate additionally compares against the previous recorded
+// run of the same kind AND shard count (sharded and unsharded cells keep
+// independent lineages in one file) and exits nonzero on a >10% throughput
+// or p99 regression.
+//
+// With -shardperf it sweeps shard count × GOMAXPROCS over the shard-affine
+// hot-spot workload on the partitioned store: -shards N pins the sweep to
+// {1, N} (the CI matrix leg; default {1, 2, 4}), every cell is gated on
+// decision equivalence against the schedule-independent expected state,
+// and -scaling-min S additionally fails the run when max-shards throughput
+// is below S× the 1-shard baseline at max procs (enforced only on hosts
+// with >1 CPU — a single-CPU host cannot exhibit shard parallelism, so
+// the floor is reported there but not fatal). -procs P1,P2 overrides the
+// GOMAXPROCS points (default 1,4).
 //
 // -telemetry records spans and counters from the runs that support tracing
 // (the engine, the simulator, the dist bus); -trace-out exports the spans
@@ -36,6 +51,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"mla/internal/bench"
@@ -63,6 +81,10 @@ func run() int {
 	workload := flag.String("workload", "lowcontention", "load cell shape: lowcontention | hotspot")
 	workers := flag.Int("workers", 0, "load cell: worker pool bound (default 32)")
 	closed := flag.Bool("closed", false, "load cell: closed loop (CO-unsafe; comparison only)")
+	shards := flag.Int("shards", 0, "partition the entity store: -rate drives a shard.Group of N shards; -shardperf sweeps {1,N}")
+	shardPerf := flag.Bool("shardperf", false, "run the shards × GOMAXPROCS sweep on the partitioned store and write the JSON report")
+	scalingMin := flag.Float64("scaling-min", 0, "-shardperf: fail unless max-shards throughput ≥ this × the 1-shard baseline (0 = report only)")
+	procsFlag := flag.String("procs", "", "-shardperf: comma-separated GOMAXPROCS points (default 1,4)")
 	sloP99 := flag.Duration("slo-p99", 0, "load cell: p99 latency objective; a miss exits nonzero")
 	base := flag.String("base", "", "load cell: drive a running mlaserve at this base URL instead of the in-process engine")
 	historyPath := flag.String("history", "", "append the report to this BENCH_HISTORY.json")
@@ -124,7 +146,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "mlabench: history: %v\n", err)
 			return 1
 		}
-		prev := hist.Last(rep.Kind)
+		prev := hist.LastFor(rep.Kind, rep.Shards)
 		if err := hist.Append(*historyPath, *commit, rep, time.Now()); err != nil {
 			fmt.Fprintf(os.Stderr, "mlabench: history: %v\n", err)
 			return 1
@@ -171,11 +193,62 @@ func run() int {
 		return record(rep)
 	}
 
+	if *shardPerf {
+		if *out == "" {
+			*out = "BENCH_SHARD.json"
+		}
+		opts := []bench.Option{
+			bench.WithSeed(*seed), bench.WithQuick(*quick), bench.WithContext(ctx),
+			bench.WithShards(*shards), bench.WithWorkers(*workers),
+		}
+		if *procsFlag != "" {
+			var pts []int
+			for _, s := range strings.Split(*procsFlag, ",") {
+				p, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || p < 1 {
+					fmt.Fprintf(os.Stderr, "mlabench: -procs: bad GOMAXPROCS point %q\n", s)
+					return 1
+				}
+				pts = append(pts, p)
+			}
+			opts = append(opts, bench.WithProcs(pts...))
+		}
+		rep, err := bench.ShardRun(ctx, bench.NewConfig(opts...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: shardperf: %v\n", err)
+			return 1
+		}
+		rep.Table().Render(os.Stdout)
+		if err := rep.WriteJSON(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "mlabench: shardperf: write %s: %v\n", *out, err)
+			return 1
+		}
+		fmt.Printf("wrote %s (shard speedup %.2fx: %d shards vs 1 at max procs)\n", *out, rep.ShardSpeedup, rep.Shards)
+		if !rep.EquivalenceOK {
+			fmt.Fprintln(os.Stderr, "mlabench: shardperf: EQUIVALENCE FAILED — sharded cells diverged from the unsharded expected state")
+			return 1
+		}
+		if *scalingMin > 0 && rep.ShardSpeedup < *scalingMin {
+			// The floor asserts that N shards beat 1 shard in wall-clock
+			// time, which requires hardware parallelism: on a single-CPU
+			// host every GOMAXPROCS point executes serially and no shard
+			// count can scale, so enforcing the floor there only measures
+			// the machine. Report the miss, fail only where it can bind.
+			if runtime.NumCPU() > 1 {
+				fmt.Fprintf(os.Stderr, "mlabench: shardperf: SCALING FAILED — %.2fx < required %.2fx\n", rep.ShardSpeedup, *scalingMin)
+				return 1
+			}
+			fmt.Printf("shardperf: scaling floor %.2fx not enforced (measured %.2fx): single-CPU host cannot exhibit shard parallelism\n", *scalingMin, rep.ShardSpeedup)
+		}
+		return record(rep)
+	}
+
 	if *load || *rate > 0 {
 		opts := []bench.Option{
 			bench.WithSeed(*seed), bench.WithQuick(*quick), bench.WithContext(ctx),
 			bench.WithRate(*rate), bench.WithDuration(*duration), bench.WithTxns(*txns),
 			bench.WithWorkload(*workload), bench.WithWorkers(*workers), bench.WithSLO(*sloP99),
+			bench.WithShards(*shards),
 		}
 		if *closed {
 			opts = append(opts, bench.WithClosedLoop())
@@ -184,6 +257,10 @@ func run() int {
 		var rep *bench.Report
 		var err error
 		if *base != "" {
+			if *shards > 1 {
+				fmt.Fprintln(os.Stderr, "mlabench: -shards applies to in-process cells only (-base drives a remote server)")
+				return 1
+			}
 			rep, err = bench.LoadRunHTTP(ctx, *base, cfg)
 		} else {
 			rep, err = bench.LoadRun(ctx, cfg)

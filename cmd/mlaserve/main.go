@@ -69,6 +69,7 @@ func run() int {
 	accounts := flag.Int("accounts", 0, "accounts per family (0 = default)")
 	control := flag.String("control", "", "concurrency control: 2pl-sharded, 2pl, tso, none")
 	shards := flag.Int("shards", 0, "lock shards for 2pl-sharded (0 = default)")
+	homeShards := flag.Int("home-shards", 0, "partition families across this many home shards with per-shard admission queues (0/1 = single customer queue)")
 	maxInflight := flag.Int("max-inflight", 0, "transactions admitted into the engine at once")
 	queueDepth := flag.Int("queue-depth", 0, "bounded admission queue depth per class")
 	admitWait := flag.Duration("admit-wait", 0, "how long admission may queue before shedding")
@@ -120,6 +121,9 @@ func run() int {
 	}
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	if *homeShards > 0 {
+		cfg.HomeShards = *homeShards
 	}
 	if *maxInflight > 0 {
 		cfg.MaxInflight = *maxInflight

@@ -5,10 +5,11 @@
 // Usage:
 //
 //	mlasim [-workload bank|sessions|cad|conv] [-config workload.json]
-//	       [-control prevent|detect|2pl|tso|serial|none|dist]
+//	       [-control prevent|detect|2pl|tso|serial|none|dist|shard]
 //	       [-txns 24] [-seed 1] [-partial] [-engine] [-check] [-trace out.json]
 //	       [-history out.json]
 //	       [-crashes 0] [-tear 2] [-errrate 0]
+//	       [-shards 4]
 //	       [-delay 5] [-loss 0] [-reorder 0] [-partition 0] [-heal 0] [-procfail 0]
 //
 // -config runs a user-defined workload (see internal/config for the JSON
@@ -40,6 +41,14 @@
 // -procfail crashes that many processors in sequence, each rejoining 400
 // units later. Every chaos run still reports the invariants, and -check
 // verifies Theorem 2 on the admitted execution.
+//
+// -control shard runs the partitioned entity store (internal/shard) on the
+// same simulated bus, simulator only: -shards per-shard lock tables and WAL
+// disciplines at their owning processors, lock requests/grants and per-shot
+// participant votes on typed messages, cross-shard deadlocks resolved by
+// edge-chasing probes, crashes recovered by epoch-fenced anti-entropy
+// resync. The same -delay and chaos flags apply, with -partition splitting
+// and -procfail crashing the shard processors.
 //
 // An interrupt (^C) cancels the run promptly — both executors stop and
 // report the cancellation instead of running to completion.
@@ -74,6 +83,7 @@ import (
 	"mla/internal/model"
 	"mla/internal/nest"
 	"mla/internal/sched"
+	"mla/internal/shard"
 	"mla/internal/sim"
 	"mla/internal/telemetry"
 	"mla/internal/trace"
@@ -88,7 +98,7 @@ func main() {
 func run() int {
 	workload := flag.String("workload", "bank", "bank, sessions, cad, or conv")
 	configPath := flag.String("config", "", "run a JSON-defined workload instead (see internal/config)")
-	control := flag.String("control", "prevent", "prevent, detect, 2pl, tso, serial, none, or dist")
+	control := flag.String("control", "prevent", "prevent, detect, 2pl, tso, serial, none, dist, or shard")
 	txns := flag.Int("txns", 24, "number of main transactions (transfers / sessions / modifications / conversations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	partial := flag.Bool("partial", false, "enable breakpoint-granular partial recovery")
@@ -99,12 +109,13 @@ func run() int {
 	crashes := flag.Int("crashes", 0, "engine only: inject this many crashes on a WAL-backed store, recovering between rounds")
 	tear := flag.Int("tear", 2, "records torn off the durable tail at each injected crash")
 	errRate := flag.Float64("errrate", 0, "engine only: transient step-error rate in [0,1]")
-	delay := flag.Int64("delay", 5, "dist control: one-hop bus latency in simulated time units")
-	loss := flag.Float64("loss", 0, "dist control: per-message drop probability in [0,1]")
-	reorder := flag.Float64("reorder", 0, "dist control: per-message extra-delay probability in [0,1] (60 extra units, reorders)")
-	partTime := flag.Int64("partition", 0, "dist control: split the processors into two halves at this time (0 = never)")
-	healTime := flag.Int64("heal", 0, "dist control: heal the partition at this time (0 = partition+300)")
-	procFail := flag.Int("procfail", 0, "dist control: crash this many processors in sequence, each rejoining 400 units later")
+	shards := flag.Int("shards", 4, "shard control: partition count (per-shard lock tables on the simulated bus)")
+	delay := flag.Int64("delay", 5, "dist/shard controls: one-hop bus latency in simulated time units")
+	loss := flag.Float64("loss", 0, "dist/shard controls: per-message drop probability in [0,1]")
+	reorder := flag.Float64("reorder", 0, "dist/shard controls: per-message extra-delay probability in [0,1] (60 extra units, reorders)")
+	partTime := flag.Int64("partition", 0, "dist/shard controls: split the processors into two halves at this time (0 = never)")
+	healTime := flag.Int64("heal", 0, "dist/shard controls: heal the partition at this time (0 = partition+300)")
+	procFail := flag.Int("procfail", 0, "dist/shard controls: crash this many processors in sequence, each rejoining 400 units later")
 	useTel := flag.Bool("telemetry", false, "record spans and counters; print the metrics table at exit")
 	telOut := flag.String("trace-out", "", "write recorded spans as Chrome trace-event JSON (implies -telemetry)")
 	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
@@ -231,18 +242,45 @@ func run() int {
 	}
 
 	chaosFlags := *loss > 0 || *reorder > 0 || *partTime > 0 || *healTime > 0 || *procFail > 0
-	if *control != "dist" && chaosFlags {
-		fmt.Fprintln(os.Stderr, "mlasim: -loss, -reorder, -partition, -heal, and -procfail apply to -control dist only")
+	busCtl := *control == "dist" || *control == "shard"
+	if !busCtl && chaosFlags {
+		fmt.Fprintln(os.Stderr, "mlasim: -loss, -reorder, -partition, -heal, and -procfail apply to -control dist and shard only")
 		return 2
 	}
-	if *control == "dist" && *useEngine {
-		fmt.Fprintln(os.Stderr, "mlasim: -control dist is simulator-only (the engine has no message-bus clock)")
+	if busCtl && *useEngine {
+		fmt.Fprintf(os.Stderr, "mlasim: -control %s is simulator-only (the engine has no message-bus clock)\n", *control)
 		return 2
+	}
+
+	// busChaos builds the shared chaos schedule for the bus-backed controls
+	// over the given processor population.
+	busChaos := func(procs int) fault.Plan {
+		plan := fault.Plan{
+			Seed:          *seed,
+			NetDropRate:   *loss,
+			NetDelayRate:  *reorder,
+			NetExtraDelay: 60,
+		}
+		if *partTime > 0 {
+			h := *healTime
+			if h == 0 {
+				h = *partTime + 300
+			}
+			plan.Partitions = []fault.Partition{{At: *partTime, Heal: h}}
+		}
+		for i := 0; i < *procFail; i++ {
+			at := int64(150 * (i + 1))
+			plan.ProcCrashes = append(plan.ProcCrashes, fault.ProcCrash{
+				Proc: (i + 1) % procs, At: at, Rejoin: at + 400,
+			})
+		}
+		return plan
 	}
 
 	// Controls are volatile: the crash-recovery path builds a fresh one per
 	// round, everything else uses a single instance.
 	var distCtl *dist.Preventer
+	var shardCtl *shard.SimControl
 	mkCtl := func() sched.Control {
 		switch *control {
 		case "prevent":
@@ -259,32 +297,25 @@ func run() int {
 			return sched.NewNone()
 		case "dist":
 			procs := sim.DefaultConfig().Processors
-			plan := fault.Plan{
-				Seed:          *seed,
-				NetDropRate:   *loss,
-				NetDelayRate:  *reorder,
-				NetExtraDelay: 60,
-			}
-			if *partTime > 0 {
-				h := *healTime
-				if h == 0 {
-					h = *partTime + 300
-				}
-				plan.Partitions = []fault.Partition{{At: *partTime, Heal: h}}
-			}
-			for i := 0; i < *procFail; i++ {
-				at := int64(150 * (i + 1))
-				plan.ProcCrashes = append(plan.ProcCrashes, fault.ProcCrash{
-					Proc: (i + 1) % procs, At: at, Rejoin: at + 400,
-				})
-			}
 			distCtl = dist.NewNet(n, spec, dist.Params{
 				Procs:  procs,
 				Owner:  sim.OwnerFunc(procs),
 				Delay:  *delay,
-				Faults: fault.New(plan),
+				Faults: fault.New(busChaos(procs)),
 			})
 			return distCtl
+		case "shard":
+			if *shards < 1 {
+				fmt.Fprintln(os.Stderr, "mlasim: -shards must be at least 1")
+				os.Exit(2)
+			}
+			shardCtl = shard.NewSimControl(shard.SimParams{
+				Shards: *shards,
+				Delay:  *delay,
+				Faults: fault.New(busChaos(*shards)),
+				Nest:   n,
+			})
+			return shardCtl
 		}
 		fmt.Fprintf(os.Stderr, "mlasim: unknown control %q\n", *control)
 		os.Exit(2)
@@ -414,6 +445,16 @@ func run() int {
 			if tel != nil {
 				distCtl.FillTelemetry(tel)
 			}
+		}
+		if shardCtl != nil {
+			ns := shardCtl.NetStats()
+			fmt.Printf("network:        %d sent, %d delivered, %d dropped (%d fault, %d link, %d crash)\n",
+				ns.Sent, ns.Delivered, ns.Dropped+ns.DroppedLink+ns.DroppedCrash,
+				ns.Dropped, ns.DroppedLink, ns.DroppedCrash)
+			fmt.Printf("shards:         %d shots committed, %d cross-shard txns, %d probe deadlocks\n",
+				shardCtl.Shots, shardCtl.CrossShard, shardCtl.ProbeDeadlocks)
+			fmt.Printf("chaos:          %d grace aborts, %d crash aborts, %d retransmits\n",
+				shardCtl.GraceAborts, shardCtl.CrashAborts, shardCtl.Retransmits)
 		}
 	}
 	report(exec, final)

@@ -60,6 +60,12 @@ type Config struct {
 	// Workers bounds the load pool's concurrent in-flight transactions
 	// (0 = harness default).
 	Workers int
+
+	// Shards partitions the entity store: a load run with Shards > 1
+	// drives a shard.Group of that many mini-engines instead of the single
+	// resident engine, and ShardRun uses it as the top of its shard sweep.
+	// 0 or 1 is the unsharded engine.
+	Shards int
 }
 
 // Option mutates a Config under construction.
@@ -112,6 +118,9 @@ func WithWorkload(name string) Option { return func(c *Config) { c.Workload = na
 
 // WithWorkers bounds the load pool's in-flight transactions.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithShards partitions the entity store across n shards.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
 
 // Options is the pre-redesign name for Config.
 //

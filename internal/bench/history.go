@@ -54,6 +54,19 @@ func (h *History) Last(kind string) *HistoryEntry {
 	return nil
 }
 
+// LastFor returns the most recent entry matching both kind and shard count,
+// or nil. Shard count is part of the lineage: a sharded load cell gates
+// against the last sharded cell of the same width, never against the
+// single-store cell interleaved in the same file.
+func (h *History) LastFor(kind string, shards int) *HistoryEntry {
+	for i := len(h.Entries) - 1; i >= 0; i-- {
+		if r := h.Entries[i].Report; r != nil && r.Kind == kind && r.Shards == shards {
+			return &h.Entries[i]
+		}
+	}
+	return nil
+}
+
 // Append records rep under commit and writes the file back.
 func (h *History) Append(path, commit string, rep *Report, now time.Time) error {
 	h.Schema = Schema
@@ -110,8 +123,11 @@ func Gate(prev, cur *Report) []string {
 	case "load":
 		for _, c := range cur.Load {
 			for _, p := range prev.Load {
-				if p.Workload == c.Workload && p.Mode == c.Mode {
+				if p.Workload == c.Workload && p.Mode == c.Mode && p.Shards == c.Shards {
 					name := fmt.Sprintf("load %s/%s", c.Workload, c.Mode)
+					if c.Shards > 1 {
+						name = fmt.Sprintf("load %s/%s/s=%d", c.Workload, c.Mode, c.Shards)
+					}
 					worseTPS(name, p.ThroughputTPS, c.ThroughputTPS)
 					worseP99(name, p.P99US, c.P99US)
 					worseAllocs(name, p.AllocsPerTxn, c.AllocsPerTxn)
@@ -119,11 +135,14 @@ func Gate(prev, cur *Report) []string {
 				}
 			}
 		}
-	case "perf":
+	case "perf", "shardperf":
 		for _, c := range cur.Measurements {
 			for _, p := range prev.Measurements {
-				if p.Workload == c.Workload && p.Config == c.Config && p.Procs == c.Procs {
-					name := fmt.Sprintf("perf %s/%s@%d", c.Workload, c.Config, c.Procs)
+				if p.Workload == c.Workload && p.Config == c.Config && p.Procs == c.Procs && p.Shards == c.Shards {
+					name := fmt.Sprintf("%s %s/%s@%d", cur.Kind, c.Workload, c.Config, c.Procs)
+					if c.Shards > 0 {
+						name = fmt.Sprintf("%s %s/s=%d@%d", cur.Kind, c.Workload, c.Shards, c.Procs)
+					}
 					worseTPS(name, p.ThroughputTPS, c.ThroughputTPS)
 					worseP99(name, p.P99LatencyUS, c.P99LatencyUS)
 					worseAllocs(name, p.AllocsPerTxn, c.AllocsPerTxn)

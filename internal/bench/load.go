@@ -28,6 +28,7 @@ import (
 	"mla/internal/model"
 	"mla/internal/sched"
 	"mla/internal/serve/loadgen"
+	"mla/internal/shard"
 )
 
 // Load cell defaults: a 1-second cell at 120k/s demonstrates the ≥100k
@@ -112,6 +113,60 @@ func (c *engineClient) Do(ctx context.Context, _ loadgen.Request) loadgen.Result
 	}
 	c.restarts.Add(int64(out.Restarts))
 	c.progs.Put(p)
+	return res
+}
+
+// groupClient adapts the partitioned store (shard.Group) to loadgen.Client,
+// so the same pool that drives the resident engine and mlaserve drives the
+// sharded store: each arrival becomes a one-unit transaction over its slot's
+// entities — a single shot, cross-shard (participant votes and all) whenever
+// the slot's entities hash to different homes.
+type groupClient struct {
+	g     *shard.Group
+	table [][]model.EntityID
+	next  atomic.Int64
+
+	restarts     atomic.Int64
+	committedInc []atomic.Int64
+	entIndex     map[model.EntityID]int
+}
+
+func (c *groupClient) OpenSession(context.Context) (string, error) { return "inproc", nil }
+func (c *groupClient) CloseSession(string)                         {}
+
+func loadInc(v model.Value) (model.Value, string) { return v + 1, "inc" }
+
+func (c *groupClient) Do(ctx context.Context, _ loadgen.Request) loadgen.Result {
+	i := c.next.Add(1)
+	ents := c.table[int(i)%len(c.table)]
+	steps := make([]shard.Step, len(ents))
+	for j, x := range ents {
+		steps[j] = shard.Step{Entity: x, Apply: loadInc}
+	}
+	txn := shard.Txn{
+		ID:    model.TxnID("l" + strconv.FormatInt(i, 36)),
+		Units: []shard.Unit{{Steps: steps}},
+	}
+	start := time.Now()
+	out, err := c.g.Submit(ctx, txn)
+	res := loadgen.Result{}
+	switch {
+	case err != nil && ctx.Err() != nil:
+		res.Status = loadgen.StatusCanceled
+	case err != nil:
+		res.Status = loadgen.StatusError
+		res.ErrDetail = err.Error()
+	case out.Committed:
+		res.Status = loadgen.StatusAcked
+		res.Txn = string(txn.ID)
+		res.LatencyUS = time.Since(start).Microseconds()
+		for _, x := range ents {
+			c.committedInc[c.entIndex[x]].Add(1)
+		}
+	default:
+		res.Status = loadgen.StatusShed
+	}
+	c.restarts.Add(int64(out.Restarts))
 	return res
 }
 
@@ -255,6 +310,9 @@ func LoadRun(ctx context.Context, cfg Config) (*Report, error) {
 		init[x] = 0
 		entIndex[x] = i
 	}
+	if cfg.Shards > 1 {
+		return loadRunSharded(ctx, cfg, name, table, ents, init, entIndex, rate, txns, workers)
+	}
 	store := engine.NewVolatileStore(init)
 	sess := engine.NewSession(engine.Config{Seed: cfg.Seed}, sched.NewShardedTwoPhase(16), nil, store)
 	defer sess.Close()
@@ -289,6 +347,49 @@ func LoadRun(ctx context.Context, cfg Config) (*Report, error) {
 		Kind:          "load",
 		Seed:          cfg.Seed,
 		Quick:         cfg.Quick,
+		EquivalenceOK: equiv,
+		Load:          []LoadCell{*cell},
+	}, nil
+}
+
+// loadRunSharded is LoadRun's partitioned-store variant (cfg.Shards > 1):
+// the same Poisson pool and CO-safe latency discipline over a shard.Group
+// instead of the single resident engine, with the same commutative-
+// increment equivalence gate over the merged shard states. The cell and the
+// report carry the shard count, so the bench gate regresses sharded cells
+// against their own lineage.
+func loadRunSharded(ctx context.Context, cfg Config, name string, table [][]model.EntityID, ents []model.EntityID, init map[model.EntityID]model.Value, entIndex map[model.EntityID]int, rate float64, txns, workers int) (*Report, error) {
+	g := shard.NewGroup(shard.GroupConfig{Shards: cfg.Shards}, init)
+	client := &groupClient{
+		g:            g,
+		table:        table,
+		committedInc: make([]atomic.Int64, len(ents)),
+		entIndex:     entIndex,
+	}
+	cell, err := runLoadCell(ctx, cfg, client, name, "inproc", rate, txns, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	cell.Shards = cfg.Shards
+	cell.Restarts = int(client.restarts.Load())
+
+	// Same equivalence gate as the unsharded cell: increments commute, so
+	// the merged shard states must hold exactly the acked increment counts.
+	// Submit is synchronous (a shot's votes are collected before it
+	// returns), so there is nothing to drain.
+	equiv := true
+	final := g.Values()
+	for i, x := range ents {
+		if final[x] != model.Value(client.committedInc[i].Load()) {
+			equiv = false
+		}
+	}
+	return &Report{
+		Schema:        Schema,
+		Kind:          "load",
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		Shards:        cfg.Shards,
 		EquivalenceOK: equiv,
 		Load:          []LoadCell{*cell},
 	}, nil

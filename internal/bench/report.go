@@ -18,7 +18,8 @@ const Schema = "mla-bench/v1"
 // perf sweep; field names are the BENCH_4.json schema.
 type PerfMeasurement struct {
 	Workload        string  `json:"workload"`          // "hotspot" | "lowcontention"
-	Config          string  `json:"config"`            // "baseline" | "optimized"
+	Config          string  `json:"config"`            // "baseline" | "optimized" | "sharded"
+	Shards          int     `json:"shards,omitempty"`  // partition count (shardperf cells; 0 = unsharded)
 	Procs           int     `json:"gomaxprocs"`        // runtime.GOMAXPROCS during the run
 	Txns            int     `json:"txns"`              // transactions offered
 	Committed       int     `json:"committed"`         // transactions committed (must equal txns)
@@ -30,6 +31,9 @@ type PerfMeasurement struct {
 	FsyncsPerCommit float64 `json:"fsyncs_per_commit"` // the group-commit amortization
 	AllocsPerTxn    float64 `json:"allocs_per_txn"`    // heap allocations per committed txn
 	ElapsedUS       int64   `json:"elapsed_us"`        // wall clock of the run
+	// CrossShardFrac is the fraction of committed transactions that spanned
+	// shards and hence paid the multi-shot commit (shardperf cells only).
+	CrossShardFrac float64 `json:"cross_shard_frac,omitempty"`
 }
 
 // PerfRecovery summarizes the crash-recovery cell that runs alongside the
@@ -50,8 +54,9 @@ type PerfRecovery struct {
 // transaction's scheduled Poisson arrival, so time spent queued behind a
 // stalled server counts.
 type LoadCell struct {
-	Workload      string  `json:"workload"` // "lowcontention" | "hotspot"
-	Mode          string  `json:"mode"`     // "open" | "closed"
+	Workload      string  `json:"workload"`         // "lowcontention" | "hotspot"
+	Mode          string  `json:"mode"`             // "open" | "closed"
+	Shards        int     `json:"shards,omitempty"` // partition count (0 = single resident engine)
 	RateTPS       float64 `json:"rate_tps"` // offered arrival rate (open loop)
 	Workers       int     `json:"workers"`  // pool worker bound
 	Txns          int     `json:"txns"`
@@ -74,17 +79,22 @@ type LoadCell struct {
 // bench gate compares. Kind says which sections are populated.
 type Report struct {
 	Schema string `json:"schema"` // always Schema ("mla-bench/v1")
-	Kind   string `json:"kind"`   // "perf" | "load"
+	Kind   string `json:"kind"`   // "perf" | "load" | "shardperf"
 	Seed   int64  `json:"seed"`
 	Quick  bool   `json:"quick"`
+	// Shards is the partition count the run was configured with (0 =
+	// unsharded). Part of the history-matching signature: sharded and
+	// unsharded cells gate against their own lineage, never each other.
+	Shards int `json:"shards,omitempty"`
 	// EquivalenceOK reports that every run reached the schedule-independent
-	// expected state — the decision-equivalence gate for both kinds.
+	// expected state — the decision-equivalence gate for every kind.
 	EquivalenceOK bool `json:"equivalence_ok"`
 
 	// Perf sweep section (Kind "perf").
 	SyncDelayUS     int64             `json:"sync_delay_us,omitempty"`      // simulated device sync latency
 	FlushIntervalUS int64             `json:"flush_interval_us,omitempty"`  // pipeline flush window
 	HotspotSpeedup  float64           `json:"hotspot_speedup_8p,omitempty"` // optimized/baseline throughput, hotspot @ max procs
+	ShardSpeedup    float64           `json:"shard_speedup,omitempty"`      // max-shards/1-shard throughput @ max procs (Kind "shardperf")
 	Recovery        *PerfRecovery     `json:"recovery,omitempty"`           // telemetry-only crash-recovery cell
 	Measurements    []PerfMeasurement `json:"measurements,omitempty"`
 
@@ -115,6 +125,17 @@ func (r *Report) Table() *metrics.Table {
 				fmt.Sprintf("%.0f", c.ThroughputTPS), c.P50US, c.P99US, c.P999US,
 				fmt.Sprintf("%.0f", c.AllocsPerTxn), slo)
 		}
+		return tbl
+	}
+	if r.Kind == "shardperf" {
+		tbl := metrics.NewTable("partitioned store: shards × GOMAXPROCS on the shard-affine hot spot",
+			"workload", "shards", "procs", "txns/s", "p50 µs", "p99 µs", "cross-shard", "allocs/txn", "restarts")
+		for _, m := range r.Measurements {
+			tbl.Row(m.Workload, m.Shards, m.Procs, fmt.Sprintf("%.0f", m.ThroughputTPS),
+				m.P50LatencyUS, m.P99LatencyUS, fmt.Sprintf("%.2f", m.CrossShardFrac),
+				fmt.Sprintf("%.0f", m.AllocsPerTxn), m.Restarts)
+		}
+		tbl.Row("speedup@max", fmt.Sprintf("%d vs 1", r.Shards), "", fmt.Sprintf("%.2fx", r.ShardSpeedup), "", "", "", "", "")
 		return tbl
 	}
 	tbl := metrics.NewTable("E19 engine perf: striped locks + group commit (sync delay 300µs)",

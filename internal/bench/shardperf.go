@@ -1,0 +1,284 @@
+// Shard perf cells: the harness behind `mlabench -shardperf` and the
+// ci.yml shard-matrix job. It sweeps partition count × GOMAXPROCS over a
+// shard-affine hot-spot workload on the partitioned store (shard.Group):
+// ~90% of transactions touch only their home shard's hot entities, ~10%
+// span two shards and pay the multi-shot cross-shard commit, so the sweep
+// measures exactly what partitioning buys — independent shards proceed in
+// parallel where the single store serializes on one engine mutex — while
+// still charging the protocol's real coordination cost.
+//
+// Safety is asserted the same way as the E19 sweep: the workload is
+// commutative increments, so every cell (any shard count, any schedule)
+// must land exactly on init + the per-entity increment counts. The 1-shard
+// cell IS the unsharded discipline, so a sharded cell agreeing with the
+// expectation is decision equivalence against the unsharded engine; any
+// divergence flips EquivalenceOK and `mlabench -shardperf` exits nonzero.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mla/internal/model"
+	"mla/internal/shard"
+)
+
+// Shard cell shape: each shard owns a small hot set, so the 1-shard cell is
+// one fought-over hot spot and the N-shard cell is N independent ones
+// bridged by the cross-shard tail.
+const (
+	shardPerfTxns       = 8000
+	shardPerfQuickTxns  = 2000
+	shardPerfWorkers    = 16
+	shardPerfHotEnts    = 8  // hot entities per shard
+	shardPerfCrossPct   = 10 // % of transactions spanning two shards
+	shardPerfUniverse   = 256
+	shardPerfStepsPerUn = 2 // steps per unit; 2 units per transaction
+
+	// shardPerfSpin is the per-step CPU work burned inside the lock hold
+	// (a stand-in for real step work: deserialize, validate, index). With
+	// zero-cost steps the cell measures nothing but lock handoff, which a
+	// single engine already pipelines at memory speed — the quantity
+	// partitioning actually parallelizes is the hot row's HOLD time, and
+	// only steps that cost something make that the bottleneck.
+	shardPerfSpin = 4000
+)
+
+// shardPerfSink defeats dead-code elimination of the spin loop.
+var shardPerfSink atomic.Uint64
+
+func shardPerfWork() {
+	x := uint64(2166136261)
+	for j := 0; j < shardPerfSpin; j++ {
+		x = (x ^ uint64(j)) * 16777619
+	}
+	shardPerfSink.Store(x)
+}
+
+// shardTxnEnts returns transaction i's four entities (two units of two
+// steps) deterministically: the first unit on the home shard, the second on
+// the same shard or — for the cross-shard tail — on the next one. Each
+// unit's first step is its shard's hot ROW (hot[s][0]): every transaction
+// homed at a shard serializes through that one entity, so the 1-shard cell
+// is a genuine single-point bottleneck — all workers funnel through one
+// row — while the N-shard cell has N independent rows proceeding in
+// parallel. The second step spreads over the rest of the hot window.
+func shardTxnEnts(i int, hot [][]model.EntityID) (ents [4]model.EntityID, cross bool) {
+	shards := len(hot)
+	home := i % shards
+	cross = shards > 1 && i%100 < shardPerfCrossPct
+	second := home
+	if cross {
+		second = (home + 1) % shards
+	}
+	pick := func(s, k int) model.EntityID {
+		if n := len(hot[s]) - 1; n > 0 {
+			return hot[s][1+(i*31+k*7)%n]
+		}
+		return hot[s][0]
+	}
+	ents[0], ents[1] = hot[home][0], pick(home, 1)
+	ents[2], ents[3] = hot[second][0], pick(second, 3)
+	return ents, cross
+}
+
+// shardCell runs one (shards, procs) cell and verifies it against the
+// schedule-independent expected state. equivOK=false is a decision-
+// equivalence violation (the report fails); err is a harness failure.
+func shardCell(ctx context.Context, shards, procs, txns, workers int) (m PerfMeasurement, equivOK bool, err error) {
+	runtime.GOMAXPROCS(procs)
+
+	init := make(map[model.EntityID]model.Value, shardPerfUniverse)
+	ents := make([]model.EntityID, shardPerfUniverse)
+	for e := range ents {
+		ents[e] = model.EntityID(fmt.Sprintf("acct-%04d", e))
+		init[ents[e]] = 0
+	}
+	g := shard.NewGroup(shard.GroupConfig{Shards: shards}, init)
+
+	// Classify the universe by the group's own router and keep a small hot
+	// window per shard. Routing is near-uniform (TestRouterBalance), so
+	// every shard owns far more than the hot-window size out of 256.
+	hot := make([][]model.EntityID, shards)
+	for _, x := range ents {
+		s := g.Router().Shard(x)
+		if len(hot[s]) < shardPerfHotEnts {
+			hot[s] = append(hot[s], x)
+		}
+	}
+	for s := range hot {
+		if len(hot[s]) == 0 {
+			return m, false, fmt.Errorf("bench: shard %d of %d owns no entities in a %d-entity universe", s, shards, shardPerfUniverse)
+		}
+	}
+
+	// The schedule-independent expectation, computed before anything runs.
+	want := make(map[model.EntityID]model.Value, shardPerfUniverse)
+	for i := 0; i < txns; i++ {
+		es, _ := shardTxnEnts(i, hot)
+		for _, x := range es {
+			want[x]++
+		}
+	}
+
+	inc := func(v model.Value) (model.Value, string) { shardPerfWork(); return v + 1, "inc" }
+	lat := make([]int64, txns) // µs, one slot per transaction
+	var next, committed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= txns || ctx.Err() != nil {
+					return
+				}
+				es, _ := shardTxnEnts(i, hot)
+				txn := shard.Txn{
+					ID: model.TxnID(fmt.Sprintf("sp%06d", i)),
+					Units: []shard.Unit{
+						{Steps: []shard.Step{{Entity: es[0], Apply: inc}, {Entity: es[1], Apply: inc}}},
+						{Steps: []shard.Step{{Entity: es[2], Apply: inc}, {Entity: es[3], Apply: inc}}},
+					},
+				}
+				t0 := time.Now()
+				out, serr := g.Submit(ctx, txn)
+				lat[i] = time.Since(t0).Microseconds()
+				if serr != nil {
+					firstErr.CompareAndSwap(nil, serr)
+					return
+				}
+				if out.Committed {
+					committed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if e, _ := firstErr.Load().(error); e != nil {
+		return m, false, fmt.Errorf("bench: shardperf s=%d@%d: %w", shards, procs, e)
+	}
+	if err := ctx.Err(); err != nil {
+		return m, false, err
+	}
+
+	equivOK = true
+	final := g.Values()
+	for x, v := range want {
+		if final[x] != v {
+			equivOK = false
+		}
+	}
+	st := g.Stats()
+	if int(committed.Load()) != txns || st.Committed != int64(txns) {
+		equivOK = false
+	}
+
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	m = PerfMeasurement{
+		Workload:     "hotspot-affine",
+		Config:       "sharded",
+		Shards:       shards,
+		Procs:        procs,
+		Txns:         txns,
+		Committed:    int(committed.Load()),
+		Restarts:     int(st.Restarts),
+		P50LatencyUS: lat[txns/2],
+		P99LatencyUS: lat[txns*99/100],
+		ElapsedUS:    elapsed.Microseconds(),
+	}
+	if elapsed > 0 {
+		m.ThroughputTPS = float64(committed.Load()) / elapsed.Seconds()
+	}
+	if c := committed.Load(); c > 0 {
+		m.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(c)
+		m.CrossShardFrac = float64(st.CrossShard) / float64(c)
+	}
+	return m, equivOK, nil
+}
+
+// ShardRun executes the shard sweep (the Kind "shardperf" report behind
+// `mlabench -shardperf`). cfg.Shards > 1 pins the sweep to {1, cfg.Shards}
+// — the CI matrix leg, which always carries its own 1-shard baseline so
+// ShardSpeedup is well-defined per job; the default sweeps {1, 2, 4}.
+// ShardRun mutates GOMAXPROCS during the run and restores it on return.
+func ShardRun(ctx context.Context, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = cfg.ctx()
+	}
+	shardPoints := []int{1, 2, 4}
+	switch {
+	case cfg.Shards == 1:
+		shardPoints = []int{1}
+	case cfg.Shards > 1:
+		shardPoints = []int{1, cfg.Shards}
+	}
+	procs := cfg.Procs
+	if len(procs) == 0 {
+		procs = []int{1, 4}
+	}
+	txns := shardPerfTxns
+	if cfg.Quick {
+		txns = shardPerfQuickTxns
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = shardPerfWorkers
+	}
+
+	rep := &Report{
+		Schema:        Schema,
+		Kind:          "shardperf",
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		Shards:        shardPoints[len(shardPoints)-1],
+		EquivalenceOK: true,
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	maxProcs := procs[len(procs)-1]
+	maxShards := shardPoints[len(shardPoints)-1]
+	var oneTPS, maxTPS float64
+	for _, s := range shardPoints {
+		for _, p := range procs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m, equivOK, err := shardCell(ctx, s, p, txns, workers)
+			if err != nil {
+				return nil, fmt.Errorf("bench: shardperf s=%d@%d: %w", s, p, err)
+			}
+			if !equivOK {
+				rep.EquivalenceOK = false
+			}
+			if p == maxProcs {
+				if s == 1 {
+					oneTPS = m.ThroughputTPS
+				}
+				if s == maxShards {
+					maxTPS = m.ThroughputTPS
+				}
+			}
+			rep.Measurements = append(rep.Measurements, m)
+		}
+	}
+	if oneTPS > 0 {
+		rep.ShardSpeedup = maxTPS / oneTPS
+	}
+	return rep, nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestShardRunEquivalence runs a small shard sweep end to end: every cell
+// must commit its full population and land exactly on the schedule-
+// independent expected state (the decision-equivalence gate), and the
+// report must carry the per-cell shard counts the bench gate matches on.
+func TestShardRunEquivalence(t *testing.T) {
+	rep, err := ShardRun(context.Background(), NewConfig(WithQuick(true), WithShards(2), WithProcs(1, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EquivalenceOK {
+		t.Fatal("shard sweep diverged from the schedule-independent expected state")
+	}
+	if rep.Kind != "shardperf" || rep.Shards != 2 {
+		t.Fatalf("report kind/shards = %s/%d", rep.Kind, rep.Shards)
+	}
+	if len(rep.Measurements) != 4 {
+		t.Fatalf("got %d cells, want 4 (shards {1,2} × procs {1,4})", len(rep.Measurements))
+	}
+	for _, m := range rep.Measurements {
+		if m.Committed != m.Txns {
+			t.Errorf("cell s=%d@%d committed %d of %d", m.Shards, m.Procs, m.Committed, m.Txns)
+		}
+		if m.Shards > 1 && m.CrossShardFrac == 0 {
+			t.Errorf("cell s=%d@%d saw no cross-shard transactions", m.Shards, m.Procs)
+		}
+		if m.Shards == 1 && m.CrossShardFrac != 0 {
+			t.Errorf("1-shard cell reports cross-shard fraction %f", m.CrossShardFrac)
+		}
+	}
+	t.Logf("shard speedup (2 shards vs 1 @ max procs): %.2fx", rep.ShardSpeedup)
+}
+
+// TestLoadRunSharded drives the open-loop load cell against the partitioned
+// store and checks the sharded equivalence gate plus the shard signature on
+// the cell (what BENCH_HISTORY.json lineage matching keys on).
+func TestLoadRunSharded(t *testing.T) {
+	cfg := NewConfig(WithQuick(true), WithShards(4), WithTxns(2000), WithRate(40000))
+	rep, err := LoadRun(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EquivalenceOK {
+		t.Fatal("sharded load cell diverged from acked increments")
+	}
+	if rep.Shards != 4 || len(rep.Load) != 1 || rep.Load[0].Shards != 4 {
+		t.Fatalf("shard signature missing: report %d, cell %+v", rep.Shards, rep.Load)
+	}
+	if rep.Load[0].Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+}
+
+// TestGateShardLineage pins the gate's matching rule: a sharded load cell
+// must gate against the previous sharded cell, never the single-store cell
+// recorded in the same history.
+func TestGateShardLineage(t *testing.T) {
+	unsharded := &Report{Kind: "load", Load: []LoadCell{{Workload: "lowcontention", Mode: "open", ThroughputTPS: 100000}}}
+	shardedOld := &Report{Kind: "load", Shards: 4, Load: []LoadCell{{Workload: "lowcontention", Mode: "open", Shards: 4, ThroughputTPS: 50000}}}
+	shardedNew := &Report{Kind: "load", Shards: 4, Load: []LoadCell{{Workload: "lowcontention", Mode: "open", Shards: 4, ThroughputTPS: 48000}}}
+
+	// vs the unsharded cell the sharded one would look like a 52% cliff —
+	// the shard signature must keep them apart.
+	if bad := Gate(unsharded, shardedNew); len(bad) != 0 {
+		t.Fatalf("sharded cell gated against unsharded lineage: %v", bad)
+	}
+	if bad := Gate(shardedOld, shardedNew); len(bad) != 0 {
+		t.Fatalf("4%% drift should pass: %v", bad)
+	}
+	shardedBad := &Report{Kind: "load", Shards: 4, Load: []LoadCell{{Workload: "lowcontention", Mode: "open", Shards: 4, ThroughputTPS: 30000}}}
+	if bad := Gate(shardedOld, shardedBad); len(bad) == 0 {
+		t.Fatal("40% regression within the sharded lineage passed the gate")
+	}
+
+	// History lineage: LastFor must skip entries of the other shard width.
+	h := &History{}
+	h.Entries = append(h.Entries,
+		HistoryEntry{Commit: "a", Report: unsharded},
+		HistoryEntry{Commit: "b", Report: shardedOld},
+		HistoryEntry{Commit: "c", Report: unsharded},
+	)
+	if e := h.LastFor("load", 4); e == nil || e.Commit != "b" {
+		t.Fatalf("LastFor(load, 4) = %+v, want commit b", e)
+	}
+	if e := h.LastFor("load", 0); e == nil || e.Commit != "c" {
+		t.Fatalf("LastFor(load, 0) = %+v, want commit c", e)
+	}
+}

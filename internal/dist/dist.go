@@ -95,9 +95,15 @@ type Params struct {
 	NetPolicy mnet.Policy
 }
 
+// DefaultHeartbeatEvery is the failure detector's default broadcast period,
+// exported so internal/shard's simulator control derives its suspicion and
+// grace timers from the same base and the two message-driven layers trip
+// failure detection identically on the same chaos grid.
+const DefaultHeartbeatEvery int64 = 20
+
 func (pr Params) withDefaults() Params {
 	if pr.HeartbeatEvery == 0 {
-		pr.HeartbeatEvery = 20
+		pr.HeartbeatEvery = DefaultHeartbeatEvery
 	}
 	if pr.SuspectAfter == 0 {
 		pr.SuspectAfter = pr.Delay + 3*pr.HeartbeatEvery

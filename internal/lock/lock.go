@@ -113,6 +113,11 @@ func (m *Manager) Holds(t model.TxnID, x model.EntityID) bool {
 	return m.holder[x] == t
 }
 
+// HolderOf returns the current holder of x ("" when unlocked). Deadlock
+// probes chase waits-for edges with it: the edge from a waiter leads to
+// whoever holds the entity it is blocked on.
+func (m *Manager) HolderOf(x model.EntityID) model.TxnID { return m.holder[x] }
+
 // Release frees every lock held by t (commit or abort — strict 2PL). It
 // walks only t's own held index, so the cost is proportional to the locks
 // released, independent of the table size (BenchmarkReleaseManyHolders

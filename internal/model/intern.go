@@ -8,6 +8,23 @@ import "sync"
 // arrays instead of string-keyed maps on hot paths.
 type Handle uint32
 
+// Mix scrambles the handle through a finalizing integer hash (the 32-bit
+// splitmix/murmur finalizer). Handles are dense and assigned in first-sight
+// order, so consecutive identities get consecutive handles; anything that
+// buckets handles by modulus (shard routing, stripe selection) would see
+// perfectly correlated placement without a mix. The mixed value is uniform
+// in the low bits, stable for the life of the handle, and costs five
+// arithmetic ops — no strings, no allocation.
+func (h Handle) Mix() uint32 {
+	x := uint32(h) + 0x9e3779b9 // avoid fixing Mix(0) == 0
+	x ^= x >> 16
+	x *= 0x21f0aaad
+	x ^= x >> 15
+	x *= 0x735a2d97
+	x ^= x >> 15
+	return x
+}
+
 // Interner assigns dense Handles to string-like identifiers (TxnID,
 // EntityID). Handles are recycled through Release, so a long-lived session
 // interning millions of transient transaction IDs keeps the handle space —

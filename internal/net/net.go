@@ -54,6 +54,21 @@ const (
 	SyncRequest
 	// SyncReply carries a snapshot of the sender's view state.
 	SyncReply
+	// LockRequest asks the shard processor owning Entity for its exclusive
+	// lock on behalf of Txn (internal/shard). Unreliable; the coordinator
+	// retransmits until granted or the requester aborts.
+	LockRequest
+	// LockGrant tells a coordinator its LockRequest succeeded. Re-granting
+	// an already-held lock is idempotent, so retransmitted requests are
+	// harmless.
+	LockGrant
+	// ShotPrepare opens one shot of the multi-shot commit for Txn: it asks
+	// a participant shard to vote on committing the current
+	// breakpoint-delimited unit (internal/shard).
+	ShotPrepare
+	// ShotVote is a participant's commit vote for one shot back to the
+	// coordinator.
+	ShotVote
 )
 
 func (k Kind) String() string {
@@ -72,6 +87,14 @@ func (k Kind) String() string {
 		return "sync-request"
 	case SyncReply:
 		return "sync-reply"
+	case LockRequest:
+		return "lock-request"
+	case LockGrant:
+		return "lock-grant"
+	case ShotPrepare:
+		return "shot-prepare"
+	case ShotVote:
+		return "shot-vote"
 	}
 	return "unknown"
 }
@@ -107,6 +130,15 @@ type Message struct {
 
 	// SyncReply only.
 	Sync map[model.TxnID]SyncEntry
+
+	// LockRequest, LockGrant: the entity whose lock is requested/granted.
+	Entity model.EntityID
+	// ShotPrepare, ShotVote: the shot (unit) index within the transaction.
+	Shot int
+	// SyncReply from a shard processor: the locks it currently holds, per
+	// transaction, so a rejoining coordinator relearns its grants
+	// (internal/shard anti-entropy).
+	Held map[model.TxnID][]model.EntityID
 }
 
 // Policy decides per-message faults: drop the message entirely, or deliver

@@ -55,6 +55,7 @@ import (
 	"mla/internal/model"
 	"mla/internal/nest"
 	"mla/internal/sched"
+	"mla/internal/shard"
 	"mla/internal/telemetry"
 	"mla/internal/wal"
 )
@@ -80,6 +81,16 @@ type Config struct {
 	// sizes the sharded control's lock table.
 	Control string
 	Shards  int
+
+	// HomeShards, when > 1, partitions the account families across that
+	// many home shards with the same hash routing the partitioned entity
+	// store uses: each session is pinned to the home shard of its family,
+	// and customer traffic (transfers, creditor audits) is admitted
+	// through a per-home-shard queue instead of the single "cust" gate —
+	// one saturated partition sheds its own clients instead of everyone.
+	// Bank audits still share the one "audit" gate (they read every
+	// shard). 0 or 1 keeps the single customer queue.
+	HomeShards int
 
 	// MaxInflight caps transactions inside the engine at once; QueueDepth
 	// bounds each admission class's queue on top of that. AdmitWait is how
@@ -191,8 +202,9 @@ type Server struct {
 	// from its fixed population).
 	transfers map[model.TxnID]*bank.Transfer
 
-	gates  map[string]*gate // admission queue per nest class
+	gates  map[string]*gate // admission queue per nest class (per home shard when partitioned)
 	global *gate            // engine-wide in-flight cap
+	homes  *shard.Router    // family→home-shard routing; nil unless HomeShards > 1
 
 	mu       sync.Mutex
 	state    int32 // accepting / draining / closed
@@ -235,11 +247,13 @@ type counters struct {
 }
 
 // clientSession is one client's handle: a stable identity, a pinned
-// family (its nest class for transfers), a deterministic parameter rng,
-// and the remaining retry budget.
+// family (its nest class for transfers), the family's home shard when the
+// store is partitioned, a deterministic parameter rng, and the remaining
+// retry budget.
 type clientSession struct {
 	id     string
 	family int
+	home   int // family's home shard; 0 when HomeShards <= 1
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -252,6 +266,9 @@ func (cs *clientSession) ID() string { return cs.id }
 
 // Family returns the session's pinned family (its transfer nest class).
 func (cs *clientSession) Family() int { return cs.family }
+
+// Home returns the session's home shard (0 when the store is unpartitioned).
+func (cs *clientSession) Home() int { return cs.home }
 
 // New builds the world, opens the WAL, starts the group-commit pipeline
 // and the resident engine session. The server is accepting immediately.
@@ -323,8 +340,16 @@ func New(cfg Config) (*Server, error) {
 		depth = cfg.MaxInflight
 	}
 	s.gates = map[string]*gate{
-		classCust:  newGate(classCust, depth),
 		classAudit: newGate(classAudit, depth),
+	}
+	if cfg.HomeShards > 1 {
+		s.homes = shard.NewRouter(cfg.HomeShards)
+		for h := 0; h < cfg.HomeShards; h++ {
+			name := custGateName(h)
+			s.gates[name] = newGate(name, depth)
+		}
+	} else {
+		s.gates[classCust] = newGate(classCust, depth)
 	}
 	s.global = newGate("inflight", cfg.MaxInflight)
 
@@ -372,6 +397,10 @@ const (
 	classCust  = "cust"
 	classAudit = "audit"
 )
+
+// custGateName is the admission-queue name for one home shard's customer
+// traffic ("cust@2"); /statz reports each as its own gate.
+func custGateName(home int) string { return fmt.Sprintf("%s@%d", classCust, home) }
 
 func controlByName(name string, shards int) sched.Control {
 	switch name {
@@ -430,6 +459,12 @@ func (s *Server) OpenSession(family int) (*clientSession, error) {
 		family: family,
 		rng:    rand.New(rand.NewSource(s.cfg.Seed ^ s.nextSess<<17)),
 		budget: s.cfg.SessionRetryBudget,
+	}
+	if s.homes != nil {
+		// Pin the session to its family's home shard: the anchor entity is
+		// the family's first account, so every session of one family lands
+		// on the same shard regardless of interning order.
+		cs.home = s.homes.Shard(s.world.Account(family, 0))
 	}
 	s.sessions[id] = cs
 	return cs, nil
@@ -510,6 +545,8 @@ func (s *Server) Submit(ctx context.Context, req TxnRequest) (TxnResult, error) 
 	class := classCust
 	if req.Kind == "audit" {
 		class = classAudit
+	} else if s.homes != nil {
+		class = custGateName(cs.home)
 	}
 	g := s.gates[class]
 	if !g.acquire(ctx, s.cfg.AdmitWait) {

@@ -97,6 +97,64 @@ func TestServeCommit(t *testing.T) {
 	}
 }
 
+// TestServeHomeShardRouting: with HomeShards set, sessions pin to their
+// family's home shard, customer traffic is admitted through that shard's
+// own gate (visible in /statz as cust@N), and audits still share the one
+// audit gate. Transactions keep committing across every home shard.
+func TestServeHomeShardRouting(t *testing.T) {
+	cfg := testConfig()
+	cfg.HomeShards = 2
+	srv, ts := startServer(t, cfg)
+
+	// One session per family: families must spread across both home shards
+	// and two sessions of the same family must agree on their pin.
+	homes := make(map[int]bool)
+	for f := 0; f < cfg.Families; f++ {
+		cs, err := srv.OpenSession(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup, err := srv.OpenSession(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Home() != dup.Home() {
+			t.Fatalf("family %d pinned to shards %d and %d", f, cs.Home(), dup.Home())
+		}
+		homes[cs.Home()] = true
+		res, err := srv.Submit(context.Background(), TxnRequest{Session: cs.ID(), Kind: "transfer"})
+		if err != nil || !res.Outcome.Committed {
+			t.Fatalf("family %d transfer: %v %+v", f, err, res)
+		}
+		if _, err := srv.Submit(context.Background(), TxnRequest{Session: cs.ID(), Kind: "audit"}); err != nil {
+			t.Fatalf("family %d audit: %v", f, err)
+		}
+	}
+	if len(homes) != 2 {
+		t.Fatalf("4 families landed on %d home shards, want 2", len(homes))
+	}
+
+	st := srv.Stats()
+	if _, ok := st.Gates[classCust]; ok {
+		t.Error("partitioned server still reports the single cust gate")
+	}
+	var custAdmitted int64
+	for h := 0; h < cfg.HomeShards; h++ {
+		gs, ok := st.Gates[custGateName(h)]
+		if !ok {
+			t.Fatalf("stats missing gate %s", custGateName(h))
+		}
+		custAdmitted += gs.Admitted
+	}
+	if custAdmitted != int64(cfg.Families) {
+		t.Errorf("home-shard gates admitted %d, want %d", custAdmitted, cfg.Families)
+	}
+	if st.Gates[classAudit].Admitted != int64(cfg.Families) {
+		t.Errorf("audit gate admitted %d, want %d", st.Gates[classAudit].Admitted, cfg.Families)
+	}
+	_ = ts
+}
+
 // TestServeUnknownSessionAndKind: 404 for a session never opened, 400 for
 // a kind the server does not synthesize.
 func TestServeUnknownSessionAndKind(t *testing.T) {

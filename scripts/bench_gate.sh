@@ -1,22 +1,38 @@
 #!/usr/bin/env sh
-# Bench regression gate: run one open-loop load cell, append the mla-bench/v1
+# Bench regression gate: run one open-loop load cell against the single
+# store and one against the partitioned store, append each mla-bench/v1
 # report to BENCH_HISTORY.json keyed by the current commit, and fail when
 # throughput drops or p99 rises more than 10% (plus an absolute slack floor,
 # so a small CI cell's noise cannot flake a push) versus the last recorded
-# load entry. The first run on a fresh history passes by default and seeds it.
+# entry of the same lineage — the history gate keys on the report's shard
+# signature, so the sharded cell never gates against the single-store cell.
+# The first run on a fresh history passes by default and seeds it.
 #
 # Tunables (environment):
 #   BENCH_RATE      offered rate, txns/s           (default 60000)
 #   BENCH_DURATION  cell length                    (default 500ms)
 #   BENCH_SLO       p99 objective; a miss fails    (default 50ms)
 #   BENCH_HISTORY   history file                   (default BENCH_HISTORY.json)
+#   BENCH_SHARDS    partitioned cell's shard count (default 4; 0 skips it)
 set -eu
 cd "$(dirname "$0")/.."
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-exec go run ./cmd/mlabench \
-    -rate "${BENCH_RATE:-60000}" \
-    -duration "${BENCH_DURATION:-500ms}" \
-    -slo-p99 "${BENCH_SLO:-50ms}" \
-    -history "${BENCH_HISTORY:-BENCH_HISTORY.json}" \
-    -commit "$commit" \
-    -gate
+
+run_cell() {
+    go run ./cmd/mlabench \
+        -rate "${BENCH_RATE:-60000}" \
+        -duration "${BENCH_DURATION:-500ms}" \
+        -slo-p99 "${BENCH_SLO:-50ms}" \
+        -history "${BENCH_HISTORY:-BENCH_HISTORY.json}" \
+        -commit "$commit" \
+        -gate "$@"
+}
+
+echo "bench gate: single-store load cell"
+run_cell
+
+shards="${BENCH_SHARDS:-4}"
+if [ "$shards" -gt 1 ]; then
+    echo "bench gate: sharded load cell (shards=$shards)"
+    run_cell -shards "$shards"
+fi

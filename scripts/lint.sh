@@ -20,15 +20,19 @@ if [ "${MLA_SKIP_LINT:-0}" = "1" ]; then
 fi
 
 # Install the pinned tools into a private GOBIN so the gate never depends on
-# (or clobbers) whatever versions the developer has on PATH.
+# (or clobbers) whatever versions the developer has on PATH. Installer
+# output is captured, not discarded: when MLA_REQUIRE_LINT=1 makes a failed
+# download fatal, the actual `go install` error must reach the CI log.
 TOOLBIN="${TMPDIR:-/tmp}/mla-lint-bin"
+INSTALL_LOG="$TOOLBIN/install.log"
 mkdir -p "$TOOLBIN"
+: > "$INSTALL_LOG"
 
 install_tool() {
     pkg="$1"
     bin="$TOOLBIN/$2"
     [ -x "$bin" ] && return 0
-    if ! GOBIN="$TOOLBIN" go install "$pkg" >/dev/null 2>&1; then
+    if ! GOBIN="$TOOLBIN" go install "$pkg" >>"$INSTALL_LOG" 2>&1; then
         return 1
     fi
 }
@@ -39,10 +43,14 @@ install_tool "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION" govulnchec
 
 if [ -n "$missing" ]; then
     if [ "${MLA_REQUIRE_LINT:-0}" = "1" ]; then
-        echo "lint: FAILED to install: $missing(MLA_REQUIRE_LINT=1)" >&2
+        echo "lint: FAILED to install: ${missing% } (MLA_REQUIRE_LINT=1 makes this fatal)" >&2
+        if [ -s "$INSTALL_LOG" ]; then
+            echo "lint: go install output:" >&2
+            cat "$INSTALL_LOG" >&2
+        fi
         exit 1
     fi
-    echo "lint: warning: could not install: $missing— skipping (offline?); set MLA_REQUIRE_LINT=1 to make this fatal" >&2
+    echo "lint: warning: could not install: ${missing% } — skipping (offline?); set MLA_REQUIRE_LINT=1 to make this fatal" >&2
     exit 0
 fi
 
